@@ -1,0 +1,114 @@
+//===- alloc_compile_time.cpp - Allocator performance (A4) ----------------===//
+//
+// google-benchmark timings of the compiler-side machinery: analysis,
+// bounds estimation, intra-thread allocation at both ends of the budget
+// range, the full inter-thread allocation of an ARA scenario, and the
+// Chaitin baseline. The paper claims "almost negligible compilation time";
+// this bench quantifies ours.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/BoundsEstimator.h"
+#include "alloc/InterAllocator.h"
+#include "alloc/IntraAllocator.h"
+#include "analysis/InterferenceGraph.h"
+#include "baseline/ChaitinAllocator.h"
+#include "workloads/Harness.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace npral;
+
+namespace {
+
+Program kernelProgram(const std::string &Name) {
+  ErrorOr<Workload> W = buildWorkload(Name, 0);
+  if (!W.ok())
+    reportFatalError(W.status().str());
+  return W->Code;
+}
+
+void BM_AnalyzeThread(benchmark::State &State, const std::string &Name) {
+  Program P = kernelProgram(Name);
+  for (auto _ : State) {
+    ThreadAnalysis TA = analyzeThread(P);
+    benchmark::DoNotOptimize(TA.GIG.getNumEdges());
+  }
+}
+
+void BM_EstimateBounds(benchmark::State &State, const std::string &Name) {
+  Program P = kernelProgram(Name);
+  ThreadAnalysis TA = analyzeThread(P);
+  for (auto _ : State) {
+    RegBounds B = estimateRegBounds(TA);
+    benchmark::DoNotOptimize(B.MaxR);
+  }
+}
+
+void BM_IntraAtUpperBound(benchmark::State &State, const std::string &Name) {
+  Program P = kernelProgram(Name);
+  for (auto _ : State) {
+    IntraThreadAllocator Intra(P);
+    const IntraResult &R = Intra.allocate(
+        Intra.getMaxPR(), Intra.getMaxR() - Intra.getMaxPR());
+    benchmark::DoNotOptimize(R.Feasible);
+  }
+}
+
+void BM_IntraAtLowerBound(benchmark::State &State, const std::string &Name) {
+  Program P = kernelProgram(Name);
+  for (auto _ : State) {
+    IntraThreadAllocator Intra(P);
+    const IntraResult &R = Intra.allocate(
+        Intra.getMinPR(), Intra.getMinR() - Intra.getMinPR());
+    benchmark::DoNotOptimize(R.MoveCost);
+  }
+}
+
+void BM_Chaitin32(benchmark::State &State, const std::string &Name) {
+  ErrorOr<Workload> W = buildWorkload(Name, 0);
+  if (!W.ok())
+    reportFatalError(W.status().str());
+  for (auto _ : State) {
+    ChaitinConfig Config;
+    Config.NumColors = 32;
+    Config.SpillBase = W->SpillBase;
+    ChaitinResult R = runChaitinAllocator(W->Code, Config);
+    benchmark::DoNotOptimize(R.Success);
+  }
+}
+
+void BM_InterThreadScenario(benchmark::State &State, int Index) {
+  const Scenario &S = getAraScenarios()[static_cast<size_t>(Index)];
+  std::vector<Workload> Workloads = buildScenarioWorkloads(S);
+  MultiThreadProgram Virtual = toMultiThreadProgram(Workloads, S.Name);
+  for (auto _ : State) {
+    InterThreadResult R = allocateInterThread(Virtual, 128);
+    benchmark::DoNotOptimize(R.RegistersUsed);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const char *Name : {"frag", "md5", "wraps_rx"}) {
+    benchmark::RegisterBenchmark(("analyze/" + std::string(Name)).c_str(),
+                                 BM_AnalyzeThread, Name);
+    benchmark::RegisterBenchmark(("bounds/" + std::string(Name)).c_str(),
+                                 BM_EstimateBounds, Name);
+    benchmark::RegisterBenchmark(("intra_upper/" + std::string(Name)).c_str(),
+                                 BM_IntraAtUpperBound, Name);
+    benchmark::RegisterBenchmark(("intra_lower/" + std::string(Name)).c_str(),
+                                 BM_IntraAtLowerBound, Name);
+    benchmark::RegisterBenchmark(("chaitin32/" + std::string(Name)).c_str(),
+                                 BM_Chaitin32, Name);
+  }
+  for (int I = 0; I < 3; ++I)
+    benchmark::RegisterBenchmark(
+        ("inter_thread/S" + std::to_string(I + 1)).c_str(),
+        BM_InterThreadScenario, I);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

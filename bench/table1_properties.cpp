@@ -1,0 +1,73 @@
+//===- table1_properties.cpp - Reproduce paper Table 1 --------------------===//
+//
+// Table 1 of the paper lists the static and dynamic properties of the 11
+// benchmark programs: code size, cycles per main-loop iteration, number of
+// context-switch instructions, live ranges, the lower bounds RegPmax and
+// RegPCSBmax, the upper bounds MaxR / MaxPR (Fig. 7 estimation), and the
+// NSR structure. This binary regenerates the table for our reconstructed
+// kernels.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/BoundsEstimator.h"
+#include "analysis/InterferenceGraph.h"
+#include "support/TableFormatter.h"
+#include "workloads/Harness.h"
+
+#include <iostream>
+
+using namespace npral;
+
+int main() {
+  TableFormatter Table({"Benchmark", "#Instr", "Cyc/iter", "#CTX", "CTX%",
+                        "#LiveRanges", "RegPmax", "RegPCSBmax", "MaxR",
+                        "MaxPR", "#NSR", "AvgNSRSize"});
+
+  for (const std::string &Name : getWorkloadNames()) {
+    ErrorOr<Workload> WOr = buildWorkload(Name, 0);
+    if (!WOr.ok()) {
+      std::cerr << "error: " << WOr.status().str() << "\n";
+      return 1;
+    }
+    Workload W = WOr.take();
+
+    ThreadAnalysis TA = analyzeThread(W.Code);
+    RegBounds Bounds = estimateRegBounds(TA);
+
+    int NumInstr = W.Code.countInstructions();
+    int NumCtx = W.Code.countCtxInstructions();
+    int NumNSR = TA.NSRs.getNumNSRs();
+    double AvgNSR = NumNSR ? static_cast<double>(NumInstr) / NumNSR : 0;
+
+    // Standalone dynamic cycle count: the kernel alone on the engine.
+    std::vector<Workload> Single;
+    Single.push_back(W);
+    MultiThreadProgram MTP = toMultiThreadProgram(Single, Name);
+    SimConfig Config = defaultExperimentConfig();
+    ScenarioRun Run = simulateWithWorkloads(Single, MTP, Config);
+    if (!Run.Success) {
+      std::cerr << "error: simulation of '" << Name
+                << "' failed: " << Run.FailReason << "\n";
+      return 1;
+    }
+
+    Table.row()
+        .cell(Name)
+        .cell(NumInstr)
+        .cell(Run.Threads[0].CyclesPerIter, 1)
+        .cell(NumCtx)
+        .cell(100.0 * NumCtx / NumInstr, 1)
+        .cell(TA.getNumLiveRanges())
+        .cell(TA.getRegPmax())
+        .cell(TA.getRegPCSBmax())
+        .cell(Bounds.MaxR)
+        .cell(Bounds.MaxPR)
+        .cell(NumNSR)
+        .cell(AvgNSR, 1);
+  }
+
+  std::cout << "Table 1: benchmark application properties\n"
+            << "(paper: Zhuang & Pande, PLDI'04, Table 1)\n\n";
+  Table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+//===- table2_move_overhead.cpp - Reproduce paper Table 2 -----------------===//
+//
+// Table 2 measures the extreme case of live range splitting: force each
+// benchmark down to its minimal register numbers (PR = RegPCSBmax,
+// R = RegPmax) and count the move instructions the intra-thread allocator
+// must insert. The paper reports the overhead staying mostly within 10 % of
+// the instruction count — far cheaper than spilling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/IntraAllocator.h"
+#include "support/TableFormatter.h"
+#include "workloads/Workload.h"
+
+#include <iostream>
+
+using namespace npral;
+
+int main() {
+  TableFormatter Table({"Benchmark", "#Instr", "MinPR", "MinR", "Moves",
+                        "Moves/Instr%", "Strategy"});
+
+  for (const std::string &Name : getWorkloadNames()) {
+    ErrorOr<Workload> WOr = buildWorkload(Name, 0);
+    if (!WOr.ok()) {
+      std::cerr << "error: " << WOr.status().str() << "\n";
+      return 1;
+    }
+
+    IntraThreadAllocator Intra(WOr->Code);
+    const int MinPR = Intra.getMinPR();
+    const int MinR = Intra.getMinR();
+    const IntraResult &Result = Intra.allocate(MinPR, MinR - MinPR);
+    if (!Result.Feasible) {
+      std::cerr << "error: minimal allocation infeasible for '" << Name
+                << "': " << Result.FailReason << "\n";
+      return 1;
+    }
+
+    int NumInstr = WOr->Code.countInstructions();
+    Table.row()
+        .cell(Name)
+        .cell(NumInstr)
+        .cell(MinPR)
+        .cell(MinR)
+        .cell(Result.MoveCost)
+        .cell(100.0 * Result.MoveCost / NumInstr, 1)
+        .cell(Result.Strategy);
+  }
+
+  std::cout << "Table 2: move instructions inserted at the minimal register "
+            << "numbers\n"
+            << "(paper: overhead mostly within 10% of total instructions)\n\n";
+  Table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,37 @@
+; The paper's Figure 3 example (Zhuang & Pande, PLDI'04): two threads where
+; registers can be shared because b, c and d are dead at every context
+; switch, while a must stay private to thread 1.
+;
+;   npralc analyze examples/asm/fig3_paper.s
+;   npralc alloc   examples/asm/fig3_paper.s -nreg 4
+;
+; The allocator finds PR=1 for thread 1 (just `a`), PR=0 for thread 2, and
+; shares the rest — the paper's "from four registers down to three" (and
+; with live range splitting, Fig. 3c reaches two).
+.thread fig3_thread1
+main:
+    imm  a, 1            ; 1. a=
+    ctx                  ; 2. ctx_switch   (a live across -> private)
+    bz   a, l1           ; 3. if( ) br L1
+    imm  b, 2            ; 4. b=
+    add  t, a, b         ; 5. =a+b
+    imm  c, 3            ; 6. c=
+    br   l2              ; 7. br L2
+l1:
+    imm  c, 4            ; 8. c=
+    add  t, a, c         ; 9. =a+c
+    imm  b, 5            ; 10. b=
+l2:
+    add  u, b, c         ; 11. =b+c
+    store [u+0], u       ; 12. load/store (context switch)
+    loopend
+    halt
+
+.thread fig3_thread2
+main:
+    ctx                  ; 1. ctx_switch
+    imm  d, 7            ; 2. d=
+    addi e, d, 1         ; 3. =d+
+    store [e+0], e
+    loopend
+    halt

@@ -1,0 +1,40 @@
+; A modular kernel written with assembler functions: the machine has no
+; call stack, so `call` expands the body inline at each site (shared
+; register names, macro style) — after expansion the allocator sees one
+; CFG, which is how the paper's inter-procedural NSR construction plays
+; out here.
+;
+;   npralc analyze examples/asm/modular_kernel.s
+;   npralc run     examples/asm/modular_kernel.s -iters 4
+.func csum_step
+body:
+    load  w, [cur+0]
+    add   sum, sum, w
+    shri  f, sum, 16
+    andi  sum, sum, 0xFFFF
+    add   sum, sum, f
+    addi  cur, cur, 1
+    ret
+
+.func emit
+body:
+    not   res, sum
+    andi  res, res, 0xFFFF
+    store [outp+0], res
+    addi  outp, outp, 1
+    ret
+
+.thread checksum
+main:
+    imm   cur, 0x1000
+    imm   outp, 0x2000
+loop:
+    imm   sum, 0
+    call  csum_step
+    call  csum_step
+    call  csum_step
+    call  csum_step
+    call  emit
+    ctx
+    loopend
+    br    loop

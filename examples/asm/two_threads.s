@@ -1,0 +1,28 @@
+; Two threads sharing one micro-engine: a checksum worker whose state is
+; live across context switches and a counter thread whose values are not.
+.thread checksum
+.entrylive buf, out
+main:
+    imm  sum, 0
+    imm  cnt, 8
+loop:
+    load w, [buf+0]
+    add  sum, sum, w
+    addi buf, buf, 1
+    subi cnt, cnt, 1
+    bnz  cnt, loop
+    store [out+0], sum
+    loopend
+    halt
+
+.thread counter
+main:
+    imm  n, 16
+loop:
+    ctx
+    subi n, n, 1
+    bnz  n, loop
+    imm  addr, 0x300
+    store [addr+0], n
+    loopend
+    halt

@@ -1,0 +1,88 @@
+//===- packet_pipeline.cpp - A realistic micro-engine deployment ----------===//
+//
+// The scenario from the paper's introduction: one micro-engine runs a mixed
+// packet-processing module — receive parsing, MD5 content authentication
+// (performance critical), and a 2D FIR post-filter — and the operator wants
+// the critical thread to go fast without starving the others.
+//
+// This example builds the 4-thread scenario from the benchmark suite,
+// allocates it twice (fixed 32-register partitions with spilling vs. the
+// paper's shared-register allocation), simulates both deployments and
+// prints a side-by-side comparison.
+//
+// Run: ./build/examples/packet_pipeline
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/AllocationVerifier.h"
+#include "alloc/InterAllocator.h"
+#include "support/TableFormatter.h"
+#include "workloads/Harness.h"
+
+#include <iostream>
+
+using namespace npral;
+
+int main() {
+  Scenario S{"pipeline", {"l2l3fwd_rx", "md5", "md5", "fir2dim"}, {1, 2}};
+  std::vector<Workload> Workloads = buildScenarioWorkloads(S);
+  MultiThreadProgram Virtual = toMultiThreadProgram(Workloads, S.Name);
+
+  std::cout << "Deploying 4 threads on one micro-engine (128 GPRs, memory "
+               "latency 40):\n";
+  for (size_t T = 0; T < Workloads.size(); ++T)
+    std::cout << "  thread " << T << ": " << Workloads[T].Name << " ("
+              << Workloads[T].Code.countInstructions() << " instructions)\n";
+  std::cout << "\n";
+
+  // Production-style baseline: fixed partitions, spill on overflow.
+  BaselineAllocationOutcome Baseline = allocateScenarioBaseline(Workloads, 32);
+  if (!Baseline.Success) {
+    std::cerr << "baseline failed: " << Baseline.FailReason << "\n";
+    return 1;
+  }
+
+  // Paper allocator: balance across threads, share what is safely shareable.
+  InterThreadResult Sharing = allocateInterThread(Virtual, 128);
+  if (!Sharing.Success) {
+    std::cerr << "sharing allocation failed: " << Sharing.FailReason << "\n";
+    return 1;
+  }
+  if (Status St = verifyAllocationSafety(Sharing.Physical); !St.ok()) {
+    std::cerr << "unsafe allocation: " << St.str() << "\n";
+    return 1;
+  }
+
+  SimConfig Config = defaultExperimentConfig();
+  ScenarioRun Spill =
+      simulateWithWorkloads(Workloads, Baseline.Physical, Config);
+  ScenarioRun Share =
+      simulateWithWorkloads(Workloads, Sharing.Physical, Config);
+  if (!Spill.Success || !Share.Success) {
+    std::cerr << "simulation failed\n";
+    return 1;
+  }
+
+  TableFormatter Table({"Thd", "Kernel", "Spilled ops", "PR", "SR",
+                        "Cyc/iter (spill)", "Cyc/iter (share)", "Change"});
+  for (size_t T = 0; T < Workloads.size(); ++T) {
+    const ChaitinResult &CR = Baseline.PerThread[T];
+    double A = Spill.Threads[T].CyclesPerIter;
+    double B = Share.Threads[T].CyclesPerIter;
+    Table.row()
+        .cell(T)
+        .cell(Workloads[T].Name)
+        .cell(CR.SpillLoads + CR.SpillStores)
+        .cell(Sharing.Threads[T].PR)
+        .cell(Sharing.Threads[T].SR)
+        .cell(A, 1)
+        .cell(B, 1)
+        .percentCell(A > 0 ? (A - B) / A : 0);
+  }
+  Table.print(std::cout);
+  std::cout << "\nShared window: " << Sharing.SGR << " registers; total "
+            << Sharing.RegistersUsed << "/128 in use.\n"
+            << "Positive change = the thread runs faster under register "
+               "sharing.\n";
+  return 0;
+}

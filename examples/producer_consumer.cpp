@@ -1,0 +1,120 @@
+//===- producer_consumer.cpp - Synchronised threads on one engine ---------===//
+//
+// The paper notes that thread communication "rarely happens, however, our
+// current solutions still work under such circumstances" (§2) and lists
+// exploiting synchronisation knowledge as future work. This example builds
+// a classic bounded hand-off between a parser thread and a compressor
+// thread using the signal/wait channel extension, allocates the pair with
+// the inter-thread allocator, and shows that the synchronising instructions
+// are simply additional context-switch boundaries: values live across a
+// `wait` end up in private registers, everything else can share.
+//
+// Run: ./build/examples/producer_consumer
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/AllocationVerifier.h"
+#include "alloc/InterAllocator.h"
+#include "analysis/InterferenceGraph.h"
+#include "asmparse/AsmParser.h"
+#include "sim/Simulator.h"
+
+#include <iostream>
+
+using namespace npral;
+
+int main() {
+  const char *Asm = R"(
+.thread parser
+.entrylive in
+main:
+    imm  ring, 0x400
+    imm  n, 6
+loop:
+    load hdr, [in+0]            ; read a packet header
+    andi typ, hdr, 7
+    shri len, hdr, 8
+    andi len, len, 255
+    add  desc, typ, len         ; descriptor = type + length summary
+    shli desc, desc, 4
+    or   desc, desc, typ
+    store [ring+0], desc        ; publish into the ring
+    signal 1                    ; tell the compressor a slot is ready
+    wait   2                    ; wait for the slot to drain
+    addi in, in, 1
+    addi ring, ring, 1
+    subi n, n, 1
+    bnz  n, loop
+    loopend
+    halt
+
+.thread compressor
+.entrylive out
+main:
+    imm  ring, 0x400
+    imm  n, 6
+loop:
+    wait 1                      ; block until the parser publishes
+    load d, [ring+0]
+    muli x, d, 0x101            ; toy "compression" transform
+    shri y, x, 3
+    xor  x, x, y
+    store [out+0], x
+    signal 2                    ; slot drained
+    addi ring, ring, 1
+    addi out, out, 1
+    subi n, n, 1
+    bnz  n, loop
+    loopend
+    halt
+)";
+
+  ErrorOr<MultiThreadProgram> MTP = parseAssembly(Asm);
+  if (!MTP.ok()) {
+    std::cerr << "parse error: " << MTP.status().str() << "\n";
+    return 1;
+  }
+
+  // Show that signal/wait are context switch boundaries like any other.
+  for (const Program &T : MTP->Threads) {
+    ThreadAnalysis TA = analyzeThread(T);
+    std::cout << T.Name << ": " << TA.NSRs.getCSBs().size()
+              << " context-switch boundaries, boundary pressure "
+              << TA.getRegPCSBmax() << ", total pressure " << TA.getRegPmax()
+              << "\n";
+  }
+
+  InterThreadResult R = allocateInterThread(*MTP, 24);
+  if (!R.Success) {
+    std::cerr << "allocation failed: " << R.FailReason << "\n";
+    return 1;
+  }
+  if (Status S = verifyAllocationSafety(R.Physical); !S.ok()) {
+    std::cerr << "unsafe: " << S.str() << "\n";
+    return 1;
+  }
+  std::cout << "\nallocated: ";
+  for (size_t T = 0; T < R.Threads.size(); ++T)
+    std::cout << MTP->Threads[T].Name << " PR=" << R.Threads[T].PR
+              << " SR=" << R.Threads[T].SR << "  ";
+  std::cout << "(SGR=" << R.SGR << ", " << R.RegistersUsed
+            << "/24 registers)\n\n";
+
+  Simulator Sim(R.Physical, SimConfig());
+  Sim.writeMemory(0x100, {0x0105, 0x0207, 0x0303, 0x0401, 0x0502, 0x0606});
+  Sim.setEntryValues(0, {0x100});
+  Sim.setEntryValues(1, {0x300});
+  SimResult Run = Sim.run();
+  if (!Run.Completed) {
+    std::cerr << "simulation failed: " << Run.FailReason << "\n";
+    return 1;
+  }
+  std::cout << "pipeline finished in " << Run.TotalCycles
+            << " cycles; compressed stream:";
+  for (int I = 0; I < 6; ++I)
+    std::cout << " 0x" << std::hex
+              << Sim.readMemoryWord(0x300 + static_cast<uint32_t>(I))
+              << std::dec;
+  std::cout << "\n";
+  return 0;
+}

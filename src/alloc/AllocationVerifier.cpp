@@ -1,0 +1,104 @@
+//===- AllocationVerifier.cpp ---------------------------------------------===//
+
+#include "alloc/AllocationVerifier.h"
+
+#include "analysis/InterferenceGraph.h"
+#include "ir/IRVerifier.h"
+
+#include <algorithm>
+
+using namespace npral;
+
+Status npral::verifyAllocationSafety(const MultiThreadProgram &Physical,
+                                     AllocationSafetyStats *Stats) {
+  const int Nthd = Physical.getNumThreads();
+  if (Nthd == 0)
+    return Status::error("no threads to verify");
+
+  int NumRegs = Physical.Threads.front().NumRegs;
+  for (const Program &T : Physical.Threads) {
+    if (!T.IsPhysical)
+      return Status::error("thread '" + T.Name + "' is not physical");
+    if (T.NumRegs != NumRegs)
+      return Status::error("threads disagree on register file size");
+  }
+
+  // Per-thread structural validity and use-before-def.
+  for (const Program &T : Physical.Threads) {
+    if (Status S = verifyProgram(T); !S.ok())
+      return S;
+    LivenessInfo LI = computeLiveness(T);
+    if (Status S = checkNoUseOfUndef(T, LI); !S.ok())
+      return S;
+  }
+
+  // Which registers does each thread reference, and which does it hold live
+  // across its own CSBs?
+  std::vector<BitVector> Referenced(static_cast<size_t>(Nthd),
+                                    BitVector(NumRegs));
+  std::vector<BitVector> LiveAcrossCSB(static_cast<size_t>(Nthd),
+                                       BitVector(NumRegs));
+  for (int T = 0; T < Nthd; ++T) {
+    const Program &P = Physical.Threads[static_cast<size_t>(T)];
+    for (const BasicBlock &BB : P.Blocks)
+      for (const Instruction &I : BB.Instrs) {
+        if (I.Def != NoReg)
+          Referenced[static_cast<size_t>(T)].set(I.Def);
+        if (I.Use1 != NoReg)
+          Referenced[static_cast<size_t>(T)].set(I.Use1);
+        if (I.Use2 != NoReg)
+          Referenced[static_cast<size_t>(T)].set(I.Use2);
+      }
+    for (Reg R : P.EntryLiveRegs)
+      Referenced[static_cast<size_t>(T)].set(R);
+
+    LivenessInfo LI = computeLiveness(P);
+    NSRInfo NSRs = computeNSRs(P, LI);
+    for (const CSB &Boundary : NSRs.getCSBs())
+      LiveAcrossCSB[static_cast<size_t>(T)].unionWith(Boundary.LiveAcross);
+  }
+
+  // Safety: a register live across thread T's context switches must not be
+  // referenced by any other thread.
+  for (int T = 0; T < Nthd; ++T) {
+    for (int Other = 0; Other < Nthd; ++Other) {
+      if (Other == T)
+        continue;
+      BitVector Clash = LiveAcrossCSB[static_cast<size_t>(T)];
+      Clash.intersectWith(Referenced[static_cast<size_t>(Other)]);
+      if (Clash.any()) {
+        int Bad = Clash.toVector().front();
+        return Status::error(
+            "register p" + std::to_string(Bad) + " is live across a CSB of "
+            "thread '" +
+            Physical.Threads[static_cast<size_t>(T)].Name +
+            "' but referenced by thread '" +
+            Physical.Threads[static_cast<size_t>(Other)].Name + "'");
+      }
+    }
+  }
+
+  if (Stats) {
+    Stats->PrivateRegCount.clear();
+    BitVector Union(NumRegs);
+    for (int T = 0; T < Nthd; ++T) {
+      Stats->PrivateRegCount.push_back(
+          LiveAcrossCSB[static_cast<size_t>(T)].count());
+      Union.unionWith(Referenced[static_cast<size_t>(T)]);
+    }
+    int SharedCount = 0;
+    for (int R = 0; R < NumRegs; ++R) {
+      int NumUsers = 0;
+      for (int T = 0; T < Nthd; ++T)
+        if (Referenced[static_cast<size_t>(T)].test(R))
+          ++NumUsers;
+      if (NumUsers > 1)
+        ++SharedCount;
+    }
+    Stats->SharedRegCount = SharedCount;
+    int Touched = 0;
+    Union.forEach([&](int R) { Touched = std::max(Touched, R + 1); });
+    Stats->RegistersTouched = Touched;
+  }
+  return Status::success();
+}

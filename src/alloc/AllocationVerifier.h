@@ -1,0 +1,45 @@
+//===- AllocationVerifier.h - Cross-thread safety checks --------*- C++ -*-===//
+///
+/// \file
+/// Independent checker for the safety conditions a multi-threaded
+/// allocation must satisfy on the IXP-style machine (paper §2, model
+/// property 5). Works purely on the final physical program — it recomputes
+/// liveness there, so bugs in the allocator cannot hide behind their own
+/// bookkeeping:
+///
+///  1. every physical register that is live across *any* CSB of thread i
+///     is referenced by thread i alone (private);
+///  2. within each thread the program is structurally valid and never
+///     reads an undefined register;
+///  3. (reported, not enforced) the partition statistics: private count
+///     per thread, shared count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_ALLOC_ALLOCATIONVERIFIER_H
+#define NPRAL_ALLOC_ALLOCATIONVERIFIER_H
+
+#include "ir/Program.h"
+#include "support/Diagnostics.h"
+
+namespace npral {
+
+/// Statistics gathered while verifying.
+struct AllocationSafetyStats {
+  /// Registers each thread holds live across one of its CSBs.
+  std::vector<int> PrivateRegCount;
+  /// Registers referenced by more than one thread.
+  int SharedRegCount = 0;
+  /// Highest referenced physical register + 1.
+  int RegistersTouched = 0;
+};
+
+/// Verify the cross-thread safety of \p Physical. All threads must be
+/// physical programs over the same register file size. Returns the first
+/// violation found, with \p Stats (optional) filled on success.
+Status verifyAllocationSafety(const MultiThreadProgram &Physical,
+                              AllocationSafetyStats *Stats = nullptr);
+
+} // namespace npral
+
+#endif // NPRAL_ALLOC_ALLOCATIONVERIFIER_H

@@ -1,0 +1,45 @@
+//===- BoundsEstimator.h - Register requirement bounds ----------*- C++ -*-===//
+///
+/// \file
+/// Estimates the four per-thread register bounds of paper §5:
+///
+///  * MinR  = RegPmax: the max number of co-live values at any point —
+///    reachable with enough live range splitting (Lemma 1 extension);
+///  * MinPR = RegPCSBmax: the max number of values live across a single
+///    CSB — reachable with moves around CSBs (Lemma 1);
+///  * MaxPR, MaxR: colors needed *without* inserting any move, computed by
+///    the region-based scheme of Fig. 7: color the BIG minimally, color each
+///    IIG minimally, then merge and resolve conflict edges by recoloring,
+///    one-level neighbor adjustment, or (last resort) growing R.
+///
+/// MaxPR is minimised first: extra private registers cost every thread,
+/// while extra shared registers only matter for the max-SR thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_ALLOC_BOUNDSESTIMATOR_H
+#define NPRAL_ALLOC_BOUNDSESTIMATOR_H
+
+#include "alloc/ColoringUtils.h"
+#include "analysis/InterferenceGraph.h"
+
+namespace npral {
+
+/// Register requirement bounds for one thread.
+struct RegBounds {
+  int MinPR = 0;
+  int MinR = 0;
+  int MaxPR = 0;
+  int MaxR = 0;
+  /// A move-free coloring realising (MaxPR, MaxR): boundary nodes hold
+  /// colors < MaxPR, all nodes colors < MaxR. Usable as a starting context
+  /// for the intra-thread allocator.
+  Coloring Colors;
+};
+
+/// Compute the bounds for an analysed thread.
+RegBounds estimateRegBounds(const ThreadAnalysis &TA);
+
+} // namespace npral
+
+#endif // NPRAL_ALLOC_BOUNDSESTIMATOR_H

@@ -1,0 +1,151 @@
+//===- ColoringUtils.cpp --------------------------------------------------===//
+
+#include "alloc/ColoringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace npral;
+
+int npral::colorMinimally(const InterferenceGraph &IG, const BitVector &Members,
+                          Coloring &Colors) {
+  if (Colors.size() != static_cast<size_t>(IG.getNumNodes()))
+    Colors.assign(static_cast<size_t>(IG.getNumNodes()), NoColor);
+
+  int MaxUsed = -1;
+  for (int Node : IG.smallestLastOrder(Members)) {
+    // Gather neighbor colors.
+    std::vector<char> Used;
+    IG.neighbors(Node).forEach([&](int Nb) {
+      int C = Colors[static_cast<size_t>(Nb)];
+      if (C < 0)
+        return;
+      if (C >= static_cast<int>(Used.size()))
+        Used.resize(static_cast<size_t>(C) + 1, 0);
+      Used[static_cast<size_t>(C)] = 1;
+    });
+    int C = 0;
+    while (C < static_cast<int>(Used.size()) && Used[static_cast<size_t>(C)])
+      ++C;
+    Colors[static_cast<size_t>(Node)] = C;
+    MaxUsed = std::max(MaxUsed, C);
+  }
+  return MaxUsed + 1;
+}
+
+int npral::neighborColorCount(const InterferenceGraph &IG,
+                              const Coloring &Colors, int Node) {
+  std::vector<char> Seen;
+  int Count = 0;
+  IG.neighbors(Node).forEach([&](int Nb) {
+    int C = Colors[static_cast<size_t>(Nb)];
+    if (C < 0)
+      return;
+    if (C >= static_cast<int>(Seen.size()))
+      Seen.resize(static_cast<size_t>(C) + 1, 0);
+    if (!Seen[static_cast<size_t>(C)]) {
+      Seen[static_cast<size_t>(C)] = 1;
+      ++Count;
+    }
+  });
+  return Count;
+}
+
+int npral::pickFreeColor(const InterferenceGraph &IG, const Coloring &Colors,
+                         int Node, int Lo, int Hi, int PreferFrom) {
+  if (Lo >= Hi)
+    return NoColor;
+  BitVector Used(Hi);
+  IG.neighbors(Node).forEach([&](int Nb) {
+    int C = Colors[static_cast<size_t>(Nb)];
+    if (C >= 0 && C < Hi)
+      Used.set(C);
+  });
+  auto scan = [&](int Begin, int End) -> int {
+    for (int C = Begin; C < End; ++C)
+      if (!Used.test(C))
+        return C;
+    return NoColor;
+  };
+  if (PreferFrom >= Lo && PreferFrom < Hi) {
+    int C = scan(PreferFrom, Hi);
+    if (C != NoColor)
+      return C;
+    return scan(Lo, PreferFrom);
+  }
+  return scan(Lo, Hi);
+}
+
+bool npral::recolorViaNeighbor(const InterferenceGraph &IG, Coloring &Colors,
+                               int Node, int Lo, int Hi,
+                               const std::vector<int> &BandLo,
+                               const std::vector<int> &BandHi) {
+  // For each candidate color c for Node, the blockers are the neighbors
+  // currently holding c. If exactly one blocker exists and it can move to
+  // some other color within its own band, move it.
+  for (int C = Lo; C < Hi; ++C) {
+    int Blocker = -1;
+    int NumBlockers = 0;
+    IG.neighbors(Node).forEach([&](int Nb) {
+      if (Colors[static_cast<size_t>(Nb)] == C) {
+        Blocker = Nb;
+        ++NumBlockers;
+      }
+    });
+    if (NumBlockers != 1)
+      continue;
+    int NbLo = BandLo[static_cast<size_t>(Blocker)];
+    int NbHi = BandHi[static_cast<size_t>(Blocker)];
+    int OldColor = Colors[static_cast<size_t>(Blocker)];
+    Colors[static_cast<size_t>(Blocker)] = NoColor;
+    int NewColor = pickFreeColor(IG, Colors, Blocker, NbLo, NbHi);
+    if (NewColor == NoColor || NewColor == C) {
+      Colors[static_cast<size_t>(Blocker)] = OldColor;
+      continue;
+    }
+    Colors[static_cast<size_t>(Blocker)] = NewColor;
+    Colors[static_cast<size_t>(Node)] = C;
+    return true;
+  }
+  return false;
+}
+
+ConstrainedColoringResult npral::colorConstrained(const ThreadAnalysis &TA,
+                                                  int PR, int R) {
+  ConstrainedColoringResult Result;
+  const InterferenceGraph &IG = TA.GIG;
+  const int N = IG.getNumNodes();
+  Result.Colors.assign(static_cast<size_t>(N), NoColor);
+
+  std::vector<int> BandLo(static_cast<size_t>(N), 0);
+  std::vector<int> BandHi(static_cast<size_t>(N), R);
+  TA.BoundaryNodes.forEach(
+      [&](int Node) { BandHi[static_cast<size_t>(Node)] = PR; });
+
+  // Boundary nodes first (scarcer constraint), then internal nodes.
+  std::vector<int> Order = IG.smallestLastOrder(TA.BoundaryNodes);
+  std::vector<int> InternalOrder = IG.smallestLastOrder(TA.InternalNodes);
+  Order.insert(Order.end(), InternalOrder.begin(), InternalOrder.end());
+
+  for (int Node : Order) {
+    bool IsBoundary = TA.BoundaryNodes.test(Node);
+    int Lo = 0;
+    int Hi = IsBoundary ? PR : R;
+    // Internal nodes prefer the shared band so private colors stay free for
+    // boundary values; boundary nodes fill from zero.
+    int Prefer = IsBoundary ? -1 : PR;
+    int C = pickFreeColor(IG, Result.Colors, Node, Lo, Hi, Prefer);
+    if (C == NoColor &&
+        !recolorViaNeighbor(IG, Result.Colors, Node, Lo, Hi, BandLo, BandHi)) {
+      Result.Success = false;
+      Result.FailedNode = Node;
+      return Result;
+    }
+    if (C != NoColor)
+      Result.Colors[static_cast<size_t>(Node)] = C;
+    assert(Result.Colors[static_cast<size_t>(Node)] != NoColor &&
+           "node left uncolored");
+  }
+  Result.Success = true;
+  return Result;
+}

@@ -1,0 +1,71 @@
+//===- ColoringUtils.h - Greedy coloring primitives -------------*- C++ -*-===//
+///
+/// \file
+/// Graph-coloring building blocks shared by the bounds estimator, the
+/// intra-thread allocator and the Chaitin baseline: greedy coloring in
+/// smallest-last order, per-node color constraints, and the paper's
+/// one-level "try to recolor the neighbors" repair step.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_ALLOC_COLORINGUTILS_H
+#define NPRAL_ALLOC_COLORINGUTILS_H
+
+#include "analysis/InterferenceGraph.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace npral {
+
+/// Sentinel for "node not colored".
+constexpr int NoColor = -1;
+
+/// A (partial) coloring over graph nodes.
+using Coloring = std::vector<int>;
+
+/// Greedily color \p Members of \p IG in smallest-last order with no color
+/// limit; returns the number of colors used. Nodes outside Members keep
+/// their existing color in \p Colors (and constrain their neighbors).
+int colorMinimally(const InterferenceGraph &IG, const BitVector &Members,
+                   Coloring &Colors);
+
+/// Number of distinct colors used by the neighbors of \p Node (the paper's
+/// NCN). Uncolored neighbors are ignored.
+int neighborColorCount(const InterferenceGraph &IG, const Coloring &Colors,
+                       int Node);
+
+/// Smallest allowed color for \p Node not used by any neighbor, restricted
+/// to [\p Lo, \p Hi); NoColor when none exists. With \p PreferFrom >= 0 the
+/// search begins there and wraps (band biasing).
+int pickFreeColor(const InterferenceGraph &IG, const Coloring &Colors,
+                  int Node, int Lo, int Hi, int PreferFrom = -1);
+
+/// Try to recolor \p Node into [Lo, Hi) by moving *one* already-colored
+/// neighbor to a different color within that neighbor's own band. Bands are
+/// supplied via \p BandLo/\p BandHi per node. Returns true on success (the
+/// coloring is updated).
+bool recolorViaNeighbor(const InterferenceGraph &IG, Coloring &Colors,
+                        int Node, int Lo, int Hi,
+                        const std::vector<int> &BandLo,
+                        const std::vector<int> &BandHi);
+
+/// Result of a constrained coloring attempt.
+struct ConstrainedColoringResult {
+  bool Success = false;
+  Coloring Colors;
+  /// First node that could not be colored (valid when !Success).
+  int FailedNode = -1;
+};
+
+/// Color every referenced node of \p TA with per-class constraints: nodes
+/// in \p TA.BoundaryNodes take colors in [0, PR); all nodes take colors in
+/// [0, R). Boundary nodes are colored first (they are the scarcer class);
+/// internal nodes prefer the shared band [PR, R) so that private registers
+/// stay available. One round of neighbor repair is applied before failing.
+ConstrainedColoringResult colorConstrained(const ThreadAnalysis &TA, int PR,
+                                           int R);
+
+} // namespace npral
+
+#endif // NPRAL_ALLOC_COLORINGUTILS_H

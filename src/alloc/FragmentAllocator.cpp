@@ -1,0 +1,348 @@
+//===- FragmentAllocator.cpp ----------------------------------------------===//
+
+#include "alloc/FragmentAllocator.h"
+
+#include "alloc/ParallelCopy.h"
+
+#include "ir/CFGUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace npral;
+
+namespace {
+
+/// Per-point register-to-color assignment.
+class ColorMap {
+public:
+  explicit ColorMap(int NumRegs, int NumColors)
+      : RegColor(static_cast<size_t>(NumRegs), -1),
+        ColorReg(static_cast<size_t>(NumColors), NoReg) {}
+
+  int colorOf(Reg R) const { return RegColor[static_cast<size_t>(R)]; }
+  Reg regAt(int C) const { return ColorReg[static_cast<size_t>(C)]; }
+
+  void bind(Reg R, int C) {
+    assert(RegColor[static_cast<size_t>(R)] < 0 && "register already bound");
+    assert(ColorReg[static_cast<size_t>(C)] == NoReg && "color occupied");
+    RegColor[static_cast<size_t>(R)] = C;
+    ColorReg[static_cast<size_t>(C)] = R;
+  }
+
+  void release(Reg R) {
+    int C = RegColor[static_cast<size_t>(R)];
+    if (C < 0)
+      return;
+    RegColor[static_cast<size_t>(R)] = -1;
+    ColorReg[static_cast<size_t>(C)] = NoReg;
+  }
+
+  void rebind(Reg R, int NewColor) {
+    release(R);
+    bind(R, NewColor);
+  }
+
+  /// Exchange the colors of two bound registers.
+  void swapBindings(Reg A, Reg B) {
+    int CA = RegColor[static_cast<size_t>(A)];
+    int CB = RegColor[static_cast<size_t>(B)];
+    assert(CA >= 0 && CB >= 0 && "swap of unbound register");
+    RegColor[static_cast<size_t>(A)] = CB;
+    RegColor[static_cast<size_t>(B)] = CA;
+    ColorReg[static_cast<size_t>(CA)] = B;
+    ColorReg[static_cast<size_t>(CB)] = A;
+  }
+
+  /// Lowest free color in [Lo, Hi), or -1.
+  int findFree(int Lo, int Hi) const {
+    for (int C = Lo; C < Hi; ++C)
+      if (ColorReg[static_cast<size_t>(C)] == NoReg)
+        return C;
+    return -1;
+  }
+
+private:
+  std::vector<int> RegColor;
+  std::vector<Reg> ColorReg;
+};
+
+class FragmentAllocatorImpl {
+public:
+  FragmentAllocatorImpl(const Program &P, const ThreadAnalysis &TA, int PR,
+                        int SR)
+      : P(P), TA(TA), PR(PR), R(PR + SR) {}
+
+  ColorAllocation run();
+
+private:
+  const Program &P;
+  const ThreadAnalysis &TA;
+  const int PR;
+  const int R;
+
+  ColorAllocation Result;
+  int InsertedOps = 0;
+  /// Fixed entry color maps: EntryColors[b][reg] = color (-1 unset);
+  /// empty vector = block not yet reached.
+  std::vector<std::vector<int>> EntryColors;
+  /// Pending edge reconciliations: copies needed between Pred's exit state
+  /// and Succ's fixed entry state.
+  struct EdgeFix {
+    int Pred;
+    int Succ;
+    std::vector<Copy> Copies;
+    int Scratch; ///< Free color at the junction, or -1.
+  };
+  std::vector<EdgeFix> EdgeFixes;
+
+  void fail(const std::string &Reason) {
+    Result.Feasible = false;
+    Result.FailReason = Reason;
+  }
+
+  /// Preferred band scan for a node class.
+  int chooseColor(const ColorMap &CM, Reg V) const {
+    bool Boundary = TA.BoundaryNodes.test(V);
+    int C = Boundary ? CM.findFree(0, PR) : CM.findFree(PR, R);
+    if (C < 0)
+      C = CM.findFree(0, R);
+    return C;
+  }
+
+  void processBlock(int B, Program &Out);
+  void reconcileEdges(Program &Out);
+};
+
+ColorAllocation FragmentAllocatorImpl::run() {
+  Result.PR = PR;
+  Result.SR = R - PR;
+  if (PR < TA.getRegPCSBmax()) {
+    fail("PR below RegPCSBmax");
+    return Result;
+  }
+  if (R < TA.getRegPmax()) {
+    fail("R below RegPmax");
+    return Result;
+  }
+
+  Program Out;
+  Out.Name = P.Name;
+  Out.NumRegs = R;
+  Out.IsPhysical = false;
+  Out.EntryBlock = P.EntryBlock;
+  for (int B = 0; B < P.getNumBlocks(); ++B) {
+    Out.addBlock(P.block(B).Name);
+    Out.block(B).FallThrough = P.block(B).FallThrough;
+  }
+
+  EntryColors.assign(static_cast<size_t>(P.getNumBlocks()), {});
+
+  // Seed the entry block from the entry-live registers.
+  {
+    std::vector<int> &Entry =
+        EntryColors[static_cast<size_t>(P.getEntryBlock())];
+    Entry.assign(static_cast<size_t>(P.NumRegs), -1);
+    ColorMap CM(P.NumRegs, R);
+    const BitVector &LiveIn = TA.Liveness.blockLiveIn(P.getEntryBlock());
+    // Entry-live registers first, in declaration order, so the harness can
+    // line initial values up with Out.EntryLiveRegs.
+    for (Reg V : P.EntryLiveRegs) {
+      if (!LiveIn.test(V) || Entry[static_cast<size_t>(V)] >= 0)
+        continue;
+      int C = chooseColor(CM, V);
+      assert(C >= 0 && "entry pressure exceeds R");
+      CM.bind(V, C);
+      Entry[static_cast<size_t>(V)] = C;
+    }
+    LiveIn.forEach([&](int V) {
+      if (Entry[static_cast<size_t>(V)] >= 0)
+        return;
+      int C = chooseColor(CM, V);
+      assert(C >= 0 && "entry pressure exceeds R");
+      CM.bind(V, C);
+      Entry[static_cast<size_t>(V)] = C;
+    });
+    for (Reg V : P.EntryLiveRegs) {
+      int C = Entry[static_cast<size_t>(V)];
+      // An entry-live register that is dead on arrival still needs a slot
+      // for the harness to write its (unused) value into; any free color
+      // works.
+      if (C < 0)
+        C = std::max(0, CM.findFree(0, R));
+      Out.EntryLiveRegs.push_back(C);
+    }
+  }
+
+  for (int B : P.computeRPO())
+    processBlock(B, Out);
+  reconcileEdges(Out);
+
+  Result.ColorProgram = std::move(Out);
+  Result.MoveCost = InsertedOps;
+  Result.Feasible = true;
+  return Result;
+}
+
+void FragmentAllocatorImpl::processBlock(int B, Program &Out) {
+  // Establish entry colors if no processed predecessor reached us (the
+  // entry block is pre-seeded; loop headers reached before their back-edge
+  // predecessors land here too).
+  if (EntryColors[static_cast<size_t>(B)].empty()) {
+    std::vector<int> &Entry = EntryColors[static_cast<size_t>(B)];
+    Entry.assign(static_cast<size_t>(P.NumRegs), -1);
+    ColorMap CM(P.NumRegs, R);
+    TA.Liveness.blockLiveIn(B).forEach([&](int V) {
+      int C = chooseColor(CM, V);
+      assert(C >= 0 && "live-in pressure exceeds R");
+      CM.bind(V, C);
+      Entry[static_cast<size_t>(V)] = C;
+    });
+  }
+
+  ColorMap CM(P.NumRegs, R);
+  {
+    const std::vector<int> &Entry = EntryColors[static_cast<size_t>(B)];
+    TA.Liveness.blockLiveIn(B).forEach([&](int V) {
+      assert(Entry[static_cast<size_t>(V)] >= 0 && "live-in without color");
+      CM.bind(V, Entry[static_cast<size_t>(V)]);
+    });
+  }
+
+  const BasicBlock &BB = P.block(B);
+  std::vector<Instruction> &OutInstrs = Out.block(B).Instrs;
+
+  for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
+    const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+
+    // Before a context switch, every crossing value must sit in a private
+    // color. Relocate with moves; when everything is tight, swap with a
+    // non-crossing private holder via xor (three 1-cycle ops, no scratch).
+    if (Inst.causesCtxSwitch()) {
+      BitVector Crossing = TA.Liveness.instrLiveOut(B, I);
+      if (Inst.Def != NoReg)
+        Crossing.reset(Inst.Def);
+      assert(Crossing.count() <= PR && "crossing set exceeds PR");
+      Crossing.forEach([&](int V) {
+        if (CM.colorOf(V) < PR)
+          return;
+        int Free = CM.findFree(0, PR);
+        if (Free >= 0) {
+          OutInstrs.push_back(Instruction::makeMov(Free, CM.colorOf(V)));
+          ++InsertedOps;
+          CM.rebind(V, Free);
+          return;
+        }
+        // All private colors are held. Since |crossing| <= PR and V itself
+        // holds a shared color, some private color is held by a
+        // non-crossing value; exchange with it.
+        Reg Victim = NoReg;
+        for (int C = 0; C < PR; ++C) {
+          Reg Holder = CM.regAt(C);
+          assert(Holder != NoReg && "free private color missed");
+          if (!Crossing.test(Holder)) {
+            Victim = Holder;
+            break;
+          }
+        }
+        assert(Victim != NoReg && "crossing set exceeds private colors");
+        appendXorSwap(OutInstrs, CM.colorOf(Victim), CM.colorOf(V));
+        InsertedOps += 3;
+        CM.swapBindings(Victim, V);
+      });
+    }
+
+    // Emit the instruction over colors.
+    Instruction NewInst = Inst;
+    if (Inst.Use1 != NoReg) {
+      assert(CM.colorOf(Inst.Use1) >= 0 && "use of unbound register");
+      NewInst.Use1 = CM.colorOf(Inst.Use1);
+    }
+    if (Inst.Use2 != NoReg) {
+      assert(CM.colorOf(Inst.Use2) >= 0 && "use of unbound register");
+      NewInst.Use2 = CM.colorOf(Inst.Use2);
+    }
+
+    // Kill values that die here (last use), freeing their colors before the
+    // definition picks one.
+    const BitVector &LiveOut = TA.Liveness.instrLiveOut(B, I);
+    std::array<Reg, 2> Uses;
+    int NumUses = Inst.getUses(Uses);
+    for (int U = 0; U < NumUses; ++U) {
+      Reg V = Uses[static_cast<size_t>(U)];
+      if (!LiveOut.test(V))
+        CM.release(V);
+    }
+
+    if (Inst.Def != NoReg) {
+      // Redefinition: drop the old binding first.
+      CM.release(Inst.Def);
+      int C = chooseColor(CM, Inst.Def);
+      assert(C >= 0 && "pressure exceeds R at definition");
+      NewInst.Def = C;
+      if (LiveOut.test(Inst.Def))
+        CM.bind(Inst.Def, C);
+    }
+    OutInstrs.push_back(NewInst);
+  }
+
+  // Junction handling for each successor.
+  for (int S : P.successors(B)) {
+    std::vector<int> &SuccEntry = EntryColors[static_cast<size_t>(S)];
+    if (SuccEntry.empty()) {
+      SuccEntry.assign(static_cast<size_t>(P.NumRegs), -1);
+      TA.Liveness.blockLiveIn(S).forEach([&](int V) {
+        assert(CM.colorOf(V) >= 0 && "successor live-in unbound");
+        SuccEntry[static_cast<size_t>(V)] = CM.colorOf(V);
+      });
+      continue;
+    }
+    // Build the reconciling parallel copy.
+    EdgeFix Fix;
+    Fix.Pred = B;
+    Fix.Succ = S;
+    BitVector UsedHere(R);
+    TA.Liveness.blockLiveIn(S).forEach([&](int V) {
+      int From = CM.colorOf(V);
+      int To = SuccEntry[static_cast<size_t>(V)];
+      assert(From >= 0 && To >= 0 && "junction color missing");
+      UsedHere.set(From);
+      UsedHere.set(To);
+      if (From != To)
+        Fix.Copies.push_back({From, To});
+    });
+    if (Fix.Copies.empty())
+      continue;
+    Fix.Scratch = -1;
+    for (int C = 0; C < R; ++C)
+      if (!UsedHere.test(C)) {
+        Fix.Scratch = C;
+        break;
+      }
+    EdgeFixes.push_back(std::move(Fix));
+  }
+}
+
+void FragmentAllocatorImpl::reconcileEdges(Program &Out) {
+  for (const EdgeFix &Fix : EdgeFixes) {
+    std::vector<Instruction> Copies;
+    InsertedOps += appendParallelCopy(Copies, Fix.Copies, Fix.Scratch);
+
+    // Placement: end of Pred when it has a single successor, otherwise a
+    // fresh block on the edge.
+    int Target = Fix.Pred;
+    if (P.successors(Fix.Pred).size() > 1)
+      Target = splitEdge(Out, Fix.Pred, Fix.Succ);
+    BasicBlock &TB = Out.block(Target);
+    int At = getTerminatorGroupBegin(TB);
+    TB.Instrs.insert(TB.Instrs.begin() + At, Copies.begin(), Copies.end());
+  }
+}
+
+} // namespace
+
+ColorAllocation npral::allocateByFragments(const Program &P,
+                                           const ThreadAnalysis &TA, int PR,
+                                           int SR) {
+  return FragmentAllocatorImpl(P, TA, PR, SR).run();
+}

@@ -1,0 +1,305 @@
+//===- InterAllocator.cpp -------------------------------------------------===//
+
+#include "alloc/InterAllocator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace npral;
+
+MultiThreadProgram npral::materializePhysical(
+    const std::vector<const Program *> &ColorPrograms,
+    const std::vector<int> &PRs, int SGR, int Nreg, const std::string &Name) {
+  assert(ColorPrograms.size() == PRs.size() && "size mismatch");
+  MultiThreadProgram Physical;
+  Physical.Name = Name;
+
+  int SharedBase = std::accumulate(PRs.begin(), PRs.end(), 0);
+  assert(SharedBase + SGR <= Nreg && "allocation exceeds register file");
+
+  int PrivateBase = 0;
+  for (size_t T = 0; T < ColorPrograms.size(); ++T) {
+    const Program &CP = *ColorPrograms[T];
+    const int PR = PRs[T];
+    auto mapColor = [&](Reg C) -> Reg {
+      assert(C >= 0 && C < CP.NumRegs && "color out of range");
+      if (C < PR)
+        return PrivateBase + C;
+      assert(C - PR < SGR && "shared color beyond SGR");
+      return SharedBase + (C - PR);
+    };
+
+    Program Phys;
+    Phys.Name = CP.Name;
+    Phys.NumRegs = Nreg;
+    Phys.IsPhysical = true;
+    Phys.EntryBlock = CP.EntryBlock;
+    for (int B = 0; B < CP.getNumBlocks(); ++B) {
+      const BasicBlock &BB = CP.block(B);
+      int NewB = Phys.addBlock(BB.Name);
+      Phys.block(NewB).FallThrough = BB.FallThrough;
+      for (const Instruction &I : BB.Instrs) {
+        Instruction NewI = I;
+        if (I.Def != NoReg)
+          NewI.Def = mapColor(I.Def);
+        if (I.Use1 != NoReg)
+          NewI.Use1 = mapColor(I.Use1);
+        if (I.Use2 != NoReg)
+          NewI.Use2 = mapColor(I.Use2);
+        Phys.block(NewB).Instrs.push_back(NewI);
+      }
+    }
+    for (Reg C : CP.EntryLiveRegs)
+      Phys.EntryLiveRegs.push_back(mapColor(C));
+    Physical.Threads.push_back(std::move(Phys));
+    PrivateBase += PR;
+  }
+  return Physical;
+}
+
+namespace {
+
+/// Completion fallback for the Fig. 8 loop: sweep the shared-window size.
+/// For each SGR, every thread takes the smallest PR with a feasible
+/// (PR, SGR) allocation; among fitting configurations the cheapest (by
+/// total moves, then registers) wins. Returns false when no SGR fits.
+bool sweepSharedWindow(
+    std::vector<std::unique_ptr<IntraThreadAllocator>> &Intras, int Nreg,
+    std::vector<int> &PR, std::vector<int> &SR) {
+  const int Nthd = static_cast<int>(Intras.size());
+  int MaxSGR = 0;
+  for (const auto &Intra : Intras)
+    MaxSGR = std::max(MaxSGR, Intra->getMaxR());
+
+  bool Found = false;
+  long BestCost = 0;
+  int BestTotal = 0;
+  std::vector<int> BestPR, BestSR;
+  for (int SGR = 0; SGR <= MaxSGR; ++SGR) {
+    std::vector<int> CandPR(static_cast<size_t>(Nthd));
+    long Cost = 0;
+    int SumPR = 0;
+    bool Feasible = true;
+    for (int T = 0; T < Nthd && Feasible; ++T) {
+      IntraThreadAllocator &Intra = *Intras[static_cast<size_t>(T)];
+      int Lo = std::max(Intra.getMinPR(), Intra.getMinR() - SGR);
+      bool ThreadOk = false;
+      for (int P = Lo; P <= Intra.getMaxPR(); ++P) {
+        const IntraResult &R = Intra.allocate(P, SGR);
+        if (!R.Feasible)
+          continue;
+        CandPR[static_cast<size_t>(T)] = P;
+        Cost += R.MoveCost;
+        SumPR += P;
+        ThreadOk = true;
+        break;
+      }
+      Feasible = ThreadOk;
+    }
+    if (!Feasible || SumPR + SGR > Nreg)
+      continue;
+    int Total = SumPR + SGR;
+    if (!Found || Cost < BestCost ||
+        (Cost == BestCost && Total < BestTotal)) {
+      Found = true;
+      BestCost = Cost;
+      BestTotal = Total;
+      BestPR = CandPR;
+      BestSR.assign(static_cast<size_t>(Nthd), SGR);
+    }
+  }
+  if (!Found)
+    return false;
+  PR = BestPR;
+  SR = BestSR;
+  return true;
+}
+
+} // namespace
+
+InterThreadResult npral::allocateInterThread(const MultiThreadProgram &MTP,
+                                             int Nreg) {
+  InterThreadResult Result;
+  const int Nthd = MTP.getNumThreads();
+  if (Nthd == 0) {
+    Result.FailReason = "no threads";
+    return Result;
+  }
+
+  // Build per-thread intra allocators and start from the move-free upper
+  // bounds (Fig. 8 lines 1-4).
+  std::vector<std::unique_ptr<IntraThreadAllocator>> Intras;
+  std::vector<int> PR(static_cast<size_t>(Nthd));
+  std::vector<int> SR(static_cast<size_t>(Nthd));
+  for (int T = 0; T < Nthd; ++T) {
+    Intras.push_back(
+        std::make_unique<IntraThreadAllocator>(MTP.Threads[static_cast<size_t>(T)]));
+    const RegBounds &B = Intras.back()->getBounds();
+    PR[static_cast<size_t>(T)] = B.MaxPR;
+    SR[static_cast<size_t>(T)] = B.MaxR - B.MaxPR;
+  }
+
+  auto requirement = [&]() {
+    int Sum = std::accumulate(PR.begin(), PR.end(), 0);
+    int MaxSR = *std::max_element(SR.begin(), SR.end());
+    return Sum + MaxSR;
+  };
+  auto costOf = [&](int T) {
+    const IntraResult &IR =
+        Intras[static_cast<size_t>(T)]->allocate(PR[static_cast<size_t>(T)],
+                                                 SR[static_cast<size_t>(T)]);
+    assert(IR.Feasible && "current configuration must stay feasible");
+    return IR.MoveCost;
+  };
+
+  // Greedy reduction loop (Fig. 8 lines 5-16).
+  while (requirement() > Nreg) {
+    int BestKind = -1; // 0 = reduce PR of BestThread, 1 = reduce max SRs.
+    int BestThread = -1;
+    long BestDelta = 0;
+
+    for (int T = 0; T < Nthd; ++T) {
+      const RegBounds &B = Intras[static_cast<size_t>(T)]->getBounds();
+      int CurPR = PR[static_cast<size_t>(T)];
+      int CurSR = SR[static_cast<size_t>(T)];
+      if (CurPR <= B.MinPR || CurPR + CurSR <= B.MinR)
+        continue;
+      const IntraResult &Candidate =
+          Intras[static_cast<size_t>(T)]->allocate(CurPR - 1, CurSR);
+      if (!Candidate.Feasible)
+        continue;
+      long Delta = Candidate.MoveCost - costOf(T);
+      if (BestKind < 0 || Delta < BestDelta) {
+        BestKind = 0;
+        BestThread = T;
+        BestDelta = Delta;
+      }
+    }
+
+    {
+      int MaxSR = *std::max_element(SR.begin(), SR.end());
+      bool AllReducible = MaxSR > 0;
+      long Delta = 0;
+      for (int T = 0; T < Nthd && AllReducible; ++T) {
+        if (SR[static_cast<size_t>(T)] != MaxSR)
+          continue;
+        const RegBounds &B = Intras[static_cast<size_t>(T)]->getBounds();
+        if (PR[static_cast<size_t>(T)] + SR[static_cast<size_t>(T)] <=
+            B.MinR) {
+          AllReducible = false;
+          break;
+        }
+        const IntraResult &Candidate = Intras[static_cast<size_t>(T)]->allocate(
+            PR[static_cast<size_t>(T)], SR[static_cast<size_t>(T)] - 1);
+        if (!Candidate.Feasible) {
+          AllReducible = false;
+          break;
+        }
+        Delta += Candidate.MoveCost - costOf(T);
+      }
+      if (AllReducible && (BestKind < 0 || Delta < BestDelta)) {
+        BestKind = 1;
+        BestDelta = Delta;
+      }
+    }
+
+    if (BestKind < 0) {
+      // The pure-reduction loop is stuck: every single step either violates
+      // a thread's MinR or fails. This happens when the optimum requires
+      // *trading* private for shared registers across several threads at
+      // once (e.g. every thread moving from (PR, SR) to (PR-1, SR+1) — the
+      // total only drops after all of them convert). Fall back to a direct
+      // sweep over the shared-window size SGR: for each candidate SGR every
+      // thread takes its smallest feasible PR, which is complete over the
+      // per-thread feasibility frontier. Fig. 8 does not include this step;
+      // see DESIGN.md ("extensions").
+      if (!sweepSharedWindow(Intras, Nreg, PR, SR)) {
+        Result.FailReason =
+            "register requirement cannot be reduced to fit Nreg=" +
+            std::to_string(Nreg);
+        return Result;
+      }
+      break;
+    }
+    if (BestKind == 0) {
+      --PR[static_cast<size_t>(BestThread)];
+    } else {
+      int MaxSR = *std::max_element(SR.begin(), SR.end());
+      for (int T = 0; T < Nthd; ++T)
+        if (SR[static_cast<size_t>(T)] == MaxSR)
+          --SR[static_cast<size_t>(T)];
+    }
+  }
+
+  // Materialise (Fig. 8 lines 18-20).
+  Result.SGR = *std::max_element(SR.begin(), SR.end());
+  std::vector<const Program *> ColorPrograms;
+  int PrivateBase = 0;
+  for (int T = 0; T < Nthd; ++T) {
+    const IntraResult &IR =
+        Intras[static_cast<size_t>(T)]->allocate(PR[static_cast<size_t>(T)],
+                                                 SR[static_cast<size_t>(T)]);
+    assert(IR.Feasible && "converged configuration must be feasible");
+    ThreadAllocation TAl;
+    TAl.PR = PR[static_cast<size_t>(T)];
+    TAl.SR = SR[static_cast<size_t>(T)];
+    TAl.MoveCost = IR.MoveCost;
+    TAl.Strategy = IR.Strategy;
+    TAl.PrivateBase = PrivateBase;
+    TAl.Bounds = Intras[static_cast<size_t>(T)]->getBounds();
+    PrivateBase += TAl.PR;
+    Result.Threads.push_back(std::move(TAl));
+    Result.TotalMoveCost += IR.MoveCost;
+    ColorPrograms.push_back(&IR.ColorProgram);
+  }
+  Result.SharedBase = PrivateBase;
+  Result.RegistersUsed = PrivateBase + Result.SGR;
+  // The SR values each thread converged to may differ; the shared window is
+  // sized by the maximum, and every thread's shared colors fit inside it.
+  Result.Physical = materializePhysical(
+      ColorPrograms, PR, Result.SGR, std::max(Nreg, Result.RegistersUsed),
+      MTP.Name);
+  for (Program &T : Result.Physical.Threads)
+    T.NumRegs = std::max(Nreg, Result.RegistersUsed);
+  Result.Success = true;
+  return Result;
+}
+
+SRAResult npral::solveSRA(const Program &P, int Nthd, int Nreg,
+                          bool RequireZeroCost) {
+  SRAResult Result;
+  IntraThreadAllocator Intra(P);
+  const RegBounds &B = Intra.getBounds();
+
+  bool Found = false;
+  for (int PR = B.MinPR; PR <= B.MaxPR; ++PR) {
+    if (PR * Nthd > Nreg)
+      break;
+    int SRBudget = Nreg - Nthd * PR;
+    int SRLo = std::max(0, B.MinR - PR);
+    int SRHi = std::min(SRBudget, std::max(B.MaxR - PR, SRLo));
+    for (int SR = SRLo; SR <= SRHi; ++SR) {
+      const IntraResult &IR = Intra.allocate(PR, SR);
+      if (!IR.Feasible)
+        continue;
+      if (RequireZeroCost && IR.MoveCost > 0)
+        continue;
+      int Total = Nthd * PR + SR;
+      bool Better = !Found || Total < Result.TotalRegisters ||
+                    (Total == Result.TotalRegisters && PR < Result.PR);
+      if (Better) {
+        Result.PR = PR;
+        Result.SR = SR;
+        Result.MoveCost = IR.MoveCost;
+        Result.TotalRegisters = Total;
+        Found = true;
+      }
+      break; // Larger SR at same PR only raises the total.
+    }
+  }
+  Result.Success = Found;
+  if (!Found)
+    Result.FailReason = "no feasible (PR, SR) within Nreg";
+  return Result;
+}

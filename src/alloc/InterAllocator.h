@@ -1,0 +1,91 @@
+//===- InterAllocator.h - Inter-thread register allocation ------*- C++ -*-===//
+///
+/// \file
+/// The inter-thread register allocator of paper §6 (Fig. 8) plus the SRA
+/// specialisation of §8 and the final physical materialisation.
+///
+/// Starting from the per-thread upper bounds (MaxPR, MaxR), the allocator
+/// greedily reduces the total requirement Σ PRᵢ + max SRᵢ until it fits in
+/// Nreg, at each step choosing the cheapest reduction as priced by the
+/// intra-thread allocators (move-insertion cost):
+///
+///   * reduce one thread's PR by 1 (direct -1 on the total), or
+///   * reduce *all* threads whose SR equals the maximum by 1.
+///
+/// Physical layout after convergence: thread i's private colors map to the
+/// exclusive range [Σ_{j<i} PRⱼ, Σ_{j≤i} PRⱼ); shared colors of every
+/// thread map into one global window of SGR = max SRᵢ registers starting at
+/// Σ PRⱼ. Registers above Σ PRⱼ + SGR stay unused.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_ALLOC_INTERALLOCATOR_H
+#define NPRAL_ALLOC_INTERALLOCATOR_H
+
+#include "alloc/IntraAllocator.h"
+#include "ir/Program.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace npral {
+
+/// Per-thread outcome of inter-thread allocation.
+struct ThreadAllocation {
+  int PR = 0;
+  int SR = 0;
+  int MoveCost = 0;
+  std::string Strategy;
+  /// First physical register of this thread's private range.
+  int PrivateBase = 0;
+  RegBounds Bounds;
+};
+
+/// Outcome of the inter-thread allocator.
+struct InterThreadResult {
+  bool Success = false;
+  std::string FailReason;
+  std::vector<ThreadAllocation> Threads;
+  /// Number of globally shared registers (max SRᵢ).
+  int SGR = 0;
+  /// First shared physical register (= Σ PRᵢ).
+  int SharedBase = 0;
+  /// Total physical registers consumed: Σ PRᵢ + SGR.
+  int RegistersUsed = 0;
+  /// Total move instructions inserted over all threads.
+  int TotalMoveCost = 0;
+  /// The rewritten threads over physical registers (NumRegs = Nreg each).
+  MultiThreadProgram Physical;
+};
+
+/// Run the inter-thread allocator for the threads of \p MTP sharing \p Nreg
+/// physical registers.
+InterThreadResult allocateInterThread(const MultiThreadProgram &MTP, int Nreg);
+
+/// Symmetric Register Allocation: all Nthd threads run \p P. Exhaustively
+/// sweeps (PR, SR) with Nthd*PR + SR <= Nreg, minimising total register use
+/// (then PR). With \p RequireZeroCost only move-free allocations qualify —
+/// this matches the paper's Fig. 14 methodology ("the algorithm continues
+/// until the cost returned is non-zero").
+struct SRAResult {
+  bool Success = false;
+  std::string FailReason;
+  int PR = 0;
+  int SR = 0;
+  int MoveCost = 0;
+  int TotalRegisters = 0; ///< Nthd*PR + SR
+};
+SRAResult solveSRA(const Program &P, int Nthd, int Nreg,
+                   bool RequireZeroCost);
+
+/// Build the physical MultiThreadProgram from converged per-thread color
+/// programs. Exposed for tests; allocateInterThread calls it internally.
+MultiThreadProgram materializePhysical(
+    const std::vector<const Program *> &ColorPrograms,
+    const std::vector<int> &PRs, int SGR, int Nreg,
+    const std::string &Name);
+
+} // namespace npral
+
+#endif // NPRAL_ALLOC_INTERALLOCATOR_H

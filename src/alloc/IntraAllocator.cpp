@@ -1,0 +1,207 @@
+//===- IntraAllocator.cpp -------------------------------------------------===//
+
+#include "alloc/IntraAllocator.h"
+
+#include "alloc/MoveElimination.h"
+#include "alloc/SplitTransforms.h"
+#include "analysis/LiveRangeRenaming.h"
+#include "support/Diagnostics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace npral;
+
+Program npral::rewriteToColors(const Program &P, const Coloring &Colors,
+                               int NumColors) {
+  Program Out;
+  Out.Name = P.Name;
+  Out.NumRegs = NumColors;
+  Out.IsPhysical = false;
+  Out.EntryBlock = P.EntryBlock;
+  auto colorOf = [&](Reg R) -> Reg {
+    int C = Colors[static_cast<size_t>(R)];
+    assert(C >= 0 && C < NumColors && "referenced register left uncolored");
+    return C;
+  };
+  for (int B = 0; B < P.getNumBlocks(); ++B) {
+    const BasicBlock &BB = P.block(B);
+    int NewB = Out.addBlock(BB.Name);
+    Out.block(NewB).FallThrough = BB.FallThrough;
+    for (const Instruction &I : BB.Instrs) {
+      Instruction NewI = I;
+      if (I.Def != NoReg)
+        NewI.Def = colorOf(I.Def);
+      if (I.Use1 != NoReg)
+        NewI.Use1 = colorOf(I.Use1);
+      if (I.Use2 != NoReg)
+        NewI.Use2 = colorOf(I.Use2);
+      Out.block(NewB).Instrs.push_back(NewI);
+    }
+  }
+  for (Reg V : P.EntryLiveRegs) {
+    int C = Colors[static_cast<size_t>(V)];
+    // Entry-live but unreferenced registers still need a slot for the
+    // harness to write into; reuse color 0 (the value is never read).
+    Out.EntryLiveRegs.push_back(C < 0 ? 0 : C);
+  }
+  return Out;
+}
+
+IntraThreadAllocator::IntraThreadAllocator(const Program &P)
+    : Original(renameLiveRanges(P)), TA(analyzeThread(Original)),
+      Bounds(estimateRegBounds(TA)) {}
+
+const IntraResult &IntraThreadAllocator::allocate(int PR, int SR) {
+  auto Key = std::make_pair(PR, SR);
+  auto It = Cache.find(Key);
+  if (It != Cache.end())
+    return It->second;
+  return Cache.emplace(Key, computeAllocation(PR, SR)).first->second;
+}
+
+IntraResult IntraThreadAllocator::computeAllocation(int PR, int SR) {
+  IntraResult Result;
+  Result.PR = PR;
+  Result.SR = SR;
+  const int R = PR + SR;
+
+  if (PR < 0 || SR < 0 || PR < Bounds.MinPR || R < Bounds.MinR) {
+    Result.Feasible = false;
+    Result.FailReason = "budget below the thread's lower bounds";
+    return Result;
+  }
+
+  // Strategy 0: at or above the Fig.-7 upper bounds the estimator's own
+  // merged coloring is already a valid move-free allocation (boundary
+  // colors < MaxPR <= PR, all colors < MaxR <= R).
+  if (PR >= Bounds.MaxPR && R >= Bounds.MaxR) {
+    Result.Feasible = true;
+    Result.MoveCost = 0;
+    Result.ColorProgram = rewriteToColors(Original, Bounds.Colors, R);
+    Result.Strategy = "bounds";
+    return Result;
+  }
+
+  // Strategy 1: move-free constrained coloring.
+  ConstrainedColoringResult Direct = colorConstrained(TA, PR, R);
+  if (Direct.Success) {
+    static_cast<ColorAllocation &>(Result) = ColorAllocation();
+    Result.Feasible = true;
+    Result.PR = PR;
+    Result.SR = SR;
+    Result.MoveCost = 0;
+    Result.ColorProgram = rewriteToColors(Original, Direct.Colors, R);
+    Result.Strategy = "direct";
+    return Result;
+  }
+
+  // Strategy 2: greedy NSR exclusion / block splitting.
+  ColorAllocation Greedy = allocateWithGreedySplitting(PR, SR);
+
+  // Strategy 3: constructive fallback.
+  ColorAllocation Fragment = allocateByFragments(Original, TA, PR, SR);
+
+  const ColorAllocation *Best = nullptr;
+  const char *Strategy = "";
+  if (Greedy.Feasible && (!Fragment.Feasible ||
+                          Greedy.MoveCost <= Fragment.MoveCost)) {
+    Best = &Greedy;
+    Strategy = "split";
+  } else if (Fragment.Feasible) {
+    Best = &Fragment;
+    Strategy = "fragment";
+  }
+  if (!Best) {
+    Result.Feasible = false;
+    Result.FailReason = Fragment.FailReason.empty() ? Greedy.FailReason
+                                                    : Fragment.FailReason;
+    return Result;
+  }
+  static_cast<ColorAllocation &>(Result) = *Best;
+  Result.Strategy = Strategy;
+  // The paper's Eliminate_unnecessary_move step: splitting strategies may
+  // leave copies whose value is already in place or never read again.
+  int Removed = eliminateRedundantMoves(Result.ColorProgram);
+  Result.MoveCost = std::max(0, Result.MoveCost - Removed);
+  return Result;
+}
+
+ColorAllocation IntraThreadAllocator::allocateWithGreedySplitting(int PR,
+                                                                  int SR) {
+  ColorAllocation Result;
+  Result.PR = PR;
+  Result.SR = SR;
+  const int R = PR + SR;
+
+  Program Work = Original;
+  // Progress cap: each split adds a register; allow a generous multiple.
+  const int MaxSplits = 4 * Original.NumRegs + 16;
+
+  for (int Iter = 0; Iter < MaxSplits; ++Iter) {
+    ThreadAnalysis WorkTA = analyzeThread(Work);
+    ConstrainedColoringResult CCR = colorConstrained(WorkTA, PR, R);
+    if (CCR.Success) {
+      Result.Feasible = true;
+      Result.ColorProgram = rewriteToColors(Work, CCR.Colors, R);
+      Result.MoveCost = Work.countMoves() - Original.countMoves();
+      return Result;
+    }
+
+    int Node = CCR.FailedNode;
+    assert(Node >= 0 && "failed coloring without a failing node");
+    bool DidSplit = false;
+
+    if (WorkTA.BoundaryNodes.test(Node)) {
+      // NSR exclusion: carve the node out of the NSR where it is
+      // referenced most (excluding the largest chunk relieves the most
+      // internal conflicts per move pair).
+      std::vector<int> RefCount(
+          static_cast<size_t>(WorkTA.NSRs.getNumNSRs()), 0);
+      for (int B = 0; B < Work.getNumBlocks(); ++B) {
+        const BasicBlock &BB = Work.block(B);
+        for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
+          const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+          if (Inst.usesReg(Node))
+            ++RefCount[static_cast<size_t>(WorkTA.NSRs.instrPreNSR(B, I))];
+          if (Inst.Def == Node)
+            ++RefCount[static_cast<size_t>(WorkTA.NSRs.instrPostNSR(B, I))];
+        }
+      }
+      int BestNSR = -1;
+      for (int K = 0; K < WorkTA.NSRs.getNumNSRs(); ++K)
+        if (RefCount[static_cast<size_t>(K)] > 0 &&
+            (BestNSR < 0 || RefCount[static_cast<size_t>(K)] >
+                                RefCount[static_cast<size_t>(BestNSR)]))
+          BestNSR = K;
+      if (BestNSR >= 0)
+        DidSplit = excludeNSR(Work, WorkTA, Node, BestNSR) != NoReg;
+    } else {
+      // Internal node: split it in the block where it is referenced most.
+      int BestBlock = -1;
+      int BestRefs = 0;
+      for (int B = 0; B < Work.getNumBlocks(); ++B) {
+        int Refs = 0;
+        for (const Instruction &Inst : Work.block(B).Instrs)
+          if (Inst.Def == Node || Inst.usesReg(Node))
+            ++Refs;
+        if (Refs > BestRefs) {
+          BestRefs = Refs;
+          BestBlock = B;
+        }
+      }
+      if (BestBlock >= 0)
+        DidSplit = splitInBlock(Work, WorkTA, Node, BestBlock) != NoReg;
+    }
+
+    if (!DidSplit) {
+      Result.Feasible = false;
+      Result.FailReason = "greedy splitting made no progress";
+      return Result;
+    }
+  }
+
+  Result.Feasible = false;
+  Result.FailReason = "greedy splitting exceeded its iteration budget";
+  return Result;
+}

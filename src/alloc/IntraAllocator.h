@@ -1,0 +1,79 @@
+//===- IntraAllocator.h - Intra-thread register allocation ------*- C++ -*-===//
+///
+/// \file
+/// The intra-thread register allocator of paper §7: given a budget of PR
+/// private and SR shared colors, produce an allocation of the thread's live
+/// ranges that respects
+///
+///   * boundary live ranges (live across some CSB) use colors < PR only,
+///   * every live range uses colors < R = PR + SR,
+///
+/// at minimal move-insertion cost. Three strategies are tried in order:
+///
+///  1. *Direct*: constrained coloring of the GIG with no moves (cost 0).
+///  2. *Greedy splitting* (Fig. 10 spirit): when coloring gets stuck on a
+///     boundary node, exclude it from conflicting NSRs (Fig. 12); when
+///     stuck on an internal node, split it at block granularity (Fig. 13);
+///     re-analyse and retry.
+///  3. *Fragment fallback* (Lemma 1): the constructive split-everywhere
+///     allocator, feasible whenever PR >= RegPCSBmax and R >= RegPmax.
+///
+/// The allocator memoises results per (PR, SR), mirroring the paper's
+/// incremental "context" reuse across Reduce-PR / Reduce-SR invocations
+/// from the inter-thread loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_ALLOC_INTRAALLOCATOR_H
+#define NPRAL_ALLOC_INTRAALLOCATOR_H
+
+#include "alloc/BoundsEstimator.h"
+#include "alloc/FragmentAllocator.h"
+#include "analysis/InterferenceGraph.h"
+#include "ir/Program.h"
+
+#include <map>
+
+namespace npral {
+
+/// Intra-thread allocation result: a ColorAllocation plus the strategy that
+/// produced it ("direct", "split", "fragment").
+struct IntraResult : ColorAllocation {
+  std::string Strategy;
+};
+
+class IntraThreadAllocator {
+public:
+  explicit IntraThreadAllocator(const Program &P);
+
+  /// Allocate with \p PR private and \p SR shared colors; memoised.
+  const IntraResult &allocate(int PR, int SR);
+
+  const RegBounds &getBounds() const { return Bounds; }
+  int getMinPR() const { return Bounds.MinPR; }
+  int getMinR() const { return Bounds.MinR; }
+  int getMaxPR() const { return Bounds.MaxPR; }
+  int getMaxR() const { return Bounds.MaxR; }
+  const Program &getProgram() const { return Original; }
+  const ThreadAnalysis &getAnalysis() const { return TA; }
+
+private:
+  Program Original;
+  ThreadAnalysis TA;
+  RegBounds Bounds;
+  std::map<std::pair<int, int>, IntraResult> Cache;
+
+  IntraResult computeAllocation(int PR, int SR);
+  /// Strategy 2; returns an infeasible result when it cannot converge.
+  ColorAllocation allocateWithGreedySplitting(int PR, int SR);
+};
+
+/// Rewrite \p P's register operands through \p Colors (one color per
+/// register); the result has NumRegs = \p NumColors and entry-live colors
+/// aligned with P.EntryLiveRegs. Every referenced register must be colored.
+Program rewriteToColors(const Program &P, const Coloring &Colors,
+                        int NumColors);
+
+} // namespace npral
+
+#endif // NPRAL_ALLOC_INTRAALLOCATOR_H

@@ -1,0 +1,91 @@
+//===- ParallelCopy.cpp ---------------------------------------------------===//
+
+#include "alloc/ParallelCopy.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace npral;
+
+void npral::appendXorSwap(std::vector<Instruction> &Out, int A, int B) {
+  Out.push_back(Instruction::makeBinary(Opcode::Xor, A, A, B));
+  Out.push_back(Instruction::makeBinary(Opcode::Xor, B, A, B));
+  Out.push_back(Instruction::makeBinary(Opcode::Xor, A, A, B));
+}
+
+int npral::appendParallelCopy(std::vector<Instruction> &Out,
+                              std::vector<Copy> Pending, int Scratch) {
+  int Appended = 0;
+  Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
+                               [](const Copy &C) { return C.From == C.To; }),
+                Pending.end());
+  auto isSource = [&](int Color) {
+    for (const Copy &C : Pending)
+      if (C.From == Color)
+        return true;
+    return false;
+  };
+  auto drainAcyclic = [&]() {
+    for (;;) {
+      bool Progress = false;
+      for (size_t I = 0; I < Pending.size(); ++I) {
+        if (isSource(Pending[I].To))
+          continue;
+        Out.push_back(Instruction::makeMov(Pending[I].To, Pending[I].From));
+        ++Appended;
+        Pending.erase(Pending.begin() + static_cast<long>(I));
+        Progress = true;
+        break;
+      }
+      if (!Progress)
+        return;
+    }
+  };
+
+  drainAcyclic();
+  // Only disjoint cycles remain.
+  while (!Pending.empty()) {
+    if (Scratch >= 0) {
+      // Break one cycle with the scratch color, then drain.
+      Copy First = Pending.front();
+      Out.push_back(Instruction::makeMov(Scratch, First.From));
+      ++Appended;
+      for (Copy &C : Pending)
+        if (C.From == First.From)
+          C.From = Scratch;
+      drainAcyclic();
+      continue;
+    }
+    // No scratch: rotate the cycle with xor swaps. Collect the cycle
+    // starting from the first pending copy: addresses a1 -> a2 -> ... -> ak.
+    std::vector<int> Cycle;
+    int Start = Pending.front().From;
+    int Cur = Start;
+    for (;;) {
+      Cycle.push_back(Cur);
+      int Next = -1;
+      for (const Copy &C : Pending)
+        if (C.From == Cur) {
+          Next = C.To;
+          break;
+        }
+      assert(Next >= 0 && "broken permutation cycle");
+      if (Next == Start)
+        break;
+      Cur = Next;
+    }
+    // Rotate: the value at a1 must reach a2, a2's value a3, and so on:
+    // swap(a1,a2), swap(a1,a3), ..., swap(a1,ak).
+    for (size_t I = 1; I < Cycle.size(); ++I) {
+      appendXorSwap(Out, Cycle[0], Cycle[static_cast<size_t>(I)]);
+      Appended += 3;
+    }
+    Pending.erase(std::remove_if(Pending.begin(), Pending.end(),
+                                 [&](const Copy &C) {
+                                   return std::find(Cycle.begin(), Cycle.end(),
+                                                    C.From) != Cycle.end();
+                                 }),
+                  Pending.end());
+  }
+  return Appended;
+}

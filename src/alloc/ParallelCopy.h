@@ -1,0 +1,46 @@
+//===- ParallelCopy.h - Sequentialising parallel register copies -*- C++ -*-===//
+///
+/// \file
+/// The allocators reconcile register states at CFG junctions and context
+/// switch boundaries with *parallel copies*: a partial permutation
+/// { To := From } over register colors that must appear to execute
+/// simultaneously. This component lowers such a copy to straight-line
+/// instructions:
+///
+///  * acyclic chains become plain `mov`s (targets emitted once they are no
+///    longer needed as sources);
+///  * cycles use a scratch color when one is free;
+///  * cycles with no scratch are rotated in place with three-`xor` swaps,
+///    so lowering never fails.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_ALLOC_PARALLELCOPY_H
+#define NPRAL_ALLOC_PARALLELCOPY_H
+
+#include "ir/Instruction.h"
+
+#include <vector>
+
+namespace npral {
+
+/// One element of a parallel copy: the value currently in color \p From
+/// must end up in color \p To.
+struct Copy {
+  int From;
+  int To;
+};
+
+/// Append a three-xor in-place swap of colors \p A and \p B.
+void appendXorSwap(std::vector<Instruction> &Out, int A, int B);
+
+/// Lower the parallel copy \p Pending into \p Out. \p Scratch is a color
+/// known to be dead at this point, or -1 when none is. The sources of
+/// \p Pending must be distinct and the targets must be distinct (a partial
+/// permutation). Returns the number of instructions appended.
+int appendParallelCopy(std::vector<Instruction> &Out, std::vector<Copy> Pending,
+                       int Scratch);
+
+} // namespace npral
+
+#endif // NPRAL_ALLOC_PARALLELCOPY_H

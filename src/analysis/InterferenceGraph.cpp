@@ -1,0 +1,167 @@
+//===- InterferenceGraph.cpp ----------------------------------------------===//
+
+#include "analysis/InterferenceGraph.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace npral;
+
+void InterferenceGraph::reset(int NumNodes) {
+  Adj.assign(static_cast<size_t>(NumNodes), BitVector(NumNodes));
+  NumEdges = 0;
+}
+
+void InterferenceGraph::addEdge(int A, int B) {
+  if (A == B)
+    return;
+  if (Adj[static_cast<size_t>(A)].test(B))
+    return;
+  Adj[static_cast<size_t>(A)].set(B);
+  Adj[static_cast<size_t>(B)].set(A);
+  ++NumEdges;
+}
+
+int InterferenceGraph::addNode() {
+  int NewId = getNumNodes();
+  for (BitVector &Row : Adj)
+    Row.resize(NewId + 1);
+  Adj.emplace_back(NewId + 1);
+  return NewId;
+}
+
+std::vector<int>
+InterferenceGraph::smallestLastOrder(const BitVector &Members) const {
+  // Repeatedly remove the member of minimum residual degree; the reverse
+  // removal order is the coloring order.
+  const int N = getNumNodes();
+  std::vector<int> ResidualDeg(static_cast<size_t>(N), 0);
+  std::vector<char> InGraph(static_cast<size_t>(N), 0);
+  std::vector<int> MemberList;
+  Members.forEach([&](int M) {
+    InGraph[static_cast<size_t>(M)] = 1;
+    MemberList.push_back(M);
+  });
+  for (int M : MemberList) {
+    int D = 0;
+    neighbors(M).forEach([&](int Nb) {
+      if (InGraph[static_cast<size_t>(Nb)])
+        ++D;
+    });
+    ResidualDeg[static_cast<size_t>(M)] = D;
+  }
+
+  std::vector<int> Removal;
+  Removal.reserve(MemberList.size());
+  std::vector<char> Removed(static_cast<size_t>(N), 0);
+  for (size_t Step = 0; Step < MemberList.size(); ++Step) {
+    int Best = -1;
+    for (int M : MemberList) {
+      if (Removed[static_cast<size_t>(M)])
+        continue;
+      if (Best < 0 || ResidualDeg[static_cast<size_t>(M)] <
+                          ResidualDeg[static_cast<size_t>(Best)])
+        Best = M;
+    }
+    assert(Best >= 0 && "no removable node");
+    Removed[static_cast<size_t>(Best)] = 1;
+    Removal.push_back(Best);
+    neighbors(Best).forEach([&](int Nb) {
+      if (InGraph[static_cast<size_t>(Nb)] && !Removed[static_cast<size_t>(Nb)])
+        --ResidualDeg[static_cast<size_t>(Nb)];
+    });
+  }
+  std::reverse(Removal.begin(), Removal.end());
+  return Removal;
+}
+
+ThreadAnalysis npral::analyzeThread(const Program &P) {
+  ThreadAnalysis TA;
+  TA.Liveness = computeLiveness(P);
+  TA.NSRs = computeNSRs(P, TA.Liveness);
+
+  const int NumRegs = P.NumRegs;
+  TA.GIG.reset(NumRegs);
+  TA.BIG.reset(NumRegs);
+  TA.BoundaryNodes.resize(NumRegs);
+  TA.InternalNodes.resize(NumRegs);
+  TA.ReferencedNodes.resize(NumRegs);
+  TA.HomeNSR.assign(static_cast<size_t>(NumRegs), -1);
+
+  for (Reg R = 0; R < NumRegs; ++R)
+    if (TA.Liveness.isEverReferenced(R))
+      TA.ReferencedNodes.set(R);
+
+  // GIG edges: at every definition point, the defined register interferes
+  // with everything live after the instruction. Entry-live registers act as
+  // defined simultaneously at a virtual entry point.
+  for (int B = 0; B < P.getNumBlocks(); ++B) {
+    const BasicBlock &BB = P.block(B);
+    for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
+      const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+      if (Inst.Def == NoReg)
+        continue;
+      TA.Liveness.instrLiveOut(B, I).forEach([&](int Live) {
+        TA.GIG.addEdge(Inst.Def, Live);
+      });
+    }
+  }
+  {
+    const BitVector &EntryLive = TA.Liveness.blockLiveIn(P.getEntryBlock());
+    std::vector<int> EntryRegs = EntryLive.toVector();
+    for (size_t A = 0; A < EntryRegs.size(); ++A)
+      for (size_t B2 = A + 1; B2 < EntryRegs.size(); ++B2)
+        TA.GIG.addEdge(EntryRegs[A], EntryRegs[B2]);
+  }
+
+  // Boundary classification and BIG edges per CSB.
+  for (const CSB &Boundary : TA.NSRs.getCSBs()) {
+    std::vector<int> Crossing = Boundary.LiveAcross.toVector();
+    for (int R : Crossing)
+      TA.BoundaryNodes.set(R);
+    for (size_t A = 0; A < Crossing.size(); ++A)
+      for (size_t B2 = A + 1; B2 < Crossing.size(); ++B2)
+        TA.BIG.addEdge(Crossing[A], Crossing[B2]);
+  }
+
+  TA.InternalNodes = TA.ReferencedNodes;
+  TA.InternalNodes.subtract(TA.BoundaryNodes);
+
+  // Home NSR of internal nodes: the NSR of the def side of any defining
+  // instruction (Claim 2 guarantees this is unique; assert it).
+  TA.IIGMembers.assign(static_cast<size_t>(TA.NSRs.getNumNSRs()),
+                       BitVector(NumRegs));
+  for (int B = 0; B < P.getNumBlocks(); ++B) {
+    const BasicBlock &BB = P.block(B);
+    for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
+      const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+      auto touch = [&](Reg R, int NSR) {
+        if (R == NoReg || !TA.InternalNodes.test(R))
+          return;
+        int &Home = TA.HomeNSR[static_cast<size_t>(R)];
+        if (Home != -1 && Home != NSR)
+          reportFatalError("internal live range '" + P.getRegName(R) +
+                           "' of program '" + P.Name +
+                           "' spans multiple NSRs");
+        Home = NSR;
+        TA.IIGMembers[static_cast<size_t>(NSR)].set(R);
+      };
+      touch(Inst.Def, TA.NSRs.instrPostNSR(B, I));
+      touch(Inst.Use1, TA.NSRs.instrPreNSR(B, I));
+      touch(Inst.Use2, TA.NSRs.instrPreNSR(B, I));
+    }
+  }
+  // Entry-live internal nodes live in the entry NSR.
+  TA.Liveness.blockLiveIn(P.getEntryBlock()).forEach([&](int R) {
+    if (!TA.InternalNodes.test(R))
+      return;
+    int &Home = TA.HomeNSR[static_cast<size_t>(R)];
+    int EntryNSR = TA.NSRs.pointNSR(P.getEntryBlock(), 0);
+    assert((Home == -1 || Home == EntryNSR) &&
+           "internal live range spans multiple NSRs");
+    Home = EntryNSR;
+    TA.IIGMembers[static_cast<size_t>(EntryNSR)].set(R);
+  });
+
+  return TA;
+}

@@ -1,0 +1,91 @@
+//===- InterferenceGraph.h - GIG / BIG / IIG --------------------*- C++ -*-===//
+///
+/// \file
+/// Interference graphs over live ranges (= virtual registers). The paper
+/// distinguishes three graphs per thread (§3.2):
+///
+///  * GIG (global): every live range; an edge whenever two ranges are
+///    co-live at some program point;
+///  * BIG (boundary): only live ranges that cross some CSB; an edge only
+///    when two ranges are co-live across the *same* CSB;
+///  * IIG per NSR (internal): live ranges local to one NSR and their
+///    interference edges.
+///
+/// Claim 1: spill-free allocation needs GIG colorable with R colors and BIG
+/// with PR colors. Claim 2: distinct IIGs share no edges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_ANALYSIS_INTERFERENCEGRAPH_H
+#define NPRAL_ANALYSIS_INTERFERENCEGRAPH_H
+
+#include "analysis/Liveness.h"
+#include "analysis/NSR.h"
+#include "ir/Program.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace npral {
+
+/// Undirected graph over dense node IDs with bit-matrix adjacency.
+class InterferenceGraph {
+public:
+  InterferenceGraph() = default;
+  explicit InterferenceGraph(int NumNodes) { reset(NumNodes); }
+
+  void reset(int NumNodes);
+
+  int getNumNodes() const { return static_cast<int>(Adj.size()); }
+
+  void addEdge(int A, int B);
+  bool hasEdge(int A, int B) const {
+    return Adj[static_cast<size_t>(A)].test(B);
+  }
+  int degree(int N) const { return Adj[static_cast<size_t>(N)].count(); }
+  const BitVector &neighbors(int N) const {
+    return Adj[static_cast<size_t>(N)];
+  }
+  int getNumEdges() const { return NumEdges; }
+
+  /// Add a node (no edges); returns its ID.
+  int addNode();
+
+  /// Smallest-last (degeneracy) elimination order restricted to the nodes
+  /// set in \p Members; good orders for greedy coloring.
+  std::vector<int> smallestLastOrder(const BitVector &Members) const;
+
+private:
+  std::vector<BitVector> Adj;
+  int NumEdges = 0;
+};
+
+/// Everything the allocators need to know about one thread.
+struct ThreadAnalysis {
+  LivenessInfo Liveness;
+  NSRInfo NSRs;
+  InterferenceGraph GIG;
+  InterferenceGraph BIG;
+  /// Node classification: boundary = live across some CSB.
+  BitVector BoundaryNodes;
+  /// Internal nodes (referenced, not boundary).
+  BitVector InternalNodes;
+  /// Home NSR of each internal node (-1 for boundary or unreferenced).
+  std::vector<int> HomeNSR;
+  /// Members of each IIG: internal nodes per NSR.
+  std::vector<BitVector> IIGMembers;
+  /// Live ranges that are referenced at all.
+  BitVector ReferencedNodes;
+
+  int getRegPmax() const { return Liveness.getRegPmax(); }
+  int getRegPCSBmax() const { return NSRs.getRegPCSBmax(); }
+  int getNumLiveRanges() const { return ReferencedNodes.count(); }
+};
+
+/// Run liveness, NSR construction and interference graph construction.
+/// The program must verify and must not use undefined registers.
+ThreadAnalysis analyzeThread(const Program &P);
+
+} // namespace npral
+
+#endif // NPRAL_ANALYSIS_INTERFERENCEGRAPH_H

@@ -1,0 +1,151 @@
+//===- LiveRangeRenaming.cpp ----------------------------------------------===//
+
+#include "analysis/LiveRangeRenaming.h"
+
+#include "analysis/Liveness.h"
+
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+using namespace npral;
+
+namespace {
+
+/// Union-find over program points (same layout as NSR construction: block b
+/// contributes size(b)+1 points).
+class PointUnionFind {
+public:
+  PointUnionFind(const Program &P) {
+    PointBase.resize(static_cast<size_t>(P.getNumBlocks()));
+    int Total = 0;
+    for (int B = 0; B < P.getNumBlocks(); ++B) {
+      PointBase[static_cast<size_t>(B)] = Total;
+      Total += static_cast<int>(P.block(B).Instrs.size()) + 1;
+    }
+    Parent.resize(static_cast<size_t>(Total));
+    std::iota(Parent.begin(), Parent.end(), 0);
+  }
+
+  int pointId(int B, int I) const {
+    return PointBase[static_cast<size_t>(B)] + I;
+  }
+
+  int find(int X) {
+    while (Parent[static_cast<size_t>(X)] != X) {
+      Parent[static_cast<size_t>(X)] =
+          Parent[static_cast<size_t>(Parent[static_cast<size_t>(X)])];
+      X = Parent[static_cast<size_t>(X)];
+    }
+    return X;
+  }
+
+  void unite(int A, int B) {
+    A = find(A);
+    B = find(B);
+    if (A != B)
+      Parent[static_cast<size_t>(A)] = B;
+  }
+
+private:
+  std::vector<int> PointBase;
+  std::vector<int> Parent;
+};
+
+} // namespace
+
+Program npral::renameLiveRanges(const Program &P) {
+  Program Out = P;
+  LivenessInfo LI = computeLiveness(Out);
+
+  // "Live at point (b,i)" means live just before instruction i; the
+  // end-of-block point carries block live-out.
+  auto liveAt = [&](Reg R, int B, int I) {
+    const BasicBlock &BB = Out.block(B);
+    if (I == static_cast<int>(BB.Instrs.size()))
+      return LI.blockLiveOut(B).test(R);
+    if (I == 0)
+      return LI.blockLiveIn(B).test(R);
+    return LI.instrLiveOut(B, I - 1).test(R);
+  };
+
+  const int OrigRegs = P.NumRegs;
+  // Fresh register per (web of each original register). Process one
+  // original register at a time.
+  std::vector<Reg> NewOf; // scratch: component root -> fresh register
+
+  for (Reg R = 0; R < OrigRegs; ++R) {
+    PointUnionFind UF(Out);
+    // Union adjacent points where R is live.
+    for (int B = 0; B < Out.getNumBlocks(); ++B) {
+      const BasicBlock &BB = Out.block(B);
+      for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I)
+        if (liveAt(R, B, I) && liveAt(R, B, I + 1))
+          UF.unite(UF.pointId(B, I), UF.pointId(B, I + 1));
+      int EndPoint = static_cast<int>(BB.Instrs.size());
+      for (int S : Out.successors(B))
+        if (liveAt(R, B, EndPoint) && liveAt(R, S, 0))
+          UF.unite(UF.pointId(B, EndPoint), UF.pointId(S, 0));
+    }
+
+    // Map each reference to its component's register. The first component
+    // seen keeps the original register so most programs are unchanged.
+    std::vector<int> RootToReg;     // parallel arrays
+    std::vector<int> Roots;
+    bool KeepOriginalUsed = false;
+    auto regForRoot = [&](int Root) -> Reg {
+      for (size_t K = 0; K < Roots.size(); ++K)
+        if (Roots[K] == Root)
+          return RootToReg[K];
+      Reg Fresh;
+      if (!KeepOriginalUsed) {
+        Fresh = R;
+        KeepOriginalUsed = true;
+      } else {
+        Fresh = Out.addReg(Out.getRegName(R) + ".w" +
+                           std::to_string(Roots.size()));
+      }
+      Roots.push_back(Root);
+      RootToReg.push_back(Fresh);
+      return Fresh;
+    };
+
+    // Entry component first so entry-live registers keep their identity.
+    if (LI.blockLiveIn(Out.getEntryBlock()).test(R))
+      (void)regForRoot(UF.find(UF.pointId(Out.getEntryBlock(), 0)));
+
+    for (int B = 0; B < Out.getNumBlocks(); ++B) {
+      BasicBlock &BB = Out.block(B);
+      for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
+        Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+        // Uses read the value live at the pre-point.
+        if (Inst.Use1 == R || Inst.Use2 == R) {
+          assert(liveAt(R, B, I) && "use of dead register");
+          Reg NewReg = regForRoot(UF.find(UF.pointId(B, I)));
+          if (Inst.Use1 == R)
+            Inst.Use1 = NewReg;
+          if (Inst.Use2 == R)
+            Inst.Use2 = NewReg;
+        }
+        // Definitions write the value live at the post-point; a dead
+        // definition gets its own register.
+        if (Inst.Def == R) {
+          Reg NewReg;
+          if (liveAt(R, B, I + 1)) {
+            NewReg = regForRoot(UF.find(UF.pointId(B, I + 1)));
+          } else if (!KeepOriginalUsed) {
+            NewReg = R;
+            KeepOriginalUsed = true;
+          } else {
+            NewReg = Out.addReg(Out.getRegName(R) + ".dead");
+          }
+          Inst.Def = NewReg;
+        }
+      }
+    }
+  }
+
+  // Entry-live list: regForRoot gave the entry component the original
+  // register, so the list stays valid; nothing to rewrite.
+  return Out;
+}

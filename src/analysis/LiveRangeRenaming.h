@@ -1,0 +1,33 @@
+//===- LiveRangeRenaming.h - One register per live range --------*- C++ -*-===//
+///
+/// \file
+/// The paper assumes every live range is its own variable ("we restore the
+/// virtual registers so that our register allocator can work on the live
+/// ranges from scratch", §9). Source programs routinely reuse a temporary
+/// for several disjoint live ranges, so this pass renames each *web* — a
+/// connected component of the program points where a register is live,
+/// under CFG adjacency — to a fresh register. After renaming, claim 2 of
+/// the paper (an internal live range lives inside exactly one NSR) holds
+/// structurally and analyzeThread() can rely on it.
+///
+/// Dead definitions (values never read) each get their own fresh register.
+/// Entry-live registers are remapped to their entry component's register
+/// and Program::EntryLiveRegs is updated in place (order preserved, so
+/// harness entry values stay aligned).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_ANALYSIS_LIVERANGERENAMING_H
+#define NPRAL_ANALYSIS_LIVERANGERENAMING_H
+
+#include "ir/Program.h"
+
+namespace npral {
+
+/// Rename every live-range web of \p P to its own register. Idempotent.
+/// Returns the renamed copy.
+Program renameLiveRanges(const Program &P);
+
+} // namespace npral
+
+#endif // NPRAL_ANALYSIS_LIVERANGERENAMING_H

@@ -1,0 +1,128 @@
+//===- Liveness.cpp -------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace npral;
+
+BitVector LivenessInfo::instrLiveIn(const Program &P, int B, int I) const {
+  BitVector Live = instrLiveOut(B, I);
+  const Instruction &Inst =
+      P.block(B).Instrs[static_cast<size_t>(I)];
+  if (Inst.Def != NoReg)
+    Live.reset(Inst.Def);
+  std::array<Reg, 2> Uses;
+  int N = Inst.getUses(Uses);
+  for (int U = 0; U < N; ++U)
+    Live.set(Uses[static_cast<size_t>(U)]);
+  return Live;
+}
+
+LivenessInfo npral::computeLiveness(const Program &P) {
+  LivenessInfo LI;
+  const int NumBlocks = P.getNumBlocks();
+  const int NumRegs = P.NumRegs;
+
+  LI.BlockLiveIn.assign(static_cast<size_t>(NumBlocks), BitVector(NumRegs));
+  LI.BlockLiveOut.assign(static_cast<size_t>(NumBlocks), BitVector(NumRegs));
+  LI.InstrLiveOut.resize(static_cast<size_t>(NumBlocks));
+  LI.EverReferenced.assign(static_cast<size_t>(NumRegs), 0);
+
+  // Per-block upward-exposed uses and kills.
+  std::vector<BitVector> UEVar(static_cast<size_t>(NumBlocks),
+                               BitVector(NumRegs));
+  std::vector<BitVector> VarKill(static_cast<size_t>(NumBlocks),
+                                 BitVector(NumRegs));
+  for (int B = 0; B < NumBlocks; ++B) {
+    const BasicBlock &BB = P.block(B);
+    for (const Instruction &I : BB.Instrs) {
+      std::array<Reg, 2> Uses;
+      int N = I.getUses(Uses);
+      for (int U = 0; U < N; ++U) {
+        Reg R = Uses[static_cast<size_t>(U)];
+        LI.EverReferenced[static_cast<size_t>(R)] = 1;
+        if (!VarKill[static_cast<size_t>(B)].test(R))
+          UEVar[static_cast<size_t>(B)].set(R);
+      }
+      if (I.Def != NoReg) {
+        LI.EverReferenced[static_cast<size_t>(I.Def)] = 1;
+        VarKill[static_cast<size_t>(B)].set(I.Def);
+      }
+    }
+  }
+
+  // Iterate to fixpoint in post order (backward problem).
+  std::vector<int> RPO = P.computeRPO();
+  std::vector<int> PO(RPO.rbegin(), RPO.rend());
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int B : PO) {
+      BitVector NewOut(NumRegs);
+      for (int S : P.successors(B))
+        NewOut.unionWith(LI.BlockLiveIn[static_cast<size_t>(S)]);
+      if (!(NewOut == LI.BlockLiveOut[static_cast<size_t>(B)])) {
+        LI.BlockLiveOut[static_cast<size_t>(B)] = NewOut;
+        Changed = true;
+      }
+      // LiveIn = UEVar | (LiveOut & ~VarKill)
+      BitVector NewIn = LI.BlockLiveOut[static_cast<size_t>(B)];
+      NewIn.subtract(VarKill[static_cast<size_t>(B)]);
+      NewIn.unionWith(UEVar[static_cast<size_t>(B)]);
+      if (!(NewIn == LI.BlockLiveIn[static_cast<size_t>(B)])) {
+        LI.BlockLiveIn[static_cast<size_t>(B)] = NewIn;
+        Changed = true;
+      }
+    }
+  }
+
+  // Per-instruction live-out by a backward scan of each block, and pressure.
+  LI.RegPmax = 0;
+  for (int B = 0; B < NumBlocks; ++B) {
+    const BasicBlock &BB = P.block(B);
+    const int N = static_cast<int>(BB.Instrs.size());
+    LI.InstrLiveOut[static_cast<size_t>(B)].assign(static_cast<size_t>(N),
+                                                   BitVector(NumRegs));
+    BitVector Live = LI.BlockLiveOut[static_cast<size_t>(B)];
+    for (int I = N - 1; I >= 0; --I) {
+      const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+      LI.InstrLiveOut[static_cast<size_t>(B)][static_cast<size_t>(I)] = Live;
+
+      // Pressure at the defining moment: live-out plus the def itself (a
+      // dead def still occupies a register while executing).
+      int OutCount = Live.count();
+      if (Inst.Def != NoReg && !Live.test(Inst.Def))
+        ++OutCount;
+      LI.RegPmax = std::max(LI.RegPmax, OutCount);
+
+      if (Inst.Def != NoReg)
+        Live.reset(Inst.Def);
+      std::array<Reg, 2> Uses;
+      int NU = Inst.getUses(Uses);
+      for (int U = 0; U < NU; ++U)
+        Live.set(Uses[static_cast<size_t>(U)]);
+      LI.RegPmax = std::max(LI.RegPmax, Live.count());
+    }
+  }
+  return LI;
+}
+
+Status npral::checkNoUseOfUndef(const Program &P, const LivenessInfo &LI) {
+  BitVector EntryLive = LI.blockLiveIn(P.getEntryBlock());
+  BitVector Declared(P.NumRegs);
+  for (Reg R : P.EntryLiveRegs)
+    Declared.set(R);
+  EntryLive.subtract(Declared);
+  if (EntryLive.none())
+    return Status::success();
+  std::string Names;
+  EntryLive.forEach([&](int R) {
+    if (!Names.empty())
+      Names += ", ";
+    Names += P.getRegName(R);
+  });
+  return Status::error("program '" + P.Name +
+                       "' uses registers that may be undefined: " + Names);
+}

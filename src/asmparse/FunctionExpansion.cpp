@@ -1,0 +1,113 @@
+//===- FunctionExpansion.cpp ----------------------------------------------===//
+
+#include "asmparse/FunctionExpansion.h"
+
+#include <cassert>
+
+using namespace npral;
+
+namespace {
+
+/// Find the first unexpanded call; returns false when none remain.
+bool findCall(const Program &P, int &Block, int &Index) {
+  for (int B = 0; B < P.getNumBlocks(); ++B) {
+    const BasicBlock &BB = P.block(B);
+    for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I)
+      if (BB.Instrs[static_cast<size_t>(I)].Op == Opcode::Call) {
+        Block = B;
+        Index = I;
+        return true;
+      }
+  }
+  return false;
+}
+
+/// Splice one copy of \p F into \p P at call site (Block, Index).
+void spliceFunction(Program &P, int Block, int Index, const Program &F,
+                    int ExpansionId) {
+  // Registers are matched by name (macro semantics); unseen names become
+  // fresh registers of the thread.
+  std::vector<Reg> RegMap(static_cast<size_t>(F.NumRegs), NoReg);
+  for (Reg R = 0; R < F.NumRegs; ++R) {
+    std::string Name = F.getRegName(R);
+    Reg Found = NoReg;
+    for (Reg PR = 0; PR < P.NumRegs; ++PR)
+      if (P.getRegName(PR) == Name) {
+        Found = PR;
+        break;
+      }
+    RegMap[static_cast<size_t>(R)] = Found == NoReg ? P.addReg(Name) : Found;
+  }
+
+  // Split the call block: everything after the call moves to a
+  // continuation block that inherits the original fallthrough.
+  BasicBlock &CallBB = P.block(Block);
+  int Cont = P.addBlock(CallBB.Name + ".ret" + std::to_string(ExpansionId));
+  {
+    BasicBlock &ContBB = P.block(Cont);
+    BasicBlock &Caller = P.block(Block); // re-take: addBlock reallocates
+    ContBB.Instrs.assign(Caller.Instrs.begin() + Index + 1,
+                         Caller.Instrs.end());
+    ContBB.FallThrough = Caller.FallThrough;
+    Caller.Instrs.erase(Caller.Instrs.begin() + Index, Caller.Instrs.end());
+  }
+
+  // Copy the function body with registers and branch targets remapped.
+  int Base = P.getNumBlocks();
+  for (int FB = 0; FB < F.getNumBlocks(); ++FB) {
+    int NewB = P.addBlock("f" + std::to_string(ExpansionId) + "." +
+                          F.block(FB).Name);
+    BasicBlock &NewBB = P.block(NewB);
+    const BasicBlock &Body = F.block(FB);
+    NewBB.FallThrough =
+        Body.FallThrough == NoBlock ? NoBlock : Base + Body.FallThrough;
+    for (Instruction I : Body.Instrs) {
+      if (I.Op == Opcode::Ret) {
+        NewBB.Instrs.push_back(Instruction::makeBr(Cont));
+        continue;
+      }
+      if (I.Def != NoReg)
+        I.Def = RegMap[static_cast<size_t>(I.Def)];
+      if (I.Use1 != NoReg)
+        I.Use1 = RegMap[static_cast<size_t>(I.Use1)];
+      if (I.Use2 != NoReg)
+        I.Use2 = RegMap[static_cast<size_t>(I.Use2)];
+      if (I.Target != NoBlock)
+        I.Target = Base + I.Target;
+      NewBB.Instrs.push_back(I);
+    }
+  }
+
+  // Control enters the body where the call was.
+  P.block(Block).FallThrough = Base + F.getEntryBlock();
+}
+
+} // namespace
+
+Status npral::expandCalls(Program &P,
+                          const std::vector<std::string> &CallNames,
+                          const std::map<std::string, Program> &Functions) {
+  // Generous cap: legitimate nesting is shallow; only recursion runs away.
+  const int MaxExpansions = 256;
+  for (int Count = 0; ; ++Count) {
+    int Block, Index;
+    if (!findCall(P, Block, Index))
+      return Status::success();
+    if (Count >= MaxExpansions)
+      return Status::error("thread '" + P.Name +
+                           "': call expansion exceeded " +
+                           std::to_string(MaxExpansions) +
+                           " sites — recursive function?");
+    const Instruction &Call =
+        P.block(Block).Instrs[static_cast<size_t>(Index)];
+    assert(Call.Imm >= 0 &&
+           Call.Imm < static_cast<int64_t>(CallNames.size()) &&
+           "call without a registered name");
+    const std::string &Name = CallNames[static_cast<size_t>(Call.Imm)];
+    auto It = Functions.find(Name);
+    if (It == Functions.end())
+      return Status::error("thread '" + P.Name + "': call to undefined "
+                           "function '" + Name + "'");
+    spliceFunction(P, Block, Index, It->second, Count);
+  }
+}

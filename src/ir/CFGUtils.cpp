@@ -1,0 +1,62 @@
+//===- CFGUtils.cpp -------------------------------------------------------===//
+
+#include "ir/CFGUtils.h"
+
+#include <cassert>
+
+using namespace npral;
+
+int npral::getTerminatorGroupBegin(const BasicBlock &BB) {
+  int N = static_cast<int>(BB.Instrs.size());
+  if (N == 0)
+    return 0;
+  const Instruction &Last = BB.Instrs[static_cast<size_t>(N - 1)];
+  bool LastIsControl = Last.isBranch() || Last.Op == Opcode::Halt;
+  if (!LastIsControl)
+    return N;
+  if (N >= 2) {
+    const Instruction &Prev = BB.Instrs[static_cast<size_t>(N - 2)];
+    if (Prev.isBranch() && Prev.Op != Opcode::Br && Last.Op == Opcode::Br)
+      return N - 2;
+  }
+  return N - 1;
+}
+
+int npral::splitEdge(Program &P, int Pred, int Succ) {
+  assert(Pred >= 0 && Pred < P.getNumBlocks() && "bad pred");
+  assert(Succ >= 0 && Succ < P.getNumBlocks() && "bad succ");
+
+  int NewBlock = P.addBlock(P.block(Pred).Name + ".split." +
+                            std::to_string(Succ));
+  P.block(NewBlock).Instrs.push_back(Instruction::makeBr(Succ));
+
+  BasicBlock &PredBB = P.block(Pred);
+  bool Redirected = false;
+  // Redirect every explicit branch from Pred to Succ.
+  for (Instruction &I : PredBB.Instrs) {
+    if (I.isBranch() && I.Target == Succ) {
+      I.Target = NewBlock;
+      Redirected = true;
+    }
+  }
+  // Redirect the fallthrough edge.
+  if (PredBB.FallThrough == Succ) {
+    PredBB.FallThrough = NewBlock;
+    Redirected = true;
+  }
+  assert(Redirected && "splitEdge called on a non-edge");
+  (void)Redirected;
+  return NewBlock;
+}
+
+void npral::insertAt(Program &P, ProgramPoint Point, const Instruction &I) {
+  assert(Point.Block >= 0 && Point.Block < P.getNumBlocks() && "bad block");
+  BasicBlock &BB = P.block(Point.Block);
+  int Index = Point.Index;
+  int Limit = getTerminatorGroupBegin(BB);
+  if (Index > Limit)
+    Index = Limit;
+  assert(Index >= 0 && Index <= static_cast<int>(BB.Instrs.size()) &&
+         "bad index");
+  BB.Instrs.insert(BB.Instrs.begin() + Index, I);
+}

@@ -1,0 +1,88 @@
+//===- IRPrinter.cpp ------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include <sstream>
+
+using namespace npral;
+
+static std::string blockLabel(const Program &P, int BlockId) {
+  if (BlockId == NoBlock)
+    return "<none>";
+  return P.block(BlockId).Name;
+}
+
+std::string npral::formatInstruction(const Program &P, const Instruction &I) {
+  const OpcodeInfo &Info = I.info();
+  std::ostringstream OS;
+  OS << Info.Mnemonic;
+
+  auto reg = [&](Reg R) { return P.getRegName(R); };
+
+  switch (Info.Shape) {
+  case OperandShape::None:
+    break;
+  case OperandShape::DefImm:
+    OS << ' ' << reg(I.Def) << ", " << I.Imm;
+    break;
+  case OperandShape::DefUse:
+    OS << ' ' << reg(I.Def) << ", " << reg(I.Use1);
+    break;
+  case OperandShape::DefUseUse:
+    OS << ' ' << reg(I.Def) << ", " << reg(I.Use1) << ", " << reg(I.Use2);
+    break;
+  case OperandShape::DefUseImm:
+    if (I.Op == Opcode::Load)
+      OS << ' ' << reg(I.Def) << ", [" << reg(I.Use1) << '+' << I.Imm << ']';
+    else
+      OS << ' ' << reg(I.Def) << ", " << reg(I.Use1) << ", " << I.Imm;
+    break;
+  case OperandShape::UseUseImm:
+    OS << " [" << reg(I.Use1) << '+' << I.Imm << "], " << reg(I.Use2);
+    break;
+  case OperandShape::UseImm:
+    OS << ' ' << I.Imm << ", " << reg(I.Use1);
+    break;
+  case OperandShape::ImmOnly:
+    OS << ' ' << I.Imm;
+    break;
+  case OperandShape::Target:
+    OS << ' ' << blockLabel(P, I.Target);
+    break;
+  case OperandShape::UseUseTarget:
+    OS << ' ' << reg(I.Use1) << ", " << reg(I.Use2) << ", "
+       << blockLabel(P, I.Target);
+    break;
+  case OperandShape::UseTarget:
+    OS << ' ' << reg(I.Use1) << ", " << blockLabel(P, I.Target);
+    break;
+  }
+  return OS.str();
+}
+
+void npral::printProgram(std::ostream &OS, const Program &P) {
+  OS << ".thread " << (P.Name.empty() ? "unnamed" : P.Name) << '\n';
+  if (!P.EntryLiveRegs.empty()) {
+    OS << ".entrylive";
+    for (size_t I = 0; I < P.EntryLiveRegs.size(); ++I)
+      OS << (I ? ", " : " ") << P.getRegName(P.EntryLiveRegs[I]);
+    OS << '\n';
+  }
+  for (int B = 0; B < P.getNumBlocks(); ++B) {
+    const BasicBlock &BB = P.block(B);
+    OS << BB.Name << ":\n";
+    for (const Instruction &I : BB.Instrs)
+      OS << "    " << formatInstruction(P, I) << '\n';
+    // Make fallthrough explicit when it is not the next block in layout
+    // order; the parser re-derives implicit fallthrough from layout.
+    bool EndsWithTerm = !BB.Instrs.empty() && BB.Instrs.back().isTerminator();
+    if (!EndsWithTerm && BB.FallThrough != NoBlock && BB.FallThrough != B + 1)
+      OS << "    br " << P.block(BB.FallThrough).Name << '\n';
+  }
+}
+
+std::string npral::programToString(const Program &P) {
+  std::ostringstream OS;
+  printProgram(OS, P);
+  return OS.str();
+}

@@ -1,0 +1,31 @@
+//===- IRPrinter.h - Textual form of programs -------------------*- C++ -*-===//
+///
+/// \file
+/// Prints Programs in the assembly dialect accepted by the parser so that
+/// print -> parse round trips are identity (modulo register renumbering).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_IR_IRPRINTER_H
+#define NPRAL_IR_IRPRINTER_H
+
+#include "ir/Program.h"
+
+#include <ostream>
+#include <string>
+
+namespace npral {
+
+/// Render one instruction (no trailing newline). Branch targets are printed
+/// as block names.
+std::string formatInstruction(const Program &P, const Instruction &I);
+
+/// Print a whole program in parseable assembly.
+void printProgram(std::ostream &OS, const Program &P);
+
+/// Convenience: printProgram into a string.
+std::string programToString(const Program &P);
+
+} // namespace npral
+
+#endif // NPRAL_IR_IRPRINTER_H

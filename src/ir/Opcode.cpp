@@ -1,0 +1,74 @@
+//===- Opcode.cpp ---------------------------------------------------------===//
+
+#include "ir/Opcode.h"
+
+#include <cassert>
+
+using namespace npral;
+
+namespace {
+
+constexpr OpcodeInfo OpcodeTable[] = {
+    // Mnemonic  Shape                       Ctx    Branch Term
+    {"imm", OperandShape::DefImm, false, false, false},
+    {"mov", OperandShape::DefUse, false, false, false},
+    {"add", OperandShape::DefUseUse, false, false, false},
+    {"sub", OperandShape::DefUseUse, false, false, false},
+    {"and", OperandShape::DefUseUse, false, false, false},
+    {"or", OperandShape::DefUseUse, false, false, false},
+    {"xor", OperandShape::DefUseUse, false, false, false},
+    {"shl", OperandShape::DefUseUse, false, false, false},
+    {"shr", OperandShape::DefUseUse, false, false, false},
+    {"mul", OperandShape::DefUseUse, false, false, false},
+    {"addi", OperandShape::DefUseImm, false, false, false},
+    {"subi", OperandShape::DefUseImm, false, false, false},
+    {"andi", OperandShape::DefUseImm, false, false, false},
+    {"ori", OperandShape::DefUseImm, false, false, false},
+    {"xori", OperandShape::DefUseImm, false, false, false},
+    {"shli", OperandShape::DefUseImm, false, false, false},
+    {"shri", OperandShape::DefUseImm, false, false, false},
+    {"muli", OperandShape::DefUseImm, false, false, false},
+    {"not", OperandShape::DefUse, false, false, false},
+    {"neg", OperandShape::DefUse, false, false, false},
+    {"load", OperandShape::DefUseImm, true, false, false},
+    {"store", OperandShape::UseUseImm, true, false, false},
+    {"loada", OperandShape::DefImm, true, false, false},
+    {"storea", OperandShape::UseImm, true, false, false},
+    {"ctx", OperandShape::None, true, false, false},
+    {"signal", OperandShape::ImmOnly, true, false, false},
+    {"wait", OperandShape::ImmOnly, true, false, false},
+    {"br", OperandShape::Target, false, true, true},
+    {"beq", OperandShape::UseUseTarget, false, true, false},
+    {"bne", OperandShape::UseUseTarget, false, true, false},
+    {"blt", OperandShape::UseUseTarget, false, true, false},
+    {"bge", OperandShape::UseUseTarget, false, true, false},
+    {"bz", OperandShape::UseTarget, false, true, false},
+    {"bnz", OperandShape::UseTarget, false, true, false},
+    {"call", OperandShape::None, false, false, false},
+    {"ret", OperandShape::None, false, false, true},
+    {"halt", OperandShape::None, false, false, true},
+    {"loopend", OperandShape::None, false, false, false},
+    {"nop", OperandShape::None, false, false, false},
+};
+
+constexpr int NumOpcodes = sizeof(OpcodeTable) / sizeof(OpcodeTable[0]);
+
+} // namespace
+
+const OpcodeInfo &npral::getOpcodeInfo(Opcode Op) {
+  int Index = static_cast<int>(Op);
+  assert(Index >= 0 && Index < NumOpcodes && "opcode out of range");
+  return OpcodeTable[Index];
+}
+
+bool npral::parseOpcode(std::string_view Mnemonic, Opcode &Op) {
+  for (int I = 0; I < NumOpcodes; ++I) {
+    if (OpcodeTable[I].Mnemonic == Mnemonic) {
+      Op = static_cast<Opcode>(I);
+      return true;
+    }
+  }
+  return false;
+}
+
+int npral::getNumOpcodes() { return NumOpcodes; }

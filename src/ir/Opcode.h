@@ -1,0 +1,121 @@
+//===- Opcode.h - NPRAL instruction set -------------------------*- C++ -*-===//
+///
+/// \file
+/// The instruction set of the NPRAL target: a small RISC ISA modelled on the
+/// ~40-instruction Intel IXP micro-engine ISA described in the paper. The
+/// properties the register allocator depends on are:
+///
+///  * ALU instructions complete in one cycle;
+///  * `load`/`store` take the memory latency (~20 cycles) and cause a
+///    context switch (the thread yields the CPU while waiting);
+///  * `ctx` voluntarily yields the CPU (1 cycle);
+///  * a `load`'s destination value materialises only after the thread
+///    resumes (transfer-register semantics), so the definition is *not*
+///    live across the instruction's own context switch boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_IR_OPCODE_H
+#define NPRAL_IR_OPCODE_H
+
+#include <string_view>
+
+namespace npral {
+
+enum class Opcode {
+  // Data movement.
+  Imm,  ///< rd = imm
+  Mov,  ///< rd = rs
+
+  // Three-address ALU.
+  Add,
+  Sub,
+  And,
+  Or,
+  Xor,
+  Shl,
+  Shr,
+  Mul,
+
+  // Two-address ALU with immediate.
+  AddI,
+  SubI,
+  AndI,
+  OrI,
+  XorI,
+  ShlI,
+  ShrI,
+  MulI,
+
+  // Unary ALU.
+  Not, ///< rd = ~rs
+  Neg, ///< rd = -rs
+
+  // Memory (context-switching).
+  Load,   ///< rd = mem[rs + imm]
+  Store,  ///< mem[rs + imm] = rv
+  LoadA,  ///< rd = mem[imm]    (absolute; used by spill code)
+  StoreA, ///< mem[imm] = rv    (absolute; used by spill code)
+
+  // Thread control.
+  Ctx,    ///< voluntary context switch
+  Signal, ///< post one token on channel #imm (1 cycle, yields)
+  Wait,   ///< consume one token from channel #imm; blocks until available
+
+  // Control flow.
+  Br,   ///< unconditional branch to Target
+  BrEq, ///< if rs1 == rs2 goto Target
+  BrNe,
+  BrLt, ///< signed <
+  BrGe, ///< signed >=
+  BrZ,  ///< if rs == 0 goto Target
+  BrNz,
+
+  // Functions (assembler level only: the machine has no call stack, so
+  // `call` sites are expanded inline by the front end; neither opcode may
+  // survive into a verified program).
+  Call, ///< expand function #Target-name inline (front-end placeholder)
+  Ret,  ///< return from a function body (replaced by a branch on expansion)
+
+  // Program structure.
+  Halt,    ///< thread finished
+  LoopEnd, ///< zero-cost marker: one main-loop iteration completed
+  Nop,
+};
+
+/// How an opcode's operands are laid out in Instruction fields.
+enum class OperandShape {
+  None,       ///< ctx, halt, loopend, nop
+  DefImm,     ///< imm rd, #k
+  DefUse,     ///< mov/not/neg rd, rs
+  DefUseUse,  ///< add rd, rs1, rs2
+  DefUseImm,  ///< addi rd, rs, #k;  load rd, [rs + #k]
+  UseUseImm,  ///< store [rs + #k], rv
+  UseImm,     ///< storea #k, rv
+  ImmOnly,    ///< signal #k / wait #k
+  Target,     ///< br label
+  UseUseTarget, ///< beq rs1, rs2, label
+  UseTarget,    ///< bz rs, label
+};
+
+/// Static per-opcode properties.
+struct OpcodeInfo {
+  std::string_view Mnemonic;
+  OperandShape Shape;
+  bool CausesCtxSwitch;
+  bool IsBranch;     ///< transfers control to an explicit target
+  bool IsTerminator; ///< ends the block with no fallthrough (br, halt)
+};
+
+/// Table lookup for \p Op; total over the enum.
+const OpcodeInfo &getOpcodeInfo(Opcode Op);
+
+/// Reverse lookup from mnemonic; returns true and sets \p Op on success.
+bool parseOpcode(std::string_view Mnemonic, Opcode &Op);
+
+/// Number of opcodes (for iteration in tests).
+int getNumOpcodes();
+
+} // namespace npral
+
+#endif // NPRAL_IR_OPCODE_H

@@ -1,0 +1,140 @@
+//===- Program.cpp --------------------------------------------------------===//
+
+#include "ir/Program.h"
+
+#include <cassert>
+
+using namespace npral;
+
+int Program::addBlock(std::string Name) {
+  int Id = getNumBlocks();
+  BasicBlock BB;
+  BB.Id = Id;
+  BB.Name = Name.empty() ? "bb" + std::to_string(Id) : std::move(Name);
+  Blocks.push_back(std::move(BB));
+  return Id;
+}
+
+Reg Program::addReg(std::string Name) {
+  Reg R = NumRegs++;
+  if (!Name.empty()) {
+    RegNames.resize(static_cast<size_t>(NumRegs));
+    RegNames[static_cast<size_t>(R)] = std::move(Name);
+  }
+  return R;
+}
+
+std::string Program::getRegName(Reg R) const {
+  if (R == NoReg)
+    return "<none>";
+  if (static_cast<size_t>(R) < RegNames.size() &&
+      !RegNames[static_cast<size_t>(R)].empty())
+    return RegNames[static_cast<size_t>(R)];
+  return (IsPhysical ? "p" : "r") + std::to_string(R);
+}
+
+std::vector<int> Program::successors(int BlockId) const {
+  const BasicBlock &BB = block(BlockId);
+  std::vector<int> Succs;
+  auto addUnique = [&](int S) {
+    for (int Existing : Succs)
+      if (Existing == S)
+        return;
+    Succs.push_back(S);
+  };
+  if (!BB.Instrs.empty()) {
+    const Instruction &Last = BB.Instrs.back();
+    if (Last.Op == Opcode::Br) {
+      // A conditional branch may sit just before an unconditional one (the
+      // "cond-br + br" pattern the printer emits for non-layout
+      // fallthrough); the conditional target comes first.
+      if (BB.Instrs.size() >= 2) {
+        const Instruction &Prev = BB.Instrs[BB.Instrs.size() - 2];
+        if (Prev.isBranch() && Prev.Op != Opcode::Br)
+          addUnique(Prev.Target);
+      }
+      addUnique(Last.Target);
+      return Succs;
+    }
+    if (Last.Op == Opcode::Halt)
+      return Succs;
+    if (Last.isBranch()) {
+      addUnique(Last.Target);
+      if (BB.FallThrough != NoBlock)
+        addUnique(BB.FallThrough);
+      return Succs;
+    }
+  }
+  if (BB.FallThrough != NoBlock)
+    Succs.push_back(BB.FallThrough);
+  return Succs;
+}
+
+std::vector<std::vector<int>> Program::computePredecessors() const {
+  std::vector<std::vector<int>> Preds(Blocks.size());
+  for (int B = 0; B < getNumBlocks(); ++B)
+    for (int S : successors(B))
+      Preds[static_cast<size_t>(S)].push_back(B);
+  return Preds;
+}
+
+std::vector<int> Program::computeRPO() const {
+  std::vector<int> PostOrder;
+  std::vector<char> Visited(Blocks.size(), 0);
+
+  // Iterative DFS producing post order.
+  struct Frame {
+    int Block;
+    std::vector<int> Succs;
+    size_t Next;
+  };
+  std::vector<Frame> Stack;
+  auto push = [&](int B) {
+    Visited[static_cast<size_t>(B)] = 1;
+    Stack.push_back({B, successors(B), 0});
+  };
+  if (!Blocks.empty())
+    push(getEntryBlock());
+  while (!Stack.empty()) {
+    Frame &F = Stack.back();
+    if (F.Next < F.Succs.size()) {
+      int S = F.Succs[F.Next++];
+      if (!Visited[static_cast<size_t>(S)])
+        push(S);
+      continue;
+    }
+    PostOrder.push_back(F.Block);
+    Stack.pop_back();
+  }
+
+  std::vector<int> RPO(PostOrder.rbegin(), PostOrder.rend());
+  for (int B = 0; B < getNumBlocks(); ++B)
+    if (!Visited[static_cast<size_t>(B)])
+      RPO.push_back(B);
+  return RPO;
+}
+
+int Program::countInstructions() const {
+  int N = 0;
+  for (const BasicBlock &BB : Blocks)
+    N += static_cast<int>(BB.Instrs.size());
+  return N;
+}
+
+int Program::countCtxInstructions() const {
+  int N = 0;
+  for (const BasicBlock &BB : Blocks)
+    for (const Instruction &I : BB.Instrs)
+      if (I.causesCtxSwitch())
+        ++N;
+  return N;
+}
+
+int Program::countMoves() const {
+  int N = 0;
+  for (const BasicBlock &BB : Blocks)
+    for (const Instruction &I : BB.Instrs)
+      if (I.Op == Opcode::Mov)
+        ++N;
+  return N;
+}

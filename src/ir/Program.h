@@ -1,0 +1,109 @@
+//===- Program.h - Thread program and basic blocks --------------*- C++ -*-===//
+///
+/// \file
+/// A Program is the code that one hardware thread executes: a CFG of basic
+/// blocks over a dense virtual (or, after allocation, physical) register
+/// space. A MultiThreadProgram is the assignment of Nthd Programs to one
+/// micro-engine, the unit the inter-thread allocator works on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_IR_PROGRAM_H
+#define NPRAL_IR_PROGRAM_H
+
+#include "ir/Instruction.h"
+
+#include <string>
+#include <vector>
+
+namespace npral {
+
+/// A basic block: straight-line instructions plus explicit control flow.
+///
+/// Successor rules:
+///  * last instruction `br L`    -> successors {L};
+///  * last instruction `halt`    -> no successors;
+///  * last instruction cond-br   -> successors {Target, FallThrough};
+///  * otherwise                  -> successors {FallThrough}.
+struct BasicBlock {
+  int Id = NoBlock;
+  std::string Name;
+  std::vector<Instruction> Instrs;
+  /// Block executed when control falls off the end (NoBlock for br/halt
+  /// terminated blocks).
+  int FallThrough = NoBlock;
+
+  bool empty() const { return Instrs.empty(); }
+  size_t size() const { return Instrs.size(); }
+};
+
+/// One thread's code.
+class Program {
+public:
+  std::string Name;
+  std::vector<BasicBlock> Blocks;
+  /// Number of registers referenced (virtual before allocation, physical
+  /// after). Register IDs are dense in [0, NumRegs).
+  int NumRegs = 0;
+  /// Optional debug names per register ID (may be shorter than NumRegs).
+  std::vector<std::string> RegNames;
+  /// True once registers denote physical registers.
+  bool IsPhysical = false;
+  /// Registers live at program entry (e.g. packet buffer pointer handed to
+  /// the thread). These behave as if defined at a virtual entry point.
+  std::vector<Reg> EntryLiveRegs;
+
+  /// Entry block ID. Usually 0 (the first parsed/built block); transforms
+  /// that need setup code executed exactly once (e.g. baseline spill stores
+  /// for entry-live registers) may prepend a dedicated entry block and
+  /// repoint this.
+  int EntryBlock = 0;
+
+  int getEntryBlock() const { return EntryBlock; }
+  int getNumBlocks() const { return static_cast<int>(Blocks.size()); }
+
+  BasicBlock &block(int Id) { return Blocks[static_cast<size_t>(Id)]; }
+  const BasicBlock &block(int Id) const {
+    return Blocks[static_cast<size_t>(Id)];
+  }
+
+  /// Append a new block; returns its ID.
+  int addBlock(std::string Name = std::string());
+
+  /// Allocate a fresh register ID; \p Name is a debug label.
+  Reg addReg(std::string Name = std::string());
+
+  /// Debug name of \p R ("r<N>" when unnamed).
+  std::string getRegName(Reg R) const;
+
+  /// Successor block IDs of \p BlockId under the rules above.
+  std::vector<int> successors(int BlockId) const;
+
+  /// Predecessor lists for all blocks (index = block ID).
+  std::vector<std::vector<int>> computePredecessors() const;
+
+  /// Blocks in reverse post order from the entry block. Unreachable blocks
+  /// are appended after the reachable ones in ID order.
+  std::vector<int> computeRPO() const;
+
+  /// Total instruction count over all blocks.
+  int countInstructions() const;
+
+  /// Number of instructions that cause a context switch.
+  int countCtxInstructions() const;
+
+  /// Number of `mov` instructions (used to report move-insertion overhead).
+  int countMoves() const;
+};
+
+/// The set of threads sharing one micro-engine (processing unit).
+struct MultiThreadProgram {
+  std::string Name;
+  std::vector<Program> Threads;
+
+  int getNumThreads() const { return static_cast<int>(Threads.size()); }
+};
+
+} // namespace npral
+
+#endif // NPRAL_IR_PROGRAM_H

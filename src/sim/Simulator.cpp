@@ -1,0 +1,410 @@
+//===- Simulator.cpp ------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace npral;
+
+Simulator::Simulator(const MultiThreadProgram &MTP, SimConfig Config)
+    : MTP(MTP), Config(Config) {
+  Memory.assign(Config.MemWords, 0);
+  Channels.assign(static_cast<size_t>(Config.NumChannels), 0);
+  const int Nthd = MTP.getNumThreads();
+  Stats.assign(static_cast<size_t>(Nthd), ThreadStats());
+  Threads.assign(static_cast<size_t>(Nthd), ThreadState());
+
+  UseSharedFile = true;
+  for (const Program &P : MTP.Threads)
+    if (!P.IsPhysical)
+      UseSharedFile = false;
+
+  if (UseSharedFile) {
+    int FileSize = 0;
+    for (const Program &P : MTP.Threads)
+      FileSize = std::max(FileSize, P.NumRegs);
+    SharedRegs.assign(static_cast<size_t>(FileSize), 0);
+  } else {
+    PrivateRegs.resize(static_cast<size_t>(Nthd));
+    for (int T = 0; T < Nthd; ++T)
+      PrivateRegs[static_cast<size_t>(T)].assign(
+          static_cast<size_t>(MTP.Threads[static_cast<size_t>(T)].NumRegs), 0);
+  }
+
+  for (int T = 0; T < Nthd; ++T) {
+    ThreadState &TS = Threads[static_cast<size_t>(T)];
+    TS.Prog = &MTP.Threads[static_cast<size_t>(T)];
+    TS.Block = TS.Prog->getEntryBlock();
+    TS.Index = 0;
+    TS.Regs = UseSharedFile ? &SharedRegs : &PrivateRegs[static_cast<size_t>(T)];
+  }
+}
+
+void Simulator::setEntryValues(int T, const std::vector<uint32_t> &Values) {
+  ThreadState &TS = Threads[static_cast<size_t>(T)];
+  const std::vector<Reg> &EntryRegs = TS.Prog->EntryLiveRegs;
+  assert(Values.size() == EntryRegs.size() &&
+         "entry value count does not match EntryLiveRegs");
+  for (size_t I = 0; I < Values.size(); ++I)
+    (*TS.Regs)[static_cast<size_t>(EntryRegs[I])] = Values[I];
+}
+
+void Simulator::writeMemory(uint32_t Base, const std::vector<uint32_t> &Words) {
+  assert(static_cast<size_t>(Base) + Words.size() <= Memory.size() &&
+         "memory initialisation out of range");
+  std::copy(Words.begin(), Words.end(), Memory.begin() + Base);
+}
+
+uint32_t Simulator::readMemoryWord(uint32_t Address) const {
+  assert(Address < Memory.size() && "memory read out of range");
+  return Memory[Address];
+}
+
+uint64_t Simulator::hashMemoryRange(uint32_t Base, uint32_t Len) const {
+  assert(static_cast<size_t>(Base) + Len <= Memory.size() && "range oob");
+  uint64_t Hash = 1469598103934665603ULL;
+  for (uint32_t I = 0; I < Len; ++I) {
+    uint32_t W = Memory[Base + I];
+    for (int Byte = 0; Byte < 4; ++Byte) {
+      Hash ^= (W >> (8 * Byte)) & 0xFF;
+      Hash *= 1099511628211ULL;
+    }
+  }
+  return Hash;
+}
+
+bool Simulator::step(int T, int64_t &Clock, std::string &Error) {
+  ThreadState &TS = Threads[static_cast<size_t>(T)];
+  ThreadStats &TSt = Stats[static_cast<size_t>(T)];
+  std::vector<uint32_t> &R = *TS.Regs;
+  const Program &P = *TS.Prog;
+
+  if (TS.HasPendingWrite) {
+    R[static_cast<size_t>(TS.PendingReg)] = TS.PendingValue;
+    TS.HasPendingWrite = false;
+  }
+
+  auto oob = [&](uint64_t Address) {
+    Error = formatString("thread %d: memory access out of range (0x%llx)", T,
+                         static_cast<unsigned long long>(Address));
+    return false;
+  };
+
+  for (;;) {
+    if (Clock >= Config.MaxCycles) {
+      Error = "cycle budget exhausted";
+      return false;
+    }
+    const BasicBlock &BB = P.block(TS.Block);
+    if (TS.Index >= static_cast<int>(BB.Instrs.size())) {
+      if (BB.FallThrough == NoBlock) {
+        Error = formatString("thread %d: fell off block '%s'", T,
+                             BB.Name.c_str());
+        return false;
+      }
+      TS.Block = BB.FallThrough;
+      TS.Index = 0;
+      continue;
+    }
+    const Instruction &I = BB.Instrs[static_cast<size_t>(TS.Index)];
+    ++TS.Index;
+    ++TSt.InstrsExecuted;
+
+    auto u32 = [&](Reg Slot) { return R[static_cast<size_t>(Slot)]; };
+    auto setReg = [&](Reg Slot, uint32_t V) {
+      R[static_cast<size_t>(Slot)] = V;
+    };
+    auto branchTo = [&](int Target) {
+      TS.Block = Target;
+      TS.Index = 0;
+    };
+
+    switch (I.Op) {
+    case Opcode::Imm:
+      setReg(I.Def, static_cast<uint32_t>(I.Imm));
+      break;
+    case Opcode::Mov:
+      setReg(I.Def, u32(I.Use1));
+      break;
+    case Opcode::Add:
+      setReg(I.Def, u32(I.Use1) + u32(I.Use2));
+      break;
+    case Opcode::Sub:
+      setReg(I.Def, u32(I.Use1) - u32(I.Use2));
+      break;
+    case Opcode::And:
+      setReg(I.Def, u32(I.Use1) & u32(I.Use2));
+      break;
+    case Opcode::Or:
+      setReg(I.Def, u32(I.Use1) | u32(I.Use2));
+      break;
+    case Opcode::Xor:
+      setReg(I.Def, u32(I.Use1) ^ u32(I.Use2));
+      break;
+    case Opcode::Shl:
+      setReg(I.Def, u32(I.Use1) << (u32(I.Use2) & 31));
+      break;
+    case Opcode::Shr:
+      setReg(I.Def, u32(I.Use1) >> (u32(I.Use2) & 31));
+      break;
+    case Opcode::Mul:
+      setReg(I.Def, u32(I.Use1) * u32(I.Use2));
+      break;
+    case Opcode::AddI:
+      setReg(I.Def, u32(I.Use1) + static_cast<uint32_t>(I.Imm));
+      break;
+    case Opcode::SubI:
+      setReg(I.Def, u32(I.Use1) - static_cast<uint32_t>(I.Imm));
+      break;
+    case Opcode::AndI:
+      setReg(I.Def, u32(I.Use1) & static_cast<uint32_t>(I.Imm));
+      break;
+    case Opcode::OrI:
+      setReg(I.Def, u32(I.Use1) | static_cast<uint32_t>(I.Imm));
+      break;
+    case Opcode::XorI:
+      setReg(I.Def, u32(I.Use1) ^ static_cast<uint32_t>(I.Imm));
+      break;
+    case Opcode::ShlI:
+      setReg(I.Def, u32(I.Use1) << (static_cast<uint32_t>(I.Imm) & 31));
+      break;
+    case Opcode::ShrI:
+      setReg(I.Def, u32(I.Use1) >> (static_cast<uint32_t>(I.Imm) & 31));
+      break;
+    case Opcode::MulI:
+      setReg(I.Def, u32(I.Use1) * static_cast<uint32_t>(I.Imm));
+      break;
+    case Opcode::Not:
+      setReg(I.Def, ~u32(I.Use1));
+      break;
+    case Opcode::Neg:
+      setReg(I.Def, 0u - u32(I.Use1));
+      break;
+
+    case Opcode::Load:
+    case Opcode::LoadA: {
+      uint64_t Address =
+          I.Op == Opcode::Load
+              ? static_cast<uint64_t>(u32(I.Use1)) +
+                    static_cast<uint64_t>(static_cast<int64_t>(I.Imm))
+              : static_cast<uint64_t>(I.Imm);
+      if (Address >= Memory.size())
+        return oob(Address);
+      TS.HasPendingWrite = true;
+      TS.PendingReg = I.Def;
+      TS.PendingValue = Memory[static_cast<size_t>(Address)];
+      ++Clock;
+      ++TSt.MemOps;
+      ++TSt.CtxEvents;
+      TS.ReadyAt = Clock + Config.MemLatency;
+      return true;
+    }
+    case Opcode::Store:
+    case Opcode::StoreA: {
+      uint64_t Address =
+          I.Op == Opcode::Store
+              ? static_cast<uint64_t>(u32(I.Use1)) +
+                    static_cast<uint64_t>(static_cast<int64_t>(I.Imm))
+              : static_cast<uint64_t>(I.Imm);
+      if (Address >= Memory.size())
+        return oob(Address);
+      Reg Value = I.Op == Opcode::Store ? I.Use2 : I.Use1;
+      Memory[static_cast<size_t>(Address)] = u32(Value);
+      ++Clock;
+      ++TSt.MemOps;
+      ++TSt.CtxEvents;
+      TS.ReadyAt = Clock + Config.MemLatency;
+      return true;
+    }
+
+    case Opcode::Ctx:
+      ++Clock;
+      ++TSt.CtxEvents;
+      TS.ReadyAt = Clock;
+      return true;
+
+    case Opcode::Signal: {
+      if (I.Imm < 0 || I.Imm >= Config.NumChannels) {
+        Error = formatString("thread %d: signal channel %lld out of range", T,
+                             static_cast<long long>(I.Imm));
+        return false;
+      }
+      ++Channels[static_cast<size_t>(I.Imm)];
+      ++Clock;
+      ++TSt.CtxEvents;
+      TS.ReadyAt = Clock;
+      return true;
+    }
+    case Opcode::Wait: {
+      if (I.Imm < 0 || I.Imm >= Config.NumChannels) {
+        Error = formatString("thread %d: wait channel %lld out of range", T,
+                             static_cast<long long>(I.Imm));
+        return false;
+      }
+      ++Clock;
+      ++TSt.CtxEvents;
+      // The token is consumed by the scheduler when it finds the channel
+      // non-empty and wakes this thread.
+      TS.WaitingChannel = static_cast<int>(I.Imm);
+      TS.ReadyAt = Clock;
+      return true;
+    }
+
+    case Opcode::Br:
+      ++Clock;
+      branchTo(I.Target);
+      continue;
+    case Opcode::BrEq:
+      ++Clock;
+      if (u32(I.Use1) == u32(I.Use2))
+        branchTo(I.Target);
+      continue;
+    case Opcode::BrNe:
+      ++Clock;
+      if (u32(I.Use1) != u32(I.Use2))
+        branchTo(I.Target);
+      continue;
+    case Opcode::BrLt:
+      ++Clock;
+      if (static_cast<int32_t>(u32(I.Use1)) <
+          static_cast<int32_t>(u32(I.Use2)))
+        branchTo(I.Target);
+      continue;
+    case Opcode::BrGe:
+      ++Clock;
+      if (static_cast<int32_t>(u32(I.Use1)) >=
+          static_cast<int32_t>(u32(I.Use2)))
+        branchTo(I.Target);
+      continue;
+    case Opcode::BrZ:
+      ++Clock;
+      if (u32(I.Use1) == 0)
+        branchTo(I.Target);
+      continue;
+    case Opcode::BrNz:
+      ++Clock;
+      if (u32(I.Use1) != 0)
+        branchTo(I.Target);
+      continue;
+
+    case Opcode::Call:
+    case Opcode::Ret:
+      Error = formatString("thread %d: unexpanded call/ret reached the "
+                           "simulator", T);
+      return false;
+
+    case Opcode::Halt:
+      TS.Halted = true;
+      Stats[static_cast<size_t>(T)].Halted = true;
+      return true;
+
+    case Opcode::LoopEnd:
+      ++TSt.Iterations;
+      if (Config.TargetIterations > 0 &&
+          TSt.Iterations == Config.TargetIterations) {
+        TSt.CyclesAtTarget = Clock;
+        if (Config.HaltAtTarget) {
+          TS.Halted = true;
+          TSt.Halted = true;
+        }
+        // Yield (at no cost) so the scheduler can notice that every thread
+        // has reached its target even when this thread never touches
+        // memory.
+        TS.ReadyAt = Clock;
+        return true;
+      }
+      continue;
+
+    case Opcode::Nop:
+      ++Clock;
+      continue;
+    }
+    // Non-control instructions cost one cycle and fall through here.
+    ++Clock;
+  }
+}
+
+SimResult Simulator::run() {
+  SimResult Result;
+  const int Nthd = MTP.getNumThreads();
+  int64_t Clock = 0;
+  int LastThread = -1;
+
+  auto allDone = [&]() {
+    for (int T = 0; T < Nthd; ++T) {
+      const ThreadStats &TSt = Stats[static_cast<size_t>(T)];
+      bool Done = TSt.Halted ||
+                  (Config.TargetIterations > 0 && TSt.CyclesAtTarget >= 0);
+      if (!Done)
+        return false;
+    }
+    return true;
+  };
+
+  std::string Error;
+  while (!allDone()) {
+    if (Clock >= Config.MaxCycles) {
+      Result.FailReason = "cycle budget exhausted";
+      Result.TotalCycles = Clock;
+      Result.Threads = Stats;
+      return Result;
+    }
+    // Round-robin pick of the next ready thread.
+    int Chosen = -1;
+    int64_t EarliestReady = -1;
+    for (int Off = 1; Off <= Nthd; ++Off) {
+      int T = (LastThread + Off) % Nthd;
+      const ThreadState &TS = Threads[static_cast<size_t>(T)];
+      if (TS.Halted)
+        continue;
+      if (TS.WaitingChannel >= 0 &&
+          Channels[static_cast<size_t>(TS.WaitingChannel)] == 0)
+        continue; // blocked on an empty channel
+      if (TS.ReadyAt <= Clock) {
+        Chosen = T;
+        break;
+      }
+      if (EarliestReady < 0 || TS.ReadyAt < EarliestReady)
+        EarliestReady = TS.ReadyAt;
+    }
+    if (Chosen < 0) {
+      if (EarliestReady < 0) {
+        // Every live thread is blocked on an empty channel (or the run
+        // state is corrupt): with no memory op pending nothing can wake
+        // anyone again.
+        Result.FailReason = "deadlock: all runnable threads are waiting on "
+                            "empty channels";
+        Result.TotalCycles = Clock;
+        Result.Threads = Stats;
+        return Result;
+      }
+      Result.IdleCycles += EarliestReady - Clock;
+      Clock = EarliestReady; // CPU idles until a memory op completes.
+      continue;
+    }
+    {
+      ThreadState &TS = Threads[static_cast<size_t>(Chosen)];
+      if (TS.WaitingChannel >= 0) {
+        --Channels[static_cast<size_t>(TS.WaitingChannel)];
+        TS.WaitingChannel = -1;
+      }
+    }
+    if (LastThread >= 0 && Chosen != LastThread)
+      Clock += Config.CtxSwitchPenalty;
+    LastThread = Chosen;
+    if (!step(Chosen, Clock, Error)) {
+      Result.FailReason = Error;
+      Result.TotalCycles = Clock;
+      Result.Threads = Stats;
+      return Result;
+    }
+  }
+
+  Result.Completed = true;
+  Result.TotalCycles = Clock;
+  Result.Threads = Stats;
+  return Result;
+}

@@ -1,0 +1,146 @@
+//===- Simulator.h - IXP-style micro-engine simulator -----------*- C++ -*-===//
+///
+/// \file
+/// A cycle-level simulator of one micro-engine in the paper's machine model
+/// (§1.1/§2):
+///
+///  * Nthd non-preemptive threads share the CPU and (in physical mode) one
+///    register file; a thread yields only at `ctx` or a memory operation.
+///  * ALU/branch/move instructions complete in 1 cycle.
+///  * `load`/`store` block the issuing thread for the full memory latency
+///    (default 20 cycles) and yield the CPU; the scheduler runs another
+///    ready thread meanwhile.
+///  * Switching to a different thread costs CtxSwitchPenalty (default 1)
+///    cycles — only the PC is saved, nothing else.
+///  * A `load`'s destination register is written when the thread *resumes*,
+///    modelling the IXP's transfer registers: while the thread is blocked
+///    the destination GPR still holds its old value, so other threads may
+///    safely use it if it is a shared register.
+///
+/// Threads count main-loop iterations via `loopend` markers; the standard
+/// experiment runs every thread to a target iteration count and reports
+/// cycles/iteration, mirroring the paper's per-iteration cycle counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_SIM_SIMULATOR_H
+#define NPRAL_SIM_SIMULATOR_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace npral {
+
+struct SimConfig {
+  /// Cycles until a memory operation completes (paper: ~20).
+  int MemLatency = 20;
+  /// Extra cycles charged when the CPU switches to a different thread.
+  int CtxSwitchPenalty = 1;
+  /// Size of the word-addressed memory.
+  uint32_t MemWords = 1u << 20;
+  /// Abort the run after this many cycles.
+  int64_t MaxCycles = 200'000'000;
+  /// Number of inter-thread signal channels (`signal`/`wait` operands must
+  /// be below this).
+  int NumChannels = 16;
+  /// Stop once every thread has completed this many `loopend` iterations
+  /// (threads keep running while others catch up). 0 = run until all halt.
+  int64_t TargetIterations = 0;
+  /// Halt each thread exactly at its target iteration instead of letting it
+  /// keep running while other threads catch up. Timing runs want the
+  /// steady-state contention of false; semantic-equivalence runs want true,
+  /// so the final memory image is independent of thread interleaving.
+  bool HaltAtTarget = false;
+};
+
+struct ThreadStats {
+  int64_t Iterations = 0;
+  /// Cycle at which the target iteration count was reached (-1 if never).
+  int64_t CyclesAtTarget = -1;
+  int64_t InstrsExecuted = 0;
+  /// Times this thread yielded the CPU (ctx + memory ops).
+  int64_t CtxEvents = 0;
+  int64_t MemOps = 0;
+  bool Halted = false;
+
+  /// Average cycles per main-loop iteration up to the target.
+  double cyclesPerIteration(int64_t Target) const {
+    if (Target <= 0 || CyclesAtTarget < 0)
+      return 0.0;
+    return static_cast<double>(CyclesAtTarget) / static_cast<double>(Target);
+  }
+};
+
+struct SimResult {
+  bool Completed = false;
+  std::string FailReason;
+  int64_t TotalCycles = 0;
+  /// Cycles during which no thread was runnable (all blocked on memory).
+  int64_t IdleCycles = 0;
+  std::vector<ThreadStats> Threads;
+
+  double cpuUtilisation() const {
+    return TotalCycles > 0
+               ? 1.0 - static_cast<double>(IdleCycles) / TotalCycles
+               : 0.0;
+  }
+};
+
+class Simulator {
+public:
+  /// \p MTP's threads must verify. Physical threads share one register
+  /// file; virtual threads each get a private file (reference mode).
+  Simulator(const MultiThreadProgram &MTP, SimConfig Config);
+
+  /// Provide initial values for thread \p T's entry-live registers, aligned
+  /// with its Program::EntryLiveRegs.
+  void setEntryValues(int T, const std::vector<uint32_t> &Values);
+
+  /// Bulk-initialise memory starting at word address \p Base.
+  void writeMemory(uint32_t Base, const std::vector<uint32_t> &Words);
+
+  SimResult run();
+
+  uint32_t readMemoryWord(uint32_t Address) const;
+  /// FNV-1a hash of [Base, Base+Len) — used for output equivalence checks.
+  uint64_t hashMemoryRange(uint32_t Base, uint32_t Len) const;
+
+private:
+  struct ThreadState {
+    const Program *Prog = nullptr;
+    int Block = 0;
+    int Index = 0;
+    /// Cycle at which the thread becomes runnable again.
+    int64_t ReadyAt = 0;
+    /// Channel this thread is blocked on (-1 when not waiting).
+    int WaitingChannel = -1;
+    bool Halted = false;
+    /// Pending transfer-register write applied on resume.
+    bool HasPendingWrite = false;
+    Reg PendingReg = NoReg;
+    uint32_t PendingValue = 0;
+    /// Register file: shared (all threads alias one) or private.
+    std::vector<uint32_t> *Regs = nullptr;
+  };
+
+  const MultiThreadProgram &MTP;
+  SimConfig Config;
+  std::vector<uint32_t> Memory;
+  std::vector<uint32_t> SharedRegs;
+  std::vector<std::vector<uint32_t>> PrivateRegs;
+  std::vector<ThreadState> Threads;
+  std::vector<ThreadStats> Stats;
+  std::vector<int64_t> Channels;
+  bool UseSharedFile = false;
+
+  /// Run thread \p T from \p Clock until it yields/halts; returns false on
+  /// a simulation error (\p Error set).
+  bool step(int T, int64_t &Clock, std::string &Error);
+};
+
+} // namespace npral
+
+#endif // NPRAL_SIM_SIMULATOR_H

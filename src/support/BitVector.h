@@ -1,0 +1,138 @@
+//===- BitVector.h - Dense fixed-size bit vector ----------------*- C++ -*-===//
+///
+/// \file
+/// A dense bit vector with set-algebra operations, in the spirit of
+/// llvm::BitVector. Liveness sets, interference adjacency rows and NSR
+/// membership all use this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_SUPPORT_BITVECTOR_H
+#define NPRAL_SUPPORT_BITVECTOR_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace npral {
+
+class BitVector {
+public:
+  BitVector() = default;
+  explicit BitVector(int Size) { resize(Size); }
+
+  int size() const { return NumBits; }
+
+  /// Grow or shrink to \p Size bits, preserving existing bits (new bits are
+  /// zero; bits beyond a smaller size are dropped).
+  void resize(int Size) {
+    assert(Size >= 0 && "negative size");
+    NumBits = Size;
+    Words.resize(static_cast<size_t>((Size + 63) / 64), 0);
+    // Mask stray bits past the new size so count()/any() stay exact.
+    if (!Words.empty() && NumBits % 64 != 0)
+      Words.back() &= (uint64_t(1) << (NumBits % 64)) - 1;
+  }
+
+  void set(int I) {
+    assert(I >= 0 && I < NumBits && "bit out of range");
+    Words[static_cast<size_t>(I) / 64] |= uint64_t(1) << (I % 64);
+  }
+
+  void reset(int I) {
+    assert(I >= 0 && I < NumBits && "bit out of range");
+    Words[static_cast<size_t>(I) / 64] &= ~(uint64_t(1) << (I % 64));
+  }
+
+  bool test(int I) const {
+    assert(I >= 0 && I < NumBits && "bit out of range");
+    return (Words[static_cast<size_t>(I) / 64] >> (I % 64)) & 1;
+  }
+
+  void clear() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  bool any() const {
+    for (uint64_t W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+
+  bool none() const { return !any(); }
+
+  int count() const {
+    int N = 0;
+    for (uint64_t W : Words)
+      N += __builtin_popcountll(W);
+    return N;
+  }
+
+  /// this |= Other. Returns true if any bit changed.
+  bool unionWith(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    bool Changed = false;
+    for (size_t I = 0; I < Words.size(); ++I) {
+      uint64_t New = Words[I] | Other.Words[I];
+      Changed |= New != Words[I];
+      Words[I] = New;
+    }
+    return Changed;
+  }
+
+  /// this &= Other.
+  void intersectWith(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (size_t I = 0; I < Words.size(); ++I)
+      Words[I] &= Other.Words[I];
+  }
+
+  /// this &= ~Other.
+  void subtract(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (size_t I = 0; I < Words.size(); ++I)
+      Words[I] &= ~Other.Words[I];
+  }
+
+  bool intersects(const BitVector &Other) const {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (size_t I = 0; I < Words.size(); ++I)
+      if (Words[I] & Other.Words[I])
+        return true;
+    return false;
+  }
+
+  bool operator==(const BitVector &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+
+  /// Call \p Fn for every set bit, in ascending order.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (size_t WI = 0; WI < Words.size(); ++WI) {
+      uint64_t W = Words[WI];
+      while (W) {
+        int Bit = __builtin_ctzll(W);
+        Fn(static_cast<int>(WI * 64 + static_cast<size_t>(Bit)));
+        W &= W - 1;
+      }
+    }
+  }
+
+  /// Set bits as a vector, ascending.
+  std::vector<int> toVector() const {
+    std::vector<int> Out;
+    forEach([&](int I) { Out.push_back(I); });
+    return Out;
+  }
+
+private:
+  int NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace npral
+
+#endif // NPRAL_SUPPORT_BITVECTOR_H

@@ -1,0 +1,35 @@
+//===- Diagnostics.cpp ----------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace npral;
+
+std::string SourceLoc::str() const {
+  if (!isValid())
+    return "<unknown loc>";
+  return "line " + std::to_string(Line) + ", column " + std::to_string(Column);
+}
+
+Status Status::error(std::string Message, SourceLoc Loc) {
+  Status S;
+  S.Failed = true;
+  S.Message = std::move(Message);
+  S.Loc = Loc;
+  return S;
+}
+
+std::string Status::str() const {
+  if (ok())
+    return "success";
+  if (!Loc.isValid())
+    return Message;
+  return Loc.str() + ": " + Message;
+}
+
+void npral::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "npral fatal error: %s\n", Message.c_str());
+  std::abort();
+}

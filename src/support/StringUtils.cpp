@@ -1,0 +1,100 @@
+//===- StringUtils.cpp ----------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace npral;
+
+std::string_view npral::trim(std::string_view S) {
+  size_t Begin = 0;
+  while (Begin < S.size() && std::isspace(static_cast<unsigned char>(S[Begin])))
+    ++Begin;
+  size_t End = S.size();
+  while (End > Begin && std::isspace(static_cast<unsigned char>(S[End - 1])))
+    --End;
+  return S.substr(Begin, End - Begin);
+}
+
+std::vector<std::string_view> npral::split(std::string_view S, char Sep) {
+  std::vector<std::string_view> Parts;
+  size_t Start = 0;
+  for (size_t I = 0; I <= S.size(); ++I) {
+    if (I == S.size() || S[I] == Sep) {
+      Parts.push_back(S.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Parts;
+}
+
+std::optional<int64_t> npral::parseInteger(std::string_view S) {
+  S = trim(S);
+  if (S.empty())
+    return std::nullopt;
+
+  bool Negative = false;
+  if (S.front() == '-' || S.front() == '+') {
+    Negative = S.front() == '-';
+    S.remove_prefix(1);
+    if (S.empty())
+      return std::nullopt;
+  }
+
+  int Base = 10;
+  if (S.size() > 2 && S[0] == '0' && (S[1] == 'x' || S[1] == 'X')) {
+    Base = 16;
+    S.remove_prefix(2);
+  }
+
+  int64_t Value = 0;
+  for (char C : S) {
+    int Digit;
+    if (C >= '0' && C <= '9')
+      Digit = C - '0';
+    else if (Base == 16 && C >= 'a' && C <= 'f')
+      Digit = C - 'a' + 10;
+    else if (Base == 16 && C >= 'A' && C <= 'F')
+      Digit = C - 'A' + 10;
+    else
+      return std::nullopt;
+    Value = Value * Base + Digit;
+  }
+  return Negative ? -Value : Value;
+}
+
+bool npral::isIdentifier(std::string_view S) {
+  if (S.empty())
+    return false;
+  auto isIdentStart = [](char C) {
+    return std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '.';
+  };
+  auto isIdentCont = [&](char C) {
+    return isIdentStart(C) || std::isdigit(static_cast<unsigned char>(C));
+  };
+  if (!isIdentStart(S.front()))
+    return false;
+  for (char C : S.substr(1))
+    if (!isIdentCont(C))
+      return false;
+  return true;
+}
+
+std::string npral::formatString(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Result;
+  if (Needed > 0) {
+    Result.resize(static_cast<size_t>(Needed));
+    std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  }
+  va_end(ArgsCopy);
+  return Result;
+}

@@ -1,0 +1,36 @@
+//===- StringUtils.h - Small string helpers ---------------------*- C++ -*-===//
+///
+/// \file
+/// String helpers used by the assembler front end and the printers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_SUPPORT_STRINGUTILS_H
+#define NPRAL_SUPPORT_STRINGUTILS_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace npral {
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view S);
+
+/// Split on a separator character, keeping empty fields.
+std::vector<std::string_view> split(std::string_view S, char Sep);
+
+/// Parse a decimal or 0x-prefixed integer; std::nullopt on malformed input.
+std::optional<int64_t> parseInteger(std::string_view S);
+
+/// True if \p S is a valid identifier: [A-Za-z_.][A-Za-z0-9_.]*.
+bool isIdentifier(std::string_view S);
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace npral
+
+#endif // NPRAL_SUPPORT_STRINGUTILS_H

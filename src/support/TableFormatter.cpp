@@ -1,0 +1,85 @@
+//===- TableFormatter.cpp -------------------------------------------------===//
+
+#include "support/TableFormatter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+using namespace npral;
+
+TableFormatter::TableFormatter(std::vector<std::string> Header)
+    : Header(std::move(Header)) {}
+
+TableFormatter &TableFormatter::row() {
+  Rows.emplace_back();
+  return *this;
+}
+
+TableFormatter &TableFormatter::cell(const std::string &Text) {
+  assert(!Rows.empty() && "cell() before row()");
+  Rows.back().push_back(Text);
+  return *this;
+}
+
+TableFormatter &TableFormatter::cell(long long Value) {
+  return cell(std::to_string(Value));
+}
+
+TableFormatter &TableFormatter::cell(unsigned long long Value) {
+  return cell(std::to_string(Value));
+}
+
+TableFormatter &TableFormatter::cell(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return cell(std::string(Buf));
+}
+
+TableFormatter &TableFormatter::percentCell(double Fraction, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%+.*f%%", Decimals, Fraction * 100.0);
+  return cell(std::string(Buf));
+}
+
+void TableFormatter::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size() && I < Widths.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      const std::string &Cell = I < Row.size() ? Row[I] : std::string();
+      OS << Cell << std::string(Widths[I] - Cell.size(), ' ');
+      if (I + 1 != Widths.size())
+        OS << "  ";
+    }
+    OS << '\n';
+  };
+
+  printRow(Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W;
+  OS << std::string(Total + 2 * (Widths.empty() ? 0 : Widths.size() - 1), '-')
+     << '\n';
+  for (const auto &Row : Rows)
+    printRow(Row);
+}
+
+void TableFormatter::printCsv(std::ostream &OS) const {
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I)
+        OS << ',';
+      OS << Row[I];
+    }
+    OS << '\n';
+  };
+  printRow(Header);
+  for (const auto &Row : Rows)
+    printRow(Row);
+}

@@ -1,0 +1,123 @@
+//===- Harness.cpp --------------------------------------------------------===//
+
+#include "workloads/Harness.h"
+
+#include <cassert>
+
+using namespace npral;
+
+const std::vector<Scenario> &npral::getAraScenarios() {
+  // Paper §9, Table 3. Scenario 1 is a processing module between receive
+  // and send; scenario 2 a complete module serving one rx and one tx port;
+  // scenario 3 the WRAPS scheduler with background processing.
+  static const std::vector<Scenario> Scenarios = {
+      {"S1_md5_fir2dim", {"md5", "md5", "fir2dim", "fir2dim"}, {0, 1}},
+      {"S2_l2l3fwd_md5", {"l2l3fwd_rx", "l2l3fwd_tx", "md5", "md5"}, {2, 3}},
+      {"S3_wraps_fir_frag", {"wraps_rx", "wraps_tx", "fir2dim", "frag"},
+       {0, 1}},
+  };
+  return Scenarios;
+}
+
+std::vector<Workload> npral::buildScenarioWorkloads(const Scenario &S) {
+  std::vector<Workload> Out;
+  for (int T = 0; T < 4; ++T) {
+    ErrorOr<Workload> W = buildWorkload(S.Kernels[static_cast<size_t>(T)], T);
+    if (!W.ok())
+      reportFatalError("scenario '" + S.Name + "': " + W.status().str());
+    Out.push_back(W.take());
+  }
+  return Out;
+}
+
+MultiThreadProgram
+npral::toMultiThreadProgram(const std::vector<Workload> &Workloads,
+                            const std::string &Name) {
+  MultiThreadProgram MTP;
+  MTP.Name = Name;
+  for (const Workload &W : Workloads)
+    MTP.Threads.push_back(W.Code);
+  return MTP;
+}
+
+SimConfig npral::defaultExperimentConfig() {
+  SimConfig Config;
+  // SDRAM-class latency: packet data lives in DRAM on the IXP1200 (the
+  // paper quotes "at least 20 cycles" for memory; SDRAM is ~40). The
+  // ablation bench sweeps this.
+  Config.MemLatency = 40;
+  Config.CtxSwitchPenalty = 1;
+  Config.TargetIterations = 50;
+  Config.MaxCycles = 500'000'000;
+  return Config;
+}
+
+SimConfig npral::equivalenceConfig() {
+  SimConfig Config = defaultExperimentConfig();
+  Config.TargetIterations = 10;
+  Config.HaltAtTarget = true;
+  return Config;
+}
+
+ScenarioRun
+npral::simulateWithWorkloads(const std::vector<Workload> &Workloads,
+                             const MultiThreadProgram &MTP,
+                             const SimConfig &Config) {
+  assert(Workloads.size() == MTP.Threads.size() && "thread count mismatch");
+  ScenarioRun Run;
+
+  Simulator Sim(MTP, Config);
+  for (size_t T = 0; T < Workloads.size(); ++T) {
+    const Workload &W = Workloads[T];
+    for (const Workload::MemRegion &Region : W.InitMemory)
+      Sim.writeMemory(Region.Base, Region.Words);
+    Sim.setEntryValues(static_cast<int>(T), W.EntryValues);
+  }
+
+  SimResult Result = Sim.run();
+  Run.TotalCycles = Result.TotalCycles;
+  if (!Result.Completed) {
+    Run.FailReason = Result.FailReason;
+    return Run;
+  }
+
+  for (size_t T = 0; T < Workloads.size(); ++T) {
+    const Workload &W = Workloads[T];
+    const ThreadStats &TSt = Result.Threads[T];
+    ThreadRunMetrics M;
+    M.Kernel = W.Name;
+    M.CyclesPerIter = TSt.cyclesPerIteration(Config.TargetIterations);
+    M.Iterations = TSt.Iterations;
+    M.InstrsExecuted = TSt.InstrsExecuted;
+    M.CtxEvents = TSt.CtxEvents;
+    M.MemOps = TSt.MemOps;
+    M.OutputHash = Sim.hashMemoryRange(W.OutputBase, W.OutputLen);
+    Run.Threads.push_back(M);
+  }
+  Run.Success = true;
+  return Run;
+}
+
+BaselineAllocationOutcome
+npral::allocateScenarioBaseline(const std::vector<Workload> &Workloads,
+                                int RegsPerThread) {
+  BaselineAllocationOutcome Outcome;
+  std::vector<Program> Allocated;
+  for (const Workload &W : Workloads) {
+    ChaitinConfig Config;
+    Config.NumColors = RegsPerThread;
+    Config.SpillBase = W.SpillBase;
+    ChaitinResult R = runChaitinAllocator(W.Code, Config);
+    if (!R.Success) {
+      Outcome.FailReason =
+          "baseline failed on '" + W.Name + "': " + R.FailReason;
+      return Outcome;
+    }
+    Allocated.push_back(R.Allocated);
+    Outcome.PerThread.push_back(std::move(R));
+  }
+  Outcome.Physical =
+      materializeBaseline(Allocated, RegsPerThread, "baseline");
+  Outcome.Success = true;
+  return Outcome;
+}

@@ -1,0 +1,92 @@
+//===- Harness.h - End-to-end experiment harness ----------------*- C++ -*-===//
+///
+/// \file
+/// Glue used by the benches, examples and integration tests: build a
+/// 4-thread scenario from workload names, allocate it with either the
+/// paper's inter-thread allocator or the spilling baseline, simulate, and
+/// collect per-thread metrics plus output hashes for semantic-equivalence
+/// checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_WORKLOADS_HARNESS_H
+#define NPRAL_WORKLOADS_HARNESS_H
+
+#include "alloc/InterAllocator.h"
+#include "baseline/ChaitinAllocator.h"
+#include "sim/Simulator.h"
+#include "workloads/Workload.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace npral {
+
+/// One ARA scenario: four kernels bound to the four thread slots.
+struct Scenario {
+  std::string Name;
+  std::array<std::string, 4> Kernels;
+  /// Thread indices the paper calls performance critical (for reporting).
+  std::vector<int> CriticalThreads;
+};
+
+/// The paper's three Table-3 scenarios.
+const std::vector<Scenario> &getAraScenarios();
+
+/// Per-thread metrics from one simulated run.
+struct ThreadRunMetrics {
+  std::string Kernel;
+  double CyclesPerIter = 0;
+  int64_t Iterations = 0;
+  int64_t InstrsExecuted = 0;
+  int64_t CtxEvents = 0;
+  int64_t MemOps = 0;
+  uint64_t OutputHash = 0;
+};
+
+struct ScenarioRun {
+  bool Success = false;
+  std::string FailReason;
+  int64_t TotalCycles = 0;
+  std::vector<ThreadRunMetrics> Threads;
+};
+
+/// Instantiate the four workloads of \p S (slot = thread index). Fatal on
+/// unknown kernels (scenarios are compiled in).
+std::vector<Workload> buildScenarioWorkloads(const Scenario &S);
+
+/// Simulate \p MTP with the memory/entry setup of \p Workloads. \p MTP may
+/// be the virtual programs themselves (reference mode) or any allocated
+/// rewrite of them.
+ScenarioRun simulateWithWorkloads(const std::vector<Workload> &Workloads,
+                                  const MultiThreadProgram &MTP,
+                                  const SimConfig &Config);
+
+/// Bundle the workloads' virtual programs into a MultiThreadProgram.
+MultiThreadProgram toMultiThreadProgram(const std::vector<Workload> &Workloads,
+                                        const std::string &Name);
+
+/// Allocate every thread with the spilling baseline (fixed \p RegsPerThread
+/// partition) and materialise the physical program.
+struct BaselineAllocationOutcome {
+  bool Success = false;
+  std::string FailReason;
+  MultiThreadProgram Physical;
+  std::vector<ChaitinResult> PerThread;
+};
+BaselineAllocationOutcome allocateScenarioBaseline(
+    const std::vector<Workload> &Workloads, int RegsPerThread);
+
+/// Default simulation configuration for the paper experiments (steady-state
+/// timing: threads keep running until every thread reaches the target).
+SimConfig defaultExperimentConfig();
+
+/// Configuration for semantic-equivalence runs: every thread halts exactly
+/// at its target iteration, making the final memory image independent of
+/// the thread interleaving (and therefore comparable across allocators).
+SimConfig equivalenceConfig();
+
+} // namespace npral
+
+#endif // NPRAL_WORKLOADS_HARNESS_H

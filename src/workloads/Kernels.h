@@ -1,0 +1,50 @@
+//===- Kernels.h - Individual benchmark builders (internal) -----*- C++ -*-===//
+///
+/// \file
+/// Internal interface between the workload registry and the per-kernel
+/// builders. Each builder produces the kernel instantiated for one memory
+/// layout. Not part of the public API; include Workload.h instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_WORKLOADS_KERNELS_H
+#define NPRAL_WORKLOADS_KERNELS_H
+
+#include "workloads/Workload.h"
+
+namespace npral {
+namespace kernels {
+
+/// Assemble \p AsmText (one `.thread` section) and package it with entry
+/// values and input data. Fatal on assembly errors — kernel sources are
+/// compiled into the binary, so a parse failure is a build bug.
+Workload fromAsm(const std::string &Name, const std::string &AsmText,
+                 std::vector<uint32_t> EntryValues, Workload Partial);
+
+/// Deterministic input packet data for a kernel instance.
+std::vector<uint32_t> makeInputData(const std::string &Name, int Slot,
+                                    size_t Words);
+
+// CommBench-derived kernels.
+Workload buildFrag(const ThreadMemLayout &L, int Slot);
+Workload buildDrr(const ThreadMemLayout &L, int Slot);
+Workload buildCast(const ThreadMemLayout &L, int Slot);
+Workload buildFir2dim(const ThreadMemLayout &L, int Slot);
+
+// NetBench-derived kernels.
+Workload buildMd5(const ThreadMemLayout &L, int Slot);
+Workload buildCrc(const ThreadMemLayout &L, int Slot);
+Workload buildUrl(const ThreadMemLayout &L, int Slot);
+
+// Intel example code.
+Workload buildL2l3fwdRx(const ThreadMemLayout &L, int Slot);
+Workload buildL2l3fwdTx(const ThreadMemLayout &L, int Slot);
+
+// WRAPS scheduler.
+Workload buildWrapsRx(const ThreadMemLayout &L, int Slot);
+Workload buildWrapsTx(const ThreadMemLayout &L, int Slot);
+
+} // namespace kernels
+} // namespace npral
+
+#endif // NPRAL_WORKLOADS_KERNELS_H

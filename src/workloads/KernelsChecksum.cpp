@@ -1,0 +1,270 @@
+//===- KernelsChecksum.cpp - frag, crc, drr -------------------------------===//
+//
+// Reconstructions of the checksum/scheduling CommBench & NetBench kernels.
+// frag follows the paper's own running example (Fig. 4): the IP checksum
+// loop of CommBench "frag", including the programmer-inserted voluntary
+// ctx_switch instructions that avoid monopolising the CPU.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Kernels.h"
+
+using namespace npral;
+using namespace npral::kernels;
+
+Workload kernels::buildFrag(const ThreadMemLayout &L, int Slot) {
+  // IP fragmentation: per packet, checksum the 10-word header (two words
+  // per loop iteration to keep the CTX ratio near the paper's ~10 %),
+  // then emit two fragment descriptors with recomputed checksums.
+  const std::string Asm = R"(
+.thread frag
+.entrylive buf, out, pidx
+main:
+    andi  t0, pidx, 63
+    shli  t0, t0, 4
+    add   paddr, buf, t0
+    imm   sum, 0
+    imm   cnt, 5
+    mov   cur, paddr
+csum:
+    load  w0, [cur+0]
+    load  w1, [cur+1]
+    add   sum, sum, w0
+    shri  f0, sum, 16
+    andi  sum, sum, 0xFFFF
+    add   sum, sum, f0
+    add   sum, sum, w1
+    shri  f0, sum, 16
+    andi  sum, sum, 0xFFFF
+    add   sum, sum, f0
+    addi  cur, cur, 2
+    subi  cnt, cnt, 1
+    bnz   cnt, csum
+    ctx
+    load  id, [paddr+0]
+    load  fo, [paddr+1]
+    load  ln, [paddr+2]
+    ; Fan-out/fan-in: both fragments' header fields are materialised as
+    ; co-live temporaries and folded into two descriptor words before any
+    ; store, so the whole bouquet lives and dies inside one NSR — this is
+    ; the kernel's internal pressure peak.
+    not   csum0, sum
+    andi  csum0, csum0, 0xFFFF
+    andi  frag0, fo, 0x1FFF
+    ori   frag0, frag0, 0x2000
+    shri  half, ln, 1
+    sub   rest, ln, half
+    addi  frag1, frag0, 64
+    andi  frag1, frag1, 0x3FFF
+    add   c1, csum0, half
+    shri  f1, c1, 16
+    andi  c1, c1, 0xFFFF
+    add   c1, c1, f1
+    xor   id1, id, frag1
+    add   tot, half, rest
+    shli  d0, frag0, 16
+    or    d0, d0, csum0
+    xor   d0, d0, id
+    shli  d1, frag1, 16
+    or    d1, d1, c1
+    xor   d1, d1, id1
+    add   d1, d1, tot
+    andi  t2, pidx, 63
+    shli  t2, t2, 2
+    add   oaddr, out, t2
+    store [oaddr+0], id
+    store [oaddr+1], d0
+    store [oaddr+2], d1
+    store [oaddr+3], half
+    ctx
+    addi  pidx, pidx, 1
+    loopend
+    br    main
+)";
+  Workload W;
+  W.InitMemory.push_back({L.InBase, makeInputData("frag", Slot, 1024)});
+  W.OutputBase = L.OutBase;
+  W.OutputLen = 512;
+  W.SpillBase = L.SpillBase;
+  return fromAsm("frag", Asm, {L.InBase, L.OutBase, 0}, std::move(W));
+}
+
+Workload kernels::buildCrc(const ThreadMemLayout &L, int Slot) {
+  // CRC over an 8-word payload per packet; four shift/xor rounds per word,
+  // branch-free (the classic table-less formulation, as used on NPUs that
+  // lack cheap table lookups).
+  const std::string Asm = R"(
+.thread crc
+.entrylive buf, out, pidx
+main:
+    andi  t0, pidx, 127
+    shli  t0, t0, 3
+    add   paddr, buf, t0
+    imm   crc, 0xFFFFFFFF
+    imm   cnt, 8
+    mov   cur, paddr
+word:
+    load  w, [cur+0]
+    xor   crc, crc, w
+    imm   poly, 0xEDB88320
+    andi  b0, crc, 1
+    neg   m0, b0
+    shri  crc, crc, 1
+    and   m0, m0, poly
+    xor   crc, crc, m0
+    andi  b1, crc, 1
+    neg   m1, b1
+    shri  crc, crc, 1
+    and   m1, m1, poly
+    xor   crc, crc, m1
+    andi  b2, crc, 1
+    neg   m2, b2
+    shri  crc, crc, 1
+    and   m2, m2, poly
+    xor   crc, crc, m2
+    andi  b3, crc, 1
+    neg   m3, b3
+    shri  crc, crc, 1
+    and   m3, m3, poly
+    xor   crc, crc, m3
+    addi  cur, cur, 1
+    subi  cnt, cnt, 1
+    bnz   cnt, word
+    not   res, crc
+    andi  t1, pidx, 127
+    store [out+0], res
+    add   oaddr, out, t1
+    store [oaddr+0], res
+    ctx
+    addi  pidx, pidx, 1
+    loopend
+    br    main
+)";
+  Workload W;
+  W.InitMemory.push_back({L.InBase, makeInputData("crc", Slot, 1024)});
+  W.OutputBase = L.OutBase;
+  W.OutputLen = 128;
+  W.SpillBase = L.SpillBase;
+  return fromAsm("crc", Asm, {L.InBase, L.OutBase, 0}, std::move(W));
+}
+
+Workload kernels::buildDrr(const ThreadMemLayout &L, int Slot) {
+  // Deficit round robin over 8 flows. The per-flow deficit counters stay in
+  // registers for the whole scheduling loop (they are live across every
+  // packet load), which is what gives drr its boundary register pressure.
+  // Flow selection is a branch tree because the machine has no indexed
+  // register access.
+  const std::string Asm = R"(
+.thread drr
+.entrylive buf, out, pidx
+main:
+    imm   d0, 0
+    imm   d1, 0
+    imm   d2, 0
+    imm   d3, 0
+    imm   d4, 0
+    imm   d5, 0
+    imm   d6, 0
+    imm   d7, 0
+    imm   quantum, 500
+    imm   burst, 16
+pkt:
+    andi  t0, pidx, 255
+    shli  t0, t0, 1
+    add   paddr, buf, t0
+    load  hdr, [paddr+0]
+    load  len, [paddr+1]
+    andi  len, len, 1023
+    andi  q, hdr, 7
+    andi  t1, q, 4
+    bnz   t1, hi4
+    andi  t2, q, 2
+    bnz   t2, q23
+    andi  t3, q, 1
+    bnz   t3, q1
+    add   d0, d0, quantum
+    sub   d0, d0, len
+    mov   sel, d0
+    br    emit
+q1:
+    add   d1, d1, quantum
+    sub   d1, d1, len
+    mov   sel, d1
+    br    emit
+q23:
+    andi  t3, q, 1
+    bnz   t3, q3
+    add   d2, d2, quantum
+    sub   d2, d2, len
+    mov   sel, d2
+    br    emit
+q3:
+    add   d3, d3, quantum
+    sub   d3, d3, len
+    mov   sel, d3
+    br    emit
+hi4:
+    andi  t2, q, 2
+    bnz   t2, q67
+    andi  t3, q, 1
+    bnz   t3, q5
+    add   d4, d4, quantum
+    sub   d4, d4, len
+    mov   sel, d4
+    br    emit
+q5:
+    add   d5, d5, quantum
+    sub   d5, d5, len
+    mov   sel, d5
+    br    emit
+q67:
+    andi  t3, q, 1
+    bnz   t3, q7
+    add   d6, d6, quantum
+    sub   d6, d6, len
+    mov   sel, d6
+    br    emit
+q7:
+    add   d7, d7, quantum
+    sub   d7, d7, len
+    mov   sel, d7
+emit:
+    ; Service-decision fan-out: six co-live metrics derived from the
+    ; winner, folded into one service word (internal to this NSR).
+    add   e0, sel, quantum
+    xor   e1, sel, hdr
+    muli  e2, len, 3
+    shri  e3, sel, 4
+    add   e4, len, quantum
+    xor   e5, hdr, len
+    add   svc, e0, e1
+    add   svc, svc, e2
+    xor   svc, svc, e3
+    add   svc, svc, e4
+    xor   svc, svc, e5
+    add   sel, sel, svc
+    andi  t4, pidx, 255
+    add   oaddr, out, t4
+    store [oaddr+0], sel
+    addi  pidx, pidx, 1
+    subi  burst, burst, 1
+    bnz   burst, pkt
+    ctx
+    xor   chk, d0, d1
+    xor   chk, chk, d2
+    xor   chk, chk, d3
+    xor   chk, chk, d4
+    xor   chk, chk, d5
+    xor   chk, chk, d6
+    xor   chk, chk, d7
+    store [out+511], chk
+    loopend
+    br    main
+)";
+  Workload W;
+  W.InitMemory.push_back({L.InBase, makeInputData("drr", Slot, 512)});
+  W.OutputBase = L.OutBase;
+  W.OutputLen = 512;
+  W.SpillBase = L.SpillBase;
+  return fromAsm("drr", Asm, {L.InBase, L.OutBase, 0}, std::move(W));
+}

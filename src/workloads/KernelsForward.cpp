@@ -1,0 +1,217 @@
+//===- KernelsForward.cpp - l2l3fwd_rx, l2l3fwd_tx, url -------------------===//
+//
+// Reconstructions of the Intel example L2/L3 forwarding pair (the paper's
+// "complete processing module serving one receiving and one sending port")
+// and the NetBench url switching kernel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Kernels.h"
+
+using namespace npral;
+using namespace npral::kernels;
+
+Workload kernels::buildL2l3fwdRx(const ThreadMemLayout &L, int Slot) {
+  // Receive side: pull a 6-word header, sanity-check the version field,
+  // hash the address pair into a 256-entry next-hop table, and queue a
+  // 4-word descriptor for the send side.
+  const std::string Asm = R"(
+.thread l2l3fwd_rx
+.entrylive buf, table, out, pidx
+main:
+    andi  t0, pidx, 127
+    shli  t0, t0, 3
+    add   paddr, buf, t0
+    load  h0, [paddr+0]
+    load  h1, [paddr+1]
+    load  h2, [paddr+2]
+    load  h3, [paddr+3]
+    shri  ver, h0, 28
+    bz    ver, drop
+    ; Two-lane hash: both lanes and their byte-swapped mates are co-live
+    ; internal temporaries before the final combine.
+    xor   ha, h1, h2
+    xor   hb, h2, h3
+    muli  ha, ha, 0x9E3B
+    muli  hb, hb, 0x7F4A
+    shri  t1, ha, 16
+    shri  t2, hb, 13
+    xor   ha, ha, t1
+    xor   hb, hb, t2
+    muli  ha, ha, 0x85EB
+    muli  hb, hb, 0xC2B2
+    xor   hash, ha, hb
+    shri  t1, hash, 11
+    xor   hash, hash, t1
+    andi  hash, hash, 255
+    add   taddr, table, hash
+    load  hop, [taddr+0]
+    ctx
+    andi  t2, pidx, 127
+    shli  t2, t2, 2
+    add   oaddr, out, t2
+    store [oaddr+0], h0
+    store [oaddr+1], h3
+    store [oaddr+2], hop
+    xor   sig, h0, hop
+    xor   sig, sig, h3
+    store [oaddr+3], sig
+    br    next
+drop:
+    andi  t2, pidx, 127
+    shli  t2, t2, 2
+    add   oaddr, out, t2
+    imm   zero, 0
+    store [oaddr+0], zero
+    store [oaddr+3], zero
+next:
+    addi  pidx, pidx, 1
+    loopend
+    br    main
+)";
+  Workload W;
+  W.InitMemory.push_back({L.InBase, makeInputData("l2l3fwd_rx", Slot, 1024)});
+  // Next-hop table lives above the packet area.
+  W.InitMemory.push_back(
+      {L.InBase + 0x1000, makeInputData("l2l3fwd_table", Slot, 256)});
+  W.OutputBase = L.OutBase;
+  W.OutputLen = 512;
+  W.SpillBase = L.SpillBase;
+  return fromAsm("l2l3fwd_rx", Asm, {L.InBase, L.InBase + 0x1000, L.OutBase, 0},
+                 std::move(W));
+}
+
+Workload kernels::buildL2l3fwdTx(const ThreadMemLayout &L, int Slot) {
+  // Send side: read a descriptor, rewrite the MAC words, decrement TTL with
+  // an incremental checksum fix (RFC 1624 style), and emit the wire words.
+  const std::string Asm = R"(
+.thread l2l3fwd_tx
+.entrylive desc, out, pidx
+main:
+    andi  t0, pidx, 127
+    shli  t0, t0, 2
+    add   daddr, desc, t0
+    load  d0, [daddr+0]
+    load  d1, [daddr+1]
+    load  d2, [daddr+2]
+    load  d3, [daddr+3]
+    shri  ttlf, d1, 24
+    bz    ttlf, expired
+    subi  ttlf, ttlf, 1
+    shli  t1, ttlf, 24
+    andi  d1, d1, 0xFFFFFF
+    or    d1, d1, t1
+    andi  csum, d2, 0xFFFF
+    addi  csum, csum, 0x100
+    shri  t2, csum, 16
+    andi  csum, csum, 0xFFFF
+    add   csum, csum, t2
+    shri  t3, d2, 16
+    shli  t3, t3, 16
+    or    d2, t3, csum
+    xor   mac0, d0, d3
+    muli  mac1, d3, 0x8081
+    ctx
+    andi  t4, pidx, 127
+    shli  t4, t4, 3
+    add   oaddr, out, t4
+    store [oaddr+0], mac0
+    store [oaddr+1], mac1
+    store [oaddr+2], d1
+    store [oaddr+3], d2
+    store [oaddr+4], d3
+    br    next
+expired:
+    andi  t4, pidx, 127
+    shli  t4, t4, 3
+    add   oaddr, out, t4
+    imm   dead, 0xDEAD
+    store [oaddr+0], dead
+next:
+    addi  pidx, pidx, 1
+    loopend
+    br    main
+)";
+  Workload W;
+  W.InitMemory.push_back({L.InBase, makeInputData("l2l3fwd_tx", Slot, 512)});
+  W.OutputBase = L.OutBase;
+  W.OutputLen = 1024;
+  W.SpillBase = L.SpillBase;
+  return fromAsm("l2l3fwd_tx", Asm, {L.InBase, L.OutBase, 0}, std::move(W));
+}
+
+Workload kernels::buildUrl(const ThreadMemLayout &L, int Slot) {
+  // URL switching: match the payload against two 4-word patterns held in
+  // registers (loaded once per burst, so they are live across the payload
+  // loads) and route on the first hit.
+  const std::string Asm = R"(
+.thread url
+.entrylive buf, pat, out, pidx
+main:
+    load  p0, [pat+0]
+    load  p1, [pat+1]
+    load  p2, [pat+2]
+    load  p3, [pat+3]
+    load  q0, [pat+4]
+    load  q1, [pat+5]
+    load  q2, [pat+6]
+    load  q3, [pat+7]
+    imm   burst, 8
+    imm   hits, 0
+pkt:
+    andi  t0, pidx, 127
+    shli  t0, t0, 3
+    add   paddr, buf, t0
+    load  w0, [paddr+0]
+    load  w1, [paddr+1]
+    load  w2, [paddr+2]
+    load  w3, [paddr+3]
+    ; All eight per-word differences are formed before any is reduced;
+    ; they are internal to the matching NSR.
+    xor   m0, w0, p0
+    xor   m1, w1, p1
+    xor   m2, w2, p2
+    xor   m3, w3, p3
+    xor   m4, w0, q0
+    xor   m5, w1, q1
+    xor   m6, w2, q2
+    xor   m7, w3, q3
+    or    r0a, m0, m1
+    or    r0b, m2, m3
+    or    r0a, r0a, r0b
+    bz    r0a, match1
+    or    r1a, m4, m5
+    or    r1b, m6, m7
+    or    r1a, r1a, r1b
+    bz    r1a, match2
+    imm   route, 0
+    br    emit
+match1:
+    imm   route, 1
+    addi  hits, hits, 1
+    br    emit
+match2:
+    imm   route, 2
+    addi  hits, hits, 1
+emit:
+    andi  t1, pidx, 127
+    add   oaddr, out, t1
+    store [oaddr+0], route
+    addi  pidx, pidx, 1
+    subi  burst, burst, 1
+    bnz   burst, pkt
+    ctx
+    store [out+255], hits
+    loopend
+    br    main
+)";
+  Workload W;
+  W.InitMemory.push_back({L.InBase, makeInputData("url", Slot, 1024)});
+  W.InitMemory.push_back(
+      {L.InBase + 0x1000, makeInputData("url_patterns", Slot, 8)});
+  W.OutputBase = L.OutBase;
+  W.OutputLen = 256;
+  W.SpillBase = L.SpillBase;
+  return fromAsm("url", Asm, {L.InBase, L.InBase + 0x1000, L.OutBase, 0},
+                 std::move(W));
+}

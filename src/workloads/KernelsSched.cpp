@@ -1,0 +1,384 @@
+//===- KernelsSched.cpp - wraps_rx, wraps_tx, fir2dim ---------------------===//
+//
+// The WRAPS packet scheduler (Zhuang & Liu, HiPC 2002) caches the whole
+// per-class credit state in registers across the scheduling loop — the
+// paper's scenario 3 notes that "wraps receive and send can run much slower
+// (due to spills) if registers are not allocated properly". We reconstruct
+// that signature: 16 per-class credit registers plus weights and window
+// state, all live across every packet load, with a branchy classification
+// tree so that different credits cross different CSBs.
+//
+// fir2dim (DSP-style 3x3 2D FIR) is the low-pressure companion thread.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Kernels.h"
+
+#include <string>
+
+using namespace npral;
+using namespace npral::kernels;
+
+namespace {
+
+/// Emit the 16-leaf classification tree shared by the wraps kernels. Each
+/// leaf updates one credit register, a per-group packet counter and the
+/// weight-indexed state, then records the winner.
+std::string makeCreditTree(const std::string &UpdateOp, bool UseCounters) {
+  std::string S;
+  auto leaf = [&](int Q) {
+    std::string N = std::to_string(Q);
+    S += "q" + N + ":\n";
+    S += "    " + UpdateOp + "  c" + N + ", c" + N + ", w" +
+         std::to_string(Q % 2) + "\n";
+    S += "    sub   c" + N + ", c" + N + ", len\n";
+    if (UseCounters)
+      S += "    addi  n" + std::to_string(Q / 8) + ", n" +
+           std::to_string(Q / 8) + ", 1\n";
+    S += "    mov   sel, c" + N + "\n";
+    S += "    imm   win, " + N + "\n";
+    S += "    br    emit\n";
+  };
+  // Two-level dispatch on bits 3..2 then 1..0.
+  S += "    shri  g, cls, 2\n";
+  S += "    andi  lo, cls, 3\n";
+  S += "    andi  g1, g, 2\n";
+  S += "    bnz   g1, g23\n";
+  S += "    andi  g0, g, 1\n";
+  S += "    bnz   g0, grp1\n";
+  S += "    andi  l1, lo, 2\n    bnz   l1, q0_23\n";
+  S += "    andi  l0, lo, 1\n    bnz   l0, q1\n    br q0\n";
+  S += "q0_23:\n    andi  l0, lo, 1\n    bnz   l0, q3\n    br q2\n";
+  S += "grp1:\n";
+  S += "    andi  l1, lo, 2\n    bnz   l1, q4_67\n";
+  S += "    andi  l0, lo, 1\n    bnz   l0, q5\n    br q4\n";
+  S += "q4_67:\n    andi  l0, lo, 1\n    bnz   l0, q7\n    br q6\n";
+  S += "g23:\n";
+  S += "    andi  g0, g, 1\n";
+  S += "    bnz   g0, grp3\n";
+  S += "    andi  l1, lo, 2\n    bnz   l1, q8_ab\n";
+  S += "    andi  l0, lo, 1\n    bnz   l0, q9\n    br q8\n";
+  S += "q8_ab:\n    andi  l0, lo, 1\n    bnz   l0, q11\n    br q10\n";
+  S += "grp3:\n";
+  S += "    andi  l1, lo, 2\n    bnz   l1, q12_ef\n";
+  S += "    andi  l0, lo, 1\n    bnz   l0, q13\n    br q12\n";
+  S += "q12_ef:\n    andi  l0, lo, 1\n    bnz   l0, q15\n    br q14\n";
+  for (int Q = 0; Q < 16; ++Q)
+    leaf(Q);
+  return S;
+}
+
+} // namespace
+
+Workload kernels::buildWrapsRx(const ThreadMemLayout &L, int Slot) {
+  std::string Asm = R"(
+.thread wraps_rx
+.entrylive buf, out, pidx
+main:
+    imm   c0, 1000
+    imm   c1, 1000
+    imm   c2, 1000
+    imm   c3, 1000
+    imm   c4, 1000
+    imm   c5, 1000
+    imm   c6, 1000
+    imm   c7, 1000
+    imm   c8, 1000
+    imm   c9, 1000
+    imm   c10, 1000
+    imm   c11, 1000
+    imm   c12, 1000
+    imm   c13, 1000
+    imm   c14, 1000
+    imm   c15, 1000
+    imm   w0, 64
+    imm   w1, 128
+    imm   n0, 0
+    imm   n1, 0
+    imm   burst, 12
+pkt:
+    andi  t0, pidx, 255
+    shli  t0, t0, 1
+    add   paddr, buf, t0
+    load  hdr, [paddr+0]
+    load  len, [paddr+1]
+    andi  len, len, 511
+    andi  cls, hdr, 15
+)" + makeCreditTree("add ", /*UseCounters=*/true) + R"(
+emit:
+    andi  t1, pidx, 255
+    shli  t1, t1, 1
+    add   oaddr, out, t1
+    store [oaddr+0], sel
+    store [oaddr+1], win
+    addi  pidx, pidx, 1
+    subi  burst, burst, 1
+    bnz   burst, pkt
+    ; End-of-burst rebalance: snapshot the credit bank into fresh
+    ; temporaries while the bank itself stays live for the closing fold.
+    ; The ten s* snapshots are co-live with all sixteen credits inside one
+    ; NSR — this is where wraps' register pressure peaks past the
+    ; 32-register partition while its per-CSB crossing set stays moderate.
+    add   s0, c0, n0
+    add   s1, c1, n0
+    add   s2, c2, n0
+    add   s3, c3, n0
+    add   s4, c4, n1
+    add   s5, c5, n1
+    add   s6, c6, n1
+    add   s7, c7, n1
+    xor   s8, c8, c9
+    xor   s9, c10, c11
+    xor   s10, c12, c13
+    xor   s11, c14, c15
+    add   s12, c0, c4
+    add   s13, c8, c2
+    add   s14, c6, c10
+    ; The fold reads every credit after all snapshots exist, so the whole
+    ; bank and all fifteen snapshots are co-live here.
+    xor   fold, c0, c1
+    xor   fold, fold, c2
+    xor   fold, fold, c3
+    xor   fold, fold, c4
+    xor   fold, fold, c5
+    xor   fold, fold, c6
+    xor   fold, fold, c7
+    xor   fold, fold, c8
+    xor   fold, fold, c9
+    xor   fold, fold, c10
+    xor   fold, fold, c11
+    xor   fold, fold, c12
+    xor   fold, fold, c13
+    xor   fold, fold, c14
+    xor   fold, fold, c15
+    add   sig, s0, s1
+    add   sig, sig, s2
+    add   sig, sig, s3
+    add   sig, sig, s4
+    add   sig, sig, s5
+    add   sig, sig, s6
+    add   sig, sig, s7
+    xor   sig, sig, s8
+    xor   sig, sig, s9
+    xor   sig, sig, s10
+    xor   sig, sig, s11
+    add   sig, sig, s12
+    add   sig, sig, s13
+    add   sig, sig, s14
+    add   sig, sig, fold
+    store [out+1022], sig
+    ctx
+    loopend
+    br    main
+)";
+  Workload W;
+  W.InitMemory.push_back({L.InBase, makeInputData("wraps_rx", Slot, 512)});
+  W.OutputBase = L.OutBase;
+  W.OutputLen = 1024;
+  W.SpillBase = L.SpillBase;
+  return fromAsm("wraps_rx", Asm, {L.InBase, L.OutBase, 0}, std::move(W));
+}
+
+Workload kernels::buildWrapsTx(const ThreadMemLayout &L, int Slot) {
+  // Send side: same credit bank plus a rate-window pair per group, drained
+  // instead of charged.
+  std::string Asm = R"(
+.thread wraps_tx
+.entrylive buf, out, pidx
+main:
+    imm   c0, 4000
+    imm   c1, 4000
+    imm   c2, 4000
+    imm   c3, 4000
+    imm   c4, 4000
+    imm   c5, 4000
+    imm   c6, 4000
+    imm   c7, 4000
+    imm   c8, 4000
+    imm   c9, 4000
+    imm   c10, 4000
+    imm   c11, 4000
+    imm   c12, 4000
+    imm   c13, 4000
+    imm   c14, 4000
+    imm   c15, 4000
+    imm   w0, 32
+    imm   w1, 48
+    imm   rate0, 0
+    imm   rate1, 0
+    imm   burst, 12
+pkt:
+    andi  t0, pidx, 255
+    shli  t0, t0, 1
+    add   paddr, buf, t0
+    load  hdr, [paddr+0]
+    load  len, [paddr+1]
+    andi  len, len, 511
+    andi  cls, hdr, 15
+)" + makeCreditTree("sub ", /*UseCounters=*/false) + R"(
+emit:
+    andi  t1, cls, 8
+    bnz   t1, hiRate
+    add   rate0, rate0, len
+    br    rated
+hiRate:
+    add   rate1, rate1, len
+rated:
+    andi  t2, pidx, 255
+    shli  t2, t2, 1
+    add   oaddr, out, t2
+    store [oaddr+0], sel
+    store [oaddr+1], win
+    addi  pidx, pidx, 1
+    subi  burst, burst, 1
+    bnz   burst, pkt
+    ; Rate-window close-out: snapshot the drained credit bank while it is
+    ; still live for the closing fold — same pressure rationale as the
+    ; receive side.
+    add   s0, c0, rate0
+    add   s1, c1, rate1
+    add   s2, c2, rate0
+    add   s3, c3, rate1
+    xor   s4, c4, c12
+    xor   s5, c5, c13
+    xor   s6, c6, c14
+    xor   s7, c7, c15
+    mul   s8, c8, c9
+    mul   s9, c10, c11
+    add   s10, c12, c1
+    add   s11, c13, c2
+    add   s12, c14, c3
+    add   s13, c15, c0
+    xor   s14, c8, c4
+    xor   fold, c0, c1
+    xor   fold, fold, c2
+    xor   fold, fold, c3
+    xor   fold, fold, c4
+    xor   fold, fold, c5
+    xor   fold, fold, c6
+    xor   fold, fold, c7
+    xor   fold, fold, c8
+    xor   fold, fold, c9
+    xor   fold, fold, c10
+    xor   fold, fold, c11
+    xor   fold, fold, c12
+    xor   fold, fold, c13
+    xor   fold, fold, c14
+    xor   fold, fold, c15
+    add   sig, s0, s1
+    add   sig, sig, s2
+    add   sig, sig, s3
+    xor   sig, sig, s4
+    xor   sig, sig, s5
+    xor   sig, sig, s6
+    xor   sig, sig, s7
+    add   sig, sig, s8
+    add   sig, sig, s9
+    xor   sig, sig, s10
+    xor   sig, sig, s11
+    xor   sig, sig, s12
+    xor   sig, sig, s13
+    xor   sig, sig, s14
+    add   sig, sig, fold
+    store [out+1023], sig
+    ctx
+    loopend
+    br    main
+)";
+  Workload W;
+  W.InitMemory.push_back({L.InBase, makeInputData("wraps_tx", Slot, 512)});
+  W.OutputBase = L.OutBase;
+  W.OutputLen = 1024;
+  W.SpillBase = L.SpillBase;
+  return fromAsm("wraps_tx", Asm, {L.InBase, L.OutBase, 0}, std::move(W));
+}
+
+Workload kernels::buildFir2dim(const ThreadMemLayout &L, int Slot) {
+  // 3x3 2D FIR over three 18-pixel rows: nine coefficients are loaded once
+  // per iteration and stay in registers across the pixel loads; a 6-pixel
+  // window slides along the rows.
+  const std::string Asm = R"(
+.thread fir2dim
+.entrylive img, coef, out, ridx
+main:
+    load  k0, [coef+0]
+    load  k1, [coef+1]
+    load  k2, [coef+2]
+    load  k3, [coef+3]
+    load  k4, [coef+4]
+    load  k5, [coef+5]
+    load  k6, [coef+6]
+    load  k7, [coef+7]
+    load  k8, [coef+8]
+    andi  t0, ridx, 31
+    shli  t0, t0, 5
+    add   r0, img, t0
+    addi  r1, r0, 32
+    addi  r2, r1, 32
+    andi  t1, ridx, 31
+    shli  t1, t1, 4
+    add   oaddr, out, t1
+    imm   col, 16
+    load  a0, [r0+0]
+    load  a1, [r1+0]
+    load  a2, [r2+0]
+    load  b0, [r0+1]
+    load  b1, [r1+1]
+    load  b2, [r2+1]
+    addi  r0, r0, 2
+    addi  r1, r1, 2
+    addi  r2, r2, 2
+col_loop:
+    load  d0, [r0+0]
+    load  d1, [r1+0]
+    load  d2, [r2+0]
+    ; All nine products are formed before any is consumed — they are
+    ; internal temporaries co-live inside the loop body's NSR, which is
+    ; where the kernel's pressure peaks (the coefficients and the sliding
+    ; window are the boundary part).
+    mul   p0, a0, k0
+    mul   p1, b0, k1
+    mul   p2, d0, k2
+    mul   p3, a1, k3
+    mul   p4, b1, k4
+    mul   p5, d1, k5
+    add   acc, p0, p1
+    add   acc, acc, p2
+    add   acc, acc, p3
+    add   acc, acc, p4
+    add   acc, acc, p5
+    mul   p6, a2, k6
+    mul   p7, b2, k7
+    mul   p8, d2, k8
+    add   acc, acc, p6
+    add   acc, acc, p7
+    add   acc, acc, p8
+    shri  acc, acc, 8
+    store [oaddr+0], acc
+    addi  oaddr, oaddr, 1
+    mov   a0, b0
+    mov   a1, b1
+    mov   a2, b2
+    mov   b0, d0
+    mov   b1, d1
+    mov   b2, d2
+    addi  r0, r0, 1
+    addi  r1, r1, 1
+    addi  r2, r2, 1
+    subi  col, col, 1
+    bnz   col, col_loop
+    ctx
+    addi  ridx, ridx, 1
+    loopend
+    br    main
+)";
+  Workload W;
+  W.InitMemory.push_back({L.InBase, makeInputData("fir2dim", Slot, 2048)});
+  W.InitMemory.push_back(
+      {L.InBase + 0x1000, makeInputData("fir2dim_coef", Slot, 9)});
+  W.OutputBase = L.OutBase;
+  W.OutputLen = 512;
+  W.SpillBase = L.SpillBase;
+  return fromAsm("fir2dim", Asm,
+                 {L.InBase, L.InBase + 0x1000, L.OutBase, 0}, std::move(W));
+}

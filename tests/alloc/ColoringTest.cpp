@@ -1,0 +1,245 @@
+//===- ColoringTest.cpp - Coloring utilities and bounds estimation --------===//
+
+#include "alloc/BoundsEstimator.h"
+#include "alloc/ColoringUtils.h"
+#include "workloads/Workload.h"
+
+#include "../common/TestUtils.h"
+#include "gtest/gtest.h"
+
+using namespace npral;
+using namespace npral::test;
+
+namespace {
+
+/// Every pair of adjacent nodes must have distinct colors.
+void expectProperColoring(const InterferenceGraph &IG, const Coloring &C) {
+  for (int A = 0; A < IG.getNumNodes(); ++A) {
+    if (C[static_cast<size_t>(A)] == NoColor)
+      continue;
+    IG.neighbors(A).forEach([&](int B) {
+      if (C[static_cast<size_t>(B)] != NoColor) {
+        EXPECT_NE(C[static_cast<size_t>(A)], C[static_cast<size_t>(B)])
+            << "edge (" << A << "," << B << ") monochrome";
+      }
+    });
+  }
+}
+
+InterferenceGraph makeClique(int N) {
+  InterferenceGraph G(N);
+  for (int A = 0; A < N; ++A)
+    for (int B = A + 1; B < N; ++B)
+      G.addEdge(A, B);
+  return G;
+}
+
+BitVector allNodes(int N) {
+  BitVector BV(N);
+  for (int I = 0; I < N; ++I)
+    BV.set(I);
+  return BV;
+}
+
+} // namespace
+
+TEST(ColorMinimallyTest, CliqueNeedsNColors) {
+  InterferenceGraph G = makeClique(5);
+  Coloring C;
+  EXPECT_EQ(colorMinimally(G, allNodes(5), C), 5);
+  expectProperColoring(G, C);
+}
+
+TEST(ColorMinimallyTest, PathNeedsTwoColors) {
+  InterferenceGraph G(6);
+  for (int I = 0; I + 1 < 6; ++I)
+    G.addEdge(I, I + 1);
+  Coloring C;
+  EXPECT_EQ(colorMinimally(G, allNodes(6), C), 2);
+  expectProperColoring(G, C);
+}
+
+TEST(ColorMinimallyTest, CycleEvenOdd) {
+  // Even cycle 2-colorable, odd cycle needs 3.
+  for (int N : {6, 7}) {
+    InterferenceGraph G(N);
+    for (int I = 0; I < N; ++I)
+      G.addEdge(I, (I + 1) % N);
+    Coloring C;
+    int Used = colorMinimally(G, allNodes(N), C);
+    EXPECT_EQ(Used, N % 2 == 0 ? 2 : 3) << "cycle of length " << N;
+    expectProperColoring(G, C);
+  }
+}
+
+TEST(ColorMinimallyTest, RespectsPrecoloredNeighbors) {
+  InterferenceGraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  Coloring C(3, NoColor);
+  C[0] = 0;
+  C[2] = 0;
+  BitVector Members(3);
+  Members.set(1);
+  colorMinimally(G, Members, C);
+  EXPECT_NE(C[1], 0);
+}
+
+TEST(NeighborColorCountTest, CountsDistinctColors) {
+  InterferenceGraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(0, 2);
+  G.addEdge(0, 3);
+  Coloring C = {NoColor, 1, 1, 2};
+  EXPECT_EQ(neighborColorCount(G, C, 0), 2);
+}
+
+TEST(PickFreeColorTest, BandsAndPreference) {
+  InterferenceGraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(0, 2);
+  Coloring C = {NoColor, 0, 2};
+  EXPECT_EQ(pickFreeColor(G, C, 0, 0, 4), 1);
+  EXPECT_EQ(pickFreeColor(G, C, 0, 0, 4, /*PreferFrom=*/3), 3);
+  EXPECT_EQ(pickFreeColor(G, C, 0, 0, 1), NoColor) << "band [0,1) blocked";
+}
+
+TEST(ColorConstrainedTest, BoundaryBandRespected) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm a, 1
+    imm b, 2
+    ctx
+    add c, a, b
+    imm d, 4
+    add c, c, d
+    store [c+0], c
+    halt
+)");
+  ThreadAnalysis TA = analyzeThread(P);
+  // a and b cross the ctx -> boundary; PR must cover both.
+  ConstrainedColoringResult R = colorConstrained(TA, /*PR=*/2, /*R=*/4);
+  ASSERT_TRUE(R.Success);
+  TA.BoundaryNodes.forEach([&](int Node) {
+    EXPECT_LT(R.Colors[static_cast<size_t>(Node)], 2);
+  });
+  expectProperColoring(TA.GIG, R.Colors);
+}
+
+TEST(ColorConstrainedTest, FailsWhenBandTooSmall) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm a, 1
+    imm b, 2
+    imm c, 3
+    ctx
+    add d, a, b
+    add d, d, c
+    store [d+0], d
+    halt
+)");
+  ThreadAnalysis TA = analyzeThread(P);
+  // Three values cross the ctx; PR=2 cannot work without moves.
+  ConstrainedColoringResult R = colorConstrained(TA, /*PR=*/2, /*R=*/6);
+  EXPECT_FALSE(R.Success);
+  EXPECT_GE(R.FailedNode, 0);
+}
+
+TEST(BoundsEstimatorTest, StraightLineBounds) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm a, 1
+    imm b, 2
+    add c, a, b
+    store [c+0], c
+    halt
+)");
+  ThreadAnalysis TA = analyzeThread(P);
+  RegBounds B = estimateRegBounds(TA);
+  EXPECT_EQ(B.MinR, TA.getRegPmax());
+  EXPECT_EQ(B.MinPR, TA.getRegPCSBmax());
+  EXPECT_GE(B.MaxR, B.MinR);
+  EXPECT_GE(B.MaxPR, B.MinPR);
+  expectProperColoring(TA.GIG, B.Colors);
+}
+
+TEST(BoundsEstimatorTest, BoundsColoringRespectsBands) {
+  Program P = parseOrDie(R"(
+.thread t
+.entrylive buf
+main:
+    imm  s, 0
+    imm  n, 4
+loop:
+    load w, [buf+0]
+    imm  t1, 7
+    mul  t2, w, t1
+    add  s, s, t2
+    addi buf, buf, 1
+    subi n, n, 1
+    bnz  n, loop
+    store [buf+1], s
+    halt
+)");
+  ThreadAnalysis TA = analyzeThread(P);
+  RegBounds B = estimateRegBounds(TA);
+  expectProperColoring(TA.GIG, B.Colors);
+  TA.BoundaryNodes.forEach([&](int Node) {
+    EXPECT_LT(B.Colors[static_cast<size_t>(Node)], B.MaxPR);
+  });
+  TA.ReferencedNodes.forEach([&](int Node) {
+    EXPECT_LT(B.Colors[static_cast<size_t>(Node)], B.MaxR);
+  });
+}
+
+TEST(BoundsEstimatorTest, PaperFigure9GapBetweenMinAndMax) {
+  // Paper Fig. 9: A, B, C pairwise boundary-interfere across three
+  // different CSBs (one per branch path) — each CSB crosses only two of
+  // them, so MinPR = 2, but without moves the BIG is a triangle and forces
+  // MaxPR = 3.
+  Program P = parseOrDie(R"(
+.thread fig9
+.entrylive sel
+main:
+    imm  a, 1
+    imm  b, 2
+    imm  c, 3
+    bz   sel, p23
+p1:
+    ctx
+    store [a+0], b
+    halt
+p23:
+    andi t, sel, 1
+    bz   t, p3
+p2:
+    ctx
+    store [b+0], c
+    halt
+p3:
+    ctx
+    store [c+0], a
+    halt
+)");
+  ThreadAnalysis TA = analyzeThread(P);
+  RegBounds B = estimateRegBounds(TA);
+  EXPECT_EQ(B.MinPR, 2);
+  EXPECT_EQ(B.MaxPR, 3);
+}
+
+TEST(BoundsEstimatorTest, AllBenchmarksSatisfyInvariants) {
+  for (const std::string &Name : getWorkloadNames()) {
+    auto W = buildWorkload(Name, 0);
+    ASSERT_TRUE(W.ok());
+    ThreadAnalysis TA = analyzeThread(W->Code);
+    RegBounds B = estimateRegBounds(TA);
+    EXPECT_LE(B.MinPR, B.MaxPR) << Name;
+    EXPECT_LE(B.MinR, B.MaxR) << Name;
+    EXPECT_LE(B.MinPR, B.MinR) << Name;
+    EXPECT_LE(B.MaxPR, B.MaxR) << Name;
+    expectProperColoring(TA.GIG, B.Colors);
+  }
+}

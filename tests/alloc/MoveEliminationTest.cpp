@@ -1,0 +1,186 @@
+//===- MoveEliminationTest.cpp - Eliminate_unnecessary_move ---------------===//
+
+#include "alloc/MoveElimination.h"
+
+#include "ir/IRVerifier.h"
+
+#include "../common/TestUtils.h"
+#include "gtest/gtest.h"
+
+using namespace npral;
+using namespace npral::test;
+
+TEST(MoveEliminationTest, RemovesSelfMove) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  a, 1
+    mov  a, a
+    store [a+0], a
+    halt
+)");
+  EXPECT_EQ(eliminateRedundantMoves(P), 1);
+  EXPECT_EQ(P.countMoves(), 0);
+  EXPECT_TRUE(verifyProgram(P).ok());
+}
+
+TEST(MoveEliminationTest, RemovesDeadMove) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  a, 1
+    mov  b, a
+    store [a+0], a
+    halt
+)");
+  EXPECT_EQ(eliminateRedundantMoves(P), 1);
+  EXPECT_EQ(P.countMoves(), 0);
+}
+
+TEST(MoveEliminationTest, RemovesReestablishedCopy) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  a, 1
+    mov  b, a
+    add  c, b, b
+    mov  b, a
+    store [c+0], b
+    halt
+)");
+  // The second mov re-establishes b == a with neither redefined.
+  EXPECT_EQ(eliminateRedundantMoves(P), 1);
+  EXPECT_EQ(P.countMoves(), 1);
+}
+
+TEST(MoveEliminationTest, RemovesReverseCopy) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  a, 1
+    mov  b, a
+    mov  a, b
+    store [a+0], b
+    halt
+)");
+  // mov a, b after mov b, a is a no-op.
+  EXPECT_EQ(eliminateRedundantMoves(P), 1);
+}
+
+TEST(MoveEliminationTest, KeepsNeededMove) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  a, 1
+    mov  b, a
+    imm  a, 2
+    add  c, a, b
+    store [c+0], c
+    halt
+)");
+  EXPECT_EQ(eliminateRedundantMoves(P), 0);
+  EXPECT_EQ(P.countMoves(), 1);
+}
+
+TEST(MoveEliminationTest, FactsDieAtDefinition) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  a, 1
+    mov  b, a
+    add  t, b, b
+    imm  b, 5
+    add  t, t, b
+    mov  b, a
+    add  t, t, b
+    store [t+0], t
+    halt
+)");
+  // Every mov's destination is read before being clobbered, and the second
+  // mov b, a is NOT redundant: b was overwritten in between.
+  EXPECT_EQ(eliminateRedundantMoves(P), 0);
+  EXPECT_EQ(P.countMoves(), 2);
+}
+
+TEST(MoveEliminationTest, FactsDieAtContextSwitch) {
+  // Copy facts must not survive a CSB — in a shared register another
+  // thread may have rewritten the source while we were switched out. The
+  // two programs differ only in the ctx between the copies: without it the
+  // re-established copy is redundant, with it the copy must stay.
+  const char *WithCtx = R"(
+.thread t
+main:
+    imm  a, 1
+    mov  b, a
+    add  t, b, b
+    ctx
+    mov  b, a
+    add  c, a, b
+    add  c, c, t
+    store [c+0], c
+    halt
+)";
+  const char *WithoutCtx = R"(
+.thread t
+main:
+    imm  a, 1
+    mov  b, a
+    add  t, b, b
+    mov  b, a
+    add  c, a, b
+    add  c, c, t
+    store [c+0], c
+    halt
+)";
+  Program P1 = parseOrDie(WithCtx);
+  EXPECT_EQ(eliminateRedundantMoves(P1), 0)
+      << "the post-ctx mov must be treated as required";
+  Program P2 = parseOrDie(WithoutCtx);
+  EXPECT_EQ(eliminateRedundantMoves(P2), 1)
+      << "without the ctx the second copy is redundant";
+}
+
+TEST(MoveEliminationTest, CascadingDeadMoves) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  a, 1
+    mov  b, a
+    mov  c, b
+    store [a+0], a
+    halt
+)");
+  // c is dead; once mov c,b is gone, b is dead too.
+  EXPECT_EQ(eliminateRedundantMoves(P), 2);
+  EXPECT_EQ(P.countMoves(), 0);
+}
+
+TEST(MoveEliminationTest, BehaviourPreservedOnBranchyProgram) {
+  Program P = parseOrDie(R"(
+.thread t
+.entrylive buf
+main:
+    imm  s, 0
+    imm  n, 4
+loop:
+    load w, [buf+0]
+    mov  v, w
+    mov  v, w
+    add  s, s, v
+    mov  dead, s
+    addi buf, buf, 1
+    subi n, n, 1
+    bnz  n, loop
+    store [buf+10], s
+    halt
+)");
+  Program Q = P;
+  int Removed = eliminateRedundantMoves(Q);
+  EXPECT_GE(Removed, 2);
+  ASSERT_TRUE(verifyProgram(Q).ok());
+  std::vector<uint32_t> Data = {3, 5, 7, 9};
+  auto A = runSingle(P, {0x1000}, 0x1000, 32, Data);
+  auto B = runSingle(Q, {0x1000}, 0x1000, 32, Data);
+  ASSERT_TRUE(A.Result.Completed && B.Result.Completed);
+  EXPECT_EQ(A.OutputHash, B.OutputHash);
+}

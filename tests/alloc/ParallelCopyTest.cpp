@@ -1,0 +1,163 @@
+//===- ParallelCopyTest.cpp - Copy sequentialisation ----------------------===//
+//
+// Exhaustive checks of the parallel-copy lowering, including an interpreter
+// that executes the emitted movs/xors over an array and verifies the result
+// matches the parallel semantics — for hand-picked shapes and for random
+// partial permutations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/ParallelCopy.h"
+
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+#include <numeric>
+#include <vector>
+
+using namespace npral;
+
+namespace {
+
+/// Execute the emitted instruction list over a register array.
+std::vector<uint32_t> execute(const std::vector<Instruction> &Instrs,
+                              std::vector<uint32_t> Regs) {
+  for (const Instruction &I : Instrs) {
+    switch (I.Op) {
+    case Opcode::Mov:
+      Regs[static_cast<size_t>(I.Def)] = Regs[static_cast<size_t>(I.Use1)];
+      break;
+    case Opcode::Xor:
+      Regs[static_cast<size_t>(I.Def)] =
+          Regs[static_cast<size_t>(I.Use1)] ^ Regs[static_cast<size_t>(I.Use2)];
+      break;
+    default:
+      ADD_FAILURE() << "unexpected opcode in lowered copy";
+    }
+  }
+  return Regs;
+}
+
+/// Check that lowering \p Copies with \p Scratch implements the parallel
+/// semantics over \p NumRegs registers holding distinct initial values.
+void checkLowering(const std::vector<Copy> &Copies, int Scratch, int NumRegs) {
+  std::vector<uint32_t> Init(static_cast<size_t>(NumRegs));
+  std::iota(Init.begin(), Init.end(), 100);
+
+  std::vector<uint32_t> Expected = Init;
+  for (const Copy &C : Copies)
+    Expected[static_cast<size_t>(C.To)] = Init[static_cast<size_t>(C.From)];
+
+  std::vector<Instruction> Out;
+  appendParallelCopy(Out, Copies, Scratch);
+  std::vector<uint32_t> Got = execute(Out, Init);
+
+  // Every target must hold its source's original value. Colors that are
+  // neither targets nor the scratch must be untouched.
+  std::vector<char> IsTarget(static_cast<size_t>(NumRegs), 0);
+  for (const Copy &C : Copies)
+    IsTarget[static_cast<size_t>(C.To)] = 1;
+  for (int R = 0; R < NumRegs; ++R) {
+    if (IsTarget[static_cast<size_t>(R)]) {
+      EXPECT_EQ(Got[static_cast<size_t>(R)], Expected[static_cast<size_t>(R)])
+          << "target color " << R;
+    } else if (R != Scratch) {
+      EXPECT_EQ(Got[static_cast<size_t>(R)], Init[static_cast<size_t>(R)])
+          << "non-target color " << R << " was clobbered";
+    }
+  }
+}
+
+} // namespace
+
+TEST(ParallelCopyTest, EmptyAndNoop) {
+  std::vector<Instruction> Out;
+  EXPECT_EQ(appendParallelCopy(Out, {}, -1), 0);
+  EXPECT_EQ(appendParallelCopy(Out, {{2, 2}, {5, 5}}, -1), 0);
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(ParallelCopyTest, SingleMove) {
+  checkLowering({{0, 1}}, -1, 4);
+}
+
+TEST(ParallelCopyTest, ChainUsesRightOrder) {
+  // 0->1->2: must emit 2:=1 before 1:=0.
+  std::vector<Instruction> Out;
+  int N = appendParallelCopy(Out, {{0, 1}, {1, 2}}, -1);
+  EXPECT_EQ(N, 2);
+  ASSERT_EQ(Out.size(), 2u);
+  EXPECT_EQ(Out[0].Def, 2);
+  EXPECT_EQ(Out[1].Def, 1);
+  checkLowering({{0, 1}, {1, 2}}, -1, 4);
+}
+
+TEST(ParallelCopyTest, TwoCycleWithScratch) {
+  std::vector<Instruction> Out;
+  int N = appendParallelCopy(Out, {{0, 1}, {1, 0}}, 3);
+  EXPECT_EQ(N, 3) << "scratch break: 3 movs";
+  for (const Instruction &I : Out)
+    EXPECT_EQ(I.Op, Opcode::Mov);
+  checkLowering({{0, 1}, {1, 0}}, 3, 4);
+}
+
+TEST(ParallelCopyTest, TwoCycleWithoutScratch) {
+  std::vector<Instruction> Out;
+  int N = appendParallelCopy(Out, {{0, 1}, {1, 0}}, -1);
+  EXPECT_EQ(N, 3) << "one xor swap";
+  for (const Instruction &I : Out)
+    EXPECT_EQ(I.Op, Opcode::Xor);
+  checkLowering({{0, 1}, {1, 0}}, -1, 2);
+}
+
+TEST(ParallelCopyTest, ThreeCycleBothWays) {
+  std::vector<Copy> Cycle = {{0, 1}, {1, 2}, {2, 0}};
+  checkLowering(Cycle, 5, 6);
+  checkLowering(Cycle, -1, 3);
+}
+
+TEST(ParallelCopyTest, CycleWithAttachedChain) {
+  // 3 -> 0, plus cycle 0 -> 1 -> 0... that would give color 0 two sources;
+  // instead: chain into the cycle's entry is not a permutation. Use a valid
+  // mix: cycle {0,1} and independent chain 2 -> 3 -> 4.
+  std::vector<Copy> Mix = {{0, 1}, {1, 0}, {2, 3}, {3, 4}};
+  checkLowering(Mix, -1, 6);
+  checkLowering(Mix, 5, 6);
+}
+
+TEST(ParallelCopyTest, TwoDisjointCyclesNoScratch) {
+  std::vector<Copy> Two = {{0, 1}, {1, 0}, {2, 3}, {3, 2}};
+  checkLowering(Two, -1, 4);
+}
+
+TEST(ParallelCopyTest, RandomPartialPermutations) {
+  Rng R(2026);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    const int NumRegs = 10;
+    // Random partial permutation: a random subset of a random permutation.
+    std::vector<int> Perm(NumRegs);
+    std::iota(Perm.begin(), Perm.end(), 0);
+    for (int I = NumRegs - 1; I > 0; --I)
+      std::swap(Perm[static_cast<size_t>(I)],
+                Perm[static_cast<size_t>(R.nextBelow(
+                    static_cast<uint64_t>(I) + 1))]);
+    std::vector<Copy> Copies;
+    for (int I = 0; I < NumRegs; ++I)
+      if (R.nextChance(2, 3))
+        Copies.push_back({I, Perm[static_cast<size_t>(I)]});
+
+    // Pick a scratch that is neither a source nor a target (or none).
+    int Scratch = -1;
+    for (int C = 0; C < NumRegs && Scratch < 0; ++C) {
+      bool Used = false;
+      for (const Copy &Cp : Copies)
+        if (Cp.From == C || Cp.To == C)
+          Used = true;
+      if (!Used && R.nextChance(1, 2))
+        Scratch = C;
+    }
+    checkLowering(Copies, Scratch, NumRegs);
+    checkLowering(Copies, -1, NumRegs);
+  }
+}

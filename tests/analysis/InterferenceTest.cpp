@@ -1,0 +1,303 @@
+//===- InterferenceTest.cpp - GIG / BIG / IIG construction ----------------===//
+
+#include "analysis/InterferenceGraph.h"
+#include "analysis/LiveRangeRenaming.h"
+
+#include "../common/TestUtils.h"
+#include "gtest/gtest.h"
+
+using namespace npral;
+using namespace npral::test;
+
+namespace {
+Reg regByName(const Program &P, const std::string &Name) {
+  for (Reg R = 0; R < P.NumRegs; ++R)
+    if (P.getRegName(R) == Name)
+      return R;
+  return NoReg;
+}
+} // namespace
+
+TEST(InterferenceGraphTest, BasicEdges) {
+  InterferenceGraph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  EXPECT_TRUE(G.hasEdge(0, 1));
+  EXPECT_TRUE(G.hasEdge(1, 0));
+  EXPECT_FALSE(G.hasEdge(0, 2));
+  EXPECT_EQ(G.degree(1), 2);
+  EXPECT_EQ(G.getNumEdges(), 2);
+  G.addEdge(0, 1); // duplicate ignored
+  EXPECT_EQ(G.getNumEdges(), 2);
+  G.addEdge(3, 3); // self loop ignored
+  EXPECT_EQ(G.degree(3), 0);
+}
+
+TEST(InterferenceGraphTest, AddNodePreservesEdges) {
+  InterferenceGraph G(2);
+  G.addEdge(0, 1);
+  int N = G.addNode();
+  EXPECT_EQ(N, 2);
+  EXPECT_TRUE(G.hasEdge(0, 1));
+  G.addEdge(2, 0);
+  EXPECT_TRUE(G.hasEdge(2, 0));
+}
+
+TEST(InterferenceGraphTest, SmallestLastOrderCoversMembers) {
+  InterferenceGraph G(5);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  G.addEdge(2, 0);
+  BitVector Members(5);
+  Members.set(0);
+  Members.set(1);
+  Members.set(2);
+  Members.set(4);
+  std::vector<int> Order = G.smallestLastOrder(Members);
+  EXPECT_EQ(Order.size(), 4u);
+}
+
+TEST(AnalyzeThreadTest, CoLiveValuesInterfere) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm a, 1
+    imm b, 2
+    add c, a, b
+    store [c+0], c
+    halt
+)");
+  ThreadAnalysis TA = analyzeThread(P);
+  Reg A = regByName(P, "a"), B = regByName(P, "b"), C = regByName(P, "c");
+  EXPECT_TRUE(TA.GIG.hasEdge(A, B));
+  EXPECT_FALSE(TA.GIG.hasEdge(A, C)) << "a dies when c is defined";
+}
+
+TEST(AnalyzeThreadTest, EntryLiveRegistersInterfere) {
+  Program P = parseOrDie(R"(
+.thread t
+.entrylive x, y
+main:
+    add z, x, y
+    store [z+0], z
+    halt
+)");
+  ThreadAnalysis TA = analyzeThread(P);
+  EXPECT_TRUE(TA.GIG.hasEdge(regByName(P, "x"), regByName(P, "y")));
+}
+
+TEST(AnalyzeThreadTest, BoundaryVsInternalClassification) {
+  // Paper Fig. 3 thread 1: a boundary; b, c internal.
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm a, 1
+    ctx
+    imm b, 2
+    imm c, 3
+    add d, b, c
+    add d, d, a
+    store [d+0], d
+    halt
+)");
+  ThreadAnalysis TA = analyzeThread(P);
+  Reg A = regByName(P, "a"), B = regByName(P, "b"), C = regByName(P, "c");
+  EXPECT_TRUE(TA.BoundaryNodes.test(A));
+  EXPECT_FALSE(TA.BoundaryNodes.test(B));
+  EXPECT_TRUE(TA.InternalNodes.test(B));
+  EXPECT_TRUE(TA.InternalNodes.test(C));
+  // b and c internal-interfere but never cross the same CSB: GIG edge, no
+  // BIG edge.
+  EXPECT_TRUE(TA.GIG.hasEdge(B, C));
+  EXPECT_FALSE(TA.BIG.hasEdge(B, C));
+}
+
+TEST(AnalyzeThreadTest, BIGEdgesOnlyForSameCSB) {
+  // x crosses the first ctx, y crosses the second; they never cross the
+  // same boundary, so no BIG edge — but they are co-live in between, so a
+  // GIG edge exists. This is the key distinction the paper's shared
+  // registers exploit.
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm x, 1
+    ctx
+    imm y, 2
+    add z, x, y
+    ctx
+    store [y+0], y
+    halt
+)");
+  ThreadAnalysis TA = analyzeThread(P);
+  Reg X = regByName(P, "x"), Y = regByName(P, "y");
+  EXPECT_TRUE(TA.BoundaryNodes.test(X));
+  EXPECT_TRUE(TA.BoundaryNodes.test(Y));
+  EXPECT_TRUE(TA.GIG.hasEdge(X, Y));
+  EXPECT_FALSE(TA.BIG.hasEdge(X, Y));
+}
+
+TEST(AnalyzeThreadTest, IIGMembersPartitionInternals) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm t1, 1
+    store [t1+0], t1
+    imm t2, 2
+    store [t2+0], t2
+    halt
+)");
+  ThreadAnalysis TA = analyzeThread(P);
+  Reg T1 = regByName(P, "t1"), T2 = regByName(P, "t2");
+  ASSERT_TRUE(TA.InternalNodes.test(T1));
+  ASSERT_TRUE(TA.InternalNodes.test(T2));
+  int H1 = TA.HomeNSR[static_cast<size_t>(T1)];
+  int H2 = TA.HomeNSR[static_cast<size_t>(T2)];
+  EXPECT_NE(H1, H2) << "separated by the first store's CSB";
+  EXPECT_TRUE(TA.IIGMembers[static_cast<size_t>(H1)].test(T1));
+  EXPECT_TRUE(TA.IIGMembers[static_cast<size_t>(H2)].test(T2));
+}
+
+TEST(AnalyzeThreadTest, PaperFigure5Structure) {
+  // Paper Fig. 4/5: sum, buf, len boundary and pairwise interfering (a
+  // clique on the BIG); tmp-style values internal.
+  Program P = parseOrDie(R"(
+.thread frag5
+.entrylive buf, len
+main:
+    imm  sum, 0
+loop:
+    bz   len, out
+    load tmp1, [buf+0]
+    add  sum, sum, tmp1
+    addi buf, buf, 1
+    subi len, len, 1
+    ctx
+    br   loop
+out:
+    load tmp2, [buf+0]
+    andi tmp2, tmp2, 0xFFFF
+    add  sum, sum, tmp2
+    store [buf+1], sum
+    halt
+)");
+  ThreadAnalysis TA = analyzeThread(P);
+  Reg Sum = regByName(P, "sum"), Buf = regByName(P, "buf"),
+      Len = regByName(P, "len"), T1 = regByName(P, "tmp1"),
+      T2 = regByName(P, "tmp2");
+  EXPECT_TRUE(TA.BoundaryNodes.test(Sum));
+  EXPECT_TRUE(TA.BoundaryNodes.test(Buf));
+  EXPECT_TRUE(TA.BoundaryNodes.test(Len));
+  EXPECT_TRUE(TA.InternalNodes.test(T1));
+  EXPECT_TRUE(TA.InternalNodes.test(T2));
+  EXPECT_TRUE(TA.BIG.hasEdge(Sum, Buf));
+  EXPECT_TRUE(TA.BIG.hasEdge(Sum, Len));
+  EXPECT_TRUE(TA.BIG.hasEdge(Buf, Len));
+  // tmp1 and tmp2 live in different NSRs: no interference.
+  EXPECT_FALSE(TA.GIG.hasEdge(T1, T2));
+}
+
+TEST(RenamingTest, SplitsDisjointRanges) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  t, 1
+    store [t+0], t
+    imm  t, 2
+    store [t+1], t
+    halt
+)");
+  Program R = renameLiveRanges(P);
+  // Two disjoint webs of t must become two registers.
+  EXPECT_EQ(R.NumRegs, 2);
+  // Behaviour preserved.
+  auto Run1 = runSingle(P, {}, 0, 16);
+  auto Run2 = runSingle(R, {}, 0, 16);
+  ASSERT_TRUE(Run1.Result.Completed);
+  ASSERT_TRUE(Run2.Result.Completed);
+  EXPECT_EQ(Run1.OutputHash, Run2.OutputHash);
+}
+
+TEST(RenamingTest, IdempotentOnCleanPrograms) {
+  Program P = parseOrDie(R"(
+.thread t
+.entrylive buf
+main:
+    imm  s, 0
+    load w, [buf+0]
+    add  s, s, w
+    store [buf+1], s
+    halt
+)");
+  Program R1 = renameLiveRanges(P);
+  Program R2 = renameLiveRanges(R1);
+  EXPECT_EQ(R1.NumRegs, R2.NumRegs);
+}
+
+TEST(RenamingTest, LoopCarriedWebStaysOneRegister) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  s, 0
+    imm  n, 4
+loop:
+    add  s, s, n
+    subi n, n, 1
+    bnz  n, loop
+    store [s+0], s
+    halt
+)");
+  Program R = renameLiveRanges(P);
+  EXPECT_EQ(R.NumRegs, P.NumRegs) << "connected webs must not split";
+}
+
+TEST(RenamingTest, EntryLiveKeepsIdentityAndOrder) {
+  Program P = parseOrDie(R"(
+.thread t
+.entrylive buf, len
+main:
+    add x, buf, len
+    imm buf, 0
+    store [x+0], buf
+    halt
+)");
+  std::vector<Reg> Before = P.EntryLiveRegs;
+  Program R = renameLiveRanges(P);
+  ASSERT_EQ(R.EntryLiveRegs.size(), Before.size());
+  // The entry components keep the original registers.
+  EXPECT_EQ(R.EntryLiveRegs, Before);
+  // But the redefinition of buf (a second web) got a fresh register.
+  EXPECT_GT(R.NumRegs, P.NumRegs - 1);
+}
+
+TEST(RenamingTest, BenchmarkBehaviourPreserved) {
+  // The renaming pass must not change observable behaviour on a branchy
+  // program with loops.
+  Program P = parseOrDie(R"(
+.thread t
+.entrylive buf
+main:
+    imm  s, 0
+    imm  n, 6
+loop:
+    load w, [buf+0]
+    andi t, w, 1
+    bz   t, even
+    add  s, s, w
+    br   next
+even:
+    sub  s, s, w
+next:
+    addi buf, buf, 1
+    subi n, n, 1
+    bnz  n, loop
+    store [buf+10], s
+    halt
+)");
+  Program R = renameLiveRanges(P);
+  std::vector<uint32_t> Data = {5, 10, 15, 20, 25, 30};
+  auto Run1 = runSingle(P, {0x1000}, 0x1000, 32, Data);
+  auto Run2 = runSingle(R, {0x1000}, 0x1000, 32, Data);
+  ASSERT_TRUE(Run1.Result.Completed);
+  ASSERT_TRUE(Run2.Result.Completed);
+  EXPECT_EQ(Run1.OutputHash, Run2.OutputHash);
+}

@@ -1,0 +1,159 @@
+//===- LivenessTest.cpp ---------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include "../common/TestUtils.h"
+#include "gtest/gtest.h"
+
+using namespace npral;
+using namespace npral::test;
+
+namespace {
+
+/// Find the single register with debug name \p Name.
+Reg regByName(const Program &P, const std::string &Name) {
+  for (Reg R = 0; R < P.NumRegs; ++R)
+    if (P.getRegName(R) == Name)
+      return R;
+  ADD_FAILURE() << "no register named " << Name;
+  return NoReg;
+}
+
+} // namespace
+
+TEST(LivenessTest, StraightLine) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  a, 1
+    imm  b, 2
+    add  c, a, b
+    addi d, c, 1
+    store [d+0], c
+    halt
+)");
+  LivenessInfo LI = computeLiveness(P);
+  Reg A = regByName(P, "a"), C = regByName(P, "c");
+  // a live after its def, dead after the add.
+  EXPECT_TRUE(LI.instrLiveOut(0, 0).test(A));
+  EXPECT_FALSE(LI.instrLiveOut(0, 2).test(A));
+  // c live until the store.
+  EXPECT_TRUE(LI.instrLiveOut(0, 3).test(C));
+  EXPECT_FALSE(LI.instrLiveOut(0, 4).test(C));
+}
+
+TEST(LivenessTest, LoopCarriedValue) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  s, 0
+    imm  n, 4
+loop:
+    add  s, s, n
+    subi n, n, 1
+    bnz  n, loop
+    store [s+0], s
+    halt
+)");
+  LivenessInfo LI = computeLiveness(P);
+  Reg S = regByName(P, "s");
+  // s is live-in at the loop header from both entry and back edge.
+  int LoopBlock = -1;
+  for (int B = 0; B < P.getNumBlocks(); ++B)
+    if (P.block(B).Name == "loop")
+      LoopBlock = B;
+  ASSERT_GE(LoopBlock, 0);
+  EXPECT_TRUE(LI.blockLiveIn(LoopBlock).test(S));
+  EXPECT_TRUE(LI.blockLiveOut(LoopBlock).test(S));
+}
+
+TEST(LivenessTest, BranchMergesLiveness) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  a, 1
+    imm  b, 2
+    bz   a, other
+    store [b+0], a
+    halt
+other:
+    store [b+1], b
+    halt
+)");
+  LivenessInfo LI = computeLiveness(P);
+  Reg A = regByName(P, "a"), B = regByName(P, "b");
+  // Both a and b live across the branch (each used on some path).
+  EXPECT_TRUE(LI.blockLiveOut(0).test(A) || LI.instrLiveOut(0, 2).test(A));
+  EXPECT_TRUE(LI.instrLiveOut(0, 1).test(B));
+}
+
+TEST(LivenessTest, RegPmaxCountsCoLiveValues) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm a, 1
+    imm b, 2
+    imm c, 3
+    add d, a, b
+    add d, d, c
+    store [d+0], d
+    halt
+)");
+  LivenessInfo LI = computeLiveness(P);
+  // Peak: a, b, c live simultaneously. d is born exactly as a and b die, so
+  // it can reuse one of their registers — the pressure stays 3.
+  EXPECT_EQ(LI.getRegPmax(), 3);
+}
+
+TEST(LivenessTest, DeadDefStillOccupiesAtDef) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm a, 1
+    imm dead, 9
+    store [a+0], a
+    halt
+)");
+  LivenessInfo LI = computeLiveness(P);
+  EXPECT_EQ(LI.getRegPmax(), 2) << "dead def co-occupies with a";
+}
+
+TEST(LivenessTest, UndefUseDetected) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    add b, a, a
+    store [b+0], b
+    halt
+)");
+  LivenessInfo LI = computeLiveness(P);
+  Status S = checkNoUseOfUndef(P, LI);
+  EXPECT_FALSE(S.ok());
+  EXPECT_NE(S.str().find("a"), std::string::npos);
+}
+
+TEST(LivenessTest, EntryLiveCoversEntryUses) {
+  Program P = parseOrDie(R"(
+.thread t
+.entrylive a
+main:
+    add b, a, a
+    store [b+0], b
+    halt
+)");
+  LivenessInfo LI = computeLiveness(P);
+  EXPECT_TRUE(checkNoUseOfUndef(P, LI).ok());
+}
+
+TEST(LivenessTest, EverReferencedTracksUsage) {
+  Program P;
+  P.addBlock();
+  Reg Used = P.addReg("used");
+  Reg Unused = P.addReg("unused");
+  (void)Unused;
+  P.block(0).Instrs.push_back(Instruction::makeImm(Used, 1));
+  P.block(0).Instrs.push_back(Instruction::makeHalt());
+  LivenessInfo LI = computeLiveness(P);
+  EXPECT_TRUE(LI.isEverReferenced(Used));
+  EXPECT_FALSE(LI.isEverReferenced(Unused));
+}

@@ -1,0 +1,199 @@
+//===- NSRTest.cpp - Non-switch regions and CSBs ---------------------------===//
+//
+// Includes a reconstruction of the paper's running example: Figure 3's two
+// threads and Figure 4's frag checksum CFG.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/NSR.h"
+
+#include "../common/TestUtils.h"
+#include "gtest/gtest.h"
+
+using namespace npral;
+using namespace npral::test;
+
+namespace {
+Reg regByName(const Program &P, const std::string &Name) {
+  for (Reg R = 0; R < P.NumRegs; ++R)
+    if (P.getRegName(R) == Name)
+      return R;
+  return NoReg;
+}
+} // namespace
+
+TEST(NSRTest, NoCtxMeansOneNSR) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm a, 1
+    bz  a, done
+    addi a, a, 1
+done:
+    halt
+)");
+  LivenessInfo LI = computeLiveness(P);
+  NSRInfo N = computeNSRs(P, LI);
+  EXPECT_EQ(N.getNumNSRs(), 1);
+  EXPECT_TRUE(N.getCSBs().empty());
+  EXPECT_EQ(N.getRegPCSBmax(), 0);
+}
+
+TEST(NSRTest, CtxSplitsBlockIntoTwoRegions) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm a, 1
+    ctx
+    store [a+0], a
+    halt
+)");
+  LivenessInfo LI = computeLiveness(P);
+  NSRInfo N = computeNSRs(P, LI);
+  // ctx and store are both boundaries: 3 regions (before ctx, between,
+  // after store).
+  EXPECT_EQ(N.getNumNSRs(), 3);
+  ASSERT_EQ(N.getCSBs().size(), 2u);
+  const CSB &First = N.getCSBs()[0];
+  EXPECT_NE(First.PreNSR, First.PostNSR);
+  // a crosses the ctx.
+  EXPECT_TRUE(First.LiveAcross.test(regByName(P, "a")));
+}
+
+TEST(NSRTest, LoadDefNotLiveAcrossItsOwnBoundary) {
+  // Transfer-register semantics (paper §3.2): the destination of a memory
+  // read is not live across the read.
+  Program P = parseOrDie(R"(
+.thread t
+.entrylive buf
+main:
+    load v, [buf+0]
+    store [buf+1], v
+    halt
+)");
+  LivenessInfo LI = computeLiveness(P);
+  NSRInfo N = computeNSRs(P, LI);
+  ASSERT_EQ(N.getCSBs().size(), 2u);
+  Reg V = regByName(P, "v");
+  EXPECT_FALSE(N.getCSBs()[0].LiveAcross.test(V))
+      << "load destination must not cross its own CSB";
+  EXPECT_TRUE(N.getCSBs()[0].LiveAcross.test(regByName(P, "buf")));
+}
+
+TEST(NSRTest, RegionsMergeAcrossCFGEdges) {
+  // The region after the ctx in 'then' and the region in 'join' connect via
+  // the CFG edge, forming one NSR (maximal connected subgraph).
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm a, 1
+    bz  a, join
+    ctx
+    addi a, a, 1
+join:
+    store [a+0], a
+    halt
+)");
+  LivenessInfo LI = computeLiveness(P);
+  NSRInfo N = computeNSRs(P, LI);
+  // Regions: [entry..ctx) plus join reachable without ctx from entry — so
+  // the pre-ctx region and join connect via the bz edge: one region; the
+  // post-ctx region merges with join too, making them the SAME region.
+  // Final region after the store is separate.
+  EXPECT_EQ(N.getNumNSRs(), 2);
+}
+
+TEST(NSRTest, PaperFigure3Thread1) {
+  // Paper Fig. 3, thread 1: a is live across a ctx_switch (boundary), b and
+  // c live only between switches (internal). RegPCSBmax = 1 (only a
+  // crosses), RegPmax = 2 via (a,b) or (a,c).
+  Program P = parseOrDie(R"(
+.thread fig3t1
+main:
+    imm  a, 1
+    ctx
+    bz   a, l1
+    imm  b, 2
+    add  t, a, b
+    imm  c, 3
+    br   l2
+l1:
+    imm  c, 4
+    add  t, a, c
+    imm  b, 5
+l2:
+    add  u, b, c
+    store [u+0], u
+    halt
+)");
+  LivenessInfo LI = computeLiveness(P);
+  NSRInfo N = computeNSRs(P, LI);
+  // Two CSBs: the ctx and the final store.
+  ASSERT_EQ(N.getCSBs().size(), 2u);
+  const CSB &Ctx = N.getCSBs()[0];
+  Reg A = regByName(P, "a");
+  EXPECT_TRUE(Ctx.LiveAcross.test(A));
+  EXPECT_EQ(Ctx.LiveAcross.count(), 1) << "only a crosses the ctx_switch";
+}
+
+TEST(NSRTest, RegPCSBmaxIsMaxCrossingCount) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm a, 1
+    imm b, 2
+    imm c, 3
+    ctx
+    add d, a, b
+    add d, d, c
+    ctx
+    store [d+0], d
+    halt
+)");
+  LivenessInfo LI = computeLiveness(P);
+  NSRInfo N = computeNSRs(P, LI);
+  EXPECT_EQ(N.getRegPCSBmax(), 3) << "a, b, c cross the first ctx";
+}
+
+TEST(NSRTest, InstrPrePostNSRDifferOnlyAtBoundaries) {
+  Program P = parseOrDie(R"(
+.thread t
+.entrylive buf
+main:
+    imm  a, 1
+    load b, [buf+0]
+    add  c, a, b
+    store [buf+1], c
+    halt
+)");
+  LivenessInfo LI = computeLiveness(P);
+  NSRInfo N = computeNSRs(P, LI);
+  EXPECT_EQ(N.instrPreNSR(0, 0), N.instrPostNSR(0, 0)) << "imm";
+  EXPECT_NE(N.instrPreNSR(0, 1), N.instrPostNSR(0, 1)) << "load";
+  EXPECT_EQ(N.instrPreNSR(0, 2), N.instrPostNSR(0, 2)) << "add";
+  EXPECT_NE(N.instrPreNSR(0, 3), N.instrPostNSR(0, 3)) << "store";
+}
+
+TEST(NSRTest, SizesSumToInstructionCount) {
+  Program P = parseOrDie(R"(
+.thread t
+.entrylive buf
+main:
+    imm  s, 0
+    imm  n, 3
+loop:
+    load w, [buf+0]
+    add  s, s, w
+    ctx
+    subi n, n, 1
+    bnz  n, loop
+    store [buf+5], s
+    halt
+)");
+  LivenessInfo LI = computeLiveness(P);
+  NSRInfo N = computeNSRs(P, LI);
+  int Total = 0;
+  for (int Size : N.getNSRSizes())
+    Total += Size;
+  EXPECT_EQ(Total, P.countInstructions());
+}

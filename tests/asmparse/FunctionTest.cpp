@@ -1,0 +1,304 @@
+//===- FunctionTest.cpp - .func / call / ret inline expansion -------------===//
+//
+// Assembler-level functions: the machine has no call stack (only the PC is
+// saved on a context switch), so calls are expanded inline with shared
+// register names — which also realises the paper's remark that NSRs and
+// interference graphs "can be constructed inter-procedurally": after
+// expansion the caller and callee are one CFG.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/InterAllocator.h"
+#include "analysis/InterferenceGraph.h"
+#include "asmparse/AsmParser.h"
+#include "ir/IRVerifier.h"
+
+#include "../common/TestUtils.h"
+#include "gtest/gtest.h"
+
+using namespace npral;
+using namespace npral::test;
+
+TEST(FunctionTest, SimpleCallExpandsAndRuns) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  x, 5
+    call double_x
+    imm  o, 0x200
+    store [o+0], x
+    halt
+
+.func double_x
+body:
+    add  x, x, x
+    ret
+)");
+  ASSERT_TRUE(verifyProgram(P).ok());
+  // No call/ret survives expansion.
+  for (const BasicBlock &BB : P.Blocks)
+    for (const Instruction &I : BB.Instrs) {
+      EXPECT_NE(I.Op, Opcode::Call);
+      EXPECT_NE(I.Op, Opcode::Ret);
+    }
+  auto Run = runSingle(P, {}, 0x200, 4);
+  ASSERT_TRUE(Run.Result.Completed) << Run.Result.FailReason;
+  MultiThreadProgram MTP;
+  MTP.Threads.push_back(P);
+  Simulator Sim(MTP, SimConfig());
+  ASSERT_TRUE(Sim.run().Completed);
+  EXPECT_EQ(Sim.readMemoryWord(0x200), 10u);
+}
+
+TEST(FunctionTest, FunctionDefinedBeforeUse) {
+  Program P = parseOrDie(R"(
+.func inc
+body:
+    addi v, v, 1
+    ret
+
+.thread t
+main:
+    imm  v, 1
+    call inc
+    call inc
+    imm  o, 0x200
+    store [o+0], v
+    halt
+)");
+  MultiThreadProgram MTP;
+  MTP.Threads.push_back(P);
+  Simulator Sim(MTP, SimConfig());
+  ASSERT_TRUE(Sim.run().Completed);
+  EXPECT_EQ(Sim.readMemoryWord(0x200), 3u);
+}
+
+TEST(FunctionTest, EachCallSiteGetsItsOwnCopy) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  v, 1
+    call twice
+    call twice
+    call twice
+    imm  o, 0x200
+    store [o+0], v
+    halt
+.func twice
+body:
+    add v, v, v
+    ret
+)");
+  // Three expansions: the body's add appears three times.
+  int Adds = 0;
+  for (const BasicBlock &BB : P.Blocks)
+    for (const Instruction &I : BB.Instrs)
+      if (I.Op == Opcode::Add)
+        ++Adds;
+  EXPECT_EQ(Adds, 3);
+  MultiThreadProgram MTP;
+  MTP.Threads.push_back(P);
+  Simulator Sim(MTP, SimConfig());
+  ASSERT_TRUE(Sim.run().Completed);
+  EXPECT_EQ(Sim.readMemoryWord(0x200), 8u);
+}
+
+TEST(FunctionTest, BranchesAndMultipleRets) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  v, 7
+    call absdiff10
+    imm  o, 0x200
+    store [o+0], v
+    imm  v, 13
+    call absdiff10
+    store [o+1], v
+    halt
+.func absdiff10
+body:
+    imm  ten, 10
+    blt  v, ten, below
+    sub  v, v, ten
+    ret
+below:
+    sub  v, ten, v
+    ret
+)");
+  MultiThreadProgram MTP;
+  MTP.Threads.push_back(P);
+  Simulator Sim(MTP, SimConfig());
+  ASSERT_TRUE(Sim.run().Completed);
+  EXPECT_EQ(Sim.readMemoryWord(0x200), 3u);
+  EXPECT_EQ(Sim.readMemoryWord(0x201), 3u);
+}
+
+TEST(FunctionTest, NestedCalls) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  v, 2
+    call quad
+    imm  o, 0x200
+    store [o+0], v
+    halt
+.func quad
+body:
+    call twice
+    call twice
+    ret
+.func twice
+body:
+    add v, v, v
+    ret
+)");
+  MultiThreadProgram MTP;
+  MTP.Threads.push_back(P);
+  Simulator Sim(MTP, SimConfig());
+  ASSERT_TRUE(Sim.run().Completed);
+  EXPECT_EQ(Sim.readMemoryWord(0x200), 8u);
+}
+
+TEST(FunctionTest, FunctionWithLoadIsACSBInCaller) {
+  // Inter-procedural NSRs: a memory read inside the callee splits the
+  // caller's regions, and caller values live over the call cross it.
+  Program P = parseOrDie(R"(
+.thread t
+.entrylive buf
+main:
+    imm  keep, 42
+    call fetch
+    add  keep, keep, got
+    imm  o, 0x200
+    store [o+0], keep
+    halt
+.func fetch
+body:
+    load got, [buf+0]
+    ret
+)");
+  ThreadAnalysis TA = analyzeThread(P);
+  // keep crosses the load inside the expanded callee.
+  Reg Keep = NoReg;
+  for (Reg R = 0; R < P.NumRegs; ++R)
+    if (P.getRegName(R) == "keep")
+      Keep = R;
+  ASSERT_NE(Keep, NoReg);
+  EXPECT_TRUE(TA.BoundaryNodes.test(Keep));
+}
+
+TEST(FunctionTest, RecursionRejected) {
+  auto R = parseSingleProgram(R"(
+.thread t
+main:
+    call forever
+    halt
+.func forever
+body:
+    call forever
+    ret
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.status().str().find("recursive"), std::string::npos);
+}
+
+TEST(FunctionTest, UndefinedFunctionRejected) {
+  auto R = parseSingleProgram(R"(
+.thread t
+main:
+    call ghost
+    halt
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.status().str().find("undefined function"), std::string::npos);
+}
+
+TEST(FunctionTest, DuplicateFunctionRejected) {
+  auto R = parseAssembly(R"(
+.func f
+body:
+    ret
+.func f
+body:
+    ret
+.thread t
+main:
+    halt
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.status().str().find("duplicate function"), std::string::npos);
+}
+
+TEST(FunctionTest, StrayRetInThreadRejected) {
+  auto R = parseSingleProgram(R"(
+.thread t
+main:
+    ret
+)");
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.status().str().find("expanded"), std::string::npos);
+}
+
+TEST(FunctionTest, CallInLoopBody) {
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  v, 0
+    imm  n, 5
+loop:
+    call bump
+    subi n, n, 1
+    bnz  n, loop
+    imm  o, 0x200
+    store [o+0], v
+    halt
+.func bump
+body:
+    addi v, v, 3
+    ret
+)");
+  MultiThreadProgram MTP;
+  MTP.Threads.push_back(P);
+  Simulator Sim(MTP, SimConfig());
+  ASSERT_TRUE(Sim.run().Completed);
+  EXPECT_EQ(Sim.readMemoryWord(0x200), 15u);
+}
+
+TEST(FunctionTest, AllocatableAfterExpansion) {
+  // The whole pipeline works on expanded programs.
+  ErrorOr<MultiThreadProgram> MTP = parseAssembly(R"(
+.thread worker
+.entrylive buf
+main:
+    imm  acc, 0
+    imm  n, 4
+loop:
+    call step
+    subi n, n, 1
+    bnz  n, loop
+    imm  o, 0x200
+    store [o+0], acc
+    loopend
+    halt
+.func step
+body:
+    load w, [buf+0]
+    muli w, w, 3
+    add  acc, acc, w
+    addi buf, buf, 1
+    ret
+)");
+  ASSERT_TRUE(MTP.ok()) << MTP.status().str();
+  InterThreadResult R = allocateInterThread(*MTP, 16);
+  ASSERT_TRUE(R.Success) << R.FailReason;
+  Simulator Ref(*MTP, SimConfig());
+  Ref.writeMemory(0x100, {1, 2, 3, 4});
+  Ref.setEntryValues(0, {0x100});
+  ASSERT_TRUE(Ref.run().Completed);
+  Simulator Sim(R.Physical, SimConfig());
+  Sim.writeMemory(0x100, {1, 2, 3, 4});
+  Sim.setEntryValues(0, {0x100});
+  ASSERT_TRUE(Sim.run().Completed);
+  EXPECT_EQ(Sim.readMemoryWord(0x200), Ref.readMemoryWord(0x200));
+  EXPECT_EQ(Sim.readMemoryWord(0x200), 30u);
+}

@@ -1,0 +1,143 @@
+//===- ChaitinTest.cpp - Spilling baseline allocator ----------------------===//
+
+#include "baseline/ChaitinAllocator.h"
+
+#include "workloads/Workload.h"
+
+#include "alloc/AllocationVerifier.h"
+#include "analysis/InterferenceGraph.h"
+#include "ir/IRVerifier.h"
+
+#include "../common/TestUtils.h"
+#include "gtest/gtest.h"
+
+using namespace npral;
+using namespace npral::test;
+
+namespace {
+
+const char *PressureAsm = R"(
+.thread pressure
+.entrylive buf
+main:
+    imm  o, 0x2000
+    imm  a, 1
+    imm  b, 2
+    imm  c, 3
+    imm  d, 4
+    imm  e, 5
+    add  s, a, b
+    add  s, s, c
+    add  s, s, d
+    add  s, s, e
+    add  s, s, buf
+    store [o+0], s
+    store [o+1], a
+    store [o+2], e
+    loopend
+    halt
+)";
+
+} // namespace
+
+TEST(ChaitinTest, NoSpillWhenEnoughColors) {
+  Program P = parseOrDie(PressureAsm);
+  ChaitinConfig Config;
+  Config.NumColors = 16;
+  Config.SpillBase = 0x3000;
+  ChaitinResult R = runChaitinAllocator(P, Config);
+  ASSERT_TRUE(R.Success) << R.FailReason;
+  EXPECT_EQ(R.SpilledRanges, 0);
+  EXPECT_LE(R.ColorsUsed, 16);
+  ASSERT_TRUE(verifyProgram(R.Allocated).ok());
+}
+
+TEST(ChaitinTest, SpillsUnderPressureAndStaysCorrect) {
+  Program P = parseOrDie(PressureAsm);
+  ChaitinConfig Config;
+  Config.NumColors = 4;
+  Config.SpillBase = 0x3000;
+  ChaitinResult R = runChaitinAllocator(P, Config);
+  ASSERT_TRUE(R.Success) << R.FailReason;
+  EXPECT_GT(R.SpilledRanges, 0);
+  EXPECT_GT(R.SpillLoads + R.SpillStores, 0);
+  ASSERT_TRUE(verifyProgram(R.Allocated).ok());
+  // Behaviour preserved.
+  auto Orig = runSingle(P, {7}, 0x2000, 8);
+  auto Spilled = runSingle(R.Allocated, {7}, 0x2000, 8);
+  ASSERT_TRUE(Orig.Result.Completed);
+  ASSERT_TRUE(Spilled.Result.Completed) << Spilled.Result.FailReason;
+  EXPECT_EQ(Orig.OutputHash, Spilled.OutputHash);
+}
+
+TEST(ChaitinTest, SpilledProgramHasMoreCtxEvents) {
+  Program P = parseOrDie(PressureAsm);
+  ChaitinConfig Tight;
+  Tight.NumColors = 4;
+  Tight.SpillBase = 0x3000;
+  ChaitinResult R = runChaitinAllocator(P, Tight);
+  ASSERT_TRUE(R.Success);
+  EXPECT_GT(R.Allocated.countCtxInstructions(), P.countCtxInstructions())
+      << "spill code adds context-switching memory operations";
+}
+
+TEST(ChaitinTest, EntryLiveSpillStoredOnce) {
+  // Force the entry-live register to spill; its initial store must execute
+  // exactly once even though the kernel loops (regression test for the
+  // loop-header entry-store bug).
+  Program P = parseOrDie(R"(
+.thread entryspill
+.entrylive buf
+main:
+    imm  o, 0x2000
+    imm  n, 3
+loop:
+    imm  a, 1
+    imm  b, 2
+    imm  c, 3
+    add  s, a, b
+    add  s, s, c
+    add  s, s, buf
+    store [o+0], s
+    subi n, n, 1
+    bnz  n, loop
+    loopend
+    halt
+)");
+  ChaitinConfig Config;
+  Config.NumColors = 4;
+  Config.SpillBase = 0x3000;
+  ChaitinResult R = runChaitinAllocator(P, Config);
+  ASSERT_TRUE(R.Success) << R.FailReason;
+  auto Orig = runSingle(P, {9}, 0x2000, 4);
+  auto Spilled = runSingle(R.Allocated, {9}, 0x2000, 4);
+  ASSERT_TRUE(Spilled.Result.Completed) << Spilled.Result.FailReason;
+  EXPECT_EQ(Orig.OutputHash, Spilled.OutputHash);
+}
+
+TEST(ChaitinTest, AllBenchmarksConvergeAt32) {
+  for (const std::string &Name : getWorkloadNames()) {
+    auto W = buildWorkload(Name, 0);
+    ASSERT_TRUE(W.ok());
+    ChaitinConfig Config;
+    Config.NumColors = 32;
+    Config.SpillBase = W->SpillBase;
+    ChaitinResult R = runChaitinAllocator(W->Code, Config);
+    EXPECT_TRUE(R.Success) << Name << ": " << R.FailReason;
+  }
+}
+
+TEST(ChaitinTest, MaterializeBaselineUsesDisjointPartitions) {
+  Program P = parseOrDie(PressureAsm);
+  ChaitinConfig Config;
+  Config.NumColors = 8;
+  Config.SpillBase = 0x3000;
+  ChaitinResult R = runChaitinAllocator(P, Config);
+  ASSERT_TRUE(R.Success);
+  MultiThreadProgram Phys =
+      materializeBaseline({R.Allocated, R.Allocated}, 8, "pair");
+  ASSERT_EQ(Phys.Threads.size(), 2u);
+  AllocationSafetyStats Stats;
+  EXPECT_TRUE(verifyAllocationSafety(Phys, &Stats).ok());
+  EXPECT_EQ(Stats.SharedRegCount, 0) << "fixed partitions never share";
+}

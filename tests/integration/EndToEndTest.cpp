@@ -1,0 +1,120 @@
+//===- EndToEndTest.cpp - Full scenario pipelines --------------------------===//
+//
+// Integration tests over the paper's ARA scenarios: allocate with both the
+// inter-thread allocator and the spilling baseline, verify safety, simulate
+// and compare outputs, and check the headline performance directions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/AllocationVerifier.h"
+#include "alloc/InterAllocator.h"
+#include "workloads/Harness.h"
+
+#include "../common/TestUtils.h"
+#include "gtest/gtest.h"
+
+using namespace npral;
+using namespace npral::test;
+
+namespace {
+
+struct ScenarioFixture {
+  std::vector<Workload> Workloads;
+  MultiThreadProgram Virtual;
+  InterThreadResult Sharing;
+  BaselineAllocationOutcome Baseline;
+
+  explicit ScenarioFixture(const Scenario &S) {
+    Workloads = buildScenarioWorkloads(S);
+    Virtual = toMultiThreadProgram(Workloads, S.Name);
+    Sharing = allocateInterThread(Virtual, 128);
+    Baseline = allocateScenarioBaseline(Workloads, 32);
+  }
+};
+
+} // namespace
+
+class AraScenarioTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AraScenarioTest, BothAllocatorsSucceedAndAreSafe) {
+  ScenarioFixture F(getAraScenarios()[static_cast<size_t>(GetParam())]);
+  ASSERT_TRUE(F.Sharing.Success) << F.Sharing.FailReason;
+  ASSERT_TRUE(F.Baseline.Success) << F.Baseline.FailReason;
+  EXPECT_TRUE(verifyAllocationSafety(F.Sharing.Physical).ok());
+  EXPECT_TRUE(verifyAllocationSafety(F.Baseline.Physical).ok());
+  EXPECT_LE(F.Sharing.RegistersUsed, 128);
+}
+
+TEST_P(AraScenarioTest, OutputsMatchReference) {
+  ScenarioFixture F(getAraScenarios()[static_cast<size_t>(GetParam())]);
+  ASSERT_TRUE(F.Sharing.Success && F.Baseline.Success);
+  SimConfig Config = equivalenceConfig();
+  Config.TargetIterations = 5;
+  ScenarioRun Ref = simulateWithWorkloads(F.Workloads, F.Virtual, Config);
+  ScenarioRun Spill =
+      simulateWithWorkloads(F.Workloads, F.Baseline.Physical, Config);
+  ScenarioRun Share =
+      simulateWithWorkloads(F.Workloads, F.Sharing.Physical, Config);
+  ASSERT_TRUE(Ref.Success && Spill.Success && Share.Success);
+  for (size_t T = 0; T < F.Workloads.size(); ++T) {
+    EXPECT_EQ(Spill.Threads[T].OutputHash, Ref.Threads[T].OutputHash)
+        << "spill output diverges, thread " << T;
+    EXPECT_EQ(Share.Threads[T].OutputHash, Ref.Threads[T].OutputHash)
+        << "sharing output diverges, thread " << T;
+  }
+}
+
+TEST_P(AraScenarioTest, SharingNeverUsesMoreRegistersThanFile) {
+  ScenarioFixture F(getAraScenarios()[static_cast<size_t>(GetParam())]);
+  ASSERT_TRUE(F.Sharing.Success);
+  int SumPR = 0;
+  for (const ThreadAllocation &T : F.Sharing.Threads)
+    SumPR += T.PR;
+  EXPECT_EQ(F.Sharing.SharedBase, SumPR);
+  EXPECT_EQ(F.Sharing.RegistersUsed, SumPR + F.Sharing.SGR);
+  EXPECT_LE(F.Sharing.RegistersUsed, 128);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, AraScenarioTest, ::testing::Values(0, 1, 2),
+                         [](const auto &Info) {
+                           return getAraScenarios()[static_cast<size_t>(
+                                                        Info.param)]
+                               .Name;
+                         });
+
+TEST(HeadlineTest, CriticalThreadsSpeedUpWithSharing) {
+  // The paper's headline: performance-critical threads (md5, wraps) gain
+  // substantially from register sharing versus the spilling baseline.
+  SimConfig Config = defaultExperimentConfig();
+  Config.TargetIterations = 20;
+  for (const Scenario &S : getAraScenarios()) {
+    ScenarioFixture F(S);
+    ASSERT_TRUE(F.Sharing.Success && F.Baseline.Success);
+    ScenarioRun Spill =
+        simulateWithWorkloads(F.Workloads, F.Baseline.Physical, Config);
+    ScenarioRun Share =
+        simulateWithWorkloads(F.Workloads, F.Sharing.Physical, Config);
+    ASSERT_TRUE(Spill.Success && Share.Success);
+    for (int T : S.CriticalThreads) {
+      double SpillCyc = Spill.Threads[static_cast<size_t>(T)].CyclesPerIter;
+      double ShareCyc = Share.Threads[static_cast<size_t>(T)].CyclesPerIter;
+      EXPECT_LT(ShareCyc, SpillCyc)
+          << S.Name << ": critical thread " << T << " must speed up";
+      EXPECT_GT((SpillCyc - ShareCyc) / SpillCyc, 0.05)
+          << S.Name << ": speedup should be substantial";
+    }
+  }
+}
+
+TEST(HeadlineTest, SharingRemovesSpillTraffic) {
+  for (const Scenario &S : getAraScenarios()) {
+    ScenarioFixture F(S);
+    ASSERT_TRUE(F.Sharing.Success && F.Baseline.Success);
+    int SpillOps = 0;
+    for (const ChaitinResult &R : F.Baseline.PerThread)
+      SpillOps += R.SpillLoads + R.SpillStores;
+    EXPECT_GT(SpillOps, 0) << S.Name << ": baseline must actually spill";
+    EXPECT_EQ(F.Sharing.TotalMoveCost, 0)
+        << S.Name << ": at Nreg=128 the sharing allocator needs no moves";
+  }
+}

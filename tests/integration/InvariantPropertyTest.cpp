@@ -1,0 +1,237 @@
+//===- InvariantPropertyTest.cpp - Structural invariants, randomised ------===//
+//
+// Parameterised sweeps checking the paper's structural claims on random
+// programs and on the benchmark kernels:
+//
+//   * NSR decomposition invariants (§3.1);
+//   * BIG edges are a subset of GIG edges (boundary interference implies
+//     co-liveness);
+//   * Claim 2: internal nodes of different NSRs never interfere;
+//   * bounds ordering MinPR <= {MinR, MaxPR} <= MaxR and MinR = RegPmax;
+//   * web renaming is idempotent and behaviour-preserving;
+//   * print -> parse round trips preserve behaviour for every benchmark;
+//   * minimal-budget allocation of every benchmark is behaviour-preserving.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/BoundsEstimator.h"
+#include "alloc/IntraAllocator.h"
+#include "analysis/InterferenceGraph.h"
+#include "analysis/LiveRangeRenaming.h"
+#include "ir/IRPrinter.h"
+#include "workloads/Harness.h"
+#include "workloads/ProgramGenerator.h"
+
+#include "../common/TestUtils.h"
+#include "gtest/gtest.h"
+
+using namespace npral;
+using namespace npral::test;
+
+namespace {
+
+GeneratorConfig invariantConfig() {
+  GeneratorConfig Config;
+  Config.TargetInstructions = 90;
+  Config.NumLongLived = 6;
+  Config.CtxRatePerMille = 180;
+  return Config;
+}
+
+} // namespace
+
+class StructuralInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StructuralInvariantTest, NSRDecomposition) {
+  Program P = generateRandomProgram(GetParam(), invariantConfig());
+  LivenessInfo LI = computeLiveness(P);
+  NSRInfo N = computeNSRs(P, LI);
+
+  // Sizes sum to the instruction count.
+  int Total = 0;
+  for (int Size : N.getNSRSizes())
+    Total += Size;
+  EXPECT_EQ(Total, P.countInstructions());
+
+  // Pre/post regions are identical at non-switching instructions. (At a
+  // CSB they *may* still coincide: the paper's own Fig. 4 example notes
+  // that both sides of a boundary can rejoin into one NSR around a loop.)
+  // The CSB list covers exactly the context-switching instructions.
+  size_t NumCtx = 0;
+  for (int B = 0; B < P.getNumBlocks(); ++B) {
+    const BasicBlock &BB = P.block(B);
+    for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
+      bool Ctx = BB.Instrs[static_cast<size_t>(I)].causesCtxSwitch();
+      if (Ctx)
+        ++NumCtx;
+      else
+        EXPECT_EQ(N.instrPreNSR(B, I), N.instrPostNSR(B, I));
+    }
+  }
+  EXPECT_EQ(N.getCSBs().size(), NumCtx);
+
+  // Live-across sets are live-out minus the def, and bound RegPCSBmax.
+  int MaxCross = 0;
+  for (const CSB &Boundary : N.getCSBs()) {
+    const Instruction &I =
+        P.block(Boundary.Block)
+            .Instrs[static_cast<size_t>(Boundary.InstrIndex)];
+    BitVector Expected = LI.instrLiveOut(Boundary.Block, Boundary.InstrIndex);
+    if (I.Def != NoReg)
+      Expected.reset(I.Def);
+    EXPECT_TRUE(Boundary.LiveAcross == Expected);
+    MaxCross = std::max(MaxCross, Boundary.LiveAcross.count());
+  }
+  EXPECT_EQ(N.getRegPCSBmax(), MaxCross);
+}
+
+TEST_P(StructuralInvariantTest, GraphClaims) {
+  Program P =
+      renameLiveRanges(generateRandomProgram(GetParam(), invariantConfig()));
+  ThreadAnalysis TA = analyzeThread(P);
+
+  // BIG edges are a subset of GIG edges.
+  for (int A = 0; A < TA.BIG.getNumNodes(); ++A)
+    TA.BIG.neighbors(A).forEach([&](int B) {
+      EXPECT_TRUE(TA.GIG.hasEdge(A, B))
+          << "BIG edge (" << A << "," << B << ") missing from GIG";
+    });
+
+  // Claim 2: internal nodes with different home NSRs never interfere.
+  std::vector<int> Internals = TA.InternalNodes.toVector();
+  for (size_t I = 0; I < Internals.size(); ++I)
+    for (size_t J = I + 1; J < Internals.size(); ++J) {
+      int A = Internals[I], B = Internals[J];
+      if (TA.HomeNSR[static_cast<size_t>(A)] !=
+          TA.HomeNSR[static_cast<size_t>(B)]) {
+        EXPECT_FALSE(TA.GIG.hasEdge(A, B))
+            << "cross-NSR internal interference " << A << "," << B;
+      }
+    }
+
+  // Boundary/internal partition referenced nodes exactly.
+  BitVector Union = TA.BoundaryNodes;
+  EXPECT_FALSE(TA.BoundaryNodes.intersects(TA.InternalNodes));
+  Union.unionWith(TA.InternalNodes);
+  EXPECT_TRUE(Union == TA.ReferencedNodes);
+}
+
+TEST_P(StructuralInvariantTest, BoundsOrdering) {
+  Program P =
+      renameLiveRanges(generateRandomProgram(GetParam(), invariantConfig()));
+  ThreadAnalysis TA = analyzeThread(P);
+  RegBounds B = estimateRegBounds(TA);
+  EXPECT_EQ(B.MinR, TA.getRegPmax());
+  EXPECT_EQ(B.MinPR, TA.getRegPCSBmax());
+  EXPECT_LE(B.MinPR, B.MinR);
+  EXPECT_LE(B.MinPR, B.MaxPR);
+  EXPECT_LE(B.MinR, B.MaxR);
+  EXPECT_LE(B.MaxPR, B.MaxR);
+  // The estimator's coloring realises its own bounds.
+  TA.BoundaryNodes.forEach([&](int Node) {
+    EXPECT_LT(B.Colors[static_cast<size_t>(Node)], B.MaxPR);
+  });
+  TA.ReferencedNodes.forEach([&](int Node) {
+    EXPECT_GE(B.Colors[static_cast<size_t>(Node)], 0);
+    EXPECT_LT(B.Colors[static_cast<size_t>(Node)], B.MaxR);
+  });
+}
+
+TEST_P(StructuralInvariantTest, RenamingIdempotentAndEquivalent) {
+  GeneratorConfig Config = invariantConfig();
+  Program P = generateRandomProgram(GetParam(), Config);
+  Program R1 = renameLiveRanges(P);
+  Program R2 = renameLiveRanges(R1);
+  EXPECT_EQ(R1.NumRegs, R2.NumRegs) << "renaming must be idempotent";
+  EXPECT_GE(R1.NumRegs, P.NumRegs);
+
+  std::vector<uint32_t> Data(Config.MemLen, 0xBEEF);
+  auto A = runSingle(P, {}, Config.OutBase, Config.OutLen, Data,
+                     Config.MemBase);
+  auto B = runSingle(R1, {}, Config.OutBase, Config.OutLen, Data,
+                     Config.MemBase);
+  ASSERT_TRUE(A.Result.Completed && B.Result.Completed);
+  EXPECT_EQ(A.OutputHash, B.OutputHash);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructuralInvariantTest,
+                         ::testing::Range<uint64_t>(100, 125));
+
+class StressInvariantTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressInvariantTest, LargeProgramFullPipeline) {
+  // Bigger, deeper programs than the regular sweep: the whole pipeline
+  // (renaming, analysis, bounds, minimal allocation, equivalence) on a
+  // few hundred instructions.
+  GeneratorConfig Config;
+  Config.TargetInstructions = 260;
+  Config.NumLongLived = 10;
+  Config.CtxRatePerMille = 140;
+  Config.MaxDepth = 4;
+  Program P = generateRandomProgram(GetParam(), Config);
+
+  IntraThreadAllocator Intra(P);
+  const IntraResult &Min =
+      Intra.allocate(Intra.getMinPR(), Intra.getMinR() - Intra.getMinPR());
+  ASSERT_TRUE(Min.Feasible) << "seed " << GetParam() << ": "
+                            << Min.FailReason;
+  std::vector<uint32_t> Data(Config.MemLen, 0x5A5A);
+  auto A = runSingle(P, {}, Config.OutBase, Config.OutLen, Data,
+                     Config.MemBase);
+  auto B = runSingle(Min.ColorProgram, {}, Config.OutBase, Config.OutLen,
+                     Data, Config.MemBase);
+  ASSERT_TRUE(A.Result.Completed && B.Result.Completed);
+  EXPECT_EQ(A.OutputHash, B.OutputHash) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressInvariantTest,
+                         ::testing::Range<uint64_t>(500, 508));
+
+class WorkloadRoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadRoundTripTest, PrintParsePreservesBehaviour) {
+  ErrorOr<Workload> W = buildWorkload(GetParam(), 0);
+  ASSERT_TRUE(W.ok());
+  std::string Printed = programToString(W->Code);
+  Program Reparsed = parseOrDie(Printed);
+
+  Workload W2 = *W;
+  W2.Code = Reparsed;
+  std::vector<Workload> A = {*W}, B = {W2};
+  SimConfig Config = equivalenceConfig();
+  Config.TargetIterations = 2;
+  ScenarioRun R1 =
+      simulateWithWorkloads(A, toMultiThreadProgram(A, "orig"), Config);
+  ScenarioRun R2 =
+      simulateWithWorkloads(B, toMultiThreadProgram(B, "reparsed"), Config);
+  ASSERT_TRUE(R1.Success) << R1.FailReason;
+  ASSERT_TRUE(R2.Success) << R2.FailReason;
+  EXPECT_EQ(R1.Threads[0].OutputHash, R2.Threads[0].OutputHash);
+}
+
+TEST_P(WorkloadRoundTripTest, MinimalAllocationPreservesBehaviour) {
+  ErrorOr<Workload> W = buildWorkload(GetParam(), 0);
+  ASSERT_TRUE(W.ok());
+  IntraThreadAllocator Intra(W->Code);
+  const IntraResult &R =
+      Intra.allocate(Intra.getMinPR(), Intra.getMinR() - Intra.getMinPR());
+  ASSERT_TRUE(R.Feasible) << R.FailReason;
+
+  Workload W2 = *W;
+  W2.Code = R.ColorProgram;
+  std::vector<Workload> A = {*W}, B = {W2};
+  SimConfig Config = equivalenceConfig();
+  Config.TargetIterations = 2;
+  ScenarioRun R1 =
+      simulateWithWorkloads(A, toMultiThreadProgram(A, "orig"), Config);
+  ScenarioRun R2 =
+      simulateWithWorkloads(B, toMultiThreadProgram(B, "minalloc"), Config);
+  ASSERT_TRUE(R1.Success) << R1.FailReason;
+  ASSERT_TRUE(R2.Success) << R2.FailReason;
+  EXPECT_EQ(R1.Threads[0].OutputHash, R2.Threads[0].OutputHash)
+      << GetParam() << " diverges at (MinPR, MinR)";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadRoundTripTest,
+                         ::testing::ValuesIn(getWorkloadNames()),
+                         [](const auto &Info) { return Info.param; });

@@ -1,0 +1,171 @@
+//===- PropertyTest.cpp - Randomised allocation properties ----------------===//
+//
+// Property-based testing over generated programs. For every random program
+// and register budget we check the paper's core invariants end to end:
+//
+//  P1. Feasibility: the intra-thread allocator succeeds whenever
+//      PR >= RegPCSBmax and PR+SR >= RegPmax (Lemma 1 and its extension).
+//  P2. Band safety: in the produced color program, every value live across
+//      a CSB occupies a private color (< PR).
+//  P3. Semantic equivalence: original and allocated programs write the same
+//      memory.
+//  P4. Cross-thread safety: multi-thread physical programs pass the
+//      independent safety verifier.
+//  P5. Spill correctness: the Chaitin baseline under harsh budgets is still
+//      semantically equivalent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/AllocationVerifier.h"
+#include "alloc/InterAllocator.h"
+#include "alloc/IntraAllocator.h"
+#include "analysis/LiveRangeRenaming.h"
+#include "baseline/ChaitinAllocator.h"
+#include "workloads/ProgramGenerator.h"
+
+#include "../common/TestUtils.h"
+#include "gtest/gtest.h"
+
+using namespace npral;
+using namespace npral::test;
+
+namespace {
+
+GeneratorConfig propertyConfig() {
+  GeneratorConfig Config;
+  Config.TargetInstructions = 70;
+  Config.NumLongLived = 7;
+  Config.CtxRatePerMille = 160;
+  return Config;
+}
+
+uint64_t runHash(const Program &P, const GeneratorConfig &Config) {
+  auto Run = runSingle(P, {}, Config.OutBase, Config.OutLen,
+                       std::vector<uint32_t>(Config.MemLen, 0x1234),
+                       Config.MemBase);
+  EXPECT_TRUE(Run.Result.Completed) << Run.Result.FailReason;
+  return Run.OutputHash;
+}
+
+/// Band safety (P2) on a color program.
+void expectBandSafety(const Program &CP, int PR) {
+  LivenessInfo LI = computeLiveness(CP);
+  NSRInfo N = computeNSRs(CP, LI);
+  for (const CSB &Boundary : N.getCSBs())
+    Boundary.LiveAcross.forEach(
+        [&](int Color) { EXPECT_LT(Color, PR) << "shared color crosses CSB"; });
+}
+
+} // namespace
+
+class IntraPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IntraPropertyTest, LowerBoundAllocationIsSoundAndEquivalent) {
+  GeneratorConfig Config = propertyConfig();
+  Program P = generateRandomProgram(GetParam(), Config);
+  uint64_t Expected = runHash(P, Config);
+
+  IntraThreadAllocator Intra(P);
+  // P1: feasible exactly at the lower bounds.
+  const IntraResult &Min =
+      Intra.allocate(Intra.getMinPR(), Intra.getMinR() - Intra.getMinPR());
+  ASSERT_TRUE(Min.Feasible) << "seed " << GetParam() << ": " << Min.FailReason;
+  // P2.
+  expectBandSafety(Min.ColorProgram, Intra.getMinPR());
+  // P3.
+  EXPECT_EQ(runHash(Min.ColorProgram, Config), Expected)
+      << "seed " << GetParam() << " (minimal budget)";
+}
+
+TEST_P(IntraPropertyTest, MidBudgetAllocationIsSoundAndEquivalent) {
+  GeneratorConfig Config = propertyConfig();
+  Program P = generateRandomProgram(GetParam(), Config);
+  uint64_t Expected = runHash(P, Config);
+
+  IntraThreadAllocator Intra(P);
+  int PR = (Intra.getMinPR() + Intra.getMaxPR() + 1) / 2;
+  int R = (Intra.getMinR() + Intra.getMaxR() + 1) / 2;
+  if (R < PR)
+    R = PR;
+  const IntraResult &Mid = Intra.allocate(PR, R - PR);
+  ASSERT_TRUE(Mid.Feasible) << "seed " << GetParam() << ": " << Mid.FailReason;
+  expectBandSafety(Mid.ColorProgram, PR);
+  EXPECT_EQ(runHash(Mid.ColorProgram, Config), Expected)
+      << "seed " << GetParam() << " (mid budget)";
+}
+
+TEST_P(IntraPropertyTest, ChaitinSpillingIsEquivalent) {
+  GeneratorConfig Config = propertyConfig();
+  Program P = generateRandomProgram(GetParam(), Config);
+  uint64_t Expected = runHash(P, Config);
+
+  // Budget well below the long-lived pool size forces spilling. Keep at
+  // least 4 colors so reload temps always fit.
+  ChaitinConfig CC;
+  CC.NumColors = 6;
+  CC.SpillBase = Config.OutBase + Config.OutLen + 16;
+  ChaitinResult R = runChaitinAllocator(P, CC);
+  ASSERT_TRUE(R.Success) << "seed " << GetParam() << ": " << R.FailReason;
+  EXPECT_EQ(runHash(R.Allocated, Config), Expected) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntraPropertyTest,
+                         ::testing::Range<uint64_t>(1, 26));
+
+class InterPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InterPropertyTest, FourThreadAllocationSafeAndEquivalent) {
+  // Four different random threads on one engine; each gets its own memory
+  // regions so outputs are independently checkable.
+  GeneratorConfig Configs[4];
+  MultiThreadProgram MTP;
+  for (int T = 0; T < 4; ++T) {
+    Configs[T] = propertyConfig();
+    Configs[T].MemBase = 0x1000 + 0x800 * static_cast<uint32_t>(T);
+    Configs[T].OutBase = 0x5000 + 0x100 * static_cast<uint32_t>(T);
+    Program P =
+        generateRandomProgram(GetParam() * 10 + static_cast<uint64_t>(T),
+                              Configs[T]);
+    P.Name = "rand" + std::to_string(T);
+    MTP.Threads.push_back(P);
+  }
+
+  // Pick a budget between the global lower and upper requirements so the
+  // reduction loop has real work but success is guaranteed.
+  int SumMinPR = 0, MaxMinSR = 0, SumMaxPR = 0, MaxMaxSR = 0;
+  for (const Program &P : MTP.Threads) {
+    IntraThreadAllocator Probe(P);
+    SumMinPR += Probe.getMinPR();
+    MaxMinSR = std::max(MaxMinSR, Probe.getMinR() - Probe.getMinPR());
+    SumMaxPR += Probe.getMaxPR();
+    MaxMaxSR = std::max(MaxMaxSR, Probe.getMaxR() - Probe.getMaxPR());
+  }
+  int Nreg = (SumMinPR + MaxMinSR + SumMaxPR + MaxMaxSR) / 2 + 1;
+
+  InterThreadResult R = allocateInterThread(MTP, Nreg);
+  ASSERT_TRUE(R.Success) << "seed " << GetParam() << ": " << R.FailReason;
+  EXPECT_LE(R.RegistersUsed, Nreg);
+  // P4: independent safety check.
+  Status S = verifyAllocationSafety(R.Physical);
+  EXPECT_TRUE(S.ok()) << S.str();
+
+  // P3 per thread: run all four threads together and compare each output
+  // region against the single-thread reference.
+  SimConfig SC;
+  Simulator Sim(R.Physical, SC);
+  for (int T = 0; T < 4; ++T)
+    Sim.writeMemory(Configs[T].MemBase,
+                    std::vector<uint32_t>(Configs[T].MemLen, 0x1234));
+  SimResult SR = Sim.run();
+  ASSERT_TRUE(SR.Completed) << SR.FailReason;
+  for (int T = 0; T < 4; ++T) {
+    uint64_t Got =
+        Sim.hashMemoryRange(Configs[T].OutBase, Configs[T].OutLen);
+    uint64_t Expected = runHash(MTP.Threads[static_cast<size_t>(T)],
+                                Configs[T]);
+    EXPECT_EQ(Got, Expected) << "seed " << GetParam() << " thread " << T;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InterPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));

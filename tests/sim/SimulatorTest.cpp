@@ -1,0 +1,451 @@
+//===- SimulatorTest.cpp - Micro-engine semantics and timing --------------===//
+
+#include "sim/Simulator.h"
+
+#include "../common/TestUtils.h"
+#include "gtest/gtest.h"
+
+using namespace npral;
+using namespace npral::test;
+
+namespace {
+
+MultiThreadProgram singleThread(const Program &P) {
+  MultiThreadProgram MTP;
+  MTP.Threads.push_back(P);
+  return MTP;
+}
+
+} // namespace
+
+TEST(SimulatorTest, AluSemantics) {
+  Program P = parseOrDie(R"(
+.thread alu
+main:
+    imm  o, 0x3000
+    imm  a, 10
+    imm  b, 3
+    add  r0, a, b
+    sub  r1, a, b
+    and  r2, a, b
+    or   r3, a, b
+    xor  r4, a, b
+    shl  r5, a, b
+    shr  r6, a, b
+    mul  r7, a, b
+    not  r8, a
+    neg  r9, a
+    store [o+0], r0
+    store [o+1], r1
+    store [o+2], r2
+    store [o+3], r3
+    store [o+4], r4
+    store [o+5], r5
+    store [o+6], r6
+    store [o+7], r7
+    store [o+8], r8
+    store [o+9], r9
+    halt
+)");
+  MultiThreadProgram MTP = singleThread(P);
+  Simulator Sim(MTP, SimConfig());
+  SimResult R = Sim.run();
+  ASSERT_TRUE(R.Completed) << R.FailReason;
+  EXPECT_EQ(Sim.readMemoryWord(0x3000), 13u);
+  EXPECT_EQ(Sim.readMemoryWord(0x3001), 7u);
+  EXPECT_EQ(Sim.readMemoryWord(0x3002), 2u);
+  EXPECT_EQ(Sim.readMemoryWord(0x3003), 11u);
+  EXPECT_EQ(Sim.readMemoryWord(0x3004), 9u);
+  EXPECT_EQ(Sim.readMemoryWord(0x3005), 80u);
+  EXPECT_EQ(Sim.readMemoryWord(0x3006), 1u);
+  EXPECT_EQ(Sim.readMemoryWord(0x3007), 30u);
+  EXPECT_EQ(Sim.readMemoryWord(0x3008), ~10u);
+  EXPECT_EQ(Sim.readMemoryWord(0x3009), 0u - 10u);
+}
+
+TEST(SimulatorTest, ImmediateForms) {
+  Program P = parseOrDie(R"(
+.thread immf
+main:
+    imm  o, 0x3000
+    imm  a, 9
+    addi r0, a, 5
+    subi r1, a, 2
+    andi r2, a, 8
+    ori  r3, a, 4
+    xori r4, a, 1
+    shli r5, a, 2
+    shri r6, a, 1
+    muli r7, a, 7
+    store [o+0], r0
+    store [o+1], r1
+    store [o+2], r2
+    store [o+3], r3
+    store [o+4], r4
+    store [o+5], r5
+    store [o+6], r6
+    store [o+7], r7
+    halt
+)");
+  MultiThreadProgram MTP = singleThread(P);
+  Simulator Sim(MTP, SimConfig());
+  ASSERT_TRUE(Sim.run().Completed);
+  EXPECT_EQ(Sim.readMemoryWord(0x3000), 14u);
+  EXPECT_EQ(Sim.readMemoryWord(0x3001), 7u);
+  EXPECT_EQ(Sim.readMemoryWord(0x3002), 8u);
+  EXPECT_EQ(Sim.readMemoryWord(0x3003), 13u);
+  EXPECT_EQ(Sim.readMemoryWord(0x3004), 8u);
+  EXPECT_EQ(Sim.readMemoryWord(0x3005), 36u);
+  EXPECT_EQ(Sim.readMemoryWord(0x3006), 4u);
+  EXPECT_EQ(Sim.readMemoryWord(0x3007), 63u);
+}
+
+TEST(SimulatorTest, BranchSemantics) {
+  Program P = parseOrDie(R"(
+.thread br
+main:
+    imm  o, 0x3000
+    imm  a, 5
+    imm  b, 5
+    imm  r, 0
+    bne  a, b, skip1
+    ori  r, r, 1
+skip1:
+    beq  a, b, take1
+    br   skip2
+take1:
+    ori  r, r, 2
+skip2:
+    imm  c, 0xFFFFFFFF
+    blt  c, a, take2
+    br   skip3
+take2:
+    ori  r, r, 4
+skip3:
+    bge  a, b, take3
+    br   done
+take3:
+    ori  r, r, 8
+done:
+    store [o+0], r
+    halt
+)");
+  MultiThreadProgram MTP = singleThread(P);
+  Simulator Sim(MTP, SimConfig());
+  ASSERT_TRUE(Sim.run().Completed);
+  // bne not taken (so the ori after it runs: bit 0), beq taken (bit 1),
+  // blt signed (-1 < 5) taken (bit 2), bge taken (bit 3).
+  EXPECT_EQ(Sim.readMemoryWord(0x3000), 1u + 2u + 4u + 8u);
+}
+
+TEST(SimulatorTest, LoadWritesAtResume) {
+  // The load destination keeps its old value until the thread resumes;
+  // another thread that runs in between sees memory already written at
+  // issue time for stores.
+  Program P = parseOrDie(R"(
+.thread t
+main:
+    imm  addr, 0x100
+    imm  v, 7
+    store [addr+0], v
+    load w, [addr+0]
+    store [addr+1], w
+    halt
+)");
+  MultiThreadProgram MTP = singleThread(P);
+  Simulator Sim(MTP, SimConfig());
+  ASSERT_TRUE(Sim.run().Completed);
+  EXPECT_EQ(Sim.readMemoryWord(0x101), 7u);
+}
+
+TEST(SimulatorTest, MemoryLatencyCharged) {
+  Program P = parseOrDie(R"(
+.thread lat
+main:
+    imm  a, 0x100
+    load b, [a+0]
+    store [a+1], b
+    halt
+)");
+  MultiThreadProgram MTP = singleThread(P);
+  SimConfig Fast;
+  Fast.MemLatency = 5;
+  SimConfig Slow;
+  Slow.MemLatency = 50;
+  Simulator S1(MTP, Fast), S2(MTP, Slow);
+  SimResult R1 = S1.run(), R2 = S2.run();
+  ASSERT_TRUE(R1.Completed);
+  ASSERT_TRUE(R2.Completed);
+  EXPECT_EQ(R2.TotalCycles - R1.TotalCycles, 2 * 45)
+      << "two memory ops, 45 extra cycles each";
+}
+
+TEST(SimulatorTest, LatencyHiddenByOtherThread) {
+  // One memory-heavy thread plus one ALU thread: the ALU thread fills the
+  // memory stalls, so total cycles grow far less than the sum.
+  const char *MemAsm = R"(
+.thread mem
+main:
+    imm  a, 0x100
+    imm  n, 10
+loop:
+    load b, [a+0]
+    subi n, n, 1
+    bnz  n, loop
+    halt
+)";
+  const char *AluAsm = R"(
+.thread alu
+main:
+    imm  x, 0
+    imm  n, 150
+loop:
+    addi x, x, 1
+    subi n, n, 1
+    bnz  n, loop
+    halt
+)";
+  ErrorOr<MultiThreadProgram> Both =
+      parseAssembly(std::string(MemAsm) + AluAsm);
+  ASSERT_TRUE(Both.ok());
+  MultiThreadProgram MemOnly;
+  MemOnly.Threads.push_back(Both->Threads[0]);
+  MultiThreadProgram AluOnly;
+  AluOnly.Threads.push_back(Both->Threads[1]);
+
+  SimConfig Config;
+  Config.MemLatency = 40;
+  Simulator SMem(MemOnly, Config), SAlu(AluOnly, Config), SBoth(*Both, Config);
+  int64_t MemCycles = SMem.run().TotalCycles;
+  int64_t AluCycles = SAlu.run().TotalCycles;
+  int64_t BothCycles = SBoth.run().TotalCycles;
+  EXPECT_LT(BothCycles, MemCycles + AluCycles)
+      << "multithreading must hide memory latency";
+  EXPECT_GE(BothCycles, std::max(MemCycles, AluCycles));
+}
+
+TEST(SimulatorTest, RoundRobinIsFair) {
+  // Two identical ctx-yielding threads must make interleaved progress.
+  ErrorOr<MultiThreadProgram> MTP = parseAssembly(R"(
+.thread a
+main:
+    imm  n, 20
+loop:
+    ctx
+    subi n, n, 1
+    bnz  n, loop
+    loopend
+    halt
+.thread b
+main:
+    imm  n, 20
+loop:
+    ctx
+    subi n, n, 1
+    bnz  n, loop
+    loopend
+    halt
+)");
+  ASSERT_TRUE(MTP.ok());
+  Simulator Sim(*MTP, SimConfig());
+  SimResult R = Sim.run();
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(R.Threads[0].Iterations, 1);
+  EXPECT_EQ(R.Threads[1].Iterations, 1);
+  EXPECT_NEAR(static_cast<double>(R.Threads[0].InstrsExecuted),
+              static_cast<double>(R.Threads[1].InstrsExecuted), 4.0);
+}
+
+TEST(SimulatorTest, TargetIterationsStopsRun) {
+  Program P = parseOrDie(R"(
+.thread loopy
+main:
+    imm  x, 1
+top:
+    addi x, x, 1
+    loopend
+    br   top
+)");
+  MultiThreadProgram MTP = singleThread(P);
+  SimConfig Config;
+  Config.TargetIterations = 5;
+  Simulator Sim(MTP, Config);
+  SimResult R = Sim.run();
+  ASSERT_TRUE(R.Completed);
+  EXPECT_GE(R.Threads[0].Iterations, 5);
+  EXPECT_GT(R.Threads[0].CyclesAtTarget, 0);
+}
+
+TEST(SimulatorTest, HaltAtTargetFreezesIterations) {
+  Program P = parseOrDie(R"(
+.thread loopy
+main:
+    imm  x, 1
+top:
+    addi x, x, 1
+    loopend
+    br   top
+)");
+  MultiThreadProgram MTP = singleThread(P);
+  SimConfig Config;
+  Config.TargetIterations = 5;
+  Config.HaltAtTarget = true;
+  Simulator Sim(MTP, Config);
+  SimResult R = Sim.run();
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(R.Threads[0].Iterations, 5);
+  EXPECT_TRUE(R.Threads[0].Halted);
+}
+
+TEST(SimulatorTest, CycleBudgetEnforced) {
+  Program P = parseOrDie(R"(
+.thread forever
+main:
+    imm x, 1
+top:
+    addi x, x, 1
+    br   top
+)");
+  MultiThreadProgram MTP = singleThread(P);
+  SimConfig Config;
+  Config.MaxCycles = 1000;
+  Simulator Sim(MTP, Config);
+  SimResult R = Sim.run();
+  EXPECT_FALSE(R.Completed);
+  EXPECT_NE(R.FailReason.find("budget"), std::string::npos);
+}
+
+TEST(SimulatorTest, OutOfRangeMemoryFails) {
+  Program P = parseOrDie(R"(
+.thread oob
+main:
+    imm  a, 0xFFFFFF
+    muli a, a, 4096
+    load b, [a+0]
+    halt
+)");
+  MultiThreadProgram MTP = singleThread(P);
+  Simulator Sim(MTP, SimConfig());
+  SimResult R = Sim.run();
+  EXPECT_FALSE(R.Completed);
+  EXPECT_NE(R.FailReason.find("out of range"), std::string::npos);
+}
+
+TEST(SimulatorTest, EntryValuesSeedRegisters) {
+  Program P = parseOrDie(R"(
+.thread seeded
+.entrylive base, off
+main:
+    add  a, base, off
+    store [a+0], a
+    halt
+)");
+  MultiThreadProgram MTP = singleThread(P);
+  Simulator Sim(MTP, SimConfig());
+  Sim.setEntryValues(0, {0x200, 0x20});
+  ASSERT_TRUE(Sim.run().Completed);
+  EXPECT_EQ(Sim.readMemoryWord(0x220), 0x220u);
+}
+
+TEST(SimulatorTest, HashIsStableAndSensitive) {
+  Program P = makeTinyProgram();
+  MultiThreadProgram MTP = singleThread(P);
+  Simulator S1(MTP, SimConfig()), S2(MTP, SimConfig());
+  ASSERT_TRUE(S1.run().Completed);
+  ASSERT_TRUE(S2.run().Completed);
+  EXPECT_EQ(S1.hashMemoryRange(0x2000, 8), S2.hashMemoryRange(0x2000, 8));
+  EXPECT_NE(S1.hashMemoryRange(0x2000, 8), S1.hashMemoryRange(0x2001, 8));
+}
+
+TEST(SimulatorTest, IdleCyclesTrackMemoryStalls) {
+  // A single memory-bound thread leaves the CPU idle during every load;
+  // utilisation must be well below 1 and idle + busy == total.
+  Program P = parseOrDie(R"(
+.thread membound
+main:
+    imm  a, 0x100
+    imm  n, 10
+loop:
+    load b, [a+0]
+    subi n, n, 1
+    bnz  n, loop
+    halt
+)");
+  MultiThreadProgram MTP;
+  MTP.Threads.push_back(P);
+  SimConfig Config;
+  Config.MemLatency = 50;
+  Simulator Sim(MTP, Config);
+  SimResult R = Sim.run();
+  ASSERT_TRUE(R.Completed);
+  EXPECT_GT(R.IdleCycles, 10 * 40) << "ten 50-cycle stalls, mostly idle";
+  EXPECT_LT(R.cpuUtilisation(), 0.3);
+  EXPECT_GE(R.IdleCycles, 0);
+  EXPECT_LE(R.IdleCycles, R.TotalCycles);
+}
+
+TEST(SimulatorTest, SecondThreadRaisesUtilisation) {
+  ErrorOr<MultiThreadProgram> MTP = parseAssembly(R"(
+.thread membound
+main:
+    imm  a, 0x100
+    imm  n, 10
+loop:
+    load b, [a+0]
+    subi n, n, 1
+    bnz  n, loop
+    halt
+.thread alu
+main:
+    imm  x, 0
+    imm  n, 200
+loop:
+    addi x, x, 1
+    subi n, n, 1
+    bnz  n, loop
+    halt
+)");
+  ASSERT_TRUE(MTP.ok());
+  MultiThreadProgram MemOnly;
+  MemOnly.Threads.push_back(MTP->Threads[0]);
+  SimConfig Config;
+  Config.MemLatency = 50;
+  Simulator SAlone(MemOnly, Config), SBoth(*MTP, Config);
+  SimResult Alone = SAlone.run();
+  SimResult Both = SBoth.run();
+  ASSERT_TRUE(Alone.Completed && Both.Completed);
+  EXPECT_GT(Both.cpuUtilisation(), Alone.cpuUtilisation())
+      << "the ALU thread fills the memory thread's stalls";
+}
+
+TEST(SimulatorTest, SharedFileVisibleAcrossThreads) {
+  // Two physical threads share one register file; thread two reads what
+  // thread one left in a shared register after a yield (values dead across
+  // the CSB from thread one's perspective, so this is exactly the sharing
+  // the paper allows).
+  ErrorOr<MultiThreadProgram> MTP = parseAssembly(R"(
+.thread w
+main:
+    imm  a, 0x42
+    ctx
+    imm  b, 0
+    store [b+0], b
+    halt
+.thread r
+main:
+    ctx
+    store [a+4], a
+    halt
+)");
+  ASSERT_TRUE(MTP.ok());
+  // Hand-assign: both threads' register ids already overlap (a=0 in both).
+  for (Program &T : MTP->Threads) {
+    T.IsPhysical = true;
+    T.NumRegs = 4;
+  }
+  Simulator Sim(*MTP, SimConfig());
+  SimResult R = Sim.run();
+  ASSERT_TRUE(R.Completed) << R.FailReason;
+  // Thread r stored p0's content (0x42 written by thread w) at 0x42+4.
+  EXPECT_EQ(Sim.readMemoryWord(0x46), 0x42u);
+}

@@ -1,0 +1,110 @@
+//===- BitVectorTest.cpp --------------------------------------------------===//
+
+#include "support/BitVector.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace npral;
+
+TEST(BitVectorTest, EmptyVector) {
+  BitVector BV;
+  EXPECT_EQ(BV.size(), 0);
+  EXPECT_EQ(BV.count(), 0);
+  EXPECT_TRUE(BV.none());
+  EXPECT_FALSE(BV.any());
+}
+
+TEST(BitVectorTest, SetResetTest) {
+  BitVector BV(130);
+  EXPECT_FALSE(BV.test(0));
+  BV.set(0);
+  BV.set(64);
+  BV.set(129);
+  EXPECT_TRUE(BV.test(0));
+  EXPECT_TRUE(BV.test(64));
+  EXPECT_TRUE(BV.test(129));
+  EXPECT_FALSE(BV.test(1));
+  EXPECT_EQ(BV.count(), 3);
+  BV.reset(64);
+  EXPECT_FALSE(BV.test(64));
+  EXPECT_EQ(BV.count(), 2);
+}
+
+TEST(BitVectorTest, ClearZeroesEverything) {
+  BitVector BV(70);
+  BV.set(3);
+  BV.set(69);
+  BV.clear();
+  EXPECT_TRUE(BV.none());
+  EXPECT_EQ(BV.size(), 70);
+}
+
+TEST(BitVectorTest, UnionReportsChange) {
+  BitVector A(100), B(100);
+  A.set(1);
+  B.set(1);
+  EXPECT_FALSE(A.unionWith(B));
+  B.set(99);
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_TRUE(A.test(99));
+}
+
+TEST(BitVectorTest, IntersectAndSubtract) {
+  BitVector A(64), B(64);
+  A.set(1);
+  A.set(2);
+  A.set(3);
+  B.set(2);
+  B.set(3);
+  B.set(4);
+  BitVector I = A;
+  I.intersectWith(B);
+  EXPECT_EQ(I.toVector(), (std::vector<int>{2, 3}));
+  BitVector S = A;
+  S.subtract(B);
+  EXPECT_EQ(S.toVector(), (std::vector<int>{1}));
+}
+
+TEST(BitVectorTest, Intersects) {
+  BitVector A(128), B(128);
+  A.set(100);
+  B.set(101);
+  EXPECT_FALSE(A.intersects(B));
+  B.set(100);
+  EXPECT_TRUE(A.intersects(B));
+}
+
+TEST(BitVectorTest, ForEachAscending) {
+  BitVector BV(200);
+  BV.set(5);
+  BV.set(63);
+  BV.set(64);
+  BV.set(199);
+  std::vector<int> Seen;
+  BV.forEach([&](int I) { Seen.push_back(I); });
+  EXPECT_EQ(Seen, (std::vector<int>{5, 63, 64, 199}));
+}
+
+TEST(BitVectorTest, ResizePreservesBits) {
+  BitVector BV(10);
+  BV.set(3);
+  BV.set(9);
+  BV.resize(100);
+  EXPECT_TRUE(BV.test(3));
+  EXPECT_TRUE(BV.test(9));
+  EXPECT_EQ(BV.count(), 2);
+  BV.set(99);
+  BV.resize(10);
+  EXPECT_EQ(BV.count(), 2) << "bits beyond the new size must be dropped";
+}
+
+TEST(BitVectorTest, EqualityIncludesSize) {
+  BitVector A(10), B(10);
+  EXPECT_TRUE(A == B);
+  A.set(4);
+  EXPECT_FALSE(A == B);
+  B.set(4);
+  EXPECT_TRUE(A == B);
+}

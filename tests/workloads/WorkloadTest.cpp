@@ -1,0 +1,169 @@
+//===- WorkloadTest.cpp - Benchmark kernels and generator -----------------===//
+
+#include "workloads/Harness.h"
+#include "workloads/ProgramGenerator.h"
+#include "workloads/Workload.h"
+
+#include "analysis/InterferenceGraph.h"
+#include "ir/IRVerifier.h"
+
+#include "../common/TestUtils.h"
+#include "gtest/gtest.h"
+
+using namespace npral;
+using namespace npral::test;
+
+TEST(WorkloadTest, RegistryListsElevenBenchmarks) {
+  EXPECT_EQ(getWorkloadNames().size(), 11u);
+}
+
+TEST(WorkloadTest, UnknownNameRejected) {
+  EXPECT_FALSE(buildWorkload("nonesuch", 0).ok());
+  EXPECT_FALSE(buildWorkload("md5", 7).ok());
+}
+
+class WorkloadParamTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadParamTest, BuildsAndVerifies) {
+  auto W = buildWorkload(GetParam(), 0);
+  ASSERT_TRUE(W.ok()) << W.status().str();
+  EXPECT_TRUE(verifyProgram(W->Code).ok());
+  LivenessInfo LI = computeLiveness(W->Code);
+  EXPECT_TRUE(checkNoUseOfUndef(W->Code, LI).ok());
+  EXPECT_EQ(W->Code.EntryLiveRegs.size(), W->EntryValues.size());
+  EXPECT_GT(W->OutputLen, 0u);
+}
+
+TEST_P(WorkloadParamTest, RunsStandalone) {
+  auto W = buildWorkload(GetParam(), 0);
+  ASSERT_TRUE(W.ok());
+  std::vector<Workload> Ws = {W.take()};
+  MultiThreadProgram MTP = toMultiThreadProgram(Ws, GetParam());
+  SimConfig Config = equivalenceConfig();
+  Config.TargetIterations = 3;
+  ScenarioRun Run = simulateWithWorkloads(Ws, MTP, Config);
+  ASSERT_TRUE(Run.Success) << Run.FailReason;
+  EXPECT_GE(Run.Threads[0].Iterations, 3);
+  EXPECT_GT(Run.Threads[0].MemOps, 0);
+}
+
+TEST_P(WorkloadParamTest, DeterministicAcrossRuns) {
+  auto W1 = buildWorkload(GetParam(), 0);
+  auto W2 = buildWorkload(GetParam(), 0);
+  ASSERT_TRUE(W1.ok() && W2.ok());
+  std::vector<Workload> A = {W1.take()}, B = {W2.take()};
+  SimConfig Config = equivalenceConfig();
+  Config.TargetIterations = 2;
+  ScenarioRun R1 =
+      simulateWithWorkloads(A, toMultiThreadProgram(A, "a"), Config);
+  ScenarioRun R2 =
+      simulateWithWorkloads(B, toMultiThreadProgram(B, "b"), Config);
+  ASSERT_TRUE(R1.Success && R2.Success);
+  EXPECT_EQ(R1.Threads[0].OutputHash, R2.Threads[0].OutputHash);
+}
+
+TEST_P(WorkloadParamTest, SlotsUseDisjointMemory) {
+  auto W0 = buildWorkload(GetParam(), 0);
+  auto W3 = buildWorkload(GetParam(), 3);
+  ASSERT_TRUE(W0.ok() && W3.ok());
+  EXPECT_NE(W0->OutputBase, W3->OutputBase);
+  EXPECT_NE(W0->SpillBase, W3->SpillBase);
+}
+
+TEST_P(WorkloadParamTest, WebRenamed) {
+  // Workloads come pre-renamed: analyzeThread must not fault and every
+  // internal node has exactly one home NSR.
+  auto W = buildWorkload(GetParam(), 0);
+  ASSERT_TRUE(W.ok());
+  ThreadAnalysis TA = analyzeThread(W->Code);
+  TA.InternalNodes.forEach([&](int Node) {
+    EXPECT_GE(TA.HomeNSR[static_cast<size_t>(Node)], 0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadParamTest,
+                         ::testing::ValuesIn(getWorkloadNames()),
+                         [](const auto &Info) { return Info.param; });
+
+TEST(WorkloadSignatureTest, CriticalKernelsExceedFixedPartition) {
+  // md5 and wraps must exceed the 32-register fixed partition so the
+  // spilling baseline suffers (the premise of Table 3).
+  for (const char *Name : {"md5", "wraps_rx", "wraps_tx"}) {
+    auto W = buildWorkload(Name, 0);
+    ASSERT_TRUE(W.ok());
+    ThreadAnalysis TA = analyzeThread(W->Code);
+    EXPECT_GT(TA.getRegPmax(), 32) << Name;
+  }
+}
+
+TEST(WorkloadSignatureTest, CompanionKernelsFitFixedPartition) {
+  for (const char *Name : {"frag", "crc", "url", "l2l3fwd_rx", "l2l3fwd_tx",
+                           "fir2dim", "drr"}) {
+    auto W = buildWorkload(Name, 0);
+    ASSERT_TRUE(W.ok());
+    ThreadAnalysis TA = analyzeThread(W->Code);
+    EXPECT_LE(TA.getRegPmax(), 32) << Name;
+  }
+}
+
+TEST(WorkloadSignatureTest, SRAFeasibleForAllBenchmarksAt128) {
+  // Figure 14's premise: four identical threads of every benchmark fit in
+  // the 128-register file using sharing.
+  for (const std::string &Name : getWorkloadNames()) {
+    auto W = buildWorkload(Name, 0);
+    ASSERT_TRUE(W.ok());
+    ThreadAnalysis TA = analyzeThread(W->Code);
+    EXPECT_LE(4 * TA.getRegPCSBmax() +
+                  (TA.getRegPmax() - TA.getRegPCSBmax()),
+              128)
+        << Name << " cannot fit 4x in 128 registers even at the bounds";
+  }
+}
+
+TEST(ScenarioTest, ThreeAraScenariosDefined) {
+  const auto &Scenarios = getAraScenarios();
+  ASSERT_EQ(Scenarios.size(), 3u);
+  for (const Scenario &S : Scenarios) {
+    std::vector<Workload> Ws = buildScenarioWorkloads(S);
+    EXPECT_EQ(Ws.size(), 4u);
+    EXPECT_FALSE(S.CriticalThreads.empty());
+  }
+}
+
+TEST(GeneratorTest, ProducesVerifiedTerminatingPrograms) {
+  GeneratorConfig Config;
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    Program P = generateRandomProgram(Seed, Config);
+    ASSERT_TRUE(verifyProgram(P).ok()) << "seed " << Seed;
+    LivenessInfo LI = computeLiveness(P);
+    EXPECT_TRUE(checkNoUseOfUndef(P, LI).ok()) << "seed " << Seed;
+    auto Run = runSingle(P, {}, Config.OutBase, Config.OutLen, {},
+                         Config.MemBase);
+    EXPECT_TRUE(Run.Result.Completed)
+        << "seed " << Seed << ": " << Run.Result.FailReason;
+    EXPECT_GE(Run.Result.Threads[0].Iterations, 1) << "seed " << Seed;
+  }
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  GeneratorConfig Config;
+  Program A = generateRandomProgram(42, Config);
+  Program B = generateRandomProgram(42, Config);
+  EXPECT_EQ(A.countInstructions(), B.countInstructions());
+  EXPECT_EQ(A.NumRegs, B.NumRegs);
+  Program C = generateRandomProgram(43, Config);
+  EXPECT_TRUE(A.countInstructions() != C.countInstructions() ||
+              A.getNumBlocks() != C.getNumBlocks() ||
+              A.NumRegs != C.NumRegs);
+}
+
+TEST(GeneratorTest, CtxRateRoughlyHonoured) {
+  GeneratorConfig Config;
+  Config.TargetInstructions = 400;
+  Config.CtxRatePerMille = 150;
+  Program P = generateRandomProgram(7, Config);
+  double Rate = static_cast<double>(P.countCtxInstructions()) /
+                P.countInstructions();
+  EXPECT_GT(Rate, 0.02);
+  EXPECT_LT(Rate, 0.40);
+}

@@ -1,0 +1,247 @@
+//===- npralc.cpp - NPRAL command-line driver ------------------------------===//
+//
+// The downstream-user entry point: assemble a multi-threaded NPRAL assembly
+// file, run the paper's inter-thread register allocator, and emit the
+// allocated program, analysis reports, or a simulation run.
+//
+//   npralc analyze  file.s             per-thread analysis + bounds report
+//   npralc alloc    file.s [-nreg N]   allocate and print physical assembly
+//   npralc run      file.s [-nreg N] [-iters K] [-memlat L]
+//                                      allocate, simulate, report cycles
+//   npralc baseline file.s [-regs K]   fixed-partition spilling allocation
+//   npralc sra      file.s [-nthd N] [-nreg R]
+//                                      symmetric allocation: N copies of the
+//                                      (single) thread on one engine
+//
+// Threads may declare entry-live registers; `run` seeds them with zero (use
+// the C++ API for richer setups — see examples/).
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/AllocationVerifier.h"
+#include "alloc/BoundsEstimator.h"
+#include "alloc/InterAllocator.h"
+#include "analysis/InterferenceGraph.h"
+#include "analysis/LiveRangeRenaming.h"
+#include "asmparse/AsmParser.h"
+#include "baseline/ChaitinAllocator.h"
+#include "ir/IRPrinter.h"
+#include "sim/Simulator.h"
+#include "support/TableFormatter.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace npral;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: npralc <analyze|alloc|run|baseline|sra> <file.s> [options]\n"
+         "  -nreg N    register file size (default 128)\n"
+         "  -regs K    per-thread partition for 'baseline' (default 32)\n"
+         "  -nthd N    thread count for 'sra' (default 4)\n"
+         "  -iters K   loop iterations to simulate (default 10)\n"
+         "  -memlat L  memory latency in cycles (default 40)\n";
+  return 2;
+}
+
+ErrorOr<MultiThreadProgram> loadFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return Status::error("cannot open '" + Path + "'");
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  ErrorOr<MultiThreadProgram> MTP = parseAssembly(Buf.str());
+  if (!MTP.ok())
+    return MTP.status();
+  for (Program &T : MTP->Threads)
+    T = renameLiveRanges(T);
+  return MTP;
+}
+
+int cmdAnalyze(const MultiThreadProgram &MTP) {
+  TableFormatter Table({"Thread", "#Instr", "#CTX", "#LiveRanges", "#NSR",
+                        "RegPmax", "RegPCSBmax", "MaxR", "MaxPR"});
+  for (const Program &T : MTP.Threads) {
+    ThreadAnalysis TA = analyzeThread(T);
+    RegBounds B = estimateRegBounds(TA);
+    Table.row()
+        .cell(T.Name)
+        .cell(T.countInstructions())
+        .cell(T.countCtxInstructions())
+        .cell(TA.getNumLiveRanges())
+        .cell(TA.NSRs.getNumNSRs())
+        .cell(TA.getRegPmax())
+        .cell(TA.getRegPCSBmax())
+        .cell(B.MaxR)
+        .cell(B.MaxPR);
+  }
+  Table.print(std::cout);
+  return 0;
+}
+
+int cmdAlloc(const MultiThreadProgram &MTP, int Nreg, bool Print) {
+  InterThreadResult R = allocateInterThread(MTP, Nreg);
+  if (!R.Success) {
+    std::cerr << "allocation failed: " << R.FailReason << "\n";
+    return 1;
+  }
+  if (Status S = verifyAllocationSafety(R.Physical); !S.ok()) {
+    std::cerr << "internal error, unsafe allocation: " << S.str() << "\n";
+    return 1;
+  }
+  TableFormatter Table({"Thread", "PR", "SR", "PrivateBase", "Moves",
+                        "Strategy"});
+  for (size_t T = 0; T < R.Threads.size(); ++T)
+    Table.row()
+        .cell(MTP.Threads[T].Name)
+        .cell(R.Threads[T].PR)
+        .cell(R.Threads[T].SR)
+        .cell(R.Threads[T].PrivateBase)
+        .cell(R.Threads[T].MoveCost)
+        .cell(R.Threads[T].Strategy);
+  Table.print(std::cout);
+  std::cout << "SGR=" << R.SGR << " at p" << R.SharedBase << "; "
+            << R.RegistersUsed << "/" << Nreg << " registers used\n";
+  if (Print) {
+    std::cout << "\n";
+    for (const Program &T : R.Physical.Threads) {
+      printProgram(std::cout, T);
+      std::cout << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmdRun(const MultiThreadProgram &MTP, int Nreg, int Iters, int MemLat) {
+  InterThreadResult R = allocateInterThread(MTP, Nreg);
+  if (!R.Success) {
+    std::cerr << "allocation failed: " << R.FailReason << "\n";
+    return 1;
+  }
+  SimConfig Config;
+  Config.MemLatency = MemLat;
+  Config.TargetIterations = Iters;
+  Simulator Sim(R.Physical, Config);
+  for (int T = 0; T < R.Physical.getNumThreads(); ++T) {
+    const Program &P = R.Physical.Threads[static_cast<size_t>(T)];
+    Sim.setEntryValues(
+        T, std::vector<uint32_t>(P.EntryLiveRegs.size(), 0));
+  }
+  SimResult Run = Sim.run();
+  if (!Run.Completed) {
+    std::cerr << "simulation failed: " << Run.FailReason << "\n";
+    return 1;
+  }
+  TableFormatter Table({"Thread", "Iters", "Instrs", "CtxEvents", "MemOps",
+                        "Cyc/iter"});
+  for (size_t T = 0; T < Run.Threads.size(); ++T) {
+    const ThreadStats &TS = Run.Threads[T];
+    Table.row()
+        .cell(MTP.Threads[T].Name)
+        .cell(TS.Iterations)
+        .cell(TS.InstrsExecuted)
+        .cell(TS.CtxEvents)
+        .cell(TS.MemOps);
+    if (TS.CyclesAtTarget >= 0)
+      Table.cell(TS.cyclesPerIteration(Iters), 1);
+    else
+      Table.cell("-"); // thread halted before reaching the target
+  }
+  Table.print(std::cout);
+  std::cout << "total cycles: " << Run.TotalCycles << "\n";
+  return 0;
+}
+
+int cmdBaseline(const MultiThreadProgram &MTP, int RegsPerThread) {
+  TableFormatter Table({"Thread", "Colors", "Spilled", "SpillOps", "Rounds"});
+  std::vector<Program> Allocated;
+  int64_t SpillBase = 0xF000;
+  for (const Program &T : MTP.Threads) {
+    ChaitinConfig Config;
+    Config.NumColors = RegsPerThread;
+    Config.SpillBase = SpillBase;
+    SpillBase += 0x100;
+    ChaitinResult R = runChaitinAllocator(T, Config);
+    if (!R.Success) {
+      std::cerr << "baseline failed on '" << T.Name << "': " << R.FailReason
+                << "\n";
+      return 1;
+    }
+    Table.row()
+        .cell(T.Name)
+        .cell(R.ColorsUsed)
+        .cell(R.SpilledRanges)
+        .cell(R.SpillLoads + R.SpillStores)
+        .cell(R.Rounds);
+    Allocated.push_back(R.Allocated);
+  }
+  Table.print(std::cout);
+  return 0;
+}
+
+int cmdSra(const MultiThreadProgram &MTP, int Nthd, int Nreg) {
+  if (MTP.Threads.size() != 1) {
+    std::cerr << "sra expects exactly one thread in the file\n";
+    return 1;
+  }
+  SRAResult R = solveSRA(MTP.Threads[0], Nthd, Nreg,
+                         /*RequireZeroCost=*/false);
+  if (!R.Success) {
+    std::cerr << "infeasible: " << R.FailReason << "\n";
+    return 1;
+  }
+  std::cout << Nthd << " identical threads in " << Nreg << " registers: PR="
+            << R.PR << " SR=" << R.SR << " total=" << R.TotalRegisters
+            << " moves/thread=" << R.MoveCost << "\n";
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 3)
+    return usage();
+  std::string Cmd = argv[1];
+  std::string Path = argv[2];
+  int Nreg = 128, RegsPerThread = 32, Iters = 10, MemLat = 40, Nthd = 4;
+  for (int I = 3; I + 1 < argc; I += 2) {
+    std::string Opt = argv[I];
+    int Value = std::atoi(argv[I + 1]);
+    if (Opt == "-nreg")
+      Nreg = Value;
+    else if (Opt == "-regs")
+      RegsPerThread = Value;
+    else if (Opt == "-iters")
+      Iters = Value;
+    else if (Opt == "-memlat")
+      MemLat = Value;
+    else if (Opt == "-nthd")
+      Nthd = Value;
+    else
+      return usage();
+  }
+
+  ErrorOr<MultiThreadProgram> MTP = loadFile(Path);
+  if (!MTP.ok()) {
+    std::cerr << "error: " << MTP.status().str() << "\n";
+    return 1;
+  }
+
+  if (Cmd == "analyze")
+    return cmdAnalyze(*MTP);
+  if (Cmd == "alloc")
+    return cmdAlloc(*MTP, Nreg, /*Print=*/true);
+  if (Cmd == "run")
+    return cmdRun(*MTP, Nreg, Iters, MemLat);
+  if (Cmd == "baseline")
+    return cmdBaseline(*MTP, RegsPerThread);
+  if (Cmd == "sra")
+    return cmdSra(*MTP, Nthd, Nreg);
+  return usage();
+}
