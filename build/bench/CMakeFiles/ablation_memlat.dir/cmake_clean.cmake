@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_memlat.dir/ablation_memlat.cpp.o"
+  "CMakeFiles/ablation_memlat.dir/ablation_memlat.cpp.o.d"
+  "ablation_memlat"
+  "ablation_memlat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_memlat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nreg.dir/ablation_nreg.cpp.o"
+  "CMakeFiles/ablation_nreg.dir/ablation_nreg.cpp.o.d"
+  "ablation_nreg"
+  "ablation_nreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

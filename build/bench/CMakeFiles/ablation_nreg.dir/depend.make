@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_nreg.
+# This may be replaced when dependencies are built.

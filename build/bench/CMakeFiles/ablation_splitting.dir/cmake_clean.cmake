@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_splitting.dir/ablation_splitting.cpp.o"
+  "CMakeFiles/ablation_splitting.dir/ablation_splitting.cpp.o.d"
+  "ablation_splitting"
+  "ablation_splitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_splitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sra_nthd.dir/ablation_sra_nthd.cpp.o"
+  "CMakeFiles/ablation_sra_nthd.dir/ablation_sra_nthd.cpp.o.d"
+  "ablation_sra_nthd"
+  "ablation_sra_nthd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sra_nthd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc_compile_time.dir/alloc_compile_time.cpp.o"
+  "CMakeFiles/alloc_compile_time.dir/alloc_compile_time.cpp.o.d"
+  "alloc_compile_time"
+  "alloc_compile_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc_compile_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sra.dir/fig14_sra.cpp.o"
+  "CMakeFiles/fig14_sra.dir/fig14_sra.cpp.o.d"
+  "fig14_sra"
+  "fig14_sra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

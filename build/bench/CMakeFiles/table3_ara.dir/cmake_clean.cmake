@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ara.dir/table3_ara.cpp.o"
+  "CMakeFiles/table3_ara.dir/table3_ara.cpp.o.d"
+  "table3_ara"
+  "table3_ara.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ara.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/AllocationVerifier.cpp" "src/alloc/CMakeFiles/npral_alloc.dir/AllocationVerifier.cpp.o" "gcc" "src/alloc/CMakeFiles/npral_alloc.dir/AllocationVerifier.cpp.o.d"
+  "/root/repo/src/alloc/BoundsEstimator.cpp" "src/alloc/CMakeFiles/npral_alloc.dir/BoundsEstimator.cpp.o" "gcc" "src/alloc/CMakeFiles/npral_alloc.dir/BoundsEstimator.cpp.o.d"
+  "/root/repo/src/alloc/ColoringUtils.cpp" "src/alloc/CMakeFiles/npral_alloc.dir/ColoringUtils.cpp.o" "gcc" "src/alloc/CMakeFiles/npral_alloc.dir/ColoringUtils.cpp.o.d"
+  "/root/repo/src/alloc/FragmentAllocator.cpp" "src/alloc/CMakeFiles/npral_alloc.dir/FragmentAllocator.cpp.o" "gcc" "src/alloc/CMakeFiles/npral_alloc.dir/FragmentAllocator.cpp.o.d"
+  "/root/repo/src/alloc/InterAllocator.cpp" "src/alloc/CMakeFiles/npral_alloc.dir/InterAllocator.cpp.o" "gcc" "src/alloc/CMakeFiles/npral_alloc.dir/InterAllocator.cpp.o.d"
+  "/root/repo/src/alloc/IntraAllocator.cpp" "src/alloc/CMakeFiles/npral_alloc.dir/IntraAllocator.cpp.o" "gcc" "src/alloc/CMakeFiles/npral_alloc.dir/IntraAllocator.cpp.o.d"
+  "/root/repo/src/alloc/MoveElimination.cpp" "src/alloc/CMakeFiles/npral_alloc.dir/MoveElimination.cpp.o" "gcc" "src/alloc/CMakeFiles/npral_alloc.dir/MoveElimination.cpp.o.d"
+  "/root/repo/src/alloc/ParallelCopy.cpp" "src/alloc/CMakeFiles/npral_alloc.dir/ParallelCopy.cpp.o" "gcc" "src/alloc/CMakeFiles/npral_alloc.dir/ParallelCopy.cpp.o.d"
+  "/root/repo/src/alloc/SplitTransforms.cpp" "src/alloc/CMakeFiles/npral_alloc.dir/SplitTransforms.cpp.o" "gcc" "src/alloc/CMakeFiles/npral_alloc.dir/SplitTransforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/npral_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/npral_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/npral_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

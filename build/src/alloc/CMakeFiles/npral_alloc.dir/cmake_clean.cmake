@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npral_alloc.dir/AllocationVerifier.cpp.o"
+  "CMakeFiles/npral_alloc.dir/AllocationVerifier.cpp.o.d"
+  "CMakeFiles/npral_alloc.dir/BoundsEstimator.cpp.o"
+  "CMakeFiles/npral_alloc.dir/BoundsEstimator.cpp.o.d"
+  "CMakeFiles/npral_alloc.dir/ColoringUtils.cpp.o"
+  "CMakeFiles/npral_alloc.dir/ColoringUtils.cpp.o.d"
+  "CMakeFiles/npral_alloc.dir/FragmentAllocator.cpp.o"
+  "CMakeFiles/npral_alloc.dir/FragmentAllocator.cpp.o.d"
+  "CMakeFiles/npral_alloc.dir/InterAllocator.cpp.o"
+  "CMakeFiles/npral_alloc.dir/InterAllocator.cpp.o.d"
+  "CMakeFiles/npral_alloc.dir/IntraAllocator.cpp.o"
+  "CMakeFiles/npral_alloc.dir/IntraAllocator.cpp.o.d"
+  "CMakeFiles/npral_alloc.dir/MoveElimination.cpp.o"
+  "CMakeFiles/npral_alloc.dir/MoveElimination.cpp.o.d"
+  "CMakeFiles/npral_alloc.dir/ParallelCopy.cpp.o"
+  "CMakeFiles/npral_alloc.dir/ParallelCopy.cpp.o.d"
+  "CMakeFiles/npral_alloc.dir/SplitTransforms.cpp.o"
+  "CMakeFiles/npral_alloc.dir/SplitTransforms.cpp.o.d"
+  "libnpral_alloc.a"
+  "libnpral_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npral_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

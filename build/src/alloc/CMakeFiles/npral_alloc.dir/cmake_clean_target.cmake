@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnpral_alloc.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npral_analysis.dir/InterferenceGraph.cpp.o"
+  "CMakeFiles/npral_analysis.dir/InterferenceGraph.cpp.o.d"
+  "CMakeFiles/npral_analysis.dir/LiveRangeRenaming.cpp.o"
+  "CMakeFiles/npral_analysis.dir/LiveRangeRenaming.cpp.o.d"
+  "CMakeFiles/npral_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/npral_analysis.dir/Liveness.cpp.o.d"
+  "CMakeFiles/npral_analysis.dir/NSR.cpp.o"
+  "CMakeFiles/npral_analysis.dir/NSR.cpp.o.d"
+  "libnpral_analysis.a"
+  "libnpral_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npral_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asmparse/AsmParser.cpp" "src/asmparse/CMakeFiles/npral_asm.dir/AsmParser.cpp.o" "gcc" "src/asmparse/CMakeFiles/npral_asm.dir/AsmParser.cpp.o.d"
+  "/root/repo/src/asmparse/FunctionExpansion.cpp" "src/asmparse/CMakeFiles/npral_asm.dir/FunctionExpansion.cpp.o" "gcc" "src/asmparse/CMakeFiles/npral_asm.dir/FunctionExpansion.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/npral_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/npral_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npral_asm.dir/AsmParser.cpp.o"
+  "CMakeFiles/npral_asm.dir/AsmParser.cpp.o.d"
+  "CMakeFiles/npral_asm.dir/FunctionExpansion.cpp.o"
+  "CMakeFiles/npral_asm.dir/FunctionExpansion.cpp.o.d"
+  "libnpral_asm.a"
+  "libnpral_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npral_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npral_baseline.dir/ChaitinAllocator.cpp.o"
+  "CMakeFiles/npral_baseline.dir/ChaitinAllocator.cpp.o.d"
+  "libnpral_baseline.a"
+  "libnpral_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npral_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npral_ir.dir/CFGUtils.cpp.o"
+  "CMakeFiles/npral_ir.dir/CFGUtils.cpp.o.d"
+  "CMakeFiles/npral_ir.dir/IRPrinter.cpp.o"
+  "CMakeFiles/npral_ir.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/npral_ir.dir/IRVerifier.cpp.o"
+  "CMakeFiles/npral_ir.dir/IRVerifier.cpp.o.d"
+  "CMakeFiles/npral_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/npral_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/npral_ir.dir/Program.cpp.o"
+  "CMakeFiles/npral_ir.dir/Program.cpp.o.d"
+  "libnpral_ir.a"
+  "libnpral_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npral_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npral_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/npral_sim.dir/Simulator.cpp.o.d"
+  "libnpral_sim.a"
+  "libnpral_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npral_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

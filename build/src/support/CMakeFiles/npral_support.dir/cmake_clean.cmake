@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npral_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/npral_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/npral_support.dir/Random.cpp.o"
+  "CMakeFiles/npral_support.dir/Random.cpp.o.d"
+  "CMakeFiles/npral_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/npral_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/npral_support.dir/TableFormatter.cpp.o"
+  "CMakeFiles/npral_support.dir/TableFormatter.cpp.o.d"
+  "libnpral_support.a"
+  "libnpral_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npral_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Harness.cpp" "src/workloads/CMakeFiles/npral_workloads.dir/Harness.cpp.o" "gcc" "src/workloads/CMakeFiles/npral_workloads.dir/Harness.cpp.o.d"
+  "/root/repo/src/workloads/KernelsChecksum.cpp" "src/workloads/CMakeFiles/npral_workloads.dir/KernelsChecksum.cpp.o" "gcc" "src/workloads/CMakeFiles/npral_workloads.dir/KernelsChecksum.cpp.o.d"
+  "/root/repo/src/workloads/KernelsCrypto.cpp" "src/workloads/CMakeFiles/npral_workloads.dir/KernelsCrypto.cpp.o" "gcc" "src/workloads/CMakeFiles/npral_workloads.dir/KernelsCrypto.cpp.o.d"
+  "/root/repo/src/workloads/KernelsForward.cpp" "src/workloads/CMakeFiles/npral_workloads.dir/KernelsForward.cpp.o" "gcc" "src/workloads/CMakeFiles/npral_workloads.dir/KernelsForward.cpp.o.d"
+  "/root/repo/src/workloads/KernelsSched.cpp" "src/workloads/CMakeFiles/npral_workloads.dir/KernelsSched.cpp.o" "gcc" "src/workloads/CMakeFiles/npral_workloads.dir/KernelsSched.cpp.o.d"
+  "/root/repo/src/workloads/ProgramGenerator.cpp" "src/workloads/CMakeFiles/npral_workloads.dir/ProgramGenerator.cpp.o" "gcc" "src/workloads/CMakeFiles/npral_workloads.dir/ProgramGenerator.cpp.o.d"
+  "/root/repo/src/workloads/Workload.cpp" "src/workloads/CMakeFiles/npral_workloads.dir/Workload.cpp.o" "gcc" "src/workloads/CMakeFiles/npral_workloads.dir/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asmparse/CMakeFiles/npral_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/npral_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/npral_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npral_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/npral_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/npral_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/npral_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npral_workloads.dir/Harness.cpp.o"
+  "CMakeFiles/npral_workloads.dir/Harness.cpp.o.d"
+  "CMakeFiles/npral_workloads.dir/KernelsChecksum.cpp.o"
+  "CMakeFiles/npral_workloads.dir/KernelsChecksum.cpp.o.d"
+  "CMakeFiles/npral_workloads.dir/KernelsCrypto.cpp.o"
+  "CMakeFiles/npral_workloads.dir/KernelsCrypto.cpp.o.d"
+  "CMakeFiles/npral_workloads.dir/KernelsForward.cpp.o"
+  "CMakeFiles/npral_workloads.dir/KernelsForward.cpp.o.d"
+  "CMakeFiles/npral_workloads.dir/KernelsSched.cpp.o"
+  "CMakeFiles/npral_workloads.dir/KernelsSched.cpp.o.d"
+  "CMakeFiles/npral_workloads.dir/ProgramGenerator.cpp.o"
+  "CMakeFiles/npral_workloads.dir/ProgramGenerator.cpp.o.d"
+  "CMakeFiles/npral_workloads.dir/Workload.cpp.o"
+  "CMakeFiles/npral_workloads.dir/Workload.cpp.o.d"
+  "libnpral_workloads.a"
+  "libnpral_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npral_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asmparser_test.dir/asmparse/AsmParserTest.cpp.o"
+  "CMakeFiles/asmparser_test.dir/asmparse/AsmParserTest.cpp.o.d"
+  "asmparser_test"
+  "asmparser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asmparser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chaitin_test.dir/baseline/ChaitinTest.cpp.o"
+  "CMakeFiles/chaitin_test.dir/baseline/ChaitinTest.cpp.o.d"
+  "chaitin_test"
+  "chaitin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chaitin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endtoend_test.dir/integration/EndToEndTest.cpp.o"
+  "CMakeFiles/endtoend_test.dir/integration/EndToEndTest.cpp.o.d"
+  "endtoend_test"
+  "endtoend_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endtoend_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/function_test.dir/asmparse/FunctionTest.cpp.o"
+  "CMakeFiles/function_test.dir/asmparse/FunctionTest.cpp.o.d"
+  "function_test"
+  "function_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interalloc_edge_test.dir/alloc/InterAllocatorEdgeTest.cpp.o"
+  "CMakeFiles/interalloc_edge_test.dir/alloc/InterAllocatorEdgeTest.cpp.o.d"
+  "interalloc_edge_test"
+  "interalloc_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interalloc_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invariant_test.dir/integration/InvariantPropertyTest.cpp.o"
+  "CMakeFiles/invariant_test.dir/integration/InvariantPropertyTest.cpp.o.d"
+  "invariant_test"
+  "invariant_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invariant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

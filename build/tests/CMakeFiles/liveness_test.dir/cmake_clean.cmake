@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liveness_test.dir/analysis/LivenessTest.cpp.o"
+  "CMakeFiles/liveness_test.dir/analysis/LivenessTest.cpp.o.d"
+  "liveness_test"
+  "liveness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liveness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

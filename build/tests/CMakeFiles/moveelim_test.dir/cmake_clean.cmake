@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/moveelim_test.dir/alloc/MoveEliminationTest.cpp.o"
+  "CMakeFiles/moveelim_test.dir/alloc/MoveEliminationTest.cpp.o.d"
+  "moveelim_test"
+  "moveelim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/moveelim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

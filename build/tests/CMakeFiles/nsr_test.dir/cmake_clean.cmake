@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nsr_test.dir/analysis/NSRTest.cpp.o"
+  "CMakeFiles/nsr_test.dir/analysis/NSRTest.cpp.o.d"
+  "nsr_test"
+  "nsr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nsr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workloads/WorkloadTest.cpp" "tests/CMakeFiles/workload_test.dir/workloads/WorkloadTest.cpp.o" "gcc" "tests/CMakeFiles/workload_test.dir/workloads/WorkloadTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/npral_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmparse/CMakeFiles/npral_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/npral_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/npral_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/npral_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/npral_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/npral_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/npral_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

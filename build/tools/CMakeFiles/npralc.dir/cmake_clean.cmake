@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/npralc.dir/npralc.cpp.o"
+  "CMakeFiles/npralc.dir/npralc.cpp.o.d"
+  "npralc"
+  "npralc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/npralc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
