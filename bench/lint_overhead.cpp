@@ -1,0 +1,77 @@
+//===- lint_overhead.cpp - npral-lint cost on the paper workloads ---------===//
+//
+// google-benchmark timings of runAllCheckers over the workload kernels,
+// before and after allocation, so lint can be judged as an always-on part
+// of the pipeline: the virtual-program run measures the source lints, the
+// physical-program run adds the cross-thread race sweep over a real
+// allocation of an ARA scenario.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/InterAllocator.h"
+#include "lint/Lint.h"
+#include "support/DiagnosticEngine.h"
+#include "workloads/Harness.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace npral;
+
+namespace {
+
+MultiThreadProgram scenarioVirtual(int Index) {
+  const Scenario &S = getAraScenarios()[static_cast<size_t>(Index)];
+  std::vector<Workload> Workloads = buildScenarioWorkloads(S);
+  return toMultiThreadProgram(Workloads, S.Name);
+}
+
+void BM_LintVirtual(benchmark::State &State, int Index) {
+  MultiThreadProgram Virtual = scenarioVirtual(Index);
+  for (auto _ : State) {
+    DiagnosticEngine Engine;
+    benchmark::DoNotOptimize(runAllCheckers(Virtual, Engine));
+  }
+}
+
+void BM_LintPhysical(benchmark::State &State, int Index) {
+  MultiThreadProgram Virtual = scenarioVirtual(Index);
+  InterThreadResult R = allocateInterThread(Virtual, 128);
+  if (!R.Success)
+    reportFatalError("allocation failed: " + R.FailReason);
+  for (auto _ : State) {
+    DiagnosticEngine Engine;
+    benchmark::DoNotOptimize(runAllCheckers(R.Physical, Engine));
+  }
+}
+
+void BM_LintSingleKernel(benchmark::State &State, const std::string &Name) {
+  ErrorOr<Workload> W = buildWorkload(Name, 0);
+  if (!W.ok())
+    reportFatalError(W.status().str());
+  MultiThreadProgram MTP;
+  MTP.Threads.push_back(W->Code);
+  for (auto _ : State) {
+    DiagnosticEngine Engine;
+    benchmark::DoNotOptimize(runAllCheckers(MTP, Engine));
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (const char *Name : {"frag", "md5", "wraps_rx"})
+    benchmark::RegisterBenchmark(("lint_kernel/" + std::string(Name)).c_str(),
+                                 BM_LintSingleKernel, Name);
+  for (int I = 0; I < 3; ++I) {
+    benchmark::RegisterBenchmark(
+        ("lint_virtual/S" + std::to_string(I + 1)).c_str(), BM_LintVirtual,
+        I);
+    benchmark::RegisterBenchmark(
+        ("lint_physical/S" + std::to_string(I + 1)).c_str(), BM_LintPhysical,
+        I);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,30 @@
+; A deliberately BAD register allocation, written with physical register
+; names (p<N>) so that `npralc lint examples/asm/bad_alloc.s --physical`
+; reinterprets it as a post-allocation program.
+;
+; Thread 'alpha' keeps p1 and p2 live across its two load CSBs, which by
+; the paper's safety rule (property 5) makes both registers private to
+; alpha. Thread 'beta' nevertheless clobbers p1 and p2, so the
+; cross-thread-race checker must report TWO distinct violations in one
+; run — one per clobbered register.
+.thread alpha
+.entrylive p0
+main:
+    imm  p1, 1
+    imm  p2, 2
+    load p3, [p0+0]        ; CSB: p1 and p2 are live across this switch
+    add  p1, p1, p3
+    load p4, [p0+1]        ; CSB: p1 and p2 are live across again
+    add  p2, p2, p4
+    add  p1, p1, p2
+    store [p0+0], p1
+    halt
+
+.thread beta
+.entrylive p6
+main:
+    imm  p1, 7             ; clobbers alpha's private p1
+    imm  p2, 9             ; clobbers alpha's private p2
+    add  p5, p1, p2
+    store [p6+0], p5
+    halt

@@ -1,0 +1,39 @@
+; A grab-bag of the defects npral-lint detects, for demos and CLI tests:
+;
+;   maybe-uninit      'x' is only initialized on the fall-through path of
+;                     the bnz, so the read in 'join' may see garbage
+;   dead-store        't' is written and never read (also a dead-range)
+;   unreachable-block 'orphan' has no predecessor
+;   redundant-move    'mov y, y' copies a register onto itself
+;   over-private      'acc' in thread 'accum' crosses the load CSB but all
+;                     its references sit inside one NSR; excluding that NSR
+;                     (paper §7.1) frees a private register for one move
+;
+; Run: npralc lint examples/asm/lint_buggy.s
+.thread worker
+.entrylive buf
+main:
+    imm  c, 1
+    imm  t, 5              ; dead store: t is never read
+    bnz  c, join           ; taking the branch skips the init of x
+init:
+    imm  x, 42
+join:
+    add  y, x, x           ; maybe-uninitialized read of x
+    mov  y, y              ; redundant self-move
+    store [buf+0], y
+    halt
+orphan:
+    imm  z, 1              ; unreachable: nothing branches here
+    add  z, z, z
+    halt
+
+.thread accum
+.entrylive buf
+main:
+    imm  acc, 1
+    load w, [buf+0]        ; CSB: acc is live across
+    add  acc, acc, w
+    add  acc, acc, acc
+    store [buf+0], acc
+    halt

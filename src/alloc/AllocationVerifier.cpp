@@ -3,33 +3,82 @@
 #include "alloc/AllocationVerifier.h"
 
 #include "analysis/InterferenceGraph.h"
+#include "ir/IRPrinter.h"
 #include "ir/IRVerifier.h"
 
 #include <algorithm>
 
 using namespace npral;
 
-Status npral::verifyAllocationSafety(const MultiThreadProgram &Physical,
-                                     AllocationSafetyStats *Stats) {
-  const int Nthd = Physical.getNumThreads();
-  if (Nthd == 0)
-    return Status::error("no threads to verify");
+namespace {
 
-  int NumRegs = Physical.Threads.front().NumRegs;
-  for (const Program &T : Physical.Threads) {
-    if (!T.IsPhysical)
-      return Status::error("thread '" + T.Name + "' is not physical");
-    if (T.NumRegs != NumRegs)
-      return Status::error("threads disagree on register file size");
+constexpr const char *SafetyCheck = "alloc-safety";
+constexpr const char *RaceCheck = "cross-thread-race";
+
+/// First position in \p P that references \p R, as (block, instr); returns
+/// false when R is only entry-live (or not referenced at all).
+bool findFirstReference(const Program &P, Reg R, int &Block, int &Instr) {
+  for (int B = 0; B < P.getNumBlocks(); ++B) {
+    const BasicBlock &BB = P.block(B);
+    for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
+      const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+      if (Inst.Def == R || Inst.usesReg(R)) {
+        Block = B;
+        Instr = I;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+void npral::collectAllocationSafety(const MultiThreadProgram &Physical,
+                                    DiagnosticEngine &Engine,
+                                    AllocationSafetyStats *Stats,
+                                    bool StructuralDiags) {
+  const int Nthd = Physical.getNumThreads();
+  if (Nthd == 0) {
+    Engine.report(Severity::Error, SafetyCheck, "no threads to verify");
+    return;
   }
 
-  // Per-thread structural validity and use-before-def.
+  int NumRegs = Physical.Threads.front().NumRegs;
+  bool PreconditionsOk = true;
   for (const Program &T : Physical.Threads) {
-    if (Status S = verifyProgram(T); !S.ok())
-      return S;
-    LivenessInfo LI = computeLiveness(T);
-    if (Status S = checkNoUseOfUndef(T, LI); !S.ok())
-      return S;
+    if (!T.IsPhysical) {
+      Engine.report(Severity::Error, SafetyCheck,
+                    "thread '" + T.Name + "' is not physical")
+          .Thread = T.Name;
+      PreconditionsOk = false;
+    }
+    if (T.NumRegs != NumRegs) {
+      Engine.report(Severity::Error, SafetyCheck,
+                    "threads disagree on register file size");
+      PreconditionsOk = false;
+    }
+  }
+  if (!PreconditionsOk)
+    return;
+
+  // Per-thread structural validity and use-before-def. A thread that fails
+  // here drops out of the cross-thread analysis; the remaining pairs are
+  // still checked so one malformed thread does not hide another's race.
+  std::vector<char> ThreadOk(static_cast<size_t>(Nthd), 1);
+  for (int T = 0; T < Nthd; ++T) {
+    const Program &P = Physical.Threads[static_cast<size_t>(T)];
+    Status S = verifyProgram(P);
+    if (S.ok()) {
+      LivenessInfo LI = computeLiveness(P);
+      S = checkNoUseOfUndef(P, LI);
+    }
+    if (!S.ok()) {
+      ThreadOk[static_cast<size_t>(T)] = 0;
+      if (StructuralDiags)
+        Engine.report(Severity::Error, SafetyCheck, S.message()).Thread =
+            P.Name;
+    }
   }
 
   // Which registers does each thread reference, and which does it hold live
@@ -38,7 +87,10 @@ Status npral::verifyAllocationSafety(const MultiThreadProgram &Physical,
                                     BitVector(NumRegs));
   std::vector<BitVector> LiveAcrossCSB(static_cast<size_t>(Nthd),
                                        BitVector(NumRegs));
+  std::vector<NSRInfo> ThreadNSRs(static_cast<size_t>(Nthd));
   for (int T = 0; T < Nthd; ++T) {
+    if (!ThreadOk[static_cast<size_t>(T)])
+      continue;
     const Program &P = Physical.Threads[static_cast<size_t>(T)];
     for (const BasicBlock &BB : P.Blocks)
       for (const Instruction &I : BB.Instrs) {
@@ -53,28 +105,66 @@ Status npral::verifyAllocationSafety(const MultiThreadProgram &Physical,
       Referenced[static_cast<size_t>(T)].set(R);
 
     LivenessInfo LI = computeLiveness(P);
-    NSRInfo NSRs = computeNSRs(P, LI);
-    for (const CSB &Boundary : NSRs.getCSBs())
+    ThreadNSRs[static_cast<size_t>(T)] = computeNSRs(P, LI);
+    for (const CSB &Boundary : ThreadNSRs[static_cast<size_t>(T)].getCSBs())
       LiveAcrossCSB[static_cast<size_t>(T)].unionWith(Boundary.LiveAcross);
   }
 
   // Safety: a register live across thread T's context switches must not be
-  // referenced by any other thread.
+  // referenced by any other thread. One diagnostic per violated (thread,
+  // register, offending thread) triple, witnessed by the first CSB that
+  // carries the register and the first offending reference.
   for (int T = 0; T < Nthd; ++T) {
+    if (!ThreadOk[static_cast<size_t>(T)])
+      continue;
+    const Program &P = Physical.Threads[static_cast<size_t>(T)];
     for (int Other = 0; Other < Nthd; ++Other) {
-      if (Other == T)
+      if (Other == T || !ThreadOk[static_cast<size_t>(Other)])
         continue;
+      const Program &OtherP = Physical.Threads[static_cast<size_t>(Other)];
       BitVector Clash = LiveAcrossCSB[static_cast<size_t>(T)];
       Clash.intersectWith(Referenced[static_cast<size_t>(Other)]);
-      if (Clash.any()) {
-        int Bad = Clash.toVector().front();
-        return Status::error(
-            "register p" + std::to_string(Bad) + " is live across a CSB of "
-            "thread '" +
-            Physical.Threads[static_cast<size_t>(T)].Name +
-            "' but referenced by thread '" +
-            Physical.Threads[static_cast<size_t>(Other)].Name + "'");
-      }
+      Clash.forEach([&](int Bad) {
+        // Locate the witnessing CSB and count how many carry the register.
+        const CSB *Witness = nullptr;
+        int NumCarrying = 0;
+        for (const CSB &Boundary :
+             ThreadNSRs[static_cast<size_t>(T)].getCSBs())
+          if (Boundary.LiveAcross.test(Bad)) {
+            if (!Witness)
+              Witness = &Boundary;
+            ++NumCarrying;
+          }
+
+        Diagnostic &D = Engine.report(
+            Severity::Error, RaceCheck,
+            "register p" + std::to_string(Bad) + " is live across " +
+                std::to_string(NumCarrying) + " CSB(s) of thread '" + P.Name +
+                "' but referenced by thread '" + OtherP.Name + "'");
+        D.Thread = P.Name;
+        if (Witness) {
+          D.Block = Witness->Block;
+          D.Instr = Witness->InstrIndex;
+          const Instruction &CSBInst =
+              P.block(Witness->Block)
+                  .Instrs[static_cast<size_t>(Witness->InstrIndex)];
+          D.Witness = "CSB '" + formatInstruction(P, CSBInst) + "'";
+        }
+        int RefBlock = -1, RefInstr = -1;
+        if (findFirstReference(OtherP, Bad, RefBlock, RefInstr)) {
+          const Instruction &RefInst =
+              OtherP.block(RefBlock).Instrs[static_cast<size_t>(RefInstr)];
+          D.Witness += (D.Witness.empty() ? "" : "; ") + std::string() +
+                       "offending reference in thread '" + OtherP.Name +
+                       "', block " + std::to_string(RefBlock) + ", instr " +
+                       std::to_string(RefInstr) + ": '" +
+                       formatInstruction(OtherP, RefInst) + "'";
+        } else {
+          D.Witness += (D.Witness.empty() ? "" : "; ") + std::string() +
+                       "thread '" + OtherP.Name +
+                       "' holds the register entry-live";
+        }
+      });
     }
   }
 
@@ -100,5 +190,13 @@ Status npral::verifyAllocationSafety(const MultiThreadProgram &Physical,
     Union.forEach([&](int R) { Touched = std::max(Touched, R + 1); });
     Stats->RegistersTouched = Touched;
   }
+}
+
+Status npral::verifyAllocationSafety(const MultiThreadProgram &Physical,
+                                     AllocationSafetyStats *Stats) {
+  DiagnosticEngine Engine;
+  collectAllocationSafety(Physical, Engine, Stats);
+  if (const Diagnostic *D = Engine.firstError())
+    return Status::error(D->Message);
   return Status::success();
 }

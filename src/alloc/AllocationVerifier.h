@@ -20,6 +20,7 @@
 #define NPRAL_ALLOC_ALLOCATIONVERIFIER_H
 
 #include "ir/Program.h"
+#include "support/DiagnosticEngine.h"
 #include "support/Diagnostics.h"
 
 namespace npral {
@@ -34,9 +35,25 @@ struct AllocationSafetyStats {
   int RegistersTouched = 0;
 };
 
+/// Collect *every* cross-thread safety finding of \p Physical into
+/// \p Engine instead of stopping at the first. Race findings are emitted
+/// under check "cross-thread-race", one error per (thread, register,
+/// offending thread) triple, each carrying a witness naming the CSB
+/// instruction and one offending reference. Precondition and per-thread
+/// structural findings are emitted under check "alloc-safety"; pass
+/// \p StructuralDiags = false to gate on them silently instead (the lint
+/// driver reports those through its own checkers). \p Stats is filled
+/// whenever the preconditions hold, even in the presence of race errors.
+void collectAllocationSafety(const MultiThreadProgram &Physical,
+                             DiagnosticEngine &Engine,
+                             AllocationSafetyStats *Stats = nullptr,
+                             bool StructuralDiags = true);
+
 /// Verify the cross-thread safety of \p Physical. All threads must be
 /// physical programs over the same register file size. Returns the first
-/// violation found, with \p Stats (optional) filled on success.
+/// violation found, with \p Stats (optional) filled on success. Thin
+/// wrapper over collectAllocationSafety for callers that only need a
+/// go/no-go answer.
 Status verifyAllocationSafety(const MultiThreadProgram &Physical,
                               AllocationSafetyStats *Stats = nullptr);
 

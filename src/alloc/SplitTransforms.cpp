@@ -102,6 +102,44 @@ Reg npral::excludeNSR(Program &P, const ThreadAnalysis &TA, Reg V, int NSRId) {
   return Fresh;
 }
 
+int npral::estimateExcludeNSRMoves(const Program &P, const LivenessInfo &LI,
+                                   const NSRInfo &NSRs, Reg V, int NSRId) {
+  bool Referenced = false;
+  for (int B = 0; B < P.getNumBlocks() && !Referenced; ++B) {
+    const BasicBlock &BB = P.block(B);
+    for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
+      const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+      bool UseIn = Inst.usesReg(V) && NSRs.instrPreNSR(B, I) == NSRId;
+      bool DefIn = Inst.Def == V && NSRs.instrPostNSR(B, I) == NSRId;
+      if (UseIn || DefIn) {
+        Referenced = true;
+        break;
+      }
+    }
+  }
+  if (!Referenced)
+    return -1;
+
+  int Moves = 0;
+  for (const CSB &Boundary : NSRs.getCSBs()) {
+    if (!Boundary.LiveAcross.test(V))
+      continue;
+    if (Boundary.PostNSR == NSRId)
+      ++Moves;
+    if (Boundary.PreNSR == NSRId)
+      ++Moves;
+  }
+  if (LI.blockLiveIn(P.getEntryBlock()).test(V) &&
+      NSRs.pointNSR(P.getEntryBlock(), 0) == NSRId)
+    ++Moves;
+  return Moves;
+}
+
+int npral::estimateExcludeNSRMoves(const Program &P, const ThreadAnalysis &TA,
+                                   Reg V, int NSRId) {
+  return estimateExcludeNSRMoves(P, TA.Liveness, TA.NSRs, V, NSRId);
+}
+
 Reg npral::splitInBlock(Program &P, const ThreadAnalysis &TA, Reg V,
                         int BlockId) {
   BasicBlock &BB = P.block(BlockId);

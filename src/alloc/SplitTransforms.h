@@ -34,6 +34,20 @@ namespace npral {
 /// V has no reference inside the NSR (no-op).
 Reg excludeNSR(Program &P, const ThreadAnalysis &TA, Reg V, int NSRId);
 
+/// Cost hint for excludeNSR without performing it: the number of
+/// reconciling `mov`s the transform would insert for register \p V and NSR
+/// \p NSRId — one per CSB where V crosses into or out of the NSR, plus an
+/// entry seed when V is live at a program entry point inside the NSR.
+/// Returns -1 when V has no reference inside the NSR (excludeNSR would be
+/// a no-op). Used by the intra-thread allocator's pricing and by the lint
+/// "over-private" advisor.
+int estimateExcludeNSRMoves(const Program &P, const LivenessInfo &LI,
+                            const NSRInfo &NSRs, Reg V, int NSRId);
+
+/// Convenience overload over a full ThreadAnalysis.
+int estimateExcludeNSRMoves(const Program &P, const ThreadAnalysis &TA, Reg V,
+                            int NSRId);
+
 /// Rename \p V inside block \p BlockId to a fresh register, reconciling
 /// with moves at block entry (if V is live-in) and before the terminator
 /// (if V is live-out). Returns the fresh register, or NoReg if V is not

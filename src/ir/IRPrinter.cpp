@@ -9,6 +9,10 @@ using namespace npral;
 static std::string blockLabel(const Program &P, int BlockId) {
   if (BlockId == NoBlock)
     return "<none>";
+  // The verifier formats malformed instructions, so a dangling target must
+  // render instead of indexing out of range.
+  if (BlockId < 0 || BlockId >= P.getNumBlocks())
+    return "<invalid:" + std::to_string(BlockId) + ">";
   return P.block(BlockId).Name;
 }
 

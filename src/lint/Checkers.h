@@ -1,0 +1,39 @@
+//===- Checkers.h - Checker entry points (internal) -------------*- C++ -*-===//
+///
+/// \file
+/// Entry points of the individual checkers, wired into the registry table
+/// in Lint.cpp. Each takes the shared LintContext and emits diagnostics
+/// under its registry name; docs/lint.md documents every checker and its
+/// paper grounding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_LINT_CHECKERS_H
+#define NPRAL_LINT_CHECKERS_H
+
+namespace npral {
+
+class LintContext;
+
+namespace lintchecks {
+
+// StructureCheckers.cpp
+void checkStructure(LintContext &Ctx);
+void checkUnreachableBlocks(LintContext &Ctx);
+void checkRedundantMoves(LintContext &Ctx);
+
+// DataflowCheckers.cpp
+void checkMaybeUninit(LintContext &Ctx);
+void checkDeadStores(LintContext &Ctx);
+void checkDeadRanges(LintContext &Ctx);
+
+// RaceChecker.cpp
+void checkCrossThreadRace(LintContext &Ctx);
+
+// AdvisorChecker.cpp
+void adviseOverPrivate(LintContext &Ctx);
+
+} // namespace lintchecks
+} // namespace npral
+
+#endif // NPRAL_LINT_CHECKERS_H

@@ -1,0 +1,135 @@
+//===- DataflowCheckers.cpp - maybe-uninit, dead-store, dead-range --------===//
+
+#include "ir/IRPrinter.h"
+#include "lint/Checkers.h"
+#include "lint/Lint.h"
+#include "support/BitVector.h"
+
+#include <array>
+#include <vector>
+
+using namespace npral;
+
+void lintchecks::checkMaybeUninit(LintContext &Ctx) {
+  for (int T = 0; T < Ctx.getNumThreads(); ++T) {
+    if (!Ctx.state(T).HasDataflow)
+      continue;
+    const Program &P = Ctx.thread(T);
+    const int NumBlocks = P.getNumBlocks();
+    const int NumRegs = P.NumRegs;
+
+    // Forward may-analysis: a register is maybe-undefined at a point when
+    // some path from entry reaches the point without defining it. Defs
+    // kill; joins are unions. (checkNoUseOfUndef only looks at the entry
+    // live-in — this pinpoints every offending read.)
+    std::vector<BitVector> Defs(static_cast<size_t>(NumBlocks),
+                                BitVector(NumRegs));
+    for (int B = 0; B < NumBlocks; ++B)
+      for (const Instruction &I : P.block(B).Instrs)
+        if (I.Def != NoReg)
+          Defs[static_cast<size_t>(B)].set(I.Def);
+
+    BitVector EntryUndef(NumRegs);
+    for (int R = 0; R < NumRegs; ++R)
+      EntryUndef.set(R);
+    for (Reg R : P.EntryLiveRegs)
+      EntryUndef.reset(R);
+
+    std::vector<BitVector> In(static_cast<size_t>(NumBlocks),
+                              BitVector(NumRegs));
+    In[static_cast<size_t>(P.getEntryBlock())] = EntryUndef;
+    std::vector<int> RPO = P.computeRPO();
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (int B : RPO) {
+        BitVector Out = In[static_cast<size_t>(B)];
+        Out.subtract(Defs[static_cast<size_t>(B)]);
+        for (int S : P.successors(B))
+          Changed |= In[static_cast<size_t>(S)].unionWith(Out);
+      }
+    }
+
+    // Reporting pass: exact per-instruction walk of each block.
+    for (int B = 0; B < NumBlocks; ++B) {
+      const BasicBlock &BB = P.block(B);
+      BitVector Undef = In[static_cast<size_t>(B)];
+      for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
+        const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+        std::array<Reg, 2> Uses;
+        int N = Inst.getUses(Uses);
+        for (int U = 0; U < N; ++U) {
+          Reg R = Uses[static_cast<size_t>(U)];
+          if (U == 1 && Uses[0] == R)
+            continue; // same register in both slots: report once
+          if (Undef.test(R))
+            Ctx.emit(Severity::Warning, "maybe-uninit", T, B, I,
+                     "read of '" + P.getRegName(R) +
+                         "' may see an uninitialized register")
+                .Witness = formatInstruction(P, Inst);
+        }
+        if (Inst.Def != NoReg)
+          Undef.reset(Inst.Def);
+      }
+    }
+  }
+}
+
+void lintchecks::checkDeadStores(LintContext &Ctx) {
+  for (int T = 0; T < Ctx.getNumThreads(); ++T) {
+    if (!Ctx.state(T).HasDataflow)
+      continue;
+    const Program &P = Ctx.thread(T);
+    const LivenessInfo &LI = Ctx.state(T).Liveness;
+    for (int B = 0; B < P.getNumBlocks(); ++B) {
+      const BasicBlock &BB = P.block(B);
+      for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
+        const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+        if (Inst.Def == NoReg || LI.instrLiveOut(B, I).test(Inst.Def))
+          continue;
+        if (Inst.Op == Opcode::Mov && Inst.Def == Inst.Use1)
+          continue; // redundant-move reports self-moves
+        std::string Message = "value of '" + P.getRegName(Inst.Def) +
+                              "' defined here is never used";
+        if (Inst.causesCtxSwitch())
+          Message += " (the memory access itself still executes)";
+        Ctx.emit(Severity::Warning, "dead-store", T, B, I,
+                 std::move(Message))
+            .Witness = formatInstruction(P, Inst);
+      }
+    }
+  }
+}
+
+void lintchecks::checkDeadRanges(LintContext &Ctx) {
+  for (int T = 0; T < Ctx.getNumThreads(); ++T) {
+    const Program &P = Ctx.thread(T);
+    std::vector<int> DefCount(static_cast<size_t>(P.NumRegs), 0);
+    std::vector<int> UseCount(static_cast<size_t>(P.NumRegs), 0);
+    std::vector<std::pair<int, int>> FirstDef(
+        static_cast<size_t>(P.NumRegs), {-1, -1});
+    for (int B = 0; B < P.getNumBlocks(); ++B) {
+      const BasicBlock &BB = P.block(B);
+      for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
+        const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+        if (Inst.Def != NoReg) {
+          if (DefCount[static_cast<size_t>(Inst.Def)]++ == 0)
+            FirstDef[static_cast<size_t>(Inst.Def)] = {B, I};
+        }
+        std::array<Reg, 2> Uses;
+        int N = Inst.getUses(Uses);
+        for (int U = 0; U < N; ++U)
+          ++UseCount[static_cast<size_t>(Uses[U])];
+      }
+    }
+    for (Reg R = 0; R < P.NumRegs; ++R) {
+      if (DefCount[static_cast<size_t>(R)] == 0 ||
+          UseCount[static_cast<size_t>(R)] > 0)
+        continue;
+      auto [B, I] = FirstDef[static_cast<size_t>(R)];
+      Ctx.emit(Severity::Warning, "dead-range", T, B, I,
+               "register '" + P.getRegName(R) +
+                   "' is written but never read");
+    }
+  }
+}

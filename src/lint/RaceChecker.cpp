@@ -1,0 +1,21 @@
+//===- RaceChecker.cpp - cross-thread register race detection -------------===//
+//
+// The CSB-privacy invariant (paper §2, property 5): a register live across
+// any context-switch boundary of thread i must be private to thread i. The
+// accumulating detector itself lives in alloc/AllocationVerifier (where it
+// also backs the legacy verifyAllocationSafety wrapper); this checker runs
+// it with structural diagnostics off, because the lint driver's own
+// structure / maybe-uninit checkers already cover those findings.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/AllocationVerifier.h"
+#include "lint/Checkers.h"
+#include "lint/Lint.h"
+
+using namespace npral;
+
+void lintchecks::checkCrossThreadRace(LintContext &Ctx) {
+  collectAllocationSafety(Ctx.getProgram(), Ctx.getEngine(),
+                          /*Stats=*/nullptr, /*StructuralDiags=*/false);
+}

@@ -1,0 +1,154 @@
+//===- IRVerifierTest.cpp - negative coverage for the IR verifier ---------===//
+//
+// The verifier's happy path is exercised everywhere; these tests pin down
+// its rejection behavior by hand-building malformed programs the parser
+// would never produce.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRVerifier.h"
+#include "ir/Program.h"
+
+#include "gtest/gtest.h"
+
+using namespace npral;
+
+namespace {
+
+/// A minimal well-formed single-block program: imm a, 1 / halt.
+Program makeValidProgram() {
+  Program P;
+  P.Name = "valid";
+  P.NumRegs = 4;
+  int B = P.addBlock("entry");
+  P.block(B).Instrs.push_back(Instruction::makeImm(0, 1));
+  P.block(B).Instrs.push_back(Instruction::makeHalt());
+  return P;
+}
+
+TEST(IRVerifierTest, AcceptsValidProgram) {
+  Program P = makeValidProgram();
+  Status S = verifyProgram(P);
+  EXPECT_TRUE(S.ok()) << S.str();
+}
+
+TEST(IRVerifierTest, RejectsProgramWithNoBlocks) {
+  Program P;
+  P.Name = "empty";
+  Status S = verifyProgram(P);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.str().find("no blocks"), std::string::npos) << S.str();
+}
+
+TEST(IRVerifierTest, RejectsOutOfRangeEntryBlock) {
+  Program P = makeValidProgram();
+  P.EntryBlock = 7;
+  Status S = verifyProgram(P);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.str().find("entry block out of range"), std::string::npos)
+      << S.str();
+
+  P.EntryBlock = -1;
+  S = verifyProgram(P);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.str().find("entry block out of range"), std::string::npos)
+      << S.str();
+}
+
+TEST(IRVerifierTest, RejectsBranchTargetOutOfRange) {
+  Program P = makeValidProgram();
+  // Replace the halt with a branch to a block that does not exist.
+  P.block(0).Instrs.back() = Instruction::makeBr(5);
+  Status S = verifyProgram(P);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.str().find("branch target out of range"), std::string::npos)
+      << S.str();
+}
+
+TEST(IRVerifierTest, RejectsBranchInNonTerminatorPosition) {
+  Program P;
+  P.Name = "midbranch";
+  P.NumRegs = 4;
+  int B = P.addBlock("entry");
+  P.addBlock("other");
+  P.block(1).Instrs.push_back(Instruction::makeHalt());
+  // An unconditional branch followed by more instructions is malformed.
+  P.block(B).Instrs.push_back(Instruction::makeBr(1));
+  P.block(B).Instrs.push_back(Instruction::makeImm(0, 1));
+  P.block(B).Instrs.push_back(Instruction::makeHalt());
+  Status S = verifyProgram(P);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.str().find("not in terminator position"), std::string::npos)
+      << S.str();
+}
+
+TEST(IRVerifierTest, AllowsCondBranchDirectlyBeforeFinalBr) {
+  Program P;
+  P.Name = "diamond";
+  P.NumRegs = 4;
+  int B = P.addBlock("entry");
+  P.addBlock("left");
+  P.addBlock("right");
+  P.block(1).Instrs.push_back(Instruction::makeHalt());
+  P.block(2).Instrs.push_back(Instruction::makeHalt());
+  P.block(B).Instrs.push_back(Instruction::makeImm(0, 1));
+  P.block(B).Instrs.push_back(
+      Instruction::makeCondBrZ(Opcode::BrNz, 0, 1));
+  P.block(B).Instrs.push_back(Instruction::makeBr(2));
+  Status S = verifyProgram(P);
+  EXPECT_TRUE(S.ok()) << S.str();
+}
+
+TEST(IRVerifierTest, RejectsOutOfRangeRegisterIds) {
+  {
+    Program P = makeValidProgram();
+    P.block(0).Instrs[0] = Instruction::makeImm(9, 1); // def >= NumRegs
+    Status S = verifyProgram(P);
+    ASSERT_FALSE(S.ok());
+    EXPECT_NE(S.str().find("def register out of range"), std::string::npos)
+        << S.str();
+  }
+  {
+    Program P = makeValidProgram();
+    P.block(0).Instrs[0] = Instruction::makeMov(0, 9); // use >= NumRegs
+    Status S = verifyProgram(P);
+    ASSERT_FALSE(S.ok());
+    EXPECT_NE(S.str().find("use register out of range"), std::string::npos)
+        << S.str();
+  }
+  {
+    Program P = makeValidProgram();
+    P.EntryLiveRegs.push_back(42);
+    Status S = verifyProgram(P);
+    ASSERT_FALSE(S.ok());
+    EXPECT_NE(S.str().find("entry-live register out of range"),
+              std::string::npos)
+        << S.str();
+  }
+}
+
+TEST(IRVerifierTest, RejectsOperandShapeMismatch) {
+  Program P = makeValidProgram();
+  Instruction Bad(Opcode::Imm); // imm requires a def; leave it empty
+  P.block(0).Instrs[0] = Bad;
+  Status S = verifyProgram(P);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.str().find("def slot does not match operand shape"),
+            std::string::npos)
+      << S.str();
+}
+
+TEST(IRVerifierTest, RejectsBlockWithoutExit) {
+  Program P;
+  P.Name = "openblock";
+  P.NumRegs = 4;
+  int B = P.addBlock("entry");
+  P.block(B).Instrs.push_back(Instruction::makeImm(0, 1));
+  // No terminator and FallThrough is NoBlock.
+  Status S = verifyProgram(P);
+  ASSERT_FALSE(S.ok());
+  EXPECT_NE(S.str().find("no terminator and no valid"), std::string::npos)
+      << S.str();
+}
+
+} // namespace

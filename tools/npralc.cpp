@@ -12,6 +12,10 @@
 //   npralc sra      file.s [-nthd N] [-nreg R]
 //                                      symmetric allocation: N copies of the
 //                                      (single) thread on one engine
+//   npralc lint     file.s [--json] [--after-alloc] [--physical]
+//                          [--only checks] [-nreg N]
+//                                      run every registered checker, report
+//                                      all findings (text or JSON)
 //
 // Threads may declare entry-live registers; `run` seeds them with zero (use
 // the C++ API for richer setups — see examples/).
@@ -26,7 +30,9 @@
 #include "asmparse/AsmParser.h"
 #include "baseline/ChaitinAllocator.h"
 #include "ir/IRPrinter.h"
+#include "lint/Lint.h"
 #include "sim/Simulator.h"
+#include "support/DiagnosticEngine.h"
 #include "support/TableFormatter.h"
 
 #include <fstream>
@@ -41,16 +47,46 @@ namespace {
 
 int usage() {
   std::cerr
-      << "usage: npralc <analyze|alloc|run|baseline|sra> <file.s> [options]\n"
-         "  -nreg N    register file size (default 128)\n"
-         "  -regs K    per-thread partition for 'baseline' (default 32)\n"
-         "  -nthd N    thread count for 'sra' (default 4)\n"
-         "  -iters K   loop iterations to simulate (default 10)\n"
-         "  -memlat L  memory latency in cycles (default 40)\n";
+      << "usage: npralc <subcommand> <file.s> [options]\n"
+         "\n"
+         "subcommands:\n"
+         "  analyze  file.s\n"
+         "      per-thread analysis (live ranges, NSRs, pressure) and the\n"
+         "      MinR/MinPR/MaxR/MaxPR register bounds; no options\n"
+         "  alloc    file.s [-nreg N]\n"
+         "      run the inter-thread allocator and print the physical\n"
+         "      assembly plus the per-thread PR/SR split\n"
+         "        -nreg N    register file size (default 128)\n"
+         "  run      file.s [-nreg N] [-iters K] [-memlat L]\n"
+         "      allocate, then simulate on the cycle-level engine\n"
+         "        -nreg N    register file size (default 128)\n"
+         "        -iters K   loop iterations to simulate (default 10)\n"
+         "        -memlat L  memory latency in cycles (default 40)\n"
+         "  baseline file.s [-regs K]\n"
+         "      fixed-partition Chaitin/Briggs allocation with spill code\n"
+         "        -regs K    per-thread partition size (default 32)\n"
+         "  sra      file.s [-nthd N] [-nreg R]\n"
+         "      symmetric allocation: N copies of the (single) thread\n"
+         "        -nthd N    thread count (default 4)\n"
+         "        -nreg R    register file size (default 128)\n"
+         "  lint     file.s [--json] [--after-alloc] [--physical]\n"
+         "           [--only checks] [-nreg N]\n"
+         "      run the static-analysis checkers and report every finding\n"
+         "        --json          emit diagnostics as JSON\n"
+         "        --after-alloc   allocate first, lint the physical result\n"
+         "        --physical      treat registers named p<N> as a\n"
+         "                        hand-crafted physical allocation\n"
+         "        --only checks   comma-separated checker names to run\n"
+         "        -nreg N         register file size for --after-alloc\n"
+         "      checkers:\n";
+  for (const CheckerInfo &C : getCheckerRegistry())
+    std::cerr << "        " << C.Name << ": " << C.Description << "\n";
+  std::cerr << "\nexit status: 0 ok, 1 findings/errors, 2 bad usage\n";
   return 2;
 }
 
-ErrorOr<MultiThreadProgram> loadFile(const std::string &Path) {
+ErrorOr<MultiThreadProgram> loadFile(const std::string &Path,
+                                     bool Rename = true) {
   std::ifstream In(Path);
   if (!In)
     return Status::error("cannot open '" + Path + "'");
@@ -59,8 +95,9 @@ ErrorOr<MultiThreadProgram> loadFile(const std::string &Path) {
   ErrorOr<MultiThreadProgram> MTP = parseAssembly(Buf.str());
   if (!MTP.ok())
     return MTP.status();
-  for (Program &T : MTP->Threads)
-    T = renameLiveRanges(T);
+  if (Rename)
+    for (Program &T : MTP->Threads)
+      T = renameLiveRanges(T);
   return MTP;
 }
 
@@ -202,6 +239,55 @@ int cmdSra(const MultiThreadProgram &MTP, int Nthd, int Nreg) {
   return 0;
 }
 
+int cmdLint(MultiThreadProgram MTP, bool Json, bool AfterAlloc, bool Physical,
+            const std::string &Only, int Nreg) {
+  if (Physical) {
+    if (Status S = mapNamedPhysicalRegisters(MTP); !S.ok()) {
+      std::cerr << "error: " << S.str() << "\n";
+      return 1;
+    }
+  }
+  if (AfterAlloc) {
+    for (Program &T : MTP.Threads)
+      T = renameLiveRanges(T);
+    InterThreadResult R = allocateInterThread(MTP, Nreg);
+    if (!R.Success) {
+      std::cerr << "allocation failed: " << R.FailReason << "\n";
+      return 1;
+    }
+    MTP = std::move(R.Physical);
+  }
+
+  LintOptions Opts;
+  if (!Only.empty()) {
+    size_t Pos = 0;
+    while (Pos <= Only.size()) {
+      size_t Comma = Only.find(',', Pos);
+      std::string Name = Only.substr(
+          Pos, Comma == std::string::npos ? std::string::npos : Comma - Pos);
+      if (!Name.empty()) {
+        if (!findChecker(Name)) {
+          std::cerr << "error: unknown checker '" << Name << "'\n";
+          return usage();
+        }
+        Opts.OnlyChecks.push_back(std::move(Name));
+      }
+      if (Comma == std::string::npos)
+        break;
+      Pos = Comma + 1;
+    }
+  }
+
+  DiagnosticEngine Engine;
+  runAllCheckers(MTP, Engine, Opts);
+  Engine.sortBySeverity();
+  if (Json)
+    Engine.renderJSON(std::cout);
+  else
+    Engine.renderText(std::cout);
+  return Engine.hasErrors() ? 1 : 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -210,24 +296,45 @@ int main(int argc, char **argv) {
   std::string Cmd = argv[1];
   std::string Path = argv[2];
   int Nreg = 128, RegsPerThread = 32, Iters = 10, MemLat = 40, Nthd = 4;
-  for (int I = 3; I + 1 < argc; I += 2) {
+  bool Json = false, AfterAlloc = false, Physical = false;
+  std::string Only;
+  for (int I = 3; I < argc; ++I) {
     std::string Opt = argv[I];
-    int Value = std::atoi(argv[I + 1]);
-    if (Opt == "-nreg")
-      Nreg = Value;
+    if (Opt == "--json") {
+      Json = true;
+      continue;
+    }
+    if (Opt == "--after-alloc") {
+      AfterAlloc = true;
+      continue;
+    }
+    if (Opt == "--physical") {
+      Physical = true;
+      continue;
+    }
+    if (I + 1 >= argc)
+      return usage();
+    std::string Value = argv[++I];
+    if (Opt == "--only")
+      Only = Value;
+    else if (Opt == "-nreg")
+      Nreg = std::atoi(Value.c_str());
     else if (Opt == "-regs")
-      RegsPerThread = Value;
+      RegsPerThread = std::atoi(Value.c_str());
     else if (Opt == "-iters")
-      Iters = Value;
+      Iters = std::atoi(Value.c_str());
     else if (Opt == "-memlat")
-      MemLat = Value;
+      MemLat = std::atoi(Value.c_str());
     else if (Opt == "-nthd")
-      Nthd = Value;
+      Nthd = std::atoi(Value.c_str());
     else
       return usage();
   }
 
-  ErrorOr<MultiThreadProgram> MTP = loadFile(Path);
+  // Lint inspects the program as written (no live-range renaming), so
+  // diagnostics point at the user's own register names; the allocation
+  // subcommands rename first like the full pipeline does.
+  ErrorOr<MultiThreadProgram> MTP = loadFile(Path, /*Rename=*/Cmd != "lint");
   if (!MTP.ok()) {
     std::cerr << "error: " << MTP.status().str() << "\n";
     return 1;
@@ -243,5 +350,7 @@ int main(int argc, char **argv) {
     return cmdBaseline(*MTP, RegsPerThread);
   if (Cmd == "sra")
     return cmdSra(*MTP, Nthd, Nreg);
+  if (Cmd == "lint")
+    return cmdLint(MTP.take(), Json, AfterAlloc, Physical, Only, Nreg);
   return usage();
 }
