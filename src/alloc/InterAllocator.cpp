@@ -120,6 +120,12 @@ bool sweepSharedWindow(
 
 InterThreadResult npral::allocateInterThread(const MultiThreadProgram &MTP,
                                              int Nreg) {
+  return allocateInterThread(MTP, Nreg, {});
+}
+
+InterThreadResult npral::allocateInterThread(
+    const MultiThreadProgram &MTP, int Nreg,
+    const std::vector<std::shared_ptr<const ThreadAnalysisBundle>> &Analyses) {
   InterThreadResult Result;
   const int Nthd = MTP.getNumThreads();
   if (Nthd == 0) {
@@ -133,8 +139,13 @@ InterThreadResult npral::allocateInterThread(const MultiThreadProgram &MTP,
   std::vector<int> PR(static_cast<size_t>(Nthd));
   std::vector<int> SR(static_cast<size_t>(Nthd));
   for (int T = 0; T < Nthd; ++T) {
-    Intras.push_back(
-        std::make_unique<IntraThreadAllocator>(MTP.Threads[static_cast<size_t>(T)]));
+    const Program &P = MTP.Threads[static_cast<size_t>(T)];
+    if (static_cast<size_t>(T) < Analyses.size() &&
+        Analyses[static_cast<size_t>(T)])
+      Intras.push_back(std::make_unique<IntraThreadAllocator>(
+          P, *Analyses[static_cast<size_t>(T)]));
+    else
+      Intras.push_back(std::make_unique<IntraThreadAllocator>(P));
     const RegBounds &B = Intras.back()->getBounds();
     PR[static_cast<size_t>(T)] = B.MaxPR;
     SR[static_cast<size_t>(T)] = B.MaxR - B.MaxPR;

@@ -63,6 +63,16 @@ struct InterThreadResult {
 /// physical registers.
 InterThreadResult allocateInterThread(const MultiThreadProgram &MTP, int Nreg);
 
+/// Same, reusing precomputed per-thread analyses. \p Analyses is aligned
+/// with MTP.Threads; null (or missing) entries are computed fresh. When an
+/// entry is non-null the corresponding thread must already be live-range
+/// renamed and the bundle must match its content — the batch driver's
+/// content-hash cache guarantees both. The bundles are only read, so the
+/// same shared_ptr may be passed to any number of concurrent calls.
+InterThreadResult allocateInterThread(
+    const MultiThreadProgram &MTP, int Nreg,
+    const std::vector<std::shared_ptr<const ThreadAnalysisBundle>> &Analyses);
+
 /// Symmetric Register Allocation: all Nthd threads run \p P. Exhaustively
 /// sweeps (PR, SR) with Nthd*PR + SR <= Nreg, minimising total register use
 /// (then PR). With \p RequireZeroCost only move-free allocations qualify —

@@ -48,9 +48,21 @@ Program npral::rewriteToColors(const Program &P, const Coloring &Colors,
   return Out;
 }
 
+ThreadAnalysisBundle npral::computeThreadAnalysisBundle(
+    const Program &RenamedP) {
+  ThreadAnalysisBundle Bundle;
+  Bundle.TA = analyzeThread(RenamedP);
+  Bundle.Bounds = estimateRegBounds(Bundle.TA);
+  return Bundle;
+}
+
 IntraThreadAllocator::IntraThreadAllocator(const Program &P)
     : Original(renameLiveRanges(P)), TA(analyzeThread(Original)),
       Bounds(estimateRegBounds(TA)) {}
+
+IntraThreadAllocator::IntraThreadAllocator(const Program &RenamedP,
+                                           const ThreadAnalysisBundle &Pre)
+    : Original(RenamedP), TA(Pre.TA), Bounds(Pre.Bounds) {}
 
 const IntraResult &IntraThreadAllocator::allocate(int PR, int SR) {
   auto Key = std::make_pair(PR, SR);

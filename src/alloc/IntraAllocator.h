@@ -42,9 +42,31 @@ struct IntraResult : ColorAllocation {
   std::string Strategy;
 };
 
+/// Everything allocation needs that depends only on a thread's content: the
+/// full analysis package (liveness, NSR decomposition, GIG/BIG/IIG) plus
+/// the §5 register bounds. Once built it is immutable, so one bundle can be
+/// shared across allocator instances and across concurrent batch jobs (the
+/// driver's AnalysisCache keys bundles by a content hash of the program).
+struct ThreadAnalysisBundle {
+  ThreadAnalysis TA;
+  RegBounds Bounds;
+};
+
+/// Analyze \p RenamedP and estimate its bounds. \p RenamedP must already be
+/// live-range renamed (renameLiveRanges is idempotent, so renaming twice is
+/// safe but wasted work).
+ThreadAnalysisBundle computeThreadAnalysisBundle(const Program &RenamedP);
+
 class IntraThreadAllocator {
 public:
   explicit IntraThreadAllocator(const Program &P);
+
+  /// Reuse a precomputed analysis instead of recomputing it. \p RenamedP
+  /// must already be live-range renamed and \p Pre must have been computed
+  /// from exactly this program (the batch driver guarantees both via its
+  /// content-hash cache).
+  IntraThreadAllocator(const Program &RenamedP,
+                       const ThreadAnalysisBundle &Pre);
 
   /// Allocate with \p PR private and \p SR shared colors; memoised.
   const IntraResult &allocate(int PR, int SR);

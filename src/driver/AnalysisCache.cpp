@@ -1,0 +1,42 @@
+//===- AnalysisCache.cpp --------------------------------------------------===//
+
+#include "driver/AnalysisCache.h"
+
+#include "ir/IRPrinter.h"
+
+using namespace npral;
+
+uint64_t npral::hashProgramContent(const Program &P) {
+  const std::string Text = programToString(P);
+  uint64_t Hash = 1469598103934665603ULL;
+  for (char C : Text) {
+    Hash ^= static_cast<unsigned char>(C);
+    Hash *= 1099511628211ULL;
+  }
+  return Hash;
+}
+
+std::shared_ptr<const ThreadAnalysisBundle>
+AnalysisCache::lookup(uint64_t Key) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find(Key);
+  if (It == Entries.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return It->second;
+}
+
+std::shared_ptr<const ThreadAnalysisBundle>
+AnalysisCache::insert(uint64_t Key,
+                      std::shared_ptr<const ThreadAnalysisBundle> Bundle) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto [It, Inserted] = Entries.emplace(Key, std::move(Bundle));
+  return It->second;
+}
+
+size_t AnalysisCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}

@@ -1,0 +1,213 @@
+//===- BatchPipeline.cpp --------------------------------------------------===//
+
+#include "driver/BatchPipeline.h"
+
+#include "alloc/AllocationVerifier.h"
+#include "analysis/LiveRangeRenaming.h"
+#include "asmparse/AsmParser.h"
+#include "driver/AnalysisCache.h"
+#include "ir/IRVerifier.h"
+#include "support/StringUtils.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+using namespace npral;
+
+namespace {
+
+int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Run one input through the full pipeline. Touches only its own result
+/// (and the shared AnalysisCache, which synchronises internally).
+BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
+                          AnalysisCache *Cache) {
+  BatchJobResult R;
+  R.Name = In.Name.empty() ? In.Path : In.Name;
+
+  // Stage 1: parse (or adopt the in-memory program).
+  MultiThreadProgram MTP;
+  {
+    const int64_t T0 = nowNs();
+    if (!In.Path.empty()) {
+      std::ifstream Stream(In.Path);
+      if (!Stream) {
+        R.FailReason = "cannot open '" + In.Path + "'";
+        return R;
+      }
+      std::ostringstream Buf;
+      Buf << Stream.rdbuf();
+      ErrorOr<MultiThreadProgram> Parsed = parseAssembly(Buf.str());
+      if (!Parsed.ok()) {
+        R.ParseNs = nowNs() - T0;
+        R.FailReason = Parsed.status().str();
+        return R;
+      }
+      MTP = Parsed.take();
+    } else {
+      MTP = In.Program;
+    }
+    R.ParseNs = nowNs() - T0;
+  }
+  R.NumThreads = MTP.getNumThreads();
+  if (R.NumThreads == 0) {
+    R.FailReason = "no threads";
+    return R;
+  }
+
+  // Stage 2+3: per-thread rename, analysis and bounds, through the cache.
+  std::vector<std::shared_ptr<const ThreadAnalysisBundle>> Bundles;
+  Bundles.reserve(MTP.Threads.size());
+  for (Program &T : MTP.Threads) {
+    if (Status S = verifyProgram(T); !S.ok()) {
+      R.FailReason = "thread '" + T.Name + "': " + S.str();
+      return R;
+    }
+    const int64_t T0 = nowNs();
+    T = renameLiveRanges(T);
+    std::shared_ptr<const ThreadAnalysisBundle> Bundle;
+    if (Cache) {
+      const uint64_t Key = hashProgramContent(T);
+      Bundle = Cache->lookup(Key);
+      if (Bundle) {
+        ++R.CacheHits;
+        R.AnalysisNs += nowNs() - T0;
+      } else {
+        ++R.CacheMisses;
+        auto Fresh = std::make_shared<ThreadAnalysisBundle>();
+        Fresh->TA = analyzeThread(T);
+        const int64_t T1 = nowNs();
+        R.AnalysisNs += T1 - T0;
+        Fresh->Bounds = estimateRegBounds(Fresh->TA);
+        R.BoundsNs += nowNs() - T1;
+        Bundle = Cache->insert(Key, std::move(Fresh));
+      }
+    } else {
+      auto Fresh = std::make_shared<ThreadAnalysisBundle>();
+      Fresh->TA = analyzeThread(T);
+      const int64_t T1 = nowNs();
+      R.AnalysisNs += T1 - T0;
+      Fresh->Bounds = estimateRegBounds(Fresh->TA);
+      R.BoundsNs += nowNs() - T1;
+      Bundle = std::move(Fresh);
+    }
+    // Analysis precondition: no path may read an undefined register. The
+    // bundle's liveness answers this without extra dataflow.
+    if (Status S = checkNoUseOfUndef(T, Bundle->TA.Liveness); !S.ok()) {
+      R.FailReason = "thread '" + T.Name + "': " + S.str();
+      return R;
+    }
+    Bundles.push_back(std::move(Bundle));
+  }
+
+  // Stage 4: inter/intra allocation.
+  InterThreadResult Alloc;
+  {
+    const int64_t T0 = nowNs();
+    Alloc = allocateInterThread(MTP, Opts.Nreg, Bundles);
+    R.AllocNs = nowNs() - T0;
+  }
+  if (!Alloc.Success) {
+    R.FailReason = "allocation failed: " + Alloc.FailReason;
+    return R;
+  }
+  R.RegistersUsed = Alloc.RegistersUsed;
+  R.SGR = Alloc.SGR;
+  R.TotalMoveCost = Alloc.TotalMoveCost;
+
+  // Stage 5: independent cross-thread safety verification.
+  if (Opts.Verify) {
+    const int64_t T0 = nowNs();
+    Status Safety = verifyAllocationSafety(Alloc.Physical);
+    R.VerifyNs = nowNs() - T0;
+    if (!Safety.ok()) {
+      R.FailReason = "unsafe allocation: " + Safety.str();
+      return R;
+    }
+  }
+
+  if (Opts.KeepPhysical)
+    R.Physical = std::move(Alloc.Physical);
+  R.Success = true;
+  return R;
+}
+
+} // namespace
+
+BatchResult npral::runBatch(const std::vector<BatchJob> &Inputs,
+                            const BatchOptions &Opts, AnalysisCache *Cache) {
+  BatchResult Out;
+  Out.Results.resize(Inputs.size());
+
+  AnalysisCache LocalCache;
+  if (!Cache && Opts.UseCache)
+    Cache = &LocalCache;
+
+  const int64_t Wall0 = nowNs();
+  {
+    ThreadPool Pool(Opts.Jobs);
+    parallelFor(Pool, static_cast<int>(Inputs.size()), [&](int I) {
+      Out.Results[static_cast<size_t>(I)] =
+          processOne(Inputs[static_cast<size_t>(I)], Opts, Cache);
+    });
+  }
+  Out.Stats.WallNs = nowNs() - Wall0;
+
+  Out.Stats.Programs = static_cast<int>(Inputs.size());
+  Out.Stats.Jobs = std::max(1, Opts.Jobs);
+  Out.Stats.CacheEnabled = Cache != nullptr;
+  for (const BatchJobResult &R : Out.Results) {
+    (R.Success ? Out.Stats.Succeeded : Out.Stats.Failed) += 1;
+    Out.Stats.CacheHits += R.CacheHits;
+    Out.Stats.CacheMisses += R.CacheMisses;
+    Out.Stats.ParseNs += R.ParseNs;
+    Out.Stats.AnalysisNs += R.AnalysisNs;
+    Out.Stats.BoundsNs += R.BoundsNs;
+    Out.Stats.AllocNs += R.AllocNs;
+    Out.Stats.VerifyNs += R.VerifyNs;
+  }
+  return Out;
+}
+
+void PipelineStats::renderText(std::ostream &OS) const {
+  auto ms = [](int64_t Ns) { return static_cast<double>(Ns) / 1e6; };
+  OS << formatString("batch: %d programs, %d ok, %d failed, jobs=%d\n",
+                     Programs, Succeeded, Failed, Jobs);
+  OS << formatString(
+      "stages (ms): parse %.2f  analysis %.2f  bounds %.2f  alloc %.2f  "
+      "verify %.2f\n",
+      ms(ParseNs), ms(AnalysisNs), ms(BoundsNs), ms(AllocNs), ms(VerifyNs));
+  if (CacheEnabled)
+    OS << formatString("cache: %lld hits, %lld misses (%.1f%% hit rate)\n",
+                       static_cast<long long>(CacheHits),
+                       static_cast<long long>(CacheMisses),
+                       cacheHitRate() * 100.0);
+  else
+    OS << "cache: disabled\n";
+  OS << formatString("wall: %.2f ms (%.1f programs/s)\n", ms(WallNs),
+                     throughput());
+}
+
+void PipelineStats::renderJSON(std::ostream &OS) const {
+  OS << "{\n";
+  OS << "  \"programs\": " << Programs << ",\n";
+  OS << "  \"succeeded\": " << Succeeded << ",\n";
+  OS << "  \"failed\": " << Failed << ",\n";
+  OS << "  \"jobs\": " << Jobs << ",\n";
+  OS << "  \"cache\": {\"enabled\": " << (CacheEnabled ? "true" : "false")
+     << ", \"hits\": " << CacheHits << ", \"misses\": " << CacheMisses
+     << formatString(", \"hit_rate\": %.4f}", cacheHitRate()) << ",\n";
+  OS << "  \"stages_ns\": {\"parse\": " << ParseNs
+     << ", \"analysis\": " << AnalysisNs << ", \"bounds\": " << BoundsNs
+     << ", \"alloc\": " << AllocNs << ", \"verify\": " << VerifyNs << "},\n";
+  OS << "  \"wall_ns\": " << WallNs << ",\n";
+  OS << formatString("  \"throughput_programs_per_sec\": %.2f\n",
+                     throughput());
+  OS << "}\n";
+}

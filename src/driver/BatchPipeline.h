@@ -1,0 +1,138 @@
+//===- BatchPipeline.h - Parallel batched allocation ------------*- C++ -*-===//
+///
+/// \file
+/// The batch allocation pipeline: N input programs (assembly files or
+/// in-memory MultiThreadPrograms) each run
+///
+///   parse -> live-range renaming -> liveness/NSR/interference ->
+///   bounds estimation -> inter/intra allocation -> safety verification
+///
+/// across a fixed-size ThreadPool. Jobs are independent — each writes only
+/// its own result slot — so the output is bit-identical for any worker
+/// count. Per-thread analysis artifacts are memoised in a content-hash
+/// keyed AnalysisCache, so repeated inputs and shared kernels skip the
+/// dataflow recomputation.
+///
+/// Per-stage wall-clock and cache hit/miss counters are aggregated into a
+/// PipelineStats, rendered as text or as JSON following the
+/// DiagnosticEngine's conventions (stable key order, FNV-style escaping).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_DRIVER_BATCHPIPELINE_H
+#define NPRAL_DRIVER_BATCHPIPELINE_H
+
+#include "alloc/InterAllocator.h"
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace npral {
+
+class AnalysisCache;
+
+struct BatchOptions {
+  /// Register file size handed to the inter-thread allocator.
+  int Nreg = 128;
+  /// Worker threads in the pool (clamped to >= 1).
+  int Jobs = 1;
+  /// Memoise per-thread analyses in the AnalysisCache.
+  bool UseCache = false;
+  /// Run the AllocationVerifier over every successful allocation.
+  bool Verify = true;
+  /// Retain each job's physical program in its result (costs memory; the
+  /// CLI leaves it off, tests and the determinism suite turn it on).
+  bool KeepPhysical = false;
+};
+
+/// One batch input: either a path to an assembly file (parsed by the job)
+/// or an in-memory program (generated workloads, tests).
+struct BatchJob {
+  /// Display name; defaults to Path when empty.
+  std::string Name;
+  /// Assembly file to parse; when empty, Program is used directly.
+  std::string Path;
+  MultiThreadProgram Program;
+};
+
+/// Outcome of one job.
+struct BatchJobResult {
+  std::string Name;
+  bool Success = false;
+  std::string FailReason;
+  int NumThreads = 0;
+  int RegistersUsed = 0;
+  int SGR = 0;
+  int TotalMoveCost = 0;
+  /// Analysis-cache hits/misses attributed to this job's threads.
+  int64_t CacheHits = 0;
+  int64_t CacheMisses = 0;
+  /// Per-stage wall clock, nanoseconds.
+  int64_t ParseNs = 0;
+  int64_t AnalysisNs = 0;
+  int64_t BoundsNs = 0;
+  int64_t AllocNs = 0;
+  int64_t VerifyNs = 0;
+  /// Filled when BatchOptions::KeepPhysical.
+  MultiThreadProgram Physical;
+};
+
+/// Aggregated batch counters.
+struct PipelineStats {
+  int Programs = 0;
+  int Succeeded = 0;
+  int Failed = 0;
+  int Jobs = 1;
+  bool CacheEnabled = false;
+  int64_t CacheHits = 0;
+  int64_t CacheMisses = 0;
+  /// Per-stage wall clock summed over all jobs, nanoseconds. Stages on
+  /// different workers overlap, so the sum can exceed WallNs.
+  int64_t ParseNs = 0;
+  int64_t AnalysisNs = 0;
+  int64_t BoundsNs = 0;
+  int64_t AllocNs = 0;
+  int64_t VerifyNs = 0;
+  /// End-to-end wall clock of the whole batch, nanoseconds.
+  int64_t WallNs = 0;
+
+  /// Hits / (hits + misses); 0 when the cache saw no traffic.
+  double cacheHitRate() const {
+    const int64_t Total = CacheHits + CacheMisses;
+    return Total > 0 ? static_cast<double>(CacheHits) / Total : 0.0;
+  }
+  /// Programs per second of end-to-end wall clock.
+  double throughput() const {
+    return WallNs > 0 ? Programs * 1e9 / static_cast<double>(WallNs) : 0.0;
+  }
+
+  void renderText(std::ostream &OS) const;
+  void renderJSON(std::ostream &OS) const;
+};
+
+struct BatchResult {
+  /// One entry per input, in input order regardless of worker scheduling.
+  std::vector<BatchJobResult> Results;
+  PipelineStats Stats;
+
+  bool allSucceeded() const {
+    for (const BatchJobResult &R : Results)
+      if (!R.Success)
+        return false;
+    return true;
+  }
+};
+
+/// Run the pipeline over \p Inputs with \p Opts. When \p Cache is non-null
+/// it is used (and warmed) regardless of BatchOptions::UseCache, which lets
+/// callers share a warm cache across runs; with UseCache set and no cache
+/// supplied, a run-local cache is created.
+BatchResult runBatch(const std::vector<BatchJob> &Inputs,
+                     const BatchOptions &Opts, AnalysisCache *Cache = nullptr);
+
+} // namespace npral
+
+#endif // NPRAL_DRIVER_BATCHPIPELINE_H

@@ -394,6 +394,8 @@ SimResult Simulator::run() {
     }
     if (LastThread >= 0 && Chosen != LastThread)
       Clock += Config.CtxSwitchPenalty;
+    if (Config.RecordCtxTrace && Chosen != LastThread)
+      Result.CtxTrace.push_back({Clock, Chosen});
     LastThread = Chosen;
     if (!step(Chosen, Clock, Error)) {
       Result.FailReason = Error;

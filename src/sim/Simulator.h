@@ -54,6 +54,20 @@ struct SimConfig {
   /// steady-state contention of false; semantic-equivalence runs want true,
   /// so the final memory image is independent of thread interleaving.
   bool HaltAtTarget = false;
+  /// Record every dispatch of a thread different from the previous one into
+  /// SimResult::CtxTrace (the determinism tests compare traces run-to-run).
+  bool RecordCtxTrace = false;
+};
+
+/// One recorded context switch: at \p Cycle the CPU started running
+/// \p Thread (after any switch penalty was charged).
+struct CtxSwitchEvent {
+  int64_t Cycle = 0;
+  int Thread = -1;
+
+  bool operator==(const CtxSwitchEvent &O) const {
+    return Cycle == O.Cycle && Thread == O.Thread;
+  }
 };
 
 struct ThreadStats {
@@ -81,6 +95,9 @@ struct SimResult {
   /// Cycles during which no thread was runnable (all blocked on memory).
   int64_t IdleCycles = 0;
   std::vector<ThreadStats> Threads;
+  /// Context-switch trace, including the first dispatch; only filled when
+  /// SimConfig::RecordCtxTrace is set.
+  std::vector<CtxSwitchEvent> CtxTrace;
 
   double cpuUtilisation() const {
     return TotalCycles > 0

@@ -1,0 +1,121 @@
+//===- ThreadPool.h - Fixed-size worker pool --------------------*- C++ -*-===//
+///
+/// \file
+/// A fixed-size thread pool for the batch pipeline: N workers drain a FIFO
+/// task queue; wait() blocks until every submitted task has finished. Tasks
+/// must not throw (the library reports failures through result structs, not
+/// exceptions) and must synchronise their own access to shared state — the
+/// pool only guarantees that submit() happens-before the task body and the
+/// task body happens-before wait() returning.
+///
+/// The pool is deliberately minimal: no futures, no priorities, no work
+/// stealing. Batch jobs are coarse (a whole program's analysis+allocation
+/// each), so a mutex-guarded deque is nowhere near contention.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_SUPPORT_THREADPOOL_H
+#define NPRAL_SUPPORT_THREADPOOL_H
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace npral {
+
+class ThreadPool {
+public:
+  /// Spawn \p NumWorkers workers (clamped to at least 1).
+  explicit ThreadPool(int NumWorkers) {
+    const int N = std::max(1, NumWorkers);
+    Workers.reserve(static_cast<size_t>(N));
+    for (int I = 0; I < N; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Stopping = true;
+    }
+    WorkAvailable.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  int getNumWorkers() const { return static_cast<int>(Workers.size()); }
+
+  /// Enqueue \p Task; it runs on some worker, in FIFO order.
+  void submit(std::function<void()> Task) {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Queue.push_back(std::move(Task));
+      ++Pending;
+    }
+    WorkAvailable.notify_one();
+  }
+
+  /// Block until every task submitted so far has completed.
+  void wait() {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    AllDone.wait(Lock, [this] { return Pending == 0; });
+  }
+
+  /// std::thread::hardware_concurrency with the zero-means-unknown case
+  /// clamped to 1.
+  static int hardwareConcurrency() {
+    unsigned N = std::thread::hardware_concurrency();
+    return N == 0 ? 1 : static_cast<int>(N);
+  }
+
+private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> Lock(Mutex);
+        WorkAvailable.wait(Lock,
+                           [this] { return Stopping || !Queue.empty(); });
+        if (Queue.empty())
+          return; // Stopping and drained.
+        Task = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      Task();
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        if (--Pending == 0)
+          AllDone.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  /// Tasks submitted but not yet finished (queued + running).
+  int Pending = 0;
+  bool Stopping = false;
+};
+
+/// Run Fn(0) .. Fn(N-1) across \p Pool and block until all are done. The
+/// iterations must be independent; each writes only its own outputs.
+inline void parallelFor(ThreadPool &Pool, int N,
+                        const std::function<void(int)> &Fn) {
+  for (int I = 0; I < N; ++I)
+    Pool.submit([&Fn, I] { Fn(I); });
+  Pool.wait();
+}
+
+} // namespace npral
+
+#endif // NPRAL_SUPPORT_THREADPOOL_H

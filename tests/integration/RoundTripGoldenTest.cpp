@@ -1,0 +1,107 @@
+//===- RoundTripGoldenTest.cpp - Parser/printer fixed-point goldens -------===//
+//
+// Guards the invariant the analysis cache's content hashing rests on: the
+// printer's output is byte-stable and print -> parse is a fixed point. For
+// every fixture in examples/asm, parse -> print -> parse -> print must
+// produce identical text, and the content hash must agree between the two
+// parses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "asmparse/AsmParser.h"
+#include "driver/AnalysisCache.h"
+#include "ir/IRPrinter.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace npral;
+
+namespace {
+
+std::vector<std::string> collectFixtures() {
+  std::vector<std::string> Paths;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(NPRAL_EXAMPLES_ASM_DIR))
+    if (Entry.path().extension() == ".s")
+      Paths.push_back(Entry.path().string());
+  std::sort(Paths.begin(), Paths.end());
+  return Paths;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  return OS.str();
+}
+
+} // namespace
+
+class RoundTripGoldenTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RoundTripGoldenTest, PrintParseFixedPoint) {
+  const std::string Path = GetParam();
+  ErrorOr<MultiThreadProgram> First = parseAssembly(readFile(Path));
+  ASSERT_TRUE(First.ok()) << Path << ": " << First.status().message();
+
+  for (const Program &P : (*First).Threads) {
+    const std::string Printed = programToString(P);
+    // Byte stability: printing the same program twice is identical.
+    EXPECT_EQ(Printed, programToString(P)) << Path << " thread " << P.Name;
+
+    ErrorOr<Program> Second = parseSingleProgram(Printed);
+    ASSERT_TRUE(Second.ok())
+        << Path << " thread " << P.Name
+        << ": printed form does not reparse: " << Second.status().message()
+        << "\n" << Printed;
+    // Fixed point: one print normalises; further round trips are identity.
+    EXPECT_EQ(programToString((*Second)), Printed)
+        << Path << " thread " << P.Name;
+    // The cache key sees equal content on both sides of the round trip.
+    EXPECT_EQ(hashProgramContent((*Second)), hashProgramContent(P))
+        << Path << " thread " << P.Name;
+  }
+}
+
+TEST_P(RoundTripGoldenTest, WholeFileReassembles) {
+  const std::string Path = GetParam();
+  ErrorOr<MultiThreadProgram> First = parseAssembly(readFile(Path));
+  ASSERT_TRUE(First.ok()) << Path << ": " << First.status().message();
+
+  // Concatenate every thread's printed form and reparse the whole file.
+  std::ostringstream Whole;
+  for (const Program &P : (*First).Threads)
+    printProgram(Whole, P);
+  ErrorOr<MultiThreadProgram> Again = parseAssembly(Whole.str());
+  ASSERT_TRUE(Again.ok()) << Path << ": " << Again.status().message();
+  ASSERT_EQ((*Again).getNumThreads(),
+            (*First).getNumThreads());
+  for (size_t T = 0; T < (*First).Threads.size(); ++T)
+    EXPECT_EQ(programToString((*Again).Threads[T]),
+              programToString((*First).Threads[T]))
+        << Path << " thread " << T;
+}
+
+TEST(RoundTripGoldenCorpus, FindsAllFixtures) {
+  // Keep the glob honest: the shipped corpus has at least these fixtures.
+  EXPECT_GE(collectFixtures().size(), 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ExamplesAsm, RoundTripGoldenTest,
+                         ::testing::ValuesIn(collectFixtures()),
+                         [](const ::testing::TestParamInfo<std::string> &I) {
+                           std::string Name =
+                               std::filesystem::path(I.param).stem().string();
+                           std::replace_if(
+                               Name.begin(), Name.end(),
+                               [](char C) { return !std::isalnum(C); }, '_');
+                           return Name;
+                         });

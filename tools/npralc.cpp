@@ -16,6 +16,10 @@
 //                          [--only checks] [-nreg N]
 //                                      run every registered checker, report
 //                                      all findings (text or JSON)
+//   npralc batch    files... [--jobs N] [--cache] [--stats] [--json]
+//                            [-nreg N]
+//                                      allocate and verify many programs
+//                                      across a thread pool
 //
 // Threads may declare entry-live registers; `run` seeds them with zero (use
 // the C++ API for richer setups — see examples/).
@@ -29,11 +33,14 @@
 #include "analysis/LiveRangeRenaming.h"
 #include "asmparse/AsmParser.h"
 #include "baseline/ChaitinAllocator.h"
+#include "driver/AnalysisCache.h"
+#include "driver/BatchPipeline.h"
 #include "ir/IRPrinter.h"
 #include "lint/Lint.h"
 #include "sim/Simulator.h"
 #include "support/DiagnosticEngine.h"
 #include "support/TableFormatter.h"
+#include "support/ThreadPool.h"
 
 #include <fstream>
 #include <iostream>
@@ -78,6 +85,15 @@ int usage() {
          "                        hand-crafted physical allocation\n"
          "        --only checks   comma-separated checker names to run\n"
          "        -nreg N         register file size for --after-alloc\n"
+         "  batch    files... [--jobs N] [--cache] [--stats] [--json]\n"
+         "           [-nreg N]\n"
+         "      run the full pipeline (parse, analyze, allocate, verify)\n"
+         "      over many files on a thread pool; one result row per file\n"
+         "        --jobs N   worker threads (default: hardware concurrency)\n"
+         "        --cache    memoise per-thread analyses by content hash\n"
+         "        --stats    report per-stage wall clock and cache hit rate\n"
+         "        --json     emit the --stats report as JSON\n"
+         "        -nreg N    register file size (default 128)\n"
          "      checkers:\n";
   for (const CheckerInfo &C : getCheckerRegistry())
     std::cerr << "        " << C.Name << ": " << C.Description << "\n";
@@ -288,12 +304,80 @@ int cmdLint(MultiThreadProgram MTP, bool Json, bool AfterAlloc, bool Physical,
   return Engine.hasErrors() ? 1 : 0;
 }
 
+int cmdBatch(const std::vector<std::string> &Files, int Jobs, bool UseCache,
+             bool Stats, bool Json, int Nreg) {
+  if (Files.empty()) {
+    std::cerr << "batch: no input files\n";
+    return usage();
+  }
+  std::vector<BatchJob> Inputs;
+  Inputs.reserve(Files.size());
+  for (const std::string &F : Files) {
+    BatchJob Job;
+    Job.Path = F;
+    Inputs.push_back(std::move(Job));
+  }
+  BatchOptions Opts;
+  Opts.Nreg = Nreg;
+  Opts.Jobs = Jobs > 0 ? Jobs : ThreadPool::hardwareConcurrency();
+  Opts.UseCache = UseCache;
+  BatchResult Batch = runBatch(Inputs, Opts);
+
+  TableFormatter Table({"File", "Threads", "Status", "Regs", "SGR", "Moves"});
+  for (const BatchJobResult &R : Batch.Results) {
+    Table.row().cell(R.Name).cell(R.NumThreads);
+    if (R.Success)
+      Table.cell("ok").cell(R.RegistersUsed).cell(R.SGR).cell(
+          R.TotalMoveCost);
+    else
+      Table.cell("FAIL").cell("-").cell("-").cell("-");
+  }
+  Table.print(std::cout);
+  for (const BatchJobResult &R : Batch.Results)
+    if (!R.Success)
+      std::cerr << R.Name << ": " << R.FailReason << "\n";
+  if (Stats) {
+    if (Json)
+      Batch.Stats.renderJSON(std::cout);
+    else
+      Batch.Stats.renderText(std::cout);
+  }
+  return Batch.allSucceeded() ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   if (argc < 3)
     return usage();
   std::string Cmd = argv[1];
+
+  if (Cmd == "batch") {
+    std::vector<std::string> Files;
+    int Jobs = 0, Nreg = 128;
+    bool UseCache = false, Stats = false, Json = false;
+    for (int I = 2; I < argc; ++I) {
+      std::string Opt = argv[I];
+      if (Opt == "--cache") {
+        UseCache = true;
+      } else if (Opt == "--stats") {
+        Stats = true;
+      } else if (Opt == "--json") {
+        Json = true;
+      } else if (Opt == "--jobs" || Opt == "-nreg") {
+        if (I + 1 >= argc)
+          return usage();
+        int Value = std::atoi(argv[++I]);
+        (Opt == "--jobs" ? Jobs : Nreg) = Value;
+      } else if (!Opt.empty() && Opt[0] == '-') {
+        return usage();
+      } else {
+        Files.push_back(std::move(Opt));
+      }
+    }
+    return cmdBatch(Files, Jobs, UseCache, Stats, Json, Nreg);
+  }
+
   std::string Path = argv[2];
   int Nreg = 128, RegsPerThread = 32, Iters = 10, MemLat = 40, Nthd = 4;
   bool Json = false, AfterAlloc = false, Physical = false;
