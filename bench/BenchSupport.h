@@ -1,0 +1,149 @@
+//===- BenchSupport.h - Shared --json reporting for bench binaries --------===//
+//
+// Every bench binary accepts --json: alongside the normal text report it
+// then writes BENCH_<name>.json into the working directory, so experiment
+// sweeps can be archived and diffed mechanically. The document shape is
+//
+//   {
+//     "bench":   "<name>",
+//     "scalars": { "<key>": "<value>", ... },
+//     "tables":  [ { "title":  "<title>",
+//                    "header": ["<col>", ...],
+//                    "rows":   [["<cell>", ...], ...] }, ... ]
+//   }
+//
+// Cells are the exact strings the text table prints (numbers included), so
+// the JSON and text outputs can never disagree. Schema is documented in
+// EXPERIMENTS.md.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_BENCH_BENCHSUPPORT_H
+#define NPRAL_BENCH_BENCHSUPPORT_H
+
+#include "support/TableFormatter.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace npral {
+
+class BenchReport {
+public:
+  /// Scans argv for --json; unknown flags are left for the bench to reject
+  /// (none of the plain benches take other options today).
+  BenchReport(std::string Name, int Argc, char **Argv)
+      : Name(std::move(Name)) {
+    for (int I = 1; I < Argc; ++I)
+      if (std::string(Argv[I]) == "--json")
+        Enabled = true;
+  }
+
+  bool enabled() const { return Enabled; }
+
+  /// Record a table snapshot (copy; call after the last row is added).
+  void addTable(const std::string &Title, const TableFormatter &Table) {
+    if (!Enabled)
+      return;
+    std::ostringstream OS;
+    Table.printJSON(OS, "    ");
+    Tables.emplace_back(Title, OS.str());
+  }
+
+  /// Record a one-off key/value (parameters, totals, verdicts).
+  void addScalar(const std::string &Key, const std::string &Value) {
+    if (Enabled)
+      Scalars.emplace_back(Key, Value);
+  }
+  void addScalar(const std::string &Key, int64_t Value) {
+    addScalar(Key, std::to_string(Value));
+  }
+  void addScalar(const std::string &Key, double Value) {
+    std::ostringstream OS;
+    OS << Value;
+    addScalar(Key, OS.str());
+  }
+
+  /// Write BENCH_<name>.json when --json was given. Returns \p ExitCode
+  /// unchanged so benches can `return Report.finish(rc);`.
+  int finish(int ExitCode = 0) {
+    if (!Enabled || Written)
+      return ExitCode;
+    Written = true;
+    const std::string Path = "BENCH_" + Name + ".json";
+    std::ofstream Out(Path);
+    if (!Out) {
+      std::cerr << "cannot write " << Path << "\n";
+      return ExitCode ? ExitCode : 1;
+    }
+    Out << "{\n  \"bench\": \"" << Name << "\",\n";
+    Out << "  \"scalars\": {";
+    for (size_t I = 0; I < Scalars.size(); ++I) {
+      Out << (I ? ",\n    " : "\n    ");
+      Out << "\"" << escape(Scalars[I].first) << "\": \""
+          << escape(Scalars[I].second) << "\"";
+    }
+    Out << (Scalars.empty() ? "}" : "\n  }") << ",\n";
+    Out << "  \"tables\": [";
+    for (size_t I = 0; I < Tables.size(); ++I) {
+      Out << (I ? ",\n    {" : "\n    {") << "\"title\": \""
+          << escape(Tables[I].first) << "\", \"table\": "
+          << Tables[I].second << "}";
+    }
+    Out << (Tables.empty() ? "]" : "\n  ]") << "\n}\n";
+    std::cerr << "wrote " << Path << "\n";
+    return ExitCode;
+  }
+
+private:
+  static std::string escape(const std::string &S) {
+    std::string Out;
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      Out += C;
+    }
+    return Out;
+  }
+
+  std::string Name;
+  bool Enabled = false;
+  bool Written = false;
+  std::vector<std::pair<std::string, std::string>> Scalars;
+  /// (title, pre-rendered table JSON) in insertion order.
+  std::vector<std::pair<std::string, std::string>> Tables;
+};
+
+/// --json adapter for the Google-Benchmark-based timing benches: rewrites
+/// the flag into --benchmark_out=BENCH_<name>.json and
+/// --benchmark_out_format=json before benchmark::Initialize consumes argv.
+/// Those binaries emit Google Benchmark's native JSON document rather than
+/// the table schema above (EXPERIMENTS.md documents both).
+/// \p Storage must outlive the returned argv (it owns the strings).
+inline char **rewriteJsonFlagForGoogleBenchmark(
+    const std::string &Name, int &Argc, char **Argv,
+    std::vector<std::string> &Storage, std::vector<char *> &Ptrs) {
+  Storage.clear();
+  for (int I = 0; I < Argc; ++I) {
+    if (I > 0 && std::string(Argv[I]) == "--json") {
+      Storage.push_back("--benchmark_out=BENCH_" + Name + ".json");
+      Storage.push_back("--benchmark_out_format=json");
+    } else {
+      Storage.push_back(Argv[I]);
+    }
+  }
+  Ptrs.clear();
+  for (std::string &S : Storage)
+    Ptrs.push_back(S.data());
+  Ptrs.push_back(nullptr);
+  Argc = static_cast<int>(Storage.size());
+  return Ptrs.data();
+}
+
+} // namespace npral
+
+#endif // NPRAL_BENCH_BENCHSUPPORT_H

@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "alloc/InterAllocator.h"
 #include "support/TableFormatter.h"
 #include "workloads/Harness.h"
@@ -17,7 +19,8 @@
 
 using namespace npral;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("ablation_memlat", argc, argv);
   const Scenario &S = getAraScenarios()[2];
   std::vector<Workload> Workloads = buildScenarioWorkloads(S);
   MultiThreadProgram Virtual = toMultiThreadProgram(Workloads, S.Name);
@@ -54,5 +57,6 @@ int main() {
             << S.Name << ")\n"
             << "(positive = faster with register sharing)\n\n";
   Table.print(std::cout);
-  return 0;
+  Report.addTable("sharing_speedup_vs_memlat", Table);
+  return Report.finish();
 }

@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "alloc/AllocationVerifier.h"
 #include "alloc/InterAllocator.h"
 #include "support/TableFormatter.h"
@@ -18,7 +20,8 @@
 
 using namespace npral;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("ablation_nreg", argc, argv);
   const Scenario &S = getAraScenarios()[0];
   std::vector<Workload> Workloads = buildScenarioWorkloads(S);
   MultiThreadProgram Virtual = toMultiThreadProgram(Workloads, S.Name);
@@ -63,5 +66,6 @@ int main() {
   std::cout << "\nAs Nreg shrinks the allocator first spends its bound "
                "slack, then inserts\nmoves; below the lower bound it "
                "reports infeasible rather than spilling.\n";
-  return 0;
+  Report.addTable("nreg_sweep", Table);
+  return Report.finish();
 }

@@ -10,6 +10,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "alloc/FragmentAllocator.h"
 #include "alloc/IntraAllocator.h"
 #include "analysis/LiveRangeRenaming.h"
@@ -20,7 +22,8 @@
 
 using namespace npral;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("ablation_splitting", argc, argv);
   TableFormatter Table({"Benchmark", "MinPR", "MinR", "Combined", "Strategy",
                         "FragmentOnly", "Overhead%"});
   for (const std::string &Name : getWorkloadNames()) {
@@ -60,5 +63,6 @@ int main() {
             << "('Combined' = best of direct/split/fragment, as the "
                "allocator ships)\n\n";
   Table.print(std::cout);
-  return 0;
+  Report.addTable("strategy_comparison", Table);
+  return Report.finish();
 }

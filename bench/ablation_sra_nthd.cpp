@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "alloc/InterAllocator.h"
 #include "support/TableFormatter.h"
 #include "workloads/Workload.h"
@@ -17,7 +19,8 @@
 
 using namespace npral;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("ablation_sra_nthd", argc, argv);
   const int Nreg = 128;
   TableFormatter Table({"Benchmark", "Nthd=2", "Nthd=4", "Nthd=6", "Nthd=8"});
   for (const std::string &Name : getWorkloadNames()) {
@@ -42,5 +45,6 @@ int main() {
   std::cout << "Ablation A5: SRA total register use (PR/SR split) vs thread "
                "count, Nreg=128\n\n";
   Table.print(std::cout);
-  return 0;
+  Report.addTable("sra_vs_nthd", Table);
+  return Report.finish();
 }

@@ -8,6 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "alloc/BoundsEstimator.h"
 #include "alloc/InterAllocator.h"
 #include "alloc/IntraAllocator.h"
@@ -108,6 +110,10 @@ int main(int argc, char **argv) {
         ("inter_thread/S" + std::to_string(I + 1)).c_str(),
         BM_InterThreadScenario, I);
 
+  std::vector<std::string> ArgStorage;
+  std::vector<char *> ArgPtrs;
+  argv = rewriteJsonFlagForGoogleBenchmark("alloc_compile_time", argc, argv, ArgStorage,
+                                           ArgPtrs);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "driver/AnalysisCache.h"
 #include "driver/BatchPipeline.h"
 #include "support/Diagnostics.h"
@@ -137,6 +139,10 @@ int main(int argc, char **argv) {
         Jobs);
   }
 
+  std::vector<std::string> ArgStorage;
+  std::vector<char *> ArgPtrs;
+  argv = rewriteJsonFlagForGoogleBenchmark("batch_throughput", argc, argv, ArgStorage,
+                                           ArgPtrs);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

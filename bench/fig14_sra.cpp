@@ -13,6 +13,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "alloc/InterAllocator.h"
 #include "baseline/ChaitinAllocator.h"
 #include "support/TableFormatter.h"
@@ -22,7 +24,8 @@
 
 using namespace npral;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("fig14_sra", argc, argv);
   const int Nthd = 4;
   const int Nreg = 128;
 
@@ -81,5 +84,7 @@ int main() {
   Table.print(std::cout);
   std::cout << "\nAverage saving: " << (100.0 * TotalSaving / Counted)
             << "%\n";
-  return 0;
+  Report.addScalar("average_saving_pct", 100.0 * TotalSaving / Counted);
+  Report.addTable("sra_register_use", Table);
+  return Report.finish();
 }

@@ -8,6 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "alloc/InterAllocator.h"
 #include "lint/Lint.h"
 #include "support/DiagnosticEngine.h"
@@ -71,6 +73,10 @@ int main(int argc, char **argv) {
         I);
   }
 
+  std::vector<std::string> ArgStorage;
+  std::vector<char *> ArgPtrs;
+  argv = rewriteJsonFlagForGoogleBenchmark("lint_overhead", argc, argv, ArgStorage,
+                                           ArgPtrs);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -9,6 +9,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "alloc/BoundsEstimator.h"
 #include "analysis/InterferenceGraph.h"
 #include "support/TableFormatter.h"
@@ -18,7 +20,8 @@
 
 using namespace npral;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("table1_properties", argc, argv);
   TableFormatter Table({"Benchmark", "#Instr", "Cyc/iter", "#CTX", "CTX%",
                         "#LiveRanges", "RegPmax", "RegPCSBmax", "MaxR",
                         "MaxPR", "#NSR", "AvgNSRSize"});
@@ -69,5 +72,6 @@ int main() {
   std::cout << "Table 1: benchmark application properties\n"
             << "(paper: Zhuang & Pande, PLDI'04, Table 1)\n\n";
   Table.print(std::cout);
-  return 0;
+  Report.addTable("benchmark_properties", Table);
+  return Report.finish();
 }

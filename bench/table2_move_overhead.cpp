@@ -8,6 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "alloc/IntraAllocator.h"
 #include "support/TableFormatter.h"
 #include "workloads/Workload.h"
@@ -16,7 +18,8 @@
 
 using namespace npral;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("table2_move_overhead", argc, argv);
   TableFormatter Table({"Benchmark", "#Instr", "MinPR", "MinR", "Moves",
                         "Moves/Instr%", "Strategy"});
 
@@ -52,5 +55,6 @@ int main() {
             << "numbers\n"
             << "(paper: overhead mostly within 10% of total instructions)\n\n";
   Table.print(std::cout);
-  return 0;
+  Report.addTable("move_overhead", Table);
+  return Report.finish();
 }

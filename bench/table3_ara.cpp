@@ -18,6 +18,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "alloc/AllocationVerifier.h"
 #include "alloc/InterAllocator.h"
 #include "analysis/InterferenceGraph.h"
@@ -28,7 +30,8 @@
 
 using namespace npral;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchReport Report("table3_ara", argc, argv);
   const int Nreg = 128;
   const int RegsPerThread = 32;
   SimConfig Config = defaultExperimentConfig();
@@ -145,6 +148,7 @@ int main() {
     Table.print(std::cout);
     std::cout << "\n('Change' is cycle reduction of sharing vs spill; "
               << "positive = faster with register sharing.)\n\n";
+    Report.addTable(S.Name, Table);
   }
-  return 0;
+  return Report.finish();
 }

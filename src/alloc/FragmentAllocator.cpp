@@ -70,8 +70,8 @@ private:
 class FragmentAllocatorImpl {
 public:
   FragmentAllocatorImpl(const Program &P, const ThreadAnalysis &TA, int PR,
-                        int SR)
-      : P(P), TA(TA), PR(PR), R(PR + SR) {}
+                        int SR, const CostModel &Cost)
+      : P(P), TA(TA), PR(PR), R(PR + SR), Cost(Cost) {}
 
   ColorAllocation run();
 
@@ -80,9 +80,14 @@ private:
   const ThreadAnalysis &TA;
   const int PR;
   const int R;
+  const CostModel &Cost;
 
   ColorAllocation Result;
   int InsertedOps = 0;
+  int64_t WeightedOps = 0;
+  /// Weights per output block (original blocks + edge splits); only
+  /// maintained under a non-unit model.
+  std::vector<int64_t> OutWeights;
   /// Fixed entry color maps: EntryColors[b][reg] = color (-1 unset);
   /// empty vector = block not yet reached.
   std::vector<std::vector<int>> EntryColors;
@@ -137,6 +142,11 @@ ColorAllocation FragmentAllocatorImpl::run() {
   }
 
   EntryColors.assign(static_cast<size_t>(P.getNumBlocks()), {});
+  if (!Cost.isUnit()) {
+    OutWeights.resize(static_cast<size_t>(P.getNumBlocks()), 1);
+    for (int B = 0; B < P.getNumBlocks(); ++B)
+      OutWeights[static_cast<size_t>(B)] = Cost.blockWeight(B);
+  }
 
   // Seed the entry block from the entry-live registers.
   {
@@ -180,6 +190,8 @@ ColorAllocation FragmentAllocatorImpl::run() {
 
   Result.ColorProgram = std::move(Out);
   Result.MoveCost = InsertedOps;
+  Result.WeightedCost = Cost.isUnit() ? InsertedOps : WeightedOps;
+  Result.OutputWeights = std::move(OutWeights);
   Result.Feasible = true;
   return Result;
 }
@@ -230,6 +242,7 @@ void FragmentAllocatorImpl::processBlock(int B, Program &Out) {
         if (Free >= 0) {
           OutInstrs.push_back(Instruction::makeMov(Free, CM.colorOf(V)));
           ++InsertedOps;
+          WeightedOps += Cost.blockWeight(B);
           CM.rebind(V, Free);
           return;
         }
@@ -248,6 +261,7 @@ void FragmentAllocatorImpl::processBlock(int B, Program &Out) {
         assert(Victim != NoReg && "crossing set exceeds private colors");
         appendXorSwap(OutInstrs, CM.colorOf(Victim), CM.colorOf(V));
         InsertedOps += 3;
+        WeightedOps += 3 * Cost.blockWeight(B);
         CM.swapBindings(Victim, V);
       });
     }
@@ -326,13 +340,22 @@ void FragmentAllocatorImpl::processBlock(int B, Program &Out) {
 void FragmentAllocatorImpl::reconcileEdges(Program &Out) {
   for (const EdgeFix &Fix : EdgeFixes) {
     std::vector<Instruction> Copies;
-    InsertedOps += appendParallelCopy(Copies, Fix.Copies, Fix.Scratch);
+    int NumOps = appendParallelCopy(Copies, Fix.Copies, Fix.Scratch);
+    InsertedOps += NumOps;
+    // The edge executes at most as often as its predecessor, so the
+    // predecessor's weight prices the copies wherever they land.
+    WeightedOps += static_cast<int64_t>(NumOps) * Cost.blockWeight(Fix.Pred);
 
     // Placement: end of Pred when it has a single successor, otherwise a
     // fresh block on the edge.
     int Target = Fix.Pred;
-    if (P.successors(Fix.Pred).size() > 1)
+    if (P.successors(Fix.Pred).size() > 1) {
       Target = splitEdge(Out, Fix.Pred, Fix.Succ);
+      if (!Cost.isUnit()) {
+        OutWeights.resize(static_cast<size_t>(Out.getNumBlocks()), 1);
+        OutWeights[static_cast<size_t>(Target)] = Cost.blockWeight(Fix.Pred);
+      }
+    }
     BasicBlock &TB = Out.block(Target);
     int At = getTerminatorGroupBegin(TB);
     TB.Instrs.insert(TB.Instrs.begin() + At, Copies.begin(), Copies.end());
@@ -343,6 +366,6 @@ void FragmentAllocatorImpl::reconcileEdges(Program &Out) {
 
 ColorAllocation npral::allocateByFragments(const Program &P,
                                            const ThreadAnalysis &TA, int PR,
-                                           int SR) {
-  return FragmentAllocatorImpl(P, TA, PR, SR).run();
+                                           int SR, const CostModel &CM) {
+  return FragmentAllocatorImpl(P, TA, PR, SR, CM).run();
 }

@@ -28,8 +28,11 @@
 
 #include "analysis/InterferenceGraph.h"
 #include "ir/Program.h"
+#include "profile/CostModel.h"
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace npral {
 
@@ -43,6 +46,13 @@ struct ColorAllocation {
   Program ColorProgram;
   /// Number of inserted move instructions.
   int MoveCost = 0;
+  /// MoveCost priced by the cost model's block weights; equals MoveCost
+  /// under the unit model.
+  int64_t WeightedCost = 0;
+  /// Per-block weights aligned with ColorProgram's blocks, covering blocks
+  /// the allocation created (edge splits inherit their predecessor's
+  /// weight). Empty under the unit model.
+  std::vector<int64_t> OutputWeights;
   int PR = 0;
   int SR = 0;
 };
@@ -51,9 +61,10 @@ struct ColorAllocation {
 /// shared colors. \p TA must be the analysis of \p P. Fails (without
 /// touching the program) when PR < RegPCSBmax or PR+SR < RegPmax, and in
 /// the rare "tight shuffle" case where a reconciling copy cycle has no free
-/// scratch color.
+/// scratch color. Inserted ops are priced through \p CM (default: unit).
 ColorAllocation allocateByFragments(const Program &P, const ThreadAnalysis &TA,
-                                    int PR, int SR);
+                                    int PR, int SR,
+                                    const CostModel &CM = CostModel());
 
 } // namespace npral
 

@@ -73,12 +73,12 @@ bool sweepSharedWindow(
     MaxSGR = std::max(MaxSGR, Intra->getMaxR());
 
   bool Found = false;
-  long BestCost = 0;
+  int64_t BestCost = 0;
   int BestTotal = 0;
   std::vector<int> BestPR, BestSR;
   for (int SGR = 0; SGR <= MaxSGR; ++SGR) {
     std::vector<int> CandPR(static_cast<size_t>(Nthd));
-    long Cost = 0;
+    int64_t Cost = 0;
     int SumPR = 0;
     bool Feasible = true;
     for (int T = 0; T < Nthd && Feasible; ++T) {
@@ -90,7 +90,7 @@ bool sweepSharedWindow(
         if (!R.Feasible)
           continue;
         CandPR[static_cast<size_t>(T)] = P;
-        Cost += R.MoveCost;
+        Cost += R.WeightedCost;
         SumPR += P;
         ThreadOk = true;
         break;
@@ -126,6 +126,13 @@ InterThreadResult npral::allocateInterThread(const MultiThreadProgram &MTP,
 InterThreadResult npral::allocateInterThread(
     const MultiThreadProgram &MTP, int Nreg,
     const std::vector<std::shared_ptr<const ThreadAnalysisBundle>> &Analyses) {
+  return allocateInterThread(MTP, Nreg, Analyses, {});
+}
+
+InterThreadResult npral::allocateInterThread(
+    const MultiThreadProgram &MTP, int Nreg,
+    const std::vector<std::shared_ptr<const ThreadAnalysisBundle>> &Analyses,
+    const std::vector<CostModel> &Models) {
   InterThreadResult Result;
   const int Nthd = MTP.getNumThreads();
   if (Nthd == 0) {
@@ -140,12 +147,16 @@ InterThreadResult npral::allocateInterThread(
   std::vector<int> SR(static_cast<size_t>(Nthd));
   for (int T = 0; T < Nthd; ++T) {
     const Program &P = MTP.Threads[static_cast<size_t>(T)];
+    CostModel CM = static_cast<size_t>(T) < Models.size()
+                       ? Models[static_cast<size_t>(T)]
+                       : CostModel();
     if (static_cast<size_t>(T) < Analyses.size() &&
         Analyses[static_cast<size_t>(T)])
       Intras.push_back(std::make_unique<IntraThreadAllocator>(
-          P, *Analyses[static_cast<size_t>(T)]));
+          P, *Analyses[static_cast<size_t>(T)], std::move(CM)));
     else
-      Intras.push_back(std::make_unique<IntraThreadAllocator>(P));
+      Intras.push_back(
+          std::make_unique<IntraThreadAllocator>(P, std::move(CM)));
     const RegBounds &B = Intras.back()->getBounds();
     PR[static_cast<size_t>(T)] = B.MaxPR;
     SR[static_cast<size_t>(T)] = B.MaxR - B.MaxPR;
@@ -156,19 +167,19 @@ InterThreadResult npral::allocateInterThread(
     int MaxSR = *std::max_element(SR.begin(), SR.end());
     return Sum + MaxSR;
   };
-  auto costOf = [&](int T) {
+  auto costOf = [&](int T) -> int64_t {
     const IntraResult &IR =
         Intras[static_cast<size_t>(T)]->allocate(PR[static_cast<size_t>(T)],
                                                  SR[static_cast<size_t>(T)]);
     assert(IR.Feasible && "current configuration must stay feasible");
-    return IR.MoveCost;
+    return IR.WeightedCost;
   };
 
   // Greedy reduction loop (Fig. 8 lines 5-16).
   while (requirement() > Nreg) {
     int BestKind = -1; // 0 = reduce PR of BestThread, 1 = reduce max SRs.
     int BestThread = -1;
-    long BestDelta = 0;
+    int64_t BestDelta = 0;
 
     for (int T = 0; T < Nthd; ++T) {
       const RegBounds &B = Intras[static_cast<size_t>(T)]->getBounds();
@@ -180,7 +191,7 @@ InterThreadResult npral::allocateInterThread(
           Intras[static_cast<size_t>(T)]->allocate(CurPR - 1, CurSR);
       if (!Candidate.Feasible)
         continue;
-      long Delta = Candidate.MoveCost - costOf(T);
+      int64_t Delta = Candidate.WeightedCost - costOf(T);
       if (BestKind < 0 || Delta < BestDelta) {
         BestKind = 0;
         BestThread = T;
@@ -191,7 +202,7 @@ InterThreadResult npral::allocateInterThread(
     {
       int MaxSR = *std::max_element(SR.begin(), SR.end());
       bool AllReducible = MaxSR > 0;
-      long Delta = 0;
+      int64_t Delta = 0;
       for (int T = 0; T < Nthd && AllReducible; ++T) {
         if (SR[static_cast<size_t>(T)] != MaxSR)
           continue;
@@ -207,7 +218,7 @@ InterThreadResult npral::allocateInterThread(
           AllReducible = false;
           break;
         }
-        Delta += Candidate.MoveCost - costOf(T);
+        Delta += Candidate.WeightedCost - costOf(T);
       }
       if (AllReducible && (BestKind < 0 || Delta < BestDelta)) {
         BestKind = 1;
@@ -243,6 +254,103 @@ InterThreadResult npral::allocateInterThread(
     }
   }
 
+  // Profile-guided rebalancing (weighted models only). The Fig. 8 loop is
+  // frequency-blind in two ways: it stops at the first configuration whose
+  // caps fit (leaving any remaining budget idle), and its greedy single
+  // steps never revisit a squeeze that later turns out to be the expensive
+  // one. With execution frequencies we can fix both after the fact:
+  //   - exchange: shift one private register from a thread where it saves
+  //     little dynamic cost to a thread where it saves a lot (net register
+  //     use unchanged);
+  //   - reinvest: if the caps fit with room to spare, raise the PR of the
+  //     thread with the largest weighted saving per register, or widen the
+  //     shared window for everyone.
+  // Every applied step strictly decreases the total weighted cost, so the
+  // pass terminates. Under unit costs the pass is skipped entirely and the
+  // result is identical to the frequency-blind allocation.
+  bool AnyWeighted = false;
+  for (const CostModel &CM : Models)
+    if (!CM.isUnit())
+      AnyWeighted = true;
+  while (AnyWeighted) {
+    const bool HaveSlack = requirement() < Nreg;
+    int BestKind = -1; // 0 = raise PR, 1 = widen SRs, 2 = exchange PR.
+    int BestUp = -1, BestDown = -1;
+    int64_t BestSave = 0;
+
+    auto canLower = [&](int T) {
+      const RegBounds &B = Intras[static_cast<size_t>(T)]->getBounds();
+      if (PR[static_cast<size_t>(T)] <= B.MinPR ||
+          PR[static_cast<size_t>(T)] + SR[static_cast<size_t>(T)] <= B.MinR)
+        return false;
+      return Intras[static_cast<size_t>(T)]
+          ->allocate(PR[static_cast<size_t>(T)] - 1,
+                     SR[static_cast<size_t>(T)])
+          .Feasible;
+    };
+
+    for (int T = 0; T < Nthd; ++T) {
+      const RegBounds &B = Intras[static_cast<size_t>(T)]->getBounds();
+      if (PR[static_cast<size_t>(T)] >= B.MaxPR)
+        continue;
+      const IntraResult &Raised = Intras[static_cast<size_t>(T)]->allocate(
+          PR[static_cast<size_t>(T)] + 1, SR[static_cast<size_t>(T)]);
+      if (!Raised.Feasible)
+        continue;
+      const int64_t Gain = costOf(T) - Raised.WeightedCost;
+      if (Gain <= 0)
+        continue;
+      if (HaveSlack && Gain > BestSave) {
+        BestKind = 0;
+        BestUp = T;
+        BestSave = Gain;
+      }
+      for (int D = 0; D < Nthd; ++D) {
+        if (D == T || !canLower(D))
+          continue;
+        const IntraResult &Lowered = Intras[static_cast<size_t>(D)]->allocate(
+            PR[static_cast<size_t>(D)] - 1, SR[static_cast<size_t>(D)]);
+        const int64_t Save = Gain - (Lowered.WeightedCost - costOf(D));
+        if (Save > BestSave) {
+          BestKind = 2;
+          BestUp = T;
+          BestDown = D;
+          BestSave = Save;
+        }
+      }
+    }
+
+    if (HaveSlack) {
+      int64_t Save = 0;
+      bool Ok = true;
+      for (int T = 0; T < Nthd && Ok; ++T) {
+        const IntraResult &Widened = Intras[static_cast<size_t>(T)]->allocate(
+            PR[static_cast<size_t>(T)], SR[static_cast<size_t>(T)] + 1);
+        if (!Widened.Feasible) {
+          Ok = false;
+          break;
+        }
+        Save += costOf(T) - Widened.WeightedCost;
+      }
+      if (Ok && Save > BestSave) {
+        BestKind = 1;
+        BestSave = Save;
+      }
+    }
+
+    if (BestKind < 0)
+      break;
+    if (BestKind == 0) {
+      ++PR[static_cast<size_t>(BestUp)];
+    } else if (BestKind == 1) {
+      for (int T = 0; T < Nthd; ++T)
+        ++SR[static_cast<size_t>(T)];
+    } else {
+      ++PR[static_cast<size_t>(BestUp)];
+      --PR[static_cast<size_t>(BestDown)];
+    }
+  }
+
   // Materialise (Fig. 8 lines 18-20).
   Result.SGR = *std::max_element(SR.begin(), SR.end());
   std::vector<const Program *> ColorPrograms;
@@ -256,12 +364,14 @@ InterThreadResult npral::allocateInterThread(
     TAl.PR = PR[static_cast<size_t>(T)];
     TAl.SR = SR[static_cast<size_t>(T)];
     TAl.MoveCost = IR.MoveCost;
+    TAl.WeightedCost = IR.WeightedCost;
     TAl.Strategy = IR.Strategy;
     TAl.PrivateBase = PrivateBase;
     TAl.Bounds = Intras[static_cast<size_t>(T)]->getBounds();
     PrivateBase += TAl.PR;
     Result.Threads.push_back(std::move(TAl));
     Result.TotalMoveCost += IR.MoveCost;
+    Result.TotalWeightedCost += IR.WeightedCost;
     ColorPrograms.push_back(&IR.ColorProgram);
   }
   Result.SharedBase = PrivateBase;

@@ -36,6 +36,9 @@ struct ThreadAllocation {
   int PR = 0;
   int SR = 0;
   int MoveCost = 0;
+  /// Frequency-weighted move cost; equals MoveCost when the thread was
+  /// allocated under the unit cost model.
+  int64_t WeightedCost = 0;
   std::string Strategy;
   /// First physical register of this thread's private range.
   int PrivateBase = 0;
@@ -55,6 +58,9 @@ struct InterThreadResult {
   int RegistersUsed = 0;
   /// Total move instructions inserted over all threads.
   int TotalMoveCost = 0;
+  /// Total frequency-weighted move cost (== TotalMoveCost without a
+  /// profile).
+  int64_t TotalWeightedCost = 0;
   /// The rewritten threads over physical registers (NumRegs = Nreg each).
   MultiThreadProgram Physical;
 };
@@ -72,6 +78,16 @@ InterThreadResult allocateInterThread(const MultiThreadProgram &MTP, int Nreg);
 InterThreadResult allocateInterThread(
     const MultiThreadProgram &MTP, int Nreg,
     const std::vector<std::shared_ptr<const ThreadAnalysisBundle>> &Analyses);
+
+/// Profile-guided variant: \p Models is aligned with MTP.Threads (missing
+/// entries mean the unit model) and prices every candidate reduction by
+/// frequency-weighted move cost, so the Fig. 8 greedy loop sheds registers
+/// where the reconciling moves execute rarely. With all-unit models the
+/// result is identical to the unweighted overloads.
+InterThreadResult allocateInterThread(
+    const MultiThreadProgram &MTP, int Nreg,
+    const std::vector<std::shared_ptr<const ThreadAnalysisBundle>> &Analyses,
+    const std::vector<CostModel> &Models);
 
 /// Symmetric Register Allocation: all Nthd threads run \p P. Exhaustively
 /// sweeps (PR, SR) with Nthd*PR + SR <= Nreg, minimising total register use

@@ -12,6 +12,18 @@
 
 using namespace npral;
 
+namespace {
+
+int countBlockMoves(const BasicBlock &BB) {
+  int N = 0;
+  for (const Instruction &I : BB.Instrs)
+    if (I.Op == Opcode::Mov)
+      ++N;
+  return N;
+}
+
+} // namespace
+
 Program npral::rewriteToColors(const Program &P, const Coloring &Colors,
                                int NumColors) {
   Program Out;
@@ -56,13 +68,14 @@ ThreadAnalysisBundle npral::computeThreadAnalysisBundle(
   return Bundle;
 }
 
-IntraThreadAllocator::IntraThreadAllocator(const Program &P)
+IntraThreadAllocator::IntraThreadAllocator(const Program &P, CostModel CM)
     : Original(renameLiveRanges(P)), TA(analyzeThread(Original)),
-      Bounds(estimateRegBounds(TA)) {}
+      Bounds(estimateRegBounds(TA)), CM(std::move(CM)) {}
 
 IntraThreadAllocator::IntraThreadAllocator(const Program &RenamedP,
-                                           const ThreadAnalysisBundle &Pre)
-    : Original(RenamedP), TA(Pre.TA), Bounds(Pre.Bounds) {}
+                                           const ThreadAnalysisBundle &Pre,
+                                           CostModel CM)
+    : Original(RenamedP), TA(Pre.TA), Bounds(Pre.Bounds), CM(std::move(CM)) {}
 
 const IntraResult &IntraThreadAllocator::allocate(int PR, int SR) {
   auto Key = std::make_pair(PR, SR);
@@ -112,12 +125,18 @@ IntraResult IntraThreadAllocator::computeAllocation(int PR, int SR) {
   ColorAllocation Greedy = allocateWithGreedySplitting(PR, SR);
 
   // Strategy 3: constructive fallback.
-  ColorAllocation Fragment = allocateByFragments(Original, TA, PR, SR);
+  ColorAllocation Fragment = allocateByFragments(Original, TA, PR, SR, CM);
 
+  // Under the unit model the historical raw-count comparison is preserved
+  // exactly; a frequency model compares the weighted costs instead.
   const ColorAllocation *Best = nullptr;
   const char *Strategy = "";
-  if (Greedy.Feasible && (!Fragment.Feasible ||
-                          Greedy.MoveCost <= Fragment.MoveCost)) {
+  bool GreedyWins =
+      Greedy.Feasible &&
+      (!Fragment.Feasible ||
+       (CM.isUnit() ? Greedy.MoveCost <= Fragment.MoveCost
+                    : Greedy.WeightedCost <= Fragment.WeightedCost));
+  if (GreedyWins) {
     Best = &Greedy;
     Strategy = "split";
   } else if (Fragment.Feasible) {
@@ -133,9 +152,37 @@ IntraResult IntraThreadAllocator::computeAllocation(int PR, int SR) {
   static_cast<ColorAllocation &>(Result) = *Best;
   Result.Strategy = Strategy;
   // The paper's Eliminate_unnecessary_move step: splitting strategies may
-  // leave copies whose value is already in place or never read again.
-  int Removed = eliminateRedundantMoves(Result.ColorProgram);
-  Result.MoveCost = std::max(0, Result.MoveCost - Removed);
+  // leave copies whose value is already in place or never read again. Every
+  // removed move was one this allocation inserted (the input program is
+  // live-range renamed, so its own moves connect distinct ranges and
+  // survive), hence the cost cannot go negative.
+  if (CM.isUnit()) {
+    int Removed = eliminateRedundantMoves(Result.ColorProgram);
+    Result.MoveCost -= Removed;
+    assert(Result.MoveCost >= 0 &&
+           "move elimination removed moves the allocator never inserted");
+    Result.WeightedCost = Result.MoveCost;
+  } else {
+    // Weight removals by the block they sat in. For the fragment strategy
+    // the output CFG may contain edge-split blocks beyond the input's —
+    // OutputWeights covers them; for greedy splitting the block structure
+    // is unchanged and the model's own weights align directly.
+    std::vector<int64_t> BlockWeights = Result.OutputWeights;
+    if (BlockWeights.empty()) {
+      BlockWeights.resize(
+          static_cast<size_t>(Result.ColorProgram.getNumBlocks()), 1);
+      for (int B = 0; B < Result.ColorProgram.getNumBlocks(); ++B)
+        BlockWeights[static_cast<size_t>(B)] = CM.blockWeight(B);
+    }
+    int64_t WeightedRemoved = 0;
+    int Removed = eliminateRedundantMoves(Result.ColorProgram, BlockWeights,
+                                          WeightedRemoved);
+    Result.MoveCost -= Removed;
+    Result.WeightedCost -= WeightedRemoved;
+    assert(Result.MoveCost >= 0 &&
+           "move elimination removed moves the allocator never inserted");
+    assert(Result.WeightedCost >= 0 && "weighted cost went negative");
+  }
   return Result;
 }
 
@@ -157,6 +204,18 @@ ColorAllocation IntraThreadAllocator::allocateWithGreedySplitting(int PR,
       Result.Feasible = true;
       Result.ColorProgram = rewriteToColors(Work, CCR.Colors, R);
       Result.MoveCost = Work.countMoves() - Original.countMoves();
+      if (CM.isUnit()) {
+        Result.WeightedCost = Result.MoveCost;
+      } else {
+        // The transforms never add blocks, so per-block mov deltas line up
+        // with the model's weights.
+        int64_t Weighted = 0;
+        for (int B = 0; B < Original.getNumBlocks(); ++B)
+          Weighted += CM.blockWeight(B) *
+                      static_cast<int64_t>(countBlockMoves(Work.block(B)) -
+                                           countBlockMoves(Original.block(B)));
+        Result.WeightedCost = Weighted;
+      }
       return Result;
     }
 
@@ -181,25 +240,64 @@ ColorAllocation IntraThreadAllocator::allocateWithGreedySplitting(int PR,
         }
       }
       int BestNSR = -1;
-      for (int K = 0; K < WorkTA.NSRs.getNumNSRs(); ++K)
-        if (RefCount[static_cast<size_t>(K)] > 0 &&
-            (BestNSR < 0 || RefCount[static_cast<size_t>(K)] >
-                                RefCount[static_cast<size_t>(BestNSR)]))
-          BestNSR = K;
+      if (CM.isUnit()) {
+        for (int K = 0; K < WorkTA.NSRs.getNumNSRs(); ++K)
+          if (RefCount[static_cast<size_t>(K)] > 0 &&
+              (BestNSR < 0 || RefCount[static_cast<size_t>(K)] >
+                                  RefCount[static_cast<size_t>(BestNSR)]))
+            BestNSR = K;
+      } else {
+        // Frequency-aware rule: among NSRs that reference the node, prefer
+        // the cheapest weighted reconciliation (a hot loop's CSB moves
+        // execute every iteration); break ties toward more references.
+        int64_t BestWeighted = 0;
+        for (int K = 0; K < WorkTA.NSRs.getNumNSRs(); ++K) {
+          if (RefCount[static_cast<size_t>(K)] <= 0)
+            continue;
+          int64_t W =
+              estimateExcludeNSRMovesWeighted(Work, WorkTA, Node, K, CM);
+          if (W < 0)
+            continue;
+          if (BestNSR < 0 || W < BestWeighted ||
+              (W == BestWeighted &&
+               RefCount[static_cast<size_t>(K)] >
+                   RefCount[static_cast<size_t>(BestNSR)])) {
+            BestNSR = K;
+            BestWeighted = W;
+          }
+        }
+      }
       if (BestNSR >= 0)
         DidSplit = excludeNSR(Work, WorkTA, Node, BestNSR) != NoReg;
     } else {
       // Internal node: split it in the block where it is referenced most.
+      // Under a frequency model, prefer the block where the (at most two)
+      // reconciling moves are cheapest; ties go to more references.
       int BestBlock = -1;
       int BestRefs = 0;
+      int64_t BestWeighted = 0;
       for (int B = 0; B < Work.getNumBlocks(); ++B) {
         int Refs = 0;
         for (const Instruction &Inst : Work.block(B).Instrs)
           if (Inst.Def == Node || Inst.usesReg(Node))
             ++Refs;
-        if (Refs > BestRefs) {
-          BestRefs = Refs;
+        if (Refs == 0)
+          continue;
+        if (CM.isUnit()) {
+          if (Refs > BestRefs) {
+            BestRefs = Refs;
+            BestBlock = B;
+          }
+          continue;
+        }
+        int Movs = (WorkTA.Liveness.blockLiveIn(B).test(Node) ? 1 : 0) +
+                   (WorkTA.Liveness.blockLiveOut(B).test(Node) ? 1 : 0);
+        int64_t W = CM.blockWeight(B) * static_cast<int64_t>(Movs);
+        if (BestBlock < 0 || W < BestWeighted ||
+            (W == BestWeighted && Refs > BestRefs)) {
           BestBlock = B;
+          BestRefs = Refs;
+          BestWeighted = W;
         }
       }
       if (BestBlock >= 0)

@@ -59,14 +59,19 @@ ThreadAnalysisBundle computeThreadAnalysisBundle(const Program &RenamedP);
 
 class IntraThreadAllocator {
 public:
-  explicit IntraThreadAllocator(const Program &P);
+  /// \p CM prices inserted moves by block frequency; the default unit
+  /// model reproduces the unweighted allocator exactly. Weights must refer
+  /// to \p P's block IDs.
+  explicit IntraThreadAllocator(const Program &P, CostModel CM = CostModel());
 
   /// Reuse a precomputed analysis instead of recomputing it. \p RenamedP
   /// must already be live-range renamed and \p Pre must have been computed
   /// from exactly this program (the batch driver guarantees both via its
-  /// content-hash cache).
+  /// content-hash cache). The analysis bundle is weight-independent, so
+  /// any \p CM may be combined with a cached bundle.
   IntraThreadAllocator(const Program &RenamedP,
-                       const ThreadAnalysisBundle &Pre);
+                       const ThreadAnalysisBundle &Pre,
+                       CostModel CM = CostModel());
 
   /// Allocate with \p PR private and \p SR shared colors; memoised.
   const IntraResult &allocate(int PR, int SR);
@@ -78,11 +83,13 @@ public:
   int getMaxR() const { return Bounds.MaxR; }
   const Program &getProgram() const { return Original; }
   const ThreadAnalysis &getAnalysis() const { return TA; }
+  const CostModel &getCostModel() const { return CM; }
 
 private:
   Program Original;
   ThreadAnalysis TA;
   RegBounds Bounds;
+  CostModel CM;
   std::map<std::pair<int, int>, IntraResult> Cache;
 
   IntraResult computeAllocation(int PR, int SR);

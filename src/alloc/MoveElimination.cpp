@@ -10,8 +10,10 @@ using namespace npral;
 
 namespace {
 
-/// One sweep; returns the number of moves removed.
-int sweep(Program &P) {
+/// One sweep; returns the number of moves removed. \p BlockWeights (may be
+/// null) prices each removal by its block's weight into \p WeightedRemoved.
+int sweep(Program &P, const std::vector<int64_t> *BlockWeights,
+          int64_t &WeightedRemoved) {
   LivenessInfo LI = computeLiveness(P);
   int Removed = 0;
 
@@ -42,6 +44,11 @@ int sweep(Program &P) {
         bool Dead = !LI.instrLiveOut(B, MyIndex).test(I.Def);
         if (SameReg || KnownEqual || Dead) {
           ++Removed;
+          if (BlockWeights)
+            WeightedRemoved +=
+                static_cast<size_t>(B) < BlockWeights->size()
+                    ? (*BlockWeights)[static_cast<size_t>(B)]
+                    : 1;
           continue; // drop the instruction; facts unchanged
         }
         killFactsFor(I.Def);
@@ -68,10 +75,23 @@ int sweep(Program &P) {
 } // namespace
 
 int npral::eliminateRedundantMoves(Program &P) {
+  int64_t Ignored = 0;
   // Removing a dead move can make an earlier move dead; iterate.
   int Total = 0;
   for (;;) {
-    int Removed = sweep(P);
+    int Removed = sweep(P, nullptr, Ignored);
+    Total += Removed;
+    if (Removed == 0)
+      return Total;
+  }
+}
+
+int npral::eliminateRedundantMoves(Program &P,
+                                   const std::vector<int64_t> &BlockWeights,
+                                   int64_t &WeightedRemoved) {
+  int Total = 0;
+  for (;;) {
+    int Removed = sweep(P, &BlockWeights, WeightedRemoved);
     Total += Removed;
     if (Removed == 0)
       return Total;

@@ -24,10 +24,21 @@
 
 #include "ir/Program.h"
 
+#include <cstdint>
+#include <vector>
+
 namespace npral {
 
 /// Remove redundant moves from \p P; returns how many were deleted.
 int eliminateRedundantMoves(Program &P);
+
+/// As above, additionally accumulating the frequency-weighted cost of the
+/// removed moves into \p WeightedRemoved: a removal in block B adds
+/// BlockWeights[B] (or 1 when B is beyond the vector — e.g. a block the
+/// caller created without registering a weight).
+int eliminateRedundantMoves(Program &P,
+                            const std::vector<int64_t> &BlockWeights,
+                            int64_t &WeightedRemoved);
 
 } // namespace npral
 

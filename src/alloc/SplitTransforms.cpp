@@ -140,6 +140,27 @@ int npral::estimateExcludeNSRMoves(const Program &P, const ThreadAnalysis &TA,
   return estimateExcludeNSRMoves(P, TA.Liveness, TA.NSRs, V, NSRId);
 }
 
+int64_t npral::estimateExcludeNSRMovesWeighted(const Program &P,
+                                               const ThreadAnalysis &TA,
+                                               Reg V, int NSRId,
+                                               const CostModel &CM) {
+  if (estimateExcludeNSRMoves(P, TA.Liveness, TA.NSRs, V, NSRId) < 0)
+    return -1;
+  int64_t Weighted = 0;
+  for (const CSB &Boundary : TA.NSRs.getCSBs()) {
+    if (!Boundary.LiveAcross.test(V))
+      continue;
+    if (Boundary.PostNSR == NSRId)
+      Weighted += CM.blockWeight(Boundary.Block);
+    if (Boundary.PreNSR == NSRId)
+      Weighted += CM.blockWeight(Boundary.Block);
+  }
+  if (TA.Liveness.blockLiveIn(P.getEntryBlock()).test(V) &&
+      TA.NSRs.pointNSR(P.getEntryBlock(), 0) == NSRId)
+    Weighted += CM.blockWeight(P.getEntryBlock());
+  return Weighted;
+}
+
 Reg npral::splitInBlock(Program &P, const ThreadAnalysis &TA, Reg V,
                         int BlockId) {
   BasicBlock &BB = P.block(BlockId);

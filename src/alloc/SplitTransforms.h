@@ -24,6 +24,9 @@
 
 #include "analysis/InterferenceGraph.h"
 #include "ir/Program.h"
+#include "profile/CostModel.h"
+
+#include <cstdint>
 
 namespace npral {
 
@@ -47,6 +50,14 @@ int estimateExcludeNSRMoves(const Program &P, const LivenessInfo &LI,
 /// Convenience overload over a full ThreadAnalysis.
 int estimateExcludeNSRMoves(const Program &P, const ThreadAnalysis &TA, Reg V,
                             int NSRId);
+
+/// Frequency-weighted variant of the cost hint: each reconciling `mov` is
+/// priced at the weight of the block it would land in under \p CM. Returns
+/// -1 when excludeNSR would be a no-op. With the unit model this equals
+/// estimateExcludeNSRMoves.
+int64_t estimateExcludeNSRMovesWeighted(const Program &P,
+                                        const ThreadAnalysis &TA, Reg V,
+                                        int NSRId, const CostModel &CM);
 
 /// Rename \p V inside block \p BlockId to a fresh register, reconciling
 /// with moves at block entry (if V is live-in) and before the terminator

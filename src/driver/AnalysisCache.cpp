@@ -3,37 +3,47 @@
 #include "driver/AnalysisCache.h"
 
 #include "ir/IRPrinter.h"
+#include "support/StringUtils.h"
 
 using namespace npral;
 
 uint64_t npral::hashProgramContent(const Program &P) {
-  const std::string Text = programToString(P);
-  uint64_t Hash = 1469598103934665603ULL;
-  for (char C : Text) {
-    Hash ^= static_cast<unsigned char>(C);
-    Hash *= 1099511628211ULL;
-  }
-  return Hash;
+  return fnv1aHash(programToString(P));
 }
 
 std::shared_ptr<const ThreadAnalysisBundle>
-AnalysisCache::lookup(uint64_t Key) const {
+AnalysisCache::lookup(uint64_t Key, std::string_view Text) const {
   std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Entries.find(Key);
   if (It == Entries.end()) {
     Misses.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
+  if (It->second.Text != Text) {
+    // Same 64-bit hash, different program: serving the stored bundle would
+    // be unsound. Report a miss so the caller recomputes.
+    Collisions.fetch_add(1, std::memory_order_relaxed);
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
   Hits.fetch_add(1, std::memory_order_relaxed);
-  return It->second;
+  return It->second.Bundle;
 }
 
 std::shared_ptr<const ThreadAnalysisBundle>
-AnalysisCache::insert(uint64_t Key,
+AnalysisCache::insert(uint64_t Key, std::string Text,
                       std::shared_ptr<const ThreadAnalysisBundle> Bundle) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  auto [It, Inserted] = Entries.emplace(Key, std::move(Bundle));
-  return It->second;
+  auto It = Entries.find(Key);
+  if (It != Entries.end()) {
+    if (It->second.Text != Text)
+      // The slot is occupied by a colliding program; keep the table as-is
+      // and let the caller proceed with its own (correct) bundle.
+      return Bundle;
+    return It->second.Bundle;
+  }
+  Entries.emplace(Key, Entry{std::move(Text), Bundle});
+  return Bundle;
 }
 
 size_t AnalysisCache::size() const {

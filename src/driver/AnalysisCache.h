@@ -9,6 +9,13 @@
 /// equal analysis input. Repeated programs and shared kernels across batch
 /// jobs then reuse one immutable bundle instead of re-running the dataflow.
 ///
+/// Soundness against hash collisions: a 64-bit content hash can collide,
+/// and serving another program's bundle would silently corrupt allocation.
+/// Every entry therefore stores the printed assembly it was computed from;
+/// lookup() compares it against the caller's text and treats a mismatch as
+/// a miss (counted separately as a collision). The hash is only an index —
+/// correctness rests on the byte comparison.
+///
 /// Thread safety: lookup and insert are individually atomic. Two workers
 /// that miss on the same key may both compute the bundle; the first insert
 /// wins and the loser's copy is dropped — wasted work, never wrong results,
@@ -26,6 +33,8 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 
 namespace npral {
@@ -37,24 +46,40 @@ uint64_t hashProgramContent(const Program &P);
 
 class AnalysisCache {
 public:
-  /// Bundle for \p Key, or null on a miss. Bumps the hit/miss counters.
-  std::shared_ptr<const ThreadAnalysisBundle> lookup(uint64_t Key) const;
-
-  /// Store \p Bundle under \p Key. If another worker inserted the key
-  /// first, that entry is kept and returned instead.
+  /// Bundle for \p Key, or null on a miss. \p Text must be the printed
+  /// assembly the key was hashed from; an entry whose stored text differs
+  /// is a hash collision — it is never served, counts as a miss, and bumps
+  /// the collision counter.
   std::shared_ptr<const ThreadAnalysisBundle>
-  insert(uint64_t Key, std::shared_ptr<const ThreadAnalysisBundle> Bundle);
+  lookup(uint64_t Key, std::string_view Text) const;
+
+  /// Store \p Bundle (computed from the program printed as \p Text) under
+  /// \p Key. If another worker inserted the key first, that entry is kept
+  /// and returned instead — even when it holds a colliding program's
+  /// bundle, in which case the caller's fresh bundle is handed back
+  /// unshared rather than poisoning the table.
+  std::shared_ptr<const ThreadAnalysisBundle>
+  insert(uint64_t Key, std::string Text,
+         std::shared_ptr<const ThreadAnalysisBundle> Bundle);
 
   int64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   int64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  /// Lookups whose key matched an entry with different program text.
+  int64_t collisions() const {
+    return Collisions.load(std::memory_order_relaxed);
+  }
   size_t size() const;
 
 private:
+  struct Entry {
+    std::string Text;
+    std::shared_ptr<const ThreadAnalysisBundle> Bundle;
+  };
   mutable std::mutex Mutex;
-  std::unordered_map<uint64_t, std::shared_ptr<const ThreadAnalysisBundle>>
-      Entries;
+  std::unordered_map<uint64_t, Entry> Entries;
   mutable std::atomic<int64_t> Hits{0};
   mutable std::atomic<int64_t> Misses{0};
+  mutable std::atomic<int64_t> Collisions{0};
 };
 
 } // namespace npral

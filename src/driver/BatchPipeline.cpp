@@ -6,7 +6,9 @@
 #include "analysis/LiveRangeRenaming.h"
 #include "asmparse/AsmParser.h"
 #include "driver/AnalysisCache.h"
+#include "ir/IRPrinter.h"
 #include "ir/IRVerifier.h"
+#include "profile/StaticFrequencyEstimator.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
 
@@ -26,8 +28,10 @@ int64_t nowNs() {
 
 /// Run one input through the full pipeline. Touches only its own result
 /// (and the shared AnalysisCache, which synchronises internally).
+/// \p ProfileHash is the content hash of Opts.Profile (0 when absent),
+/// computed once by runBatch and folded into every cache key.
 BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
-                          AnalysisCache *Cache) {
+                          AnalysisCache *Cache, uint64_t ProfileHash) {
   BatchJobResult R;
   R.Name = In.Name.empty() ? In.Path : In.Name;
 
@@ -62,8 +66,12 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
   }
 
   // Stage 2+3: per-thread rename, analysis and bounds, through the cache.
+  // Alongside, resolve each thread's cost model: a collected profile wins
+  // (matched by code hash), then the static estimator, then unit weights.
   std::vector<std::shared_ptr<const ThreadAnalysisBundle>> Bundles;
+  std::vector<CostModel> Models;
   Bundles.reserve(MTP.Threads.size());
+  Models.reserve(MTP.Threads.size());
   for (Program &T : MTP.Threads) {
     if (Status S = verifyProgram(T); !S.ok()) {
       R.FailReason = "thread '" + T.Name + "': " + S.str();
@@ -71,10 +79,29 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
     }
     const int64_t T0 = nowNs();
     T = renameLiveRanges(T);
+    const std::string Text = programToString(T);
+    const uint64_t ContentHash = fnv1aHash(Text);
+
+    CostModel CM;
+    const ThreadProfile *TP =
+        Opts.Profile ? Opts.Profile->findByCodeHash(ContentHash) : nullptr;
+    if (TP) {
+      ++R.ProfiledThreads;
+      const int ProfIdx =
+          static_cast<int>(TP - Opts.Profile->Threads.data());
+      CM = Opts.Profile->costModel(ProfIdx, T.getNumBlocks());
+    } else if (Opts.StaticPGO) {
+      CM = estimateCostModel(T);
+    }
+    Models.push_back(std::move(CM));
+
     std::shared_ptr<const ThreadAnalysisBundle> Bundle;
     if (Cache) {
-      const uint64_t Key = hashProgramContent(T);
-      Bundle = Cache->lookup(Key);
+      // The bundle itself is weight-independent, but folding the profile
+      // hash keeps the cache partitioned per (program, profile) pair so a
+      // long-lived shared cache never crosses PGO configurations.
+      const uint64_t Key = fnv1aCombine(ContentHash, ProfileHash);
+      Bundle = Cache->lookup(Key, Text);
       if (Bundle) {
         ++R.CacheHits;
         R.AnalysisNs += nowNs() - T0;
@@ -86,7 +113,7 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
         R.AnalysisNs += T1 - T0;
         Fresh->Bounds = estimateRegBounds(Fresh->TA);
         R.BoundsNs += nowNs() - T1;
-        Bundle = Cache->insert(Key, std::move(Fresh));
+        Bundle = Cache->insert(Key, Text, std::move(Fresh));
       }
     } else {
       auto Fresh = std::make_shared<ThreadAnalysisBundle>();
@@ -110,7 +137,7 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
   InterThreadResult Alloc;
   {
     const int64_t T0 = nowNs();
-    Alloc = allocateInterThread(MTP, Opts.Nreg, Bundles);
+    Alloc = allocateInterThread(MTP, Opts.Nreg, Bundles, Models);
     R.AllocNs = nowNs() - T0;
   }
   if (!Alloc.Success) {
@@ -120,6 +147,7 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
   R.RegistersUsed = Alloc.RegistersUsed;
   R.SGR = Alloc.SGR;
   R.TotalMoveCost = Alloc.TotalMoveCost;
+  R.TotalWeightedCost = Alloc.TotalWeightedCost;
 
   // Stage 5: independent cross-thread safety verification.
   if (Opts.Verify) {
@@ -149,12 +177,22 @@ BatchResult npral::runBatch(const std::vector<BatchJob> &Inputs,
   if (!Cache && Opts.UseCache)
     Cache = &LocalCache;
 
+  // One hash per batch, not per job: the profile is immutable for the run.
+  // A distinct constant tag separates static-PGO runs from unweighted ones
+  // in a shared cache (the bundles are identical, but keeping the key
+  // spaces apart makes hit/miss accounting per configuration exact).
+  uint64_t ProfileHash = 0;
+  if (Opts.Profile)
+    ProfileHash = Opts.Profile->contentHash();
+  else if (Opts.StaticPGO)
+    ProfileHash = fnv1aHash("static-pgo");
+
   const int64_t Wall0 = nowNs();
   {
     ThreadPool Pool(Opts.Jobs);
     parallelFor(Pool, static_cast<int>(Inputs.size()), [&](int I) {
       Out.Results[static_cast<size_t>(I)] =
-          processOne(Inputs[static_cast<size_t>(I)], Opts, Cache);
+          processOne(Inputs[static_cast<size_t>(I)], Opts, Cache, ProfileHash);
     });
   }
   Out.Stats.WallNs = nowNs() - Wall0;

@@ -24,6 +24,7 @@
 
 #include "alloc/InterAllocator.h"
 #include "ir/Program.h"
+#include "profile/ExecutionProfile.h"
 
 #include <cstdint>
 #include <ostream>
@@ -46,6 +47,17 @@ struct BatchOptions {
   /// Retain each job's physical program in its result (costs memory; the
   /// CLI leaves it off, tests and the determinism suite turn it on).
   bool KeepPhysical = false;
+  /// Execution profile to guide allocation (must outlive the batch).
+  /// Threads are matched by code hash — a profile acts as a database: any
+  /// job thread whose renamed program hashes to a profiled thread gets
+  /// that thread's frequency weights; unmatched threads fall back to the
+  /// static estimator when StaticPGO is set, else to the unit model. The
+  /// profile's content hash is folded into every analysis-cache key so a
+  /// shared cache never mixes runs with different profiles.
+  const ExecutionProfile *Profile = nullptr;
+  /// Weight blocks by 10^loop-depth (StaticFrequencyEstimator) when no
+  /// collected profile covers a thread.
+  bool StaticPGO = false;
 };
 
 /// One batch input: either a path to an assembly file (parsed by the job)
@@ -67,6 +79,10 @@ struct BatchJobResult {
   int RegistersUsed = 0;
   int SGR = 0;
   int TotalMoveCost = 0;
+  /// Frequency-weighted total (== TotalMoveCost without PGO).
+  int64_t TotalWeightedCost = 0;
+  /// Threads whose code hash matched a profiled thread.
+  int ProfiledThreads = 0;
   /// Analysis-cache hits/misses attributed to this job's threads.
   int64_t CacheHits = 0;
   int64_t CacheMisses = 0;

@@ -3,7 +3,9 @@
 /// \file
 /// CFG mutation utilities used by the allocators when inserting move
 /// instructions: edge splitting (for moves that must execute on exactly one
-/// CFG edge) and point-wise instruction insertion.
+/// CFG edge) and point-wise instruction insertion. Also the CFG *analysis*
+/// helpers the profile subsystem builds on: dominators, back edges and loop
+/// nesting depths.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -11,6 +13,9 @@
 #define NPRAL_IR_CFGUTILS_H
 
 #include "ir/Program.h"
+
+#include <utility>
+#include <vector>
 
 namespace npral {
 
@@ -38,6 +43,21 @@ void insertAt(Program &P, ProgramPoint Point, const Instruction &I);
 /// br/halt), or the block size when the block ends by fallthrough. Useful
 /// for "append at end but before branches" insertions.
 int getTerminatorGroupBegin(const BasicBlock &BB);
+
+/// Immediate dominator of every block (Cooper-Harvey-Kennedy over the RPO).
+/// The entry block's idom is itself; blocks unreachable from the entry get
+/// -1.
+std::vector<int> computeImmediateDominators(const Program &P);
+
+/// Back edges of the CFG: every edge Latch -> Header where Header dominates
+/// Latch. These are exactly the loop-closing edges of reducible CFGs (the
+/// only kind the parser and builders produce).
+std::vector<std::pair<int, int>> findBackEdges(const Program &P);
+
+/// Loop nesting depth per block: the number of distinct natural loops
+/// (back edges merged per header) whose body contains the block. Blocks
+/// outside every loop — and unreachable blocks — get depth 0.
+std::vector<int> computeLoopDepths(const Program &P);
 
 } // namespace npral
 

@@ -1,0 +1,15 @@
+//===- CostModel.cpp ------------------------------------------------------===//
+
+#include "profile/CostModel.h"
+
+#include <cassert>
+
+using namespace npral;
+
+void CostModel::setBlockWeight(int Block, int64_t Weight) {
+  assert(Block >= 0 && "negative block id");
+  assert(Weight >= 0 && "negative block weight");
+  if (static_cast<size_t>(Block) >= Weights.size())
+    Weights.resize(static_cast<size_t>(Block) + 1, 1);
+  Weights[static_cast<size_t>(Block)] = Weight;
+}

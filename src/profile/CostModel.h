@@ -1,0 +1,70 @@
+//===- CostModel.h - Frequency-weighted move-cost model ---------*- C++ -*-===//
+///
+/// \file
+/// The profile subsystem's contract with the allocators: a per-thread map
+/// from basic blocks to execution-frequency weights, and the WeightedMoveCost
+/// every allocation strategy reports through.
+///
+/// A move inserted into block b costs `blockWeight(b)` weighted units — one
+/// per dynamic execution under a collected profile, 10^loop-depth under the
+/// static estimator, and exactly 1 under the default *unit* model. The
+/// allocators compare weighted costs wherever they used to compare raw move
+/// counts, so with the unit model every decision (and therefore every output
+/// program) is bit-identical to the unweighted allocator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_PROFILE_COSTMODEL_H
+#define NPRAL_PROFILE_COSTMODEL_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace npral {
+
+/// A move-insertion cost under a cost model: the raw instruction count the
+/// paper reports, plus the frequency-weighted dynamic cost the inter-thread
+/// allocator minimises. Under the unit model Weighted == Moves.
+struct WeightedMoveCost {
+  int Moves = 0;
+  int64_t Weighted = 0;
+};
+
+/// Per-thread block-frequency weights. Default-constructed it is the *unit*
+/// model (every block weighs 1); profile- or estimator-built models carry
+/// one weight per block of the thread they were built for. Blocks created
+/// after construction (edge splits during allocation) fall back to the
+/// weight the creator registers via setBlockWeight, or 1.
+class CostModel {
+public:
+  /// The unit model: every block weighs 1. This is the identity element —
+  /// allocating under it reproduces the unweighted allocator bit-for-bit.
+  CostModel() = default;
+
+  /// True when every block weighs 1 (i.e. no profile data was attached).
+  /// The allocators keep their historical tie-breaking rules in this case.
+  bool isUnit() const { return Weights.empty(); }
+
+  /// Weight of block \p Block; 1 for blocks beyond the known range.
+  int64_t blockWeight(int Block) const {
+    if (Block < 0 || static_cast<size_t>(Block) >= Weights.size())
+      return 1;
+    return Weights[static_cast<size_t>(Block)];
+  }
+
+  /// Set the weight of \p Block, growing the map as needed (new slots
+  /// default to 1). Negative weights are invalid.
+  void setBlockWeight(int Block, int64_t Weight);
+
+  /// Number of blocks with an explicit weight.
+  int size() const { return static_cast<int>(Weights.size()); }
+
+private:
+  std::vector<int64_t> Weights; ///< Empty = unit model.
+};
+
+} // namespace npral
+
+#endif // NPRAL_PROFILE_COSTMODEL_H

@@ -1,0 +1,34 @@
+//===- ProfileCollector.cpp -----------------------------------------------===//
+
+#include "profile/ProfileCollector.h"
+
+#include "ir/IRPrinter.h"
+#include "support/StringUtils.h"
+
+using namespace npral;
+
+ProfileCollector::ProfileCollector(const MultiThreadProgram &MTP) {
+  Profile.ProgramName = MTP.Name;
+  Profile.Threads.reserve(MTP.Threads.size());
+  for (int T = 0; T < MTP.getNumThreads(); ++T) {
+    ThreadProfile TP;
+    TP.Index = T;
+    TP.Name = MTP.Threads[static_cast<size_t>(T)].Name;
+    TP.CodeHash =
+        fnv1aHash(programToString(MTP.Threads[static_cast<size_t>(T)]));
+    Profile.Threads.push_back(std::move(TP));
+  }
+}
+
+void ProfileCollector::onBlockEntered(int Thread, int Block) {
+  if (Thread < 0 || static_cast<size_t>(Thread) >= Profile.Threads.size())
+    return;
+  ++Profile.Threads[static_cast<size_t>(Thread)].BlockCounts[Block];
+}
+
+void ProfileCollector::onCtxSwitchPoint(int Thread, int Block, int Index) {
+  if (Thread < 0 || static_cast<size_t>(Thread) >= Profile.Threads.size())
+    return;
+  ++Profile.Threads[static_cast<size_t>(Thread)]
+        .SwitchCounts[{Block, Index}];
+}

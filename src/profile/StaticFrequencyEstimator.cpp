@@ -1,0 +1,32 @@
+//===- StaticFrequencyEstimator.cpp ---------------------------------------===//
+
+#include "profile/StaticFrequencyEstimator.h"
+
+#include "ir/CFGUtils.h"
+
+#include <algorithm>
+
+using namespace npral;
+
+std::vector<int64_t> npral::estimateBlockFrequencies(const Program &P) {
+  std::vector<int> Depths = computeLoopDepths(P);
+  std::vector<int64_t> Weights(Depths.size(), 1);
+  for (size_t B = 0; B < Depths.size(); ++B) {
+    int D = std::min(Depths[B], 6);
+    int64_t W = 1;
+    for (int I = 0; I < D; ++I)
+      W *= 10;
+    Weights[B] = W;
+  }
+  return Weights;
+}
+
+CostModel npral::estimateCostModel(const Program &P) {
+  CostModel CM;
+  std::vector<int64_t> Weights = estimateBlockFrequencies(P);
+  for (size_t B = 0; B < Weights.size(); ++B)
+    CM.setBlockWeight(static_cast<int>(B), Weights[B]);
+  if (CM.size() == 0 && P.getNumBlocks() == 0)
+    CM.setBlockWeight(0, 1); // keep the model explicitly non-unit
+  return CM;
+}

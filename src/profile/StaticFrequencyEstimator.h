@@ -1,0 +1,34 @@
+//===- StaticFrequencyEstimator.h - Loop-nesting weights --------*- C++ -*-===//
+///
+/// \file
+/// The no-profile fallback: synthesize block weights from CFG structure
+/// alone. Each block weighs 10^depth where depth is the number of natural
+/// loops containing it (back edges found via dominators, see CFGUtils).
+/// This is the classic static heuristic — a move hoisted out of a loop is
+/// worth ten moves on the straight-line path — and gives `--pgo-static`
+/// most of the benefit of a collected profile on loop-structured kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_PROFILE_STATICFREQUENCYESTIMATOR_H
+#define NPRAL_PROFILE_STATICFREQUENCYESTIMATOR_H
+
+#include "ir/Program.h"
+#include "profile/CostModel.h"
+
+#include <vector>
+
+namespace npral {
+
+/// Per-block static weight estimates for \p P: 10^loop-depth, capped at
+/// depth 6 so products with move counts stay far from int64 overflow.
+std::vector<int64_t> estimateBlockFrequencies(const Program &P);
+
+/// The estimates packaged as a CostModel (never the unit model — even a
+/// loop-free program gets explicit weight-1 entries, marking the model as
+/// frequency-aware so the allocators use weighted selection rules).
+CostModel estimateCostModel(const Program &P);
+
+} // namespace npral
+
+#endif // NPRAL_PROFILE_STATICFREQUENCYESTIMATOR_H

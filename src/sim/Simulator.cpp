@@ -87,6 +87,11 @@ bool Simulator::step(int T, int64_t &Clock, std::string &Error) {
     TS.HasPendingWrite = false;
   }
 
+  if (Observer && !TS.EntryReported) {
+    TS.EntryReported = true;
+    Observer->onBlockEntered(T, TS.Block);
+  }
+
   auto oob = [&](uint64_t Address) {
     Error = formatString("thread %d: memory access out of range (0x%llx)", T,
                          static_cast<unsigned long long>(Address));
@@ -107,11 +112,15 @@ bool Simulator::step(int T, int64_t &Clock, std::string &Error) {
       }
       TS.Block = BB.FallThrough;
       TS.Index = 0;
+      if (Observer)
+        Observer->onBlockEntered(T, TS.Block);
       continue;
     }
     const Instruction &I = BB.Instrs[static_cast<size_t>(TS.Index)];
     ++TS.Index;
     ++TSt.InstrsExecuted;
+    if (Observer && I.causesCtxSwitch())
+      Observer->onCtxSwitchPoint(T, TS.Block, TS.Index - 1);
 
     auto u32 = [&](Reg Slot) { return R[static_cast<size_t>(Slot)]; };
     auto setReg = [&](Reg Slot, uint32_t V) {
@@ -120,6 +129,8 @@ bool Simulator::step(int T, int64_t &Clock, std::string &Error) {
     auto branchTo = [&](int Target) {
       TS.Block = Target;
       TS.Index = 0;
+      if (Observer)
+        Observer->onBlockEntered(T, TS.Block);
     };
 
     switch (I.Op) {

@@ -59,6 +59,21 @@ struct SimConfig {
   bool RecordCtxTrace = false;
 };
 
+/// Execution observer interface. The simulator reports control-flow events
+/// to an attached observer; `src/profile`'s ProfileCollector implements it
+/// to build per-thread block/CSB execution profiles. Callbacks fire on the
+/// simulator's thread, in deterministic execution order.
+class SimObserver {
+public:
+  virtual ~SimObserver() = default;
+  /// Control of thread \p Thread transferred to block \p Block (initial
+  /// dispatch, branch, or fallthrough) of that thread's program.
+  virtual void onBlockEntered(int Thread, int Block) = 0;
+  /// Thread \p Thread executed the context-switch-causing instruction at
+  /// (\p Block, \p Index) — a ctx, memory operation, signal or wait.
+  virtual void onCtxSwitchPoint(int Thread, int Block, int Index) = 0;
+};
+
 /// One recorded context switch: at \p Cycle the CPU started running
 /// \p Thread (after any switch penalty was charged).
 struct CtxSwitchEvent {
@@ -119,6 +134,10 @@ public:
   /// Bulk-initialise memory starting at word address \p Base.
   void writeMemory(uint32_t Base, const std::vector<uint32_t> &Words);
 
+  /// Attach \p O to receive execution events (null detaches). The observer
+  /// must outlive every subsequent run().
+  void setObserver(SimObserver *O) { Observer = O; }
+
   SimResult run();
 
   uint32_t readMemoryWord(uint32_t Address) const;
@@ -135,6 +154,8 @@ private:
     /// Channel this thread is blocked on (-1 when not waiting).
     int WaitingChannel = -1;
     bool Halted = false;
+    /// Entry-block dispatch already reported to the observer.
+    bool EntryReported = false;
     /// Pending transfer-register write applied on resume.
     bool HasPendingWrite = false;
     Reg PendingReg = NoReg;
@@ -152,6 +173,7 @@ private:
   std::vector<ThreadStats> Stats;
   std::vector<int64_t> Channels;
   bool UseSharedFile = false;
+  SimObserver *Observer = nullptr;
 
   /// Run thread \p T from \p Clock until it yields/halts; returns false on
   /// a simulation error (\p Error set).

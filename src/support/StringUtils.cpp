@@ -98,3 +98,20 @@ std::string npral::formatString(const char *Fmt, ...) {
   va_end(ArgsCopy);
   return Result;
 }
+
+uint64_t npral::fnv1aHash(std::string_view Data) {
+  uint64_t Hash = 1469598103934665603ULL;
+  for (char C : Data) {
+    Hash ^= static_cast<unsigned char>(C);
+    Hash *= 1099511628211ULL;
+  }
+  return Hash;
+}
+
+uint64_t npral::fnv1aCombine(uint64_t Seed, uint64_t Value) {
+  for (int Byte = 0; Byte < 8; ++Byte) {
+    Seed ^= (Value >> (8 * Byte)) & 0xFF;
+    Seed *= 1099511628211ULL;
+  }
+  return Seed;
+}

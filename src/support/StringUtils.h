@@ -8,6 +8,7 @@
 #ifndef NPRAL_SUPPORT_STRINGUTILS_H
 #define NPRAL_SUPPORT_STRINGUTILS_H
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -30,6 +31,15 @@ bool isIdentifier(std::string_view S);
 /// printf-style formatting into a std::string.
 std::string formatString(const char *Fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/// 64-bit FNV-1a over \p Data. The one content hash used across the
+/// codebase (analysis cache keys, profile code hashes, memory digests).
+uint64_t fnv1aHash(std::string_view Data);
+
+/// Fold \p Value into \p Seed FNV-style, byte by byte. Used to combine
+/// independent hashes (e.g. program content + execution profile) into one
+/// cache key.
+uint64_t fnv1aCombine(uint64_t Seed, uint64_t Value);
 
 } // namespace npral
 

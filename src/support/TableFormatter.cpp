@@ -70,6 +70,58 @@ void TableFormatter::print(std::ostream &OS) const {
     printRow(Row);
 }
 
+void TableFormatter::printJSON(std::ostream &OS,
+                               const std::string &Indent) const {
+  auto writeString = [&OS](const std::string &S) {
+    OS << '"';
+    for (char C : S) {
+      switch (C) {
+      case '"':
+        OS << "\\\"";
+        break;
+      case '\\':
+        OS << "\\\\";
+        break;
+      case '\n':
+        OS << "\\n";
+        break;
+      case '\t':
+        OS << "\\t";
+        break;
+      case '\r':
+        OS << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(C) < 0x20) {
+          static const char Hex[] = "0123456789abcdef";
+          OS << "\\u00" << Hex[(C >> 4) & 0xF] << Hex[C & 0xF];
+        } else {
+          OS << C;
+        }
+      }
+    }
+    OS << '"';
+  };
+  auto writeRow = [&](const std::vector<std::string> &Row) {
+    OS << '[';
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I)
+        OS << ", ";
+      writeString(Row[I]);
+    }
+    OS << ']';
+  };
+  OS << "{\n" << Indent << "  \"header\": ";
+  writeRow(Header);
+  OS << ",\n" << Indent << "  \"rows\": [";
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    OS << (I ? ",\n" : "\n") << Indent << "    ";
+    writeRow(Rows[I]);
+  }
+  OS << (Rows.empty() ? "]" : "\n" + Indent + "  ]");
+  OS << "\n" << Indent << "}";
+}
+
 void TableFormatter::printCsv(std::ostream &OS) const {
   auto printRow = [&](const std::vector<std::string> &Row) {
     for (size_t I = 0; I < Row.size(); ++I) {

@@ -44,6 +44,10 @@ public:
   void print(std::ostream &OS) const;
   /// Render as CSV (no alignment padding).
   void printCsv(std::ostream &OS) const;
+  /// Render as a JSON object {"header": [...], "rows": [[...], ...]} with
+  /// every cell a string, exactly as it would print. \p Indent prefixes
+  /// each line (for embedding in a larger document).
+  void printJSON(std::ostream &OS, const std::string &Indent = "") const;
 
   size_t numRows() const { return Rows.size(); }
 

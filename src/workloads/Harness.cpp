@@ -62,11 +62,12 @@ SimConfig npral::equivalenceConfig() {
 ScenarioRun
 npral::simulateWithWorkloads(const std::vector<Workload> &Workloads,
                              const MultiThreadProgram &MTP,
-                             const SimConfig &Config) {
+                             const SimConfig &Config, SimObserver *Observer) {
   assert(Workloads.size() == MTP.Threads.size() && "thread count mismatch");
   ScenarioRun Run;
 
   Simulator Sim(MTP, Config);
+  Sim.setObserver(Observer);
   for (size_t T = 0; T < Workloads.size(); ++T) {
     const Workload &W = Workloads[T];
     for (const Workload::MemRegion &Region : W.InitMemory)

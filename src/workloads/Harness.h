@@ -58,10 +58,12 @@ std::vector<Workload> buildScenarioWorkloads(const Scenario &S);
 
 /// Simulate \p MTP with the memory/entry setup of \p Workloads. \p MTP may
 /// be the virtual programs themselves (reference mode) or any allocated
-/// rewrite of them.
+/// rewrite of them. \p Observer, when non-null, receives execution events
+/// (profile collection runs this way over the virtual programs).
 ScenarioRun simulateWithWorkloads(const std::vector<Workload> &Workloads,
                                   const MultiThreadProgram &MTP,
-                                  const SimConfig &Config);
+                                  const SimConfig &Config,
+                                  SimObserver *Observer = nullptr);
 
 /// Bundle the workloads' virtual programs into a MultiThreadProgram.
 MultiThreadProgram toMultiThreadProgram(const std::vector<Workload> &Workloads,

@@ -208,18 +208,57 @@ TEST(AnalysisCacheTest, HashDistinguishesPrograms) {
 
 TEST(AnalysisCacheTest, FirstInsertWins) {
   AnalysisCache Cache;
-  EXPECT_EQ(Cache.lookup(42), nullptr);
-  EXPECT_EQ(Cache.misses(), 1);
-
   GeneratorConfig Config;
   Program P = generateRandomProgram(7, Config);
+  const std::string Text = programToString(P);
+
+  EXPECT_EQ(Cache.lookup(42, Text), nullptr);
+  EXPECT_EQ(Cache.misses(), 1);
+
   auto B1 = std::make_shared<const ThreadAnalysisBundle>(
       computeThreadAnalysisBundle(P));
   auto B2 = std::make_shared<const ThreadAnalysisBundle>(
       computeThreadAnalysisBundle(P));
-  EXPECT_EQ(Cache.insert(42, B1), B1);
-  EXPECT_EQ(Cache.insert(42, B2), B1); // loser dropped, first entry kept
-  EXPECT_EQ(Cache.lookup(42), B1);
+  EXPECT_EQ(Cache.insert(42, Text, B1), B1);
+  EXPECT_EQ(Cache.insert(42, Text, B2), B1); // loser dropped, entry kept
+  EXPECT_EQ(Cache.lookup(42, Text), B1);
   EXPECT_EQ(Cache.hits(), 1);
   EXPECT_EQ(Cache.size(), 1u);
+}
+
+// Soundness under a forced 64-bit hash collision: two different programs
+// deliberately inserted under the SAME key must never be served for each
+// other. The byte comparison — not the hash — is what decides a hit.
+TEST(AnalysisCacheTest, ForcedCollisionIsNeverServed) {
+  AnalysisCache Cache;
+  GeneratorConfig Config;
+  Program A = generateRandomProgram(11, Config);
+  Program B = generateRandomProgram(12, Config);
+  const std::string TextA = programToString(A);
+  const std::string TextB = programToString(B);
+  ASSERT_NE(TextA, TextB);
+
+  const uint64_t Key = 0xdeadbeef; // both programs "hash" to this
+  auto BundleA = std::make_shared<const ThreadAnalysisBundle>(
+      computeThreadAnalysisBundle(A));
+  auto BundleB = std::make_shared<const ThreadAnalysisBundle>(
+      computeThreadAnalysisBundle(B));
+
+  EXPECT_EQ(Cache.insert(Key, TextA, BundleA), BundleA);
+
+  // Lookup with B's text must miss even though the key is present, and the
+  // collision must be observable in the stats.
+  EXPECT_EQ(Cache.lookup(Key, TextB), nullptr);
+  EXPECT_EQ(Cache.collisions(), 1);
+  EXPECT_EQ(Cache.misses(), 1);
+  EXPECT_EQ(Cache.hits(), 0);
+
+  // Inserting B under the occupied key must not evict or poison A's entry;
+  // the caller keeps its own bundle.
+  EXPECT_EQ(Cache.insert(Key, TextB, BundleB), BundleB);
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_EQ(Cache.lookup(Key, TextA), BundleA);
+  EXPECT_EQ(Cache.hits(), 1);
+  EXPECT_EQ(Cache.lookup(Key, TextB), nullptr);
+  EXPECT_EQ(Cache.collisions(), 2);
 }

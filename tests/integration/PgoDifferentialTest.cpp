@@ -1,0 +1,152 @@
+//===- PgoDifferentialTest.cpp - PGO on/off differential ------------------===//
+//
+// The profile subsystem's central compatibility promise: under unit
+// weights the allocator is bit-identical to the pre-profile allocator —
+// passing a vector of default CostModels must produce byte-for-byte the
+// same physical program as passing no models at all, on every example
+// fixture and every workload scenario. And with real (collected) weights
+// the allocation may differ but must stay safe and semantically
+// equivalent to the virtual-register reference.
+//
+//===----------------------------------------------------------------------===//
+
+#include "alloc/AllocationVerifier.h"
+#include "alloc/InterAllocator.h"
+#include "analysis/LiveRangeRenaming.h"
+#include "asmparse/AsmParser.h"
+#include "ir/IRPrinter.h"
+#include "profile/ProfileCollector.h"
+#include "profile/StaticFrequencyEstimator.h"
+#include "workloads/Harness.h"
+
+#include "../common/TestUtils.h"
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace npral;
+using namespace npral::test;
+
+namespace {
+
+std::string printPhysical(const InterThreadResult &R) {
+  std::string Out;
+  for (const Program &T : R.Physical.Threads)
+    Out += programToString(T);
+  return Out;
+}
+
+MultiThreadProgram loadFixture(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << Path;
+  std::stringstream SS;
+  SS << In.rdbuf();
+  ErrorOr<MultiThreadProgram> MTP = parseAssembly(SS.str());
+  EXPECT_TRUE(MTP.ok()) << MTP.status().str();
+  MultiThreadProgram Out = MTP.take();
+  for (Program &T : Out.Threads)
+    T = renameLiveRanges(T);
+  return Out;
+}
+
+/// Budgets to compare at: generous, and squeezed to where moves appear.
+std::vector<int> interestingBudgets(const MultiThreadProgram &MTP) {
+  std::vector<int> Budgets;
+  for (int Nreg : {128, 64, 48, 32, 24, 16, 12, 8}) {
+    if (allocateInterThread(MTP, Nreg).Success)
+      Budgets.push_back(Nreg);
+  }
+  return Budgets;
+}
+
+} // namespace
+
+TEST(PgoDifferentialTest, UnitModelsAreBitIdenticalOnFixtures) {
+  int Compared = 0;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(NPRAL_EXAMPLES_ASM_DIR)) {
+    if (Entry.path().extension() != ".s")
+      continue;
+    MultiThreadProgram MTP = loadFixture(Entry.path().string());
+    std::vector<CostModel> UnitModels(
+        static_cast<size_t>(MTP.getNumThreads()));
+    for (int Nreg : interestingBudgets(MTP)) {
+      InterThreadResult Plain = allocateInterThread(MTP, Nreg);
+      InterThreadResult Unit = allocateInterThread(MTP, Nreg, {}, UnitModels);
+      ASSERT_TRUE(Plain.Success && Unit.Success);
+      EXPECT_EQ(printPhysical(Plain), printPhysical(Unit))
+          << Entry.path().filename() << " Nreg=" << Nreg;
+      EXPECT_EQ(Plain.TotalMoveCost, Unit.TotalMoveCost);
+      EXPECT_EQ(Unit.TotalWeightedCost, Unit.TotalMoveCost)
+          << "unit weighted cost must equal the raw move count";
+      ++Compared;
+    }
+  }
+  EXPECT_GT(Compared, 0);
+}
+
+TEST(PgoDifferentialTest, UnitModelsAreBitIdenticalOnScenarios) {
+  for (const Scenario &S : getAraScenarios()) {
+    std::vector<Workload> Workloads = buildScenarioWorkloads(S);
+    MultiThreadProgram Virtual = toMultiThreadProgram(Workloads, S.Name);
+    std::vector<CostModel> UnitModels(
+        static_cast<size_t>(Virtual.getNumThreads()));
+    InterThreadResult Plain = allocateInterThread(Virtual, 128);
+    InterThreadResult Unit = allocateInterThread(Virtual, 128, {}, UnitModels);
+    ASSERT_TRUE(Plain.Success && Unit.Success) << S.Name;
+    EXPECT_EQ(printPhysical(Plain), printPhysical(Unit)) << S.Name;
+  }
+}
+
+TEST(PgoDifferentialTest, WeightedAllocationsStaySafeAndEquivalent) {
+  for (const Scenario &S : getAraScenarios()) {
+    std::vector<Workload> Workloads = buildScenarioWorkloads(S);
+    MultiThreadProgram Virtual = toMultiThreadProgram(Workloads, S.Name);
+
+    // Collect a real profile in reference mode.
+    ProfileCollector Collector(Virtual);
+    SimConfig Config = equivalenceConfig();
+    ScenarioRun ProfRun =
+        simulateWithWorkloads(Workloads, Virtual, Config, &Collector);
+    ASSERT_TRUE(ProfRun.Success) << S.Name << ": " << ProfRun.FailReason;
+    const ExecutionProfile &Prof = Collector.getProfile();
+
+    std::vector<CostModel> Models;
+    for (int T = 0; T < Virtual.getNumThreads(); ++T)
+      Models.push_back(Prof.costModel(
+          T, Virtual.Threads[static_cast<size_t>(T)].getNumBlocks()));
+
+    // Squeeze to force moves, then check the weighted allocation.
+    for (int Nreg : interestingBudgets(Virtual)) {
+      InterThreadResult R = allocateInterThread(Virtual, Nreg, {}, Models);
+      ASSERT_TRUE(R.Success) << S.Name << " Nreg=" << Nreg;
+      ASSERT_TRUE(verifyAllocationSafety(R.Physical).ok())
+          << S.Name << " Nreg=" << Nreg;
+
+      ScenarioRun Run =
+          simulateWithWorkloads(Workloads, R.Physical, Config);
+      ASSERT_TRUE(Run.Success) << S.Name << " Nreg=" << Nreg << ": "
+                               << Run.FailReason;
+      ScenarioRun Ref = simulateWithWorkloads(Workloads, Virtual, Config);
+      ASSERT_TRUE(Ref.Success);
+      for (size_t T = 0; T < Workloads.size(); ++T)
+        EXPECT_EQ(Run.Threads[T].OutputHash, Ref.Threads[T].OutputHash)
+            << S.Name << " Nreg=" << Nreg << " thread " << T;
+    }
+  }
+}
+
+TEST(PgoDifferentialTest, StaticEstimatorAllocationsStaySafe) {
+  for (const Scenario &S : getAraScenarios()) {
+    std::vector<Workload> Workloads = buildScenarioWorkloads(S);
+    MultiThreadProgram Virtual = toMultiThreadProgram(Workloads, S.Name);
+    std::vector<CostModel> Models;
+    for (const Program &T : Virtual.Threads)
+      Models.push_back(estimateCostModel(T));
+    InterThreadResult R = allocateInterThread(Virtual, 128, {}, Models);
+    ASSERT_TRUE(R.Success) << S.Name;
+    EXPECT_TRUE(verifyAllocationSafety(R.Physical).ok()) << S.Name;
+  }
+}

@@ -16,10 +16,16 @@
 //                          [--only checks] [-nreg N]
 //                                      run every registered checker, report
 //                                      all findings (text or JSON)
+//   npralc profile  file.s [-iters K] [-memlat L] [-o out.npprof]
+//                                      simulate the virtual program and
+//                                      collect an execution profile
 //   npralc batch    files... [--jobs N] [--cache] [--stats] [--json]
-//                            [-nreg N]
+//                            [-nreg N] [--profile f] [--pgo-static]
 //                                      allocate and verify many programs
 //                                      across a thread pool
+//
+// `alloc` and `batch` accept --profile <f.npprof> (collected by `profile`)
+// or --pgo-static to weight move costs by block execution frequency.
 //
 // Threads may declare entry-live registers; `run` seeds them with zero (use
 // the C++ API for richer setups — see examples/).
@@ -37,13 +43,18 @@
 #include "driver/BatchPipeline.h"
 #include "ir/IRPrinter.h"
 #include "lint/Lint.h"
+#include "profile/ExecutionProfile.h"
+#include "profile/ProfileCollector.h"
+#include "profile/StaticFrequencyEstimator.h"
 #include "sim/Simulator.h"
 #include "support/DiagnosticEngine.h"
+#include "support/StringUtils.h"
 #include "support/TableFormatter.h"
 #include "support/ThreadPool.h"
 
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -60,10 +71,16 @@ int usage() {
          "  analyze  file.s\n"
          "      per-thread analysis (live ranges, NSRs, pressure) and the\n"
          "      MinR/MinPR/MaxR/MaxPR register bounds; no options\n"
-         "  alloc    file.s [-nreg N]\n"
+         "  alloc    file.s [-nreg N] [--profile f] [--pgo-static]\n"
          "      run the inter-thread allocator and print the physical\n"
          "      assembly plus the per-thread PR/SR split\n"
-         "        -nreg N    register file size (default 128)\n"
+         "        -nreg N       register file size (default 128)\n"
+         "        --profile f   weight move costs by the execution counts\n"
+         "                      in f (a .npprof from `npralc profile`);\n"
+         "                      threads are matched by position and must\n"
+         "                      hash to the profiled code\n"
+         "        --pgo-static  weight move costs by 10^loop-depth instead\n"
+         "                      of a collected profile\n"
          "  run      file.s [-nreg N] [-iters K] [-memlat L]\n"
          "      allocate, then simulate on the cycle-level engine\n"
          "        -nreg N    register file size (default 128)\n"
@@ -85,15 +102,25 @@ int usage() {
          "                        hand-crafted physical allocation\n"
          "        --only checks   comma-separated checker names to run\n"
          "        -nreg N         register file size for --after-alloc\n"
+         "  profile  file.s [-iters K] [-memlat L] [-o out.npprof]\n"
+         "      simulate the virtual (pre-allocation) program and collect\n"
+         "      per-block execution and context-switch counts\n"
+         "        -iters K   loop iterations to simulate (default 10)\n"
+         "        -memlat L  memory latency in cycles (default 40)\n"
+         "        -o file    write the profile to file (default: stdout)\n"
          "  batch    files... [--jobs N] [--cache] [--stats] [--json]\n"
-         "           [-nreg N]\n"
+         "           [-nreg N] [--profile f] [--pgo-static]\n"
          "      run the full pipeline (parse, analyze, allocate, verify)\n"
          "      over many files on a thread pool; one result row per file\n"
-         "        --jobs N   worker threads (default: hardware concurrency)\n"
-         "        --cache    memoise per-thread analyses by content hash\n"
-         "        --stats    report per-stage wall clock and cache hit rate\n"
-         "        --json     emit the --stats report as JSON\n"
-         "        -nreg N    register file size (default 128)\n"
+         "        --jobs N      worker threads (default: hw concurrency)\n"
+         "        --cache       memoise per-thread analyses by content hash\n"
+         "        --stats       report per-stage wall clock and cache hits\n"
+         "        --json        emit the --stats report as JSON\n"
+         "        -nreg N       register file size (default 128)\n"
+         "        --profile f   apply f's execution counts to any thread\n"
+         "                      whose code hash matches (profile as a\n"
+         "                      database; unmatched threads stay unit)\n"
+         "        --pgo-static  10^loop-depth weights for unmatched threads\n"
          "      checkers:\n";
   for (const CheckerInfo &C : getCheckerRegistry())
     std::cerr << "        " << C.Name << ": " << C.Description << "\n";
@@ -138,8 +165,53 @@ int cmdAnalyze(const MultiThreadProgram &MTP) {
   return 0;
 }
 
-int cmdAlloc(const MultiThreadProgram &MTP, int Nreg, bool Print) {
-  InterThreadResult R = allocateInterThread(MTP, Nreg);
+/// Read and parse a .npprof file; exits through the caller on failure.
+std::optional<ExecutionProfile> loadProfile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::cerr << "error: cannot open profile '" << Path << "'\n";
+    return std::nullopt;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Error;
+  std::optional<ExecutionProfile> Prof = ExecutionProfile::parse(Buf.str(),
+                                                                 Error);
+  if (!Prof)
+    std::cerr << "error: malformed profile '" << Path << "': " << Error
+              << "\n";
+  return Prof;
+}
+
+int cmdAlloc(const MultiThreadProgram &MTP, int Nreg, bool Print,
+             const ExecutionProfile *Prof, bool StaticPGO) {
+  // Resolve per-thread cost models. A collected profile matches threads by
+  // position and must hash to the code it was collected on — silently
+  // applying stale counts would skew every weighted decision.
+  const bool PGO = Prof != nullptr || StaticPGO;
+  std::vector<CostModel> Models;
+  if (Prof) {
+    if (Prof->getNumThreads() != MTP.getNumThreads()) {
+      std::cerr << "error: profile has " << Prof->getNumThreads()
+                << " threads, program has " << MTP.getNumThreads() << "\n";
+      return 1;
+    }
+    for (int T = 0; T < MTP.getNumThreads(); ++T) {
+      const Program &P = MTP.Threads[static_cast<size_t>(T)];
+      const uint64_t Hash = fnv1aHash(programToString(P));
+      if (Prof->Threads[static_cast<size_t>(T)].CodeHash != Hash) {
+        std::cerr << "error: profile is stale: thread '" << P.Name
+                  << "' does not match the profiled code\n";
+        return 1;
+      }
+      Models.push_back(Prof->costModel(T, P.getNumBlocks()));
+    }
+  } else if (StaticPGO) {
+    for (const Program &P : MTP.Threads)
+      Models.push_back(estimateCostModel(P));
+  }
+
+  InterThreadResult R = allocateInterThread(MTP, Nreg, {}, Models);
   if (!R.Success) {
     std::cerr << "allocation failed: " << R.FailReason << "\n";
     return 1;
@@ -148,9 +220,14 @@ int cmdAlloc(const MultiThreadProgram &MTP, int Nreg, bool Print) {
     std::cerr << "internal error, unsafe allocation: " << S.str() << "\n";
     return 1;
   }
-  TableFormatter Table({"Thread", "PR", "SR", "PrivateBase", "Moves",
-                        "Strategy"});
-  for (size_t T = 0; T < R.Threads.size(); ++T)
+  // The default table is byte-stable against pre-PGO builds; the weighted
+  // column only appears when a PGO flag is active.
+  std::vector<std::string> Cols{"Thread", "PR", "SR", "PrivateBase", "Moves",
+                                "Strategy"};
+  if (PGO)
+    Cols.push_back("WMoves");
+  TableFormatter Table(Cols);
+  for (size_t T = 0; T < R.Threads.size(); ++T) {
     Table.row()
         .cell(MTP.Threads[T].Name)
         .cell(R.Threads[T].PR)
@@ -158,9 +235,15 @@ int cmdAlloc(const MultiThreadProgram &MTP, int Nreg, bool Print) {
         .cell(R.Threads[T].PrivateBase)
         .cell(R.Threads[T].MoveCost)
         .cell(R.Threads[T].Strategy);
+    if (PGO)
+      Table.cell(static_cast<int64_t>(R.Threads[T].WeightedCost));
+  }
   Table.print(std::cout);
   std::cout << "SGR=" << R.SGR << " at p" << R.SharedBase << "; "
             << R.RegistersUsed << "/" << Nreg << " registers used\n";
+  if (PGO)
+    std::cout << "weighted move cost: " << R.TotalWeightedCost << " ("
+              << (Prof ? "collected profile" : "static estimate") << ")\n";
   if (Print) {
     std::cout << "\n";
     for (const Program &T : R.Physical.Threads) {
@@ -168,6 +251,42 @@ int cmdAlloc(const MultiThreadProgram &MTP, int Nreg, bool Print) {
       std::cout << "\n";
     }
   }
+  return 0;
+}
+
+int cmdProfile(const MultiThreadProgram &MTP, int Iters, int MemLat,
+               const std::string &OutPath) {
+  // Simulate the virtual program: in reference mode every thread has a
+  // private register file, so no allocation is needed and the recorded
+  // block IDs are the ones the allocators operate on.
+  ProfileCollector Collector(MTP);
+  SimConfig Config;
+  Config.MemLatency = MemLat;
+  Config.TargetIterations = Iters;
+  Simulator Sim(MTP, Config);
+  Sim.setObserver(&Collector);
+  for (int T = 0; T < MTP.getNumThreads(); ++T) {
+    const Program &P = MTP.Threads[static_cast<size_t>(T)];
+    Sim.setEntryValues(T, std::vector<uint32_t>(P.EntryLiveRegs.size(), 0));
+  }
+  SimResult Run = Sim.run();
+  if (!Run.Completed) {
+    std::cerr << "simulation failed: " << Run.FailReason << "\n";
+    return 1;
+  }
+  const std::string Text = Collector.getProfile().print();
+  if (OutPath.empty()) {
+    std::cout << Text;
+    return 0;
+  }
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::cerr << "error: cannot write '" << OutPath << "'\n";
+    return 1;
+  }
+  Out << Text;
+  std::cerr << "wrote " << OutPath << " (" << MTP.getNumThreads()
+            << " threads, " << Run.TotalCycles << " cycles simulated)\n";
   return 0;
 }
 
@@ -305,10 +424,17 @@ int cmdLint(MultiThreadProgram MTP, bool Json, bool AfterAlloc, bool Physical,
 }
 
 int cmdBatch(const std::vector<std::string> &Files, int Jobs, bool UseCache,
-             bool Stats, bool Json, int Nreg) {
+             bool Stats, bool Json, int Nreg,
+             const std::string &ProfilePath, bool StaticPGO) {
   if (Files.empty()) {
     std::cerr << "batch: no input files\n";
     return usage();
+  }
+  std::optional<ExecutionProfile> Prof;
+  if (!ProfilePath.empty()) {
+    Prof = loadProfile(ProfilePath);
+    if (!Prof)
+      return 1;
   }
   std::vector<BatchJob> Inputs;
   Inputs.reserve(Files.size());
@@ -321,16 +447,30 @@ int cmdBatch(const std::vector<std::string> &Files, int Jobs, bool UseCache,
   Opts.Nreg = Nreg;
   Opts.Jobs = Jobs > 0 ? Jobs : ThreadPool::hardwareConcurrency();
   Opts.UseCache = UseCache;
+  Opts.Profile = Prof ? &*Prof : nullptr;
+  Opts.StaticPGO = StaticPGO;
+  const bool PGO = Opts.Profile != nullptr || StaticPGO;
   BatchResult Batch = runBatch(Inputs, Opts);
 
-  TableFormatter Table({"File", "Threads", "Status", "Regs", "SGR", "Moves"});
+  std::vector<std::string> Cols{"File", "Threads", "Status", "Regs", "SGR",
+                                "Moves"};
+  if (PGO) {
+    Cols.push_back("WMoves");
+    Cols.push_back("Profiled");
+  }
+  TableFormatter Table(Cols);
   for (const BatchJobResult &R : Batch.Results) {
     Table.row().cell(R.Name).cell(R.NumThreads);
-    if (R.Success)
+    if (R.Success) {
       Table.cell("ok").cell(R.RegistersUsed).cell(R.SGR).cell(
           R.TotalMoveCost);
-    else
+      if (PGO)
+        Table.cell(R.TotalWeightedCost).cell(R.ProfiledThreads);
+    } else {
       Table.cell("FAIL").cell("-").cell("-").cell("-");
+      if (PGO)
+        Table.cell("-").cell("-");
+    }
   }
   Table.print(std::cout);
   for (const BatchJobResult &R : Batch.Results)
@@ -355,7 +495,8 @@ int main(int argc, char **argv) {
   if (Cmd == "batch") {
     std::vector<std::string> Files;
     int Jobs = 0, Nreg = 128;
-    bool UseCache = false, Stats = false, Json = false;
+    bool UseCache = false, Stats = false, Json = false, StaticPGO = false;
+    std::string ProfilePath;
     for (int I = 2; I < argc; ++I) {
       std::string Opt = argv[I];
       if (Opt == "--cache") {
@@ -364,6 +505,12 @@ int main(int argc, char **argv) {
         Stats = true;
       } else if (Opt == "--json") {
         Json = true;
+      } else if (Opt == "--pgo-static") {
+        StaticPGO = true;
+      } else if (Opt == "--profile") {
+        if (I + 1 >= argc)
+          return usage();
+        ProfilePath = argv[++I];
       } else if (Opt == "--jobs" || Opt == "-nreg") {
         if (I + 1 >= argc)
           return usage();
@@ -375,13 +522,14 @@ int main(int argc, char **argv) {
         Files.push_back(std::move(Opt));
       }
     }
-    return cmdBatch(Files, Jobs, UseCache, Stats, Json, Nreg);
+    return cmdBatch(Files, Jobs, UseCache, Stats, Json, Nreg, ProfilePath,
+                    StaticPGO);
   }
 
   std::string Path = argv[2];
   int Nreg = 128, RegsPerThread = 32, Iters = 10, MemLat = 40, Nthd = 4;
-  bool Json = false, AfterAlloc = false, Physical = false;
-  std::string Only;
+  bool Json = false, AfterAlloc = false, Physical = false, StaticPGO = false;
+  std::string Only, ProfilePath, OutPath;
   for (int I = 3; I < argc; ++I) {
     std::string Opt = argv[I];
     if (Opt == "--json") {
@@ -396,11 +544,19 @@ int main(int argc, char **argv) {
       Physical = true;
       continue;
     }
+    if (Opt == "--pgo-static") {
+      StaticPGO = true;
+      continue;
+    }
     if (I + 1 >= argc)
       return usage();
     std::string Value = argv[++I];
     if (Opt == "--only")
       Only = Value;
+    else if (Opt == "--profile")
+      ProfilePath = Value;
+    else if (Opt == "-o")
+      OutPath = Value;
     else if (Opt == "-nreg")
       Nreg = std::atoi(Value.c_str());
     else if (Opt == "-regs")
@@ -426,8 +582,18 @@ int main(int argc, char **argv) {
 
   if (Cmd == "analyze")
     return cmdAnalyze(*MTP);
-  if (Cmd == "alloc")
-    return cmdAlloc(*MTP, Nreg, /*Print=*/true);
+  if (Cmd == "alloc") {
+    std::optional<ExecutionProfile> Prof;
+    if (!ProfilePath.empty()) {
+      Prof = loadProfile(ProfilePath);
+      if (!Prof)
+        return 1;
+    }
+    return cmdAlloc(*MTP, Nreg, /*Print=*/true, Prof ? &*Prof : nullptr,
+                    StaticPGO);
+  }
+  if (Cmd == "profile")
+    return cmdProfile(*MTP, Iters, MemLat, OutPath);
   if (Cmd == "run")
     return cmdRun(*MTP, Nreg, Iters, MemLat);
   if (Cmd == "baseline")
