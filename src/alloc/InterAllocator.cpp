@@ -2,6 +2,9 @@
 
 #include "alloc/InterAllocator.h"
 
+#include "trace/MetricsRegistry.h"
+#include "trace/TraceEngine.h"
+
 #include <algorithm>
 #include <cassert>
 #include <numeric>
@@ -133,10 +136,25 @@ InterThreadResult npral::allocateInterThread(
     const MultiThreadProgram &MTP, int Nreg,
     const std::vector<std::shared_ptr<const ThreadAnalysisBundle>> &Analyses,
     const std::vector<CostModel> &Models) {
+  return allocateInterThread(MTP, Nreg, Analyses, Models, nullptr);
+}
+
+InterThreadResult npral::allocateInterThread(
+    const MultiThreadProgram &MTP, int Nreg,
+    const std::vector<std::shared_ptr<const ThreadAnalysisBundle>> &Analyses,
+    const std::vector<CostModel> &Models, AllocationDecisionLog *Log) {
+  NPRAL_TRACE_SPAN_ARGS("alloc", "allocateInterThread",
+                        {"program", MTP.Name},
+                        {"threads", std::to_string(MTP.getNumThreads())},
+                        {"nreg", std::to_string(Nreg)});
   InterThreadResult Result;
   const int Nthd = MTP.getNumThreads();
   if (Nthd == 0) {
     Result.FailReason = "no threads";
+    if (Log) {
+      Log->Success = false;
+      Log->FailReason = Result.FailReason;
+    }
     return Result;
   }
 
@@ -157,9 +175,17 @@ InterThreadResult npral::allocateInterThread(
     else
       Intras.push_back(
           std::make_unique<IntraThreadAllocator>(P, std::move(CM)));
+    if (Log)
+      Intras.back()->setDecisionLog(Log, T);
     const RegBounds &B = Intras.back()->getBounds();
     PR[static_cast<size_t>(T)] = B.MaxPR;
     SR[static_cast<size_t>(T)] = B.MaxR - B.MaxPR;
+  }
+  if (Log) {
+    Log->Nthd = Nthd;
+    Log->Nreg = Nreg;
+    Log->InitialPR = PR;
+    Log->InitialSR = SR;
   }
 
   auto requirement = [&]() {
@@ -176,10 +202,14 @@ InterThreadResult npral::allocateInterThread(
   };
 
   // Greedy reduction loop (Fig. 8 lines 5-16).
+  int StepIndex = 0;
   while (requirement() > Nreg) {
     int BestKind = -1; // 0 = reduce PR of BestThread, 1 = reduce max SRs.
     int BestThread = -1;
     int64_t BestDelta = 0;
+    ReductionStep Step;
+    Step.StepIndex = ++StepIndex;
+    Step.RequirementBefore = requirement();
 
     for (int T = 0; T < Nthd; ++T) {
       const RegBounds &B = Intras[static_cast<size_t>(T)]->getBounds();
@@ -192,6 +222,8 @@ InterThreadResult npral::allocateInterThread(
       if (!Candidate.Feasible)
         continue;
       int64_t Delta = Candidate.WeightedCost - costOf(T);
+      if (Log)
+        Step.Bids.push_back({ReductionBid::ReducePR, T, Delta});
       if (BestKind < 0 || Delta < BestDelta) {
         BestKind = 0;
         BestThread = T;
@@ -220,6 +252,8 @@ InterThreadResult npral::allocateInterThread(
         }
         Delta += Candidate.WeightedCost - costOf(T);
       }
+      if (Log && AllReducible)
+        Step.Bids.push_back({ReductionBid::ReduceSharedRegs, -1, Delta});
       if (AllReducible && (BestKind < 0 || Delta < BestDelta)) {
         BestKind = 1;
         BestDelta = Delta;
@@ -240,7 +274,19 @@ InterThreadResult npral::allocateInterThread(
         Result.FailReason =
             "register requirement cannot be reduced to fit Nreg=" +
             std::to_string(Nreg);
+        if (Log) {
+          Log->Success = false;
+          Log->FailReason = Result.FailReason;
+        }
         return Result;
+      }
+      MetricsRegistry::global().counter("alloc.sweep_fallbacks").increment();
+      if (Log) {
+        Step.Chosen = ReductionStep::ChoseSweepFallback;
+        Step.RequirementAfter = requirement();
+        Step.PRAfter = PR;
+        Step.SRAfter = SR;
+        Log->Reductions.push_back(std::move(Step));
       }
       break;
     }
@@ -251,6 +297,17 @@ InterThreadResult npral::allocateInterThread(
       for (int T = 0; T < Nthd; ++T)
         if (SR[static_cast<size_t>(T)] == MaxSR)
           --SR[static_cast<size_t>(T)];
+    }
+    MetricsRegistry::global().counter("alloc.reduction_steps").increment();
+    if (Log) {
+      Step.Chosen =
+          BestKind == 0 ? ReductionStep::ChosePR : ReductionStep::ChoseSharedRegs;
+      Step.VictimThread = BestKind == 0 ? BestThread : -1;
+      Step.ChosenDelta = BestDelta;
+      Step.RequirementAfter = requirement();
+      Step.PRAfter = PR;
+      Step.SRAfter = SR;
+      Log->Reductions.push_back(std::move(Step));
     }
   }
 
@@ -349,6 +406,19 @@ InterThreadResult npral::allocateInterThread(
       ++PR[static_cast<size_t>(BestUp)];
       --PR[static_cast<size_t>(BestDown)];
     }
+    MetricsRegistry::global().counter("alloc.rebalance_steps").increment();
+    if (Log) {
+      RebalanceStep Step;
+      Step.K = BestKind == 0   ? RebalanceStep::RaisePR
+               : BestKind == 1 ? RebalanceStep::WidenSharedRegs
+                               : RebalanceStep::ExchangePR;
+      Step.UpThread = BestKind == 1 ? -1 : BestUp;
+      Step.DownThread = BestKind == 2 ? BestDown : -1;
+      Step.Saving = BestSave;
+      Step.PRAfter = PR;
+      Step.SRAfter = SR;
+      Log->Rebalances.push_back(std::move(Step));
+    }
   }
 
   // Materialise (Fig. 8 lines 18-20).
@@ -384,6 +454,14 @@ InterThreadResult npral::allocateInterThread(
   for (Program &T : Result.Physical.Threads)
     T.NumRegs = std::max(Nreg, Result.RegistersUsed);
   Result.Success = true;
+  if (Log) {
+    Log->Success = true;
+    Log->FinalPR = PR;
+    Log->FinalSR = SR;
+    Log->SGR = Result.SGR;
+    Log->RegistersUsed = Result.RegistersUsed;
+    Log->TotalWeightedCost = Result.TotalWeightedCost;
+  }
   return Result;
 }
 

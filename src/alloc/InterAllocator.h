@@ -24,6 +24,7 @@
 
 #include "alloc/IntraAllocator.h"
 #include "ir/Program.h"
+#include "trace/DecisionLog.h"
 
 #include <memory>
 #include <string>
@@ -88,6 +89,16 @@ InterThreadResult allocateInterThread(
     const MultiThreadProgram &MTP, int Nreg,
     const std::vector<std::shared_ptr<const ThreadAnalysisBundle>> &Analyses,
     const std::vector<CostModel> &Models);
+
+/// Fully instrumented variant: when \p Log is non-null it receives one
+/// ReductionStep per Fig. 8 iteration (with the move-cost bids of every
+/// candidate the loop priced), one RebalanceStep per applied PGO exchange,
+/// and the intra-thread recolor/split events of every thread — the data
+/// behind `npralc alloc --explain`. The allocation itself is unchanged.
+InterThreadResult allocateInterThread(
+    const MultiThreadProgram &MTP, int Nreg,
+    const std::vector<std::shared_ptr<const ThreadAnalysisBundle>> &Analyses,
+    const std::vector<CostModel> &Models, AllocationDecisionLog *Log);
 
 /// Symmetric Register Allocation: all Nthd threads run \p P. Exhaustively
 /// sweeps (PR, SR) with Nthd*PR + SR <= Nreg, minimising total register use

@@ -82,7 +82,32 @@ const IntraResult &IntraThreadAllocator::allocate(int PR, int SR) {
   auto It = Cache.find(Key);
   if (It != Cache.end())
     return It->second;
-  return Cache.emplace(Key, computeAllocation(PR, SR)).first->second;
+  const IntraResult &R =
+      Cache.emplace(Key, computeAllocation(PR, SR)).first->second;
+  if (Log) {
+    IntraEvent E;
+    E.K = IntraEvent::Recolor;
+    E.Thread = LogThread;
+    E.PR = PR;
+    E.SR = SR;
+    if (R.Feasible)
+      E.Detail = "strategy=" + R.Strategy +
+                 " moves=" + std::to_string(R.MoveCost) +
+                 " weighted=" + std::to_string(R.WeightedCost);
+    else
+      E.Detail = "infeasible (" + R.FailReason + ")";
+    Log->IntraEvents.push_back(std::move(E));
+    if (R.Feasible && R.Strategy == "fragment") {
+      IntraEvent F;
+      F.K = IntraEvent::FragmentFallback;
+      F.Thread = LogThread;
+      F.PR = PR;
+      F.SR = SR;
+      F.Detail = "moves=" + std::to_string(R.MoveCost);
+      Log->IntraEvents.push_back(std::move(F));
+    }
+  }
+  return R;
 }
 
 IntraResult IntraThreadAllocator::computeAllocation(int PR, int SR) {
@@ -267,8 +292,19 @@ ColorAllocation IntraThreadAllocator::allocateWithGreedySplitting(int PR,
           }
         }
       }
-      if (BestNSR >= 0)
+      if (BestNSR >= 0) {
         DidSplit = excludeNSR(Work, WorkTA, Node, BestNSR) != NoReg;
+        if (DidSplit && Log) {
+          IntraEvent E;
+          E.K = IntraEvent::ExcludeNSR;
+          E.Thread = LogThread;
+          E.PR = PR;
+          E.SR = SR;
+          E.Detail = "boundary node " + std::to_string(Node) + " from nsr" +
+                     std::to_string(BestNSR);
+          Log->IntraEvents.push_back(std::move(E));
+        }
+      }
     } else {
       // Internal node: split it in the block where it is referenced most.
       // Under a frequency model, prefer the block where the (at most two)
@@ -300,8 +336,19 @@ ColorAllocation IntraThreadAllocator::allocateWithGreedySplitting(int PR,
           BestWeighted = W;
         }
       }
-      if (BestBlock >= 0)
+      if (BestBlock >= 0) {
         DidSplit = splitInBlock(Work, WorkTA, Node, BestBlock) != NoReg;
+        if (DidSplit && Log) {
+          IntraEvent E;
+          E.K = IntraEvent::BlockSplit;
+          E.Thread = LogThread;
+          E.PR = PR;
+          E.SR = SR;
+          E.Detail = "internal node " + std::to_string(Node) + " in block " +
+                     std::to_string(BestBlock);
+          Log->IntraEvents.push_back(std::move(E));
+        }
+      }
     }
 
     if (!DidSplit) {

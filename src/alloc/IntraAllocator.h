@@ -31,6 +31,7 @@
 #include "alloc/FragmentAllocator.h"
 #include "analysis/InterferenceGraph.h"
 #include "ir/Program.h"
+#include "trace/DecisionLog.h"
 
 #include <map>
 
@@ -76,6 +77,15 @@ public:
   /// Allocate with \p PR private and \p SR shared colors; memoised.
   const IntraResult &allocate(int PR, int SR);
 
+  /// Attach a decision log; subsequent cache-miss allocations record their
+  /// recolor outcome and any NSR exclusions / block splits under thread
+  /// index \p Thread (-1 for a standalone allocator). Cached results record
+  /// nothing — the work they describe already happened.
+  void setDecisionLog(AllocationDecisionLog *DL, int Thread) {
+    Log = DL;
+    LogThread = Thread;
+  }
+
   const RegBounds &getBounds() const { return Bounds; }
   int getMinPR() const { return Bounds.MinPR; }
   int getMinR() const { return Bounds.MinR; }
@@ -91,6 +101,8 @@ private:
   RegBounds Bounds;
   CostModel CM;
   std::map<std::pair<int, int>, IntraResult> Cache;
+  AllocationDecisionLog *Log = nullptr;
+  int LogThread = -1;
 
   IntraResult computeAllocation(int PR, int SR);
   /// Strategy 2; returns an infeasible result when it cannot converge.

@@ -11,6 +11,8 @@
 #include "profile/StaticFrequencyEstimator.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
+#include "trace/MetricsRegistry.h"
+#include "trace/TraceEngine.h"
 
 #include <chrono>
 #include <fstream>
@@ -34,10 +36,12 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
                           AnalysisCache *Cache, uint64_t ProfileHash) {
   BatchJobResult R;
   R.Name = In.Name.empty() ? In.Path : In.Name;
+  NPRAL_TRACE_SPAN_ARGS("batch", "job", {"name", R.Name});
 
   // Stage 1: parse (or adopt the in-memory program).
   MultiThreadProgram MTP;
   {
+    NPRAL_TRACE_SPAN_ARGS("batch", "parse", {"name", R.Name});
     const int64_t T0 = nowNs();
     if (!In.Path.empty()) {
       std::ifstream Stream(In.Path);
@@ -73,6 +77,8 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
   Bundles.reserve(MTP.Threads.size());
   Models.reserve(MTP.Threads.size());
   for (Program &T : MTP.Threads) {
+    NPRAL_TRACE_SPAN_ARGS("batch", "analysis", {"name", R.Name},
+                          {"thread", T.Name});
     if (Status S = verifyProgram(T); !S.ok()) {
       R.FailReason = "thread '" + T.Name + "': " + S.str();
       return R;
@@ -105,8 +111,10 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
       if (Bundle) {
         ++R.CacheHits;
         R.AnalysisNs += nowNs() - T0;
+        NPRAL_TRACE_INSTANT("batch", "cache-hit", {{"thread", T.Name}});
       } else {
         ++R.CacheMisses;
+        NPRAL_TRACE_INSTANT("batch", "cache-miss", {{"thread", T.Name}});
         auto Fresh = std::make_shared<ThreadAnalysisBundle>();
         Fresh->TA = analyzeThread(T);
         const int64_t T1 = nowNs();
@@ -136,6 +144,7 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
   // Stage 4: inter/intra allocation.
   InterThreadResult Alloc;
   {
+    NPRAL_TRACE_SPAN_ARGS("batch", "alloc", {"name", R.Name});
     const int64_t T0 = nowNs();
     Alloc = allocateInterThread(MTP, Opts.Nreg, Bundles, Models);
     R.AllocNs = nowNs() - T0;
@@ -151,6 +160,7 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
 
   // Stage 5: independent cross-thread safety verification.
   if (Opts.Verify) {
+    NPRAL_TRACE_SPAN_ARGS("batch", "verify", {"name", R.Name});
     const int64_t T0 = nowNs();
     Status Safety = verifyAllocationSafety(Alloc.Physical);
     R.VerifyNs = nowNs() - T0;
@@ -170,6 +180,9 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
 
 BatchResult npral::runBatch(const std::vector<BatchJob> &Inputs,
                             const BatchOptions &Opts, AnalysisCache *Cache) {
+  NPRAL_TRACE_SPAN_ARGS("batch", "runBatch",
+                        {"programs", std::to_string(Inputs.size())},
+                        {"jobs", std::to_string(std::max(1, Opts.Jobs))});
   BatchResult Out;
   Out.Results.resize(Inputs.size());
 
@@ -187,30 +200,76 @@ BatchResult npral::runBatch(const std::vector<BatchJob> &Inputs,
   else if (Opts.StaticPGO)
     ProfileHash = fnv1aHash("static-pgo");
 
+  // The per-run registry is the source of truth for batch counters; the
+  // legacy PipelineStats struct is reconstructed from it below and the
+  // instruments then fold into the process-wide registry.
+  MetricsRegistry RunMetrics;
+
   const int64_t Wall0 = nowNs();
   {
     ThreadPool Pool(Opts.Jobs);
     parallelFor(Pool, static_cast<int>(Inputs.size()), [&](int I) {
+      const int64_t Job0 = nowNs();
       Out.Results[static_cast<size_t>(I)] =
           processOne(Inputs[static_cast<size_t>(I)], Opts, Cache, ProfileHash);
+      RunMetrics.histogram("batch.job_wall_ns").observe(nowNs() - Job0);
     });
   }
-  Out.Stats.WallNs = nowNs() - Wall0;
 
-  Out.Stats.Programs = static_cast<int>(Inputs.size());
-  Out.Stats.Jobs = std::max(1, Opts.Jobs);
-  Out.Stats.CacheEnabled = Cache != nullptr;
+  RunMetrics.counter("batch.programs")
+      .add(static_cast<int64_t>(Inputs.size()));
+  RunMetrics.gauge("batch.jobs").set(std::max(1, Opts.Jobs));
+  RunMetrics.gauge("batch.cache.enabled").set(Cache != nullptr ? 1 : 0);
   for (const BatchJobResult &R : Out.Results) {
-    (R.Success ? Out.Stats.Succeeded : Out.Stats.Failed) += 1;
-    Out.Stats.CacheHits += R.CacheHits;
-    Out.Stats.CacheMisses += R.CacheMisses;
-    Out.Stats.ParseNs += R.ParseNs;
-    Out.Stats.AnalysisNs += R.AnalysisNs;
-    Out.Stats.BoundsNs += R.BoundsNs;
-    Out.Stats.AllocNs += R.AllocNs;
-    Out.Stats.VerifyNs += R.VerifyNs;
+    RunMetrics.counter(R.Success ? "batch.succeeded" : "batch.failed")
+        .increment();
+    RunMetrics.counter("batch.cache.hits").add(R.CacheHits);
+    RunMetrics.counter("batch.cache.misses").add(R.CacheMisses);
+    RunMetrics.counter("batch.stage.parse_ns").add(R.ParseNs);
+    RunMetrics.counter("batch.stage.analysis_ns").add(R.AnalysisNs);
+    RunMetrics.counter("batch.stage.bounds_ns").add(R.BoundsNs);
+    RunMetrics.counter("batch.stage.alloc_ns").add(R.AllocNs);
+    RunMetrics.counter("batch.stage.verify_ns").add(R.VerifyNs);
   }
+  RunMetrics.counter("batch.wall_ns").add(nowNs() - Wall0);
+
+  Out.Stats = PipelineStats::fromRegistry(RunMetrics);
+  MetricsRegistry::global().merge(RunMetrics);
   return Out;
+}
+
+void PipelineStats::toRegistry(MetricsRegistry &MR) const {
+  MR.counter("batch.programs").add(Programs);
+  MR.counter("batch.succeeded").add(Succeeded);
+  MR.counter("batch.failed").add(Failed);
+  MR.gauge("batch.jobs").set(Jobs);
+  MR.gauge("batch.cache.enabled").set(CacheEnabled ? 1 : 0);
+  MR.counter("batch.cache.hits").add(CacheHits);
+  MR.counter("batch.cache.misses").add(CacheMisses);
+  MR.counter("batch.stage.parse_ns").add(ParseNs);
+  MR.counter("batch.stage.analysis_ns").add(AnalysisNs);
+  MR.counter("batch.stage.bounds_ns").add(BoundsNs);
+  MR.counter("batch.stage.alloc_ns").add(AllocNs);
+  MR.counter("batch.stage.verify_ns").add(VerifyNs);
+  MR.counter("batch.wall_ns").add(WallNs);
+}
+
+PipelineStats PipelineStats::fromRegistry(const MetricsRegistry &MR) {
+  PipelineStats S;
+  S.Programs = static_cast<int>(MR.counterValue("batch.programs"));
+  S.Succeeded = static_cast<int>(MR.counterValue("batch.succeeded"));
+  S.Failed = static_cast<int>(MR.counterValue("batch.failed"));
+  S.Jobs = std::max<int>(1, static_cast<int>(MR.gaugeValue("batch.jobs")));
+  S.CacheEnabled = MR.gaugeValue("batch.cache.enabled") != 0;
+  S.CacheHits = MR.counterValue("batch.cache.hits");
+  S.CacheMisses = MR.counterValue("batch.cache.misses");
+  S.ParseNs = MR.counterValue("batch.stage.parse_ns");
+  S.AnalysisNs = MR.counterValue("batch.stage.analysis_ns");
+  S.BoundsNs = MR.counterValue("batch.stage.bounds_ns");
+  S.AllocNs = MR.counterValue("batch.stage.alloc_ns");
+  S.VerifyNs = MR.counterValue("batch.stage.verify_ns");
+  S.WallNs = MR.counterValue("batch.wall_ns");
+  return S;
 }
 
 void PipelineStats::renderText(std::ostream &OS) const {

@@ -34,6 +34,7 @@
 namespace npral {
 
 class AnalysisCache;
+class MetricsRegistry;
 
 struct BatchOptions {
   /// Register file size handed to the inter-thread allocator.
@@ -127,6 +128,16 @@ struct PipelineStats {
 
   void renderText(std::ostream &OS) const;
   void renderJSON(std::ostream &OS) const;
+
+  /// Write every field into \p MR under the stable `batch.*` metric names
+  /// (counters for additive fields, gauges for per-run configuration).
+  void toRegistry(MetricsRegistry &MR) const;
+  /// Reconstruct a PipelineStats from the `batch.*` instruments of \p MR —
+  /// the inverse of toRegistry. runBatch aggregates into a per-run
+  /// MetricsRegistry first (which then merges into the global registry);
+  /// this adapter keeps the legacy struct and its byte-stable renderers on
+  /// top of that source of truth.
+  static PipelineStats fromRegistry(const MetricsRegistry &MR);
 };
 
 struct BatchResult {

@@ -4,6 +4,8 @@
 
 #include "ir/IRVerifier.h"
 #include "lint/Checkers.h"
+#include "trace/MetricsRegistry.h"
+#include "trace/TraceEngine.h"
 
 #include <algorithm>
 
@@ -73,6 +75,9 @@ Diagnostic &LintContext::emit(Severity Sev, std::string Check, int T,
 
 int npral::runAllCheckers(const MultiThreadProgram &MTP,
                           DiagnosticEngine &Engine, const LintOptions &Opts) {
+  NPRAL_TRACE_SPAN_ARGS("lint", "runAllCheckers",
+                        {"program", MTP.Name},
+                        {"threads", std::to_string(MTP.getNumThreads())});
   LintContext Ctx(MTP, Engine);
   for (const CheckerInfo &C : getCheckerRegistry()) {
     bool Named =
@@ -86,7 +91,15 @@ int npral::runAllCheckers(const MultiThreadProgram &MTP,
       continue;
     if (C.Advisory && !Opts.IncludeAdvice && !Named)
       continue;
-    C.Run(Ctx);
+    const int Before = Engine.size();
+    {
+      NPRAL_TRACE_SPAN_ARGS("lint", "checker", {"check", std::string(C.Name)});
+      C.Run(Ctx);
+    }
+    MetricsRegistry::global()
+        .counter("lint." + std::string(C.Name) + ".diagnostics")
+        .add(Engine.size() - Before);
+    MetricsRegistry::global().counter("lint.checkers_run").increment();
   }
   return Engine.errorCount();
 }

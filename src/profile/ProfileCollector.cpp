@@ -4,10 +4,15 @@
 
 #include "ir/IRPrinter.h"
 #include "support/StringUtils.h"
+#include "trace/MetricsRegistry.h"
 
 using namespace npral;
 
-ProfileCollector::ProfileCollector(const MultiThreadProgram &MTP) {
+ProfileCollector::ProfileCollector(const MultiThreadProgram &MTP)
+    : BlockEvents(
+          &MetricsRegistry::global().counter("profile.block_events")),
+      SwitchEvents(
+          &MetricsRegistry::global().counter("profile.ctx_switch_points")) {
   Profile.ProgramName = MTP.Name;
   Profile.Threads.reserve(MTP.Threads.size());
   for (int T = 0; T < MTP.getNumThreads(); ++T) {
@@ -24,6 +29,7 @@ void ProfileCollector::onBlockEntered(int Thread, int Block) {
   if (Thread < 0 || static_cast<size_t>(Thread) >= Profile.Threads.size())
     return;
   ++Profile.Threads[static_cast<size_t>(Thread)].BlockCounts[Block];
+  BlockEvents->increment();
 }
 
 void ProfileCollector::onCtxSwitchPoint(int Thread, int Block, int Index) {
@@ -31,4 +37,5 @@ void ProfileCollector::onCtxSwitchPoint(int Thread, int Block, int Index) {
     return;
   ++Profile.Threads[static_cast<size_t>(Thread)]
         .SwitchCounts[{Block, Index}];
+  SwitchEvents->increment();
 }

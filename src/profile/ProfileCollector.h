@@ -19,6 +19,8 @@
 
 namespace npral {
 
+class Counter;
+
 class ProfileCollector : public SimObserver {
 public:
   /// Prepares one ThreadProfile per thread of \p MTP, capturing each
@@ -39,6 +41,10 @@ public:
 
 private:
   ExecutionProfile Profile;
+  /// Cached global-registry instruments (references stay valid until a
+  /// registry clear; the observer callbacks are too hot for name lookups).
+  Counter *BlockEvents = nullptr;
+  Counter *SwitchEvents = nullptr;
 };
 
 } // namespace npral

@@ -3,6 +3,8 @@
 #include "sim/Simulator.h"
 
 #include "support/StringUtils.h"
+#include "trace/MetricsRegistry.h"
+#include "trace/TraceEngine.h"
 
 #include <algorithm>
 #include <cassert>
@@ -339,10 +341,44 @@ bool Simulator::step(int T, int64_t &Clock, std::string &Error) {
 }
 
 SimResult Simulator::run() {
+  NPRAL_TRACE_SPAN_ARGS("sim", "Simulator::run", {"program", MTP.Name},
+                        {"threads", std::to_string(MTP.getNumThreads())});
   SimResult Result;
   const int Nthd = MTP.getNumThreads();
   int64_t Clock = 0;
   int LastThread = -1;
+
+  // Attribute the interval [C0, C1) to one cycle bucket of every thread:
+  // the running thread gets Run (or SwitchPenalty), each other thread is
+  // classified by its state at C0 — halted, channel-blocked, memory-blocked
+  // up to its ReadyAt (the remainder of the interval counts as ready-wait),
+  // or simply waiting for the CPU. Every Clock advance in this function and
+  // in step() flows through here exactly once, so per thread the buckets
+  // sum to TotalCycles.
+  auto account = [&](int Running, int64_t C0, int64_t C1, bool Penalty) {
+    if (C1 <= C0)
+      return;
+    const int64_t Span = C1 - C0;
+    for (int T = 0; T < Nthd; ++T) {
+      ThreadStats &S = Stats[static_cast<size_t>(T)];
+      const ThreadState &TS = Threads[static_cast<size_t>(T)];
+      if (T == Running) {
+        (Penalty ? S.SwitchPenaltyCycles : S.RunCycles) += Span;
+        continue;
+      }
+      if (TS.Halted) {
+        S.HaltedCycles += Span;
+        continue;
+      }
+      if (TS.WaitingChannel >= 0) {
+        S.ChannelWaitCycles += Span;
+        continue;
+      }
+      const int64_t Mem = std::min(C1, std::max(TS.ReadyAt, C0)) - C0;
+      S.MemStallCycles += Mem;
+      S.ReadyWaitCycles += Span - Mem;
+    }
+  };
 
   auto allDone = [&]() {
     for (int T = 0; T < Nthd; ++T) {
@@ -393,6 +429,7 @@ SimResult Simulator::run() {
         return Result;
       }
       Result.IdleCycles += EarliestReady - Clock;
+      account(-1, Clock, EarliestReady, false);
       Clock = EarliestReady; // CPU idles until a memory op completes.
       continue;
     }
@@ -403,12 +440,23 @@ SimResult Simulator::run() {
         TS.WaitingChannel = -1;
       }
     }
-    if (LastThread >= 0 && Chosen != LastThread)
+    if (LastThread >= 0 && Chosen != LastThread) {
+      const int64_t PenaltyStart = Clock;
       Clock += Config.CtxSwitchPenalty;
-    if (Config.RecordCtxTrace && Chosen != LastThread)
-      Result.CtxTrace.push_back({Clock, Chosen});
+      account(Chosen, PenaltyStart, Clock, true);
+    }
+    if (Chosen != LastThread) {
+      if (Config.RecordCtxTrace)
+        Result.CtxTrace.push_back({Clock, Chosen});
+      NPRAL_TRACE_INSTANT("sim", "ctx-switch",
+                          {{"thread", std::to_string(Chosen)},
+                           {"cycle", std::to_string(Clock)}});
+    }
     LastThread = Chosen;
-    if (!step(Chosen, Clock, Error)) {
+    const int64_t StepStart = Clock;
+    const bool StepOk = step(Chosen, Clock, Error);
+    account(Chosen, StepStart, Clock, false);
+    if (!StepOk) {
       Result.FailReason = Error;
       Result.TotalCycles = Clock;
       Result.Threads = Stats;
@@ -419,5 +467,19 @@ SimResult Simulator::run() {
   Result.Completed = true;
   Result.TotalCycles = Clock;
   Result.Threads = Stats;
+  for (int T = 0; T < Nthd; ++T) {
+    assert(Stats[static_cast<size_t>(T)].accountedCycles() == Clock &&
+           "cycle breakdown does not sum to total cycles");
+    const std::string Prefix = "sim.thread" + std::to_string(T) + ".";
+    MetricsRegistry &MR = MetricsRegistry::global();
+    const ThreadStats &S = Stats[static_cast<size_t>(T)];
+    MR.counter(Prefix + "run_cycles").add(S.RunCycles);
+    MR.counter(Prefix + "switch_penalty_cycles").add(S.SwitchPenaltyCycles);
+    MR.counter(Prefix + "mem_stall_cycles").add(S.MemStallCycles);
+    MR.counter(Prefix + "channel_wait_cycles").add(S.ChannelWaitCycles);
+    MR.counter(Prefix + "ready_wait_cycles").add(S.ReadyWaitCycles);
+    MR.counter(Prefix + "halted_cycles").add(S.HaltedCycles);
+    MR.counter(Prefix + "ctx_events").add(S.CtxEvents);
+  }
   return Result;
 }

@@ -95,6 +95,33 @@ struct ThreadStats {
   int64_t MemOps = 0;
   bool Halted = false;
 
+  /// Cycle breakdown: every simulated cycle lands in exactly one bucket per
+  /// thread, so for a completed run the six buckets sum to
+  /// SimResult::TotalCycles (asserted by the simulator). A cycle interval
+  /// is classified by the thread's state at its start:
+  ///  * RunCycles          — this thread was executing on the CPU;
+  ///  * SwitchPenaltyCycles— the CPU charged the context-switch penalty to
+  ///                         dispatch this thread;
+  ///  * MemStallCycles     — blocked waiting for a memory operation
+  ///                         (latency not yet elapsed);
+  ///  * ChannelWaitCycles  — blocked on a `wait` for a signal channel;
+  ///  * ReadyWaitCycles    — runnable, but another thread held the CPU
+  ///                         (the paper's switch-wait component);
+  ///  * HaltedCycles       — already halted while others kept running.
+  int64_t RunCycles = 0;
+  int64_t SwitchPenaltyCycles = 0;
+  int64_t MemStallCycles = 0;
+  int64_t ChannelWaitCycles = 0;
+  int64_t ReadyWaitCycles = 0;
+  int64_t HaltedCycles = 0;
+
+  /// Sum of the six cycle buckets; equals the run's TotalCycles once the
+  /// run completed.
+  int64_t accountedCycles() const {
+    return RunCycles + SwitchPenaltyCycles + MemStallCycles +
+           ChannelWaitCycles + ReadyWaitCycles + HaltedCycles;
+  }
+
   /// Average cycles per main-loop iteration up to the target.
   double cyclesPerIteration(int64_t Target) const {
     if (Target <= 0 || CyclesAtTarget < 0)

@@ -2,6 +2,8 @@
 
 #include "support/DiagnosticEngine.h"
 
+#include "support/StringUtils.h"
+
 #include <algorithm>
 #include <cctype>
 
@@ -98,41 +100,6 @@ void DiagnosticEngine::renderText(std::ostream &OS) const {
 }
 
 // JSON rendering ------------------------------------------------------------
-
-namespace {
-
-void writeJSONString(std::ostream &OS, std::string_view S) {
-  OS << '"';
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      OS << "\\\"";
-      break;
-    case '\\':
-      OS << "\\\\";
-      break;
-    case '\n':
-      OS << "\\n";
-      break;
-    case '\t':
-      OS << "\\t";
-      break;
-    case '\r':
-      OS << "\\r";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        static const char Hex[] = "0123456789abcdef";
-        OS << "\\u00" << Hex[(C >> 4) & 0xF] << Hex[C & 0xF];
-      } else {
-        OS << C;
-      }
-    }
-  }
-  OS << '"';
-}
-
-} // namespace
 
 void DiagnosticEngine::renderJSON(std::ostream &OS) const {
   OS << "{\n  \"diagnostics\": [";

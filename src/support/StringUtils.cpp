@@ -6,6 +6,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <ostream>
 
 using namespace npral;
 
@@ -114,4 +115,35 @@ uint64_t npral::fnv1aCombine(uint64_t Seed, uint64_t Value) {
     Seed *= 1099511628211ULL;
   }
   return Seed;
+}
+
+void npral::writeJSONString(std::ostream &OS, std::string_view S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        OS << "\\u00" << Hex[(C >> 4) & 0xF] << Hex[C & 0xF];
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
 }

@@ -32,6 +32,12 @@ bool isIdentifier(std::string_view S);
 std::string formatString(const char *Fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Write \p S to \p OS as a double-quoted JSON string, escaping quotes,
+/// backslashes, and control characters (\n, \t, \r, \u00xx). The one JSON
+/// string encoding used across the codebase (diagnostics, metrics, traces),
+/// so every exporter and round-trip parser agrees byte for byte.
+void writeJSONString(std::ostream &OS, std::string_view S);
+
 /// 64-bit FNV-1a over \p Data. The one content hash used across the
 /// codebase (analysis cache keys, profile code hashes, memory digests).
 uint64_t fnv1aHash(std::string_view Data);

@@ -1,0 +1,117 @@
+//===- DecisionLog.cpp ----------------------------------------------------===//
+
+#include "trace/DecisionLog.h"
+
+using namespace npral;
+
+namespace {
+
+void printVec(std::ostream &OS, const std::vector<int> &V) {
+  OS << '[';
+  for (size_t I = 0; I < V.size(); ++I) {
+    if (I)
+      OS << ' ';
+    OS << V[I];
+  }
+  OS << ']';
+}
+
+void printBudgets(std::ostream &OS, const std::vector<int> &PR,
+                  const std::vector<int> &SR) {
+  OS << "PR=";
+  printVec(OS, PR);
+  OS << " SR=";
+  printVec(OS, SR);
+}
+
+const char *intraKindName(IntraEvent::Kind K) {
+  switch (K) {
+  case IntraEvent::Recolor:
+    return "recolor";
+  case IntraEvent::ExcludeNSR:
+    return "exclude-nsr";
+  case IntraEvent::BlockSplit:
+    return "block-split";
+  case IntraEvent::FragmentFallback:
+    return "fragment-fallback";
+  }
+  return "?";
+}
+
+} // namespace
+
+void AllocationDecisionLog::renderExplain(std::ostream &OS) const {
+  OS << "allocation explain: " << Nthd << " threads, Nreg=" << Nreg << "\n";
+  OS << "initial: ";
+  printBudgets(OS, InitialPR, InitialSR);
+  OS << "\n";
+
+  for (const ReductionStep &S : Reductions) {
+    OS << "step " << S.StepIndex << ": requirement " << S.RequirementBefore
+       << " -> " << S.RequirementAfter << "\n";
+    if (!S.Bids.empty()) {
+      OS << "  bids:";
+      for (const ReductionBid &B : S.Bids) {
+        if (B.K == ReductionBid::ReducePR)
+          OS << " thread" << B.Thread << ".PR-1 delta=" << B.Delta;
+        else
+          OS << " all-max-SR-1 delta=" << B.Delta;
+      }
+      OS << "\n";
+    }
+    OS << "  chose: ";
+    switch (S.Chosen) {
+    case ReductionStep::ChosePR:
+      OS << "reduce PR of thread " << S.VictimThread
+         << " (delta=" << S.ChosenDelta << ")";
+      break;
+    case ReductionStep::ChoseSharedRegs:
+      OS << "reduce SR of all max-SR threads (delta=" << S.ChosenDelta << ")";
+      break;
+    case ReductionStep::ChoseSweepFallback:
+      OS << "no single step feasible; shared-window sweep fallback";
+      break;
+    }
+    OS << "; ";
+    printBudgets(OS, S.PRAfter, S.SRAfter);
+    OS << "\n";
+  }
+
+  for (const RebalanceStep &S : Rebalances) {
+    OS << "rebalance: ";
+    switch (S.K) {
+    case RebalanceStep::RaisePR:
+      OS << "raise PR of thread " << S.UpThread;
+      break;
+    case RebalanceStep::WidenSharedRegs:
+      OS << "widen shared window for all threads";
+      break;
+    case RebalanceStep::ExchangePR:
+      OS << "exchange PR: thread " << S.DownThread << " -> thread "
+         << S.UpThread;
+      break;
+    }
+    OS << " (saving=" << S.Saving << "); ";
+    printBudgets(OS, S.PRAfter, S.SRAfter);
+    OS << "\n";
+  }
+
+  for (const IntraEvent &E : IntraEvents) {
+    OS << "intra";
+    if (E.Thread >= 0)
+      OS << " thread" << E.Thread;
+    OS << " (PR=" << E.PR << ",SR=" << E.SR << "): " << intraKindName(E.K);
+    if (!E.Detail.empty())
+      OS << " " << E.Detail;
+    OS << "\n";
+  }
+
+  if (Success) {
+    OS << "final: ";
+    printBudgets(OS, FinalPR, FinalSR);
+    OS << ", SGR=" << SGR << ", registers used " << RegistersUsed
+       << ", weighted cost " << TotalWeightedCost << "\n";
+  } else {
+    OS << "failed: " << FailReason << "\n";
+  }
+}

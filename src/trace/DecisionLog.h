@@ -1,0 +1,136 @@
+//===- DecisionLog.h - Structured allocation decision records ---*- C++ -*-===//
+///
+/// \file
+/// The decision-log half of the observability layer: structured records of
+/// *why* the register allocators did what they did, filled in by
+/// InterAllocator (one record per Fig. 8 reduction step and per PR-3
+/// rebalancing exchange) and IntraThreadAllocator (recolor attempts, NSR
+/// exclusions, block splits, fragment fallbacks), and rendered as the
+/// human-readable report behind `npralc alloc --explain`.
+///
+/// A log belongs to exactly one allocateInterThread call and is written
+/// single-threaded (the allocator itself is sequential); concurrent batch
+/// jobs each pass their own log or none. This header deliberately depends
+/// only on npral_support so the trace library sits below the allocator in
+/// the link order.
+///
+/// The core invariant — pinned by DecisionLogTest — is that each reduction
+/// step records the move-cost bids of every candidate the allocator
+/// actually priced, and the chosen delta equals the minimum over those
+/// bids, i.e. the log is a faithful transcript of the greedy argmin, not a
+/// reconstruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_TRACE_DECISIONLOG_H
+#define NPRAL_TRACE_DECISIONLOG_H
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace npral {
+
+/// One priced candidate inside a reduction step: either "reduce thread T's
+/// PR by 1" or "reduce every max-SR thread's SR by 1" (the single
+/// collective SR bid, Thread == -1).
+struct ReductionBid {
+  enum Kind { ReducePR, ReduceSharedRegs };
+  Kind K = ReducePR;
+  /// Victim thread for ReducePR; -1 for the collective SR bid.
+  int Thread = -1;
+  /// Weighted move-cost increase if this candidate is taken.
+  int64_t Delta = 0;
+};
+
+/// One iteration of the Fig. 8 greedy reduction loop.
+struct ReductionStep {
+  enum Choice { ChosePR, ChoseSharedRegs, ChoseSweepFallback };
+  int StepIndex = 0;
+  int RequirementBefore = 0;
+  int RequirementAfter = 0;
+  /// Every feasible candidate priced this step, in scan order.
+  std::vector<ReductionBid> Bids;
+  Choice Chosen = ChosePR;
+  /// Victim thread when Chosen == ChosePR; -1 otherwise.
+  int VictimThread = -1;
+  /// Delta of the winning bid (0 for the sweep fallback).
+  int64_t ChosenDelta = 0;
+  /// Budgets after applying the step.
+  std::vector<int> PRAfter;
+  std::vector<int> SRAfter;
+};
+
+/// One applied step of the profile-guided rebalancing pass.
+struct RebalanceStep {
+  enum Kind { RaisePR, WidenSharedRegs, ExchangePR };
+  Kind K = RaisePR;
+  /// Thread whose PR was raised (RaisePR/ExchangePR); -1 for WidenSharedRegs.
+  int UpThread = -1;
+  /// Thread whose PR was lowered (ExchangePR only).
+  int DownThread = -1;
+  /// Strict weighted-cost saving of the step.
+  int64_t Saving = 0;
+  std::vector<int> PRAfter;
+  std::vector<int> SRAfter;
+};
+
+/// One noteworthy event inside an intra-thread allocation attempt.
+struct IntraEvent {
+  enum Kind {
+    /// A recolor attempt for a (PR, SR) configuration, with the strategy
+    /// that settled it ("bounds", "direct", "split", "fragment", or
+    /// "infeasible").
+    Recolor,
+    /// A boundary node excluded from conflicting NSRs (Fig. 12).
+    ExcludeNSR,
+    /// An internal node split at block granularity (Fig. 13).
+    BlockSplit,
+    /// Greedy splitting gave up and the Lemma 1 fragment allocator ran.
+    FragmentFallback,
+  };
+  Kind K = Recolor;
+  /// Thread index inside the multi-thread program; -1 when the allocator
+  /// runs standalone.
+  int Thread = -1;
+  /// Configuration under which the event happened.
+  int PR = 0;
+  int SR = 0;
+  /// Free-form but deterministic detail, e.g. "lr7 excluded from 2 NSRs".
+  std::string Detail;
+};
+
+/// The full decision transcript of one allocateInterThread call.
+class AllocationDecisionLog {
+public:
+  int Nthd = 0;
+  int Nreg = 0;
+  /// Move-free upper bounds the reduction started from (Fig. 8 lines 1-4).
+  std::vector<int> InitialPR;
+  std::vector<int> InitialSR;
+
+  std::vector<ReductionStep> Reductions;
+  std::vector<RebalanceStep> Rebalances;
+  std::vector<IntraEvent> IntraEvents;
+
+  /// Outcome snapshot, filled after convergence.
+  bool Success = false;
+  std::string FailReason;
+  std::vector<int> FinalPR;
+  std::vector<int> FinalSR;
+  int SGR = 0;
+  int RegistersUsed = 0;
+  int64_t TotalWeightedCost = 0;
+
+  void clear() { *this = AllocationDecisionLog(); }
+
+  /// The human-readable report behind `npralc alloc --explain`: one block
+  /// per reduction step with every bid and the chosen move, the rebalance
+  /// trail, intra-thread events, and the final layout.
+  void renderExplain(std::ostream &OS) const;
+};
+
+} // namespace npral
+
+#endif // NPRAL_TRACE_DECISIONLOG_H

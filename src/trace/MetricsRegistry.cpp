@@ -1,0 +1,184 @@
+//===- MetricsRegistry.cpp ------------------------------------------------===//
+
+#include "trace/MetricsRegistry.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace npral;
+
+void Histogram::observe(int64_t V) {
+  int B = 0;
+  if (V > 0) {
+    uint64_t U = static_cast<uint64_t>(V);
+    while (U != 0) {
+      ++B;
+      U >>= 1;
+    }
+  }
+  assert(B < NumBuckets && "bucket index out of range");
+  Buckets[static_cast<size_t>(B)].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(V, std::memory_order_relaxed);
+  int64_t Seen = Min.load(std::memory_order_relaxed);
+  while (V < Seen &&
+         !Min.compare_exchange_weak(Seen, V, std::memory_order_relaxed))
+    ;
+  Seen = Max.load(std::memory_order_relaxed);
+  while (V > Seen &&
+         !Max.compare_exchange_weak(Seen, V, std::memory_order_relaxed))
+    ;
+}
+
+int64_t Histogram::min() const {
+  const int64_t V = Min.load(std::memory_order_relaxed);
+  return V == INT64_MAX ? 0 : V;
+}
+
+int64_t Histogram::max() const {
+  const int64_t V = Max.load(std::memory_order_relaxed);
+  return V == INT64_MIN ? 0 : V;
+}
+
+void Histogram::mergeFrom(const Histogram &Other) {
+  if (Other.count() == 0)
+    return;
+  for (int B = 0; B < NumBuckets; ++B)
+    if (int64_t N = Other.bucketCount(B))
+      Buckets[static_cast<size_t>(B)].fetch_add(N, std::memory_order_relaxed);
+  Count.fetch_add(Other.count(), std::memory_order_relaxed);
+  Sum.fetch_add(Other.sum(), std::memory_order_relaxed);
+  const int64_t OtherMin = Other.min();
+  int64_t Seen = Min.load(std::memory_order_relaxed);
+  while (OtherMin < Seen &&
+         !Min.compare_exchange_weak(Seen, OtherMin, std::memory_order_relaxed))
+    ;
+  const int64_t OtherMax = Other.max();
+  Seen = Max.load(std::memory_order_relaxed);
+  while (OtherMax > Seen &&
+         !Max.compare_exchange_weak(Seen, OtherMax, std::memory_order_relaxed))
+    ;
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry Registry;
+  return Registry;
+}
+
+MetricsRegistry::Instrument &MetricsRegistry::get(std::string_view Name,
+                                                  Instrument::Kind Kind) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Instruments.find(Name);
+  if (It == Instruments.end()) {
+    It = Instruments.try_emplace(std::string(Name)).first;
+    It->second.K = Kind;
+    if (Kind == Instrument::K_Histogram)
+      It->second.H = std::make_unique<Histogram>();
+  }
+  assert(It->second.K == Kind && "metric re-registered as another kind");
+  return It->second;
+}
+
+const MetricsRegistry::Instrument *
+MetricsRegistry::find(std::string_view Name) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Instruments.find(Name);
+  return It == Instruments.end() ? nullptr : &It->second;
+}
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  return get(Name, Instrument::K_Counter).C;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  return get(Name, Instrument::K_Gauge).G;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name) {
+  return *get(Name, Instrument::K_Histogram).H;
+}
+
+int64_t MetricsRegistry::counterValue(std::string_view Name) const {
+  const Instrument *I = find(Name);
+  return I && I->K == Instrument::K_Counter ? I->C.value() : 0;
+}
+
+int64_t MetricsRegistry::gaugeValue(std::string_view Name) const {
+  const Instrument *I = find(Name);
+  return I && I->K == Instrument::K_Gauge ? I->G.value() : 0;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry &Other) {
+  // Lock ordering: Other first, then this (merge is only ever called
+  // per-run-registry -> global, so the order is globally consistent).
+  std::lock_guard<std::mutex> OtherLock(Other.Mutex);
+  for (const auto &[Name, I] : Other.Instruments) {
+    switch (I.K) {
+    case Instrument::K_Counter:
+      counter(Name).add(I.C.value());
+      break;
+    case Instrument::K_Gauge:
+      gauge(Name).set(I.G.value());
+      break;
+    case Instrument::K_Histogram:
+      histogram(Name).mergeFrom(*I.H);
+      break;
+    }
+  }
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Instruments.clear();
+}
+
+bool MetricsRegistry::empty() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Instruments.empty();
+}
+
+void MetricsRegistry::renderText(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (const auto &[Name, I] : Instruments) {
+    switch (I.K) {
+    case Instrument::K_Counter:
+      OS << Name << " counter " << I.C.value() << "\n";
+      break;
+    case Instrument::K_Gauge:
+      OS << Name << " gauge " << I.G.value() << "\n";
+      break;
+    case Instrument::K_Histogram:
+      OS << Name << " histogram count=" << I.H->count()
+         << " sum=" << I.H->sum() << " min=" << I.H->min()
+         << " max=" << I.H->max() << "\n";
+      break;
+    }
+  }
+}
+
+void MetricsRegistry::renderJSON(std::ostream &OS) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  OS << "{\n  \"metrics\": {";
+  bool First = true;
+  for (const auto &[Name, I] : Instruments) {
+    OS << (First ? "\n    " : ",\n    ");
+    First = false;
+    writeJSONString(OS, Name);
+    OS << ": {\"type\": ";
+    switch (I.K) {
+    case Instrument::K_Counter:
+      OS << "\"counter\", \"value\": " << I.C.value() << "}";
+      break;
+    case Instrument::K_Gauge:
+      OS << "\"gauge\", \"value\": " << I.G.value() << "}";
+      break;
+    case Instrument::K_Histogram:
+      OS << "\"histogram\", \"count\": " << I.H->count()
+         << ", \"sum\": " << I.H->sum() << ", \"min\": " << I.H->min()
+         << ", \"max\": " << I.H->max() << "}";
+      break;
+    }
+  }
+  OS << (First ? "}" : "\n  }") << "\n}\n";
+}

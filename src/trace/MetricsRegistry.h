@@ -1,0 +1,144 @@
+//===- MetricsRegistry.h - Named counters, gauges, histograms ---*- C++ -*-===//
+///
+/// \file
+/// The metrics half of the observability layer: a registry of named
+/// instruments that any subsystem can bump without plumbing a stats struct
+/// through every call chain.
+///
+///  * Counter   — monotonically increasing int64 (events, cache hits, ns
+///                of work summed across workers).
+///  * Gauge     — last-set int64 (configuration, sizes, per-run results).
+///  * Histogram — base-2 exponential buckets with count/sum/min/max, for
+///                distributions like per-job latency.
+///
+/// All instruments are thread-safe: registration takes the registry mutex
+/// once (returned references stay valid until clear()), updates are single
+/// atomic operations. Rendering follows the DiagnosticEngine conventions:
+/// stable key order (lexicographic), text and JSON that agree, JSON string
+/// escaping via writeJSONString.
+///
+/// Metric names are dotted lowercase paths, `subsystem.detail[_unit]`,
+/// e.g. `batch.stage.alloc_ns`, `sim.thread0.mem_stall_cycles`. The full
+/// list is documented in docs/observability.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_TRACE_METRICSREGISTRY_H
+#define NPRAL_TRACE_METRICSREGISTRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace npral {
+
+class Counter {
+public:
+  void add(int64_t N) { Value.fetch_add(N, std::memory_order_relaxed); }
+  void increment() { add(1); }
+  int64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> Value{0};
+};
+
+class Gauge {
+public:
+  void set(int64_t N) { Value.store(N, std::memory_order_relaxed); }
+  int64_t value() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> Value{0};
+};
+
+/// Base-2 exponential histogram: bucket B counts observations V with
+/// 2^(B-1) <= V < 2^B (bucket 0 counts V <= 0 and V == 1 lands in bucket
+/// 1). 63 buckets cover the full non-negative int64 range.
+class Histogram {
+public:
+  static constexpr int NumBuckets = 63;
+
+  void observe(int64_t V);
+  int64_t count() const { return Count.load(std::memory_order_relaxed); }
+  int64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  /// Min/max of observed values; 0/0 when empty.
+  int64_t min() const;
+  int64_t max() const;
+  int64_t bucketCount(int B) const {
+    return Buckets[static_cast<size_t>(B)].load(std::memory_order_relaxed);
+  }
+
+  /// Fold \p Other's observations into this histogram (exact for buckets,
+  /// count, sum, min, max).
+  void mergeFrom(const Histogram &Other);
+
+private:
+  std::atomic<int64_t> Buckets[NumBuckets] = {};
+  std::atomic<int64_t> Count{0};
+  std::atomic<int64_t> Sum{0};
+  std::atomic<int64_t> Min{INT64_MAX};
+  std::atomic<int64_t> Max{INT64_MIN};
+};
+
+class MetricsRegistry {
+public:
+  /// The process-wide registry (long-running accumulation; per-run
+  /// registries are plain local instances).
+  static MetricsRegistry &global();
+
+  /// Find-or-create by name. References stay valid until clear(). A name
+  /// registered as one kind must not be requested as another (asserted).
+  Counter &counter(std::string_view Name);
+  Gauge &gauge(std::string_view Name);
+  Histogram &histogram(std::string_view Name);
+
+  /// Snapshot reads for tests and stats adapters; 0 when absent.
+  int64_t counterValue(std::string_view Name) const;
+  int64_t gaugeValue(std::string_view Name) const;
+
+  /// Fold every instrument of \p Other into this registry: counters add,
+  /// gauges overwrite, histograms merge bucket-wise.
+  void merge(const MetricsRegistry &Other);
+
+  /// Drop all instruments (invalidates outstanding references; test-only).
+  void clear();
+
+  bool empty() const;
+
+  /// One line per instrument, lexicographic by name:
+  ///   <name> counter <value>
+  ///   <name> gauge <value>
+  ///   <name> histogram count=<n> sum=<s> min=<m> max=<M>
+  void renderText(std::ostream &OS) const;
+
+  /// {"metrics": {"<name>": {"type": ..., ...}, ...}} with keys in the
+  /// same stable order as renderText.
+  void renderJSON(std::ostream &OS) const;
+
+private:
+  struct Instrument {
+    enum Kind { K_Counter, K_Gauge, K_Histogram };
+    Kind K = K_Counter;
+    Counter C;
+    Gauge G;
+    std::unique_ptr<Histogram> H;
+  };
+
+  Instrument &get(std::string_view Name, Instrument::Kind Kind);
+  const Instrument *find(std::string_view Name) const;
+
+  mutable std::mutex Mutex;
+  /// std::map: node stability keeps instrument references valid across
+  /// inserts, heterogeneous lookup avoids allocating on the hot path, and
+  /// iteration order is the stable render order for free.
+  std::map<std::string, Instrument, std::less<>> Instruments;
+};
+
+} // namespace npral
+
+#endif // NPRAL_TRACE_METRICSREGISTRY_H

@@ -1,0 +1,452 @@
+//===- TraceValidator.cpp -------------------------------------------------===//
+
+#include "trace/TraceValidator.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+using namespace npral;
+
+namespace {
+
+/// Minimal strict JSON reader specialized for trace documents: objects,
+/// arrays, strings, and numbers (the only value kinds TraceEngine emits,
+/// plus literals so foreign traces still parse). Fails fast with a
+/// position-annotated message.
+class TraceJSONReader {
+public:
+  explicit TraceJSONReader(std::string_view Text) : Text(Text) {}
+
+  ErrorOr<std::vector<ParsedTraceEvent>> run() {
+    skipWS();
+    std::vector<ParsedTraceEvent> Events;
+    if (peek() == '[') {
+      // Chrome also accepts a bare top-level event array.
+      if (Status S = parseEventArray(Events); !S.ok())
+        return S;
+    } else {
+      if (Status S = parseTopObject(Events); !S.ok())
+        return S;
+    }
+    skipWS();
+    if (Pos != Text.size())
+      return fail("trailing garbage after document");
+    return Events;
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+  bool SawTraceEvents = false;
+
+  char peek() const { return Pos < Text.size() ? Text[Pos] : '\0'; }
+
+  void skipWS() {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                 Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  Status fail(const std::string &Msg) const {
+    return Status::error("trace JSON: " + Msg + " at offset " +
+                         std::to_string(Pos));
+  }
+
+  Status expect(char C) {
+    skipWS();
+    if (peek() != C)
+      return fail(std::string("expected '") + C + "'");
+    ++Pos;
+    return Status::success();
+  }
+
+  Status parseString(std::string &Out) {
+    skipWS();
+    if (peek() != '"')
+      return fail("expected string");
+    ++Pos;
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C == '\\') {
+        if (Pos >= Text.size())
+          return fail("unterminated escape");
+        char E = Text[Pos++];
+        switch (E) {
+        case '"': Out += '"'; break;
+        case '\\': Out += '\\'; break;
+        case '/': Out += '/'; break;
+        case 'n': Out += '\n'; break;
+        case 't': Out += '\t'; break;
+        case 'r': Out += '\r'; break;
+        case 'b': Out += '\b'; break;
+        case 'f': Out += '\f'; break;
+        case 'u': {
+          if (Pos + 4 > Text.size())
+            return fail("truncated \\u escape");
+          unsigned V = 0;
+          for (int I = 0; I < 4; ++I) {
+            char H = Text[Pos++];
+            V <<= 4;
+            if (H >= '0' && H <= '9')
+              V |= static_cast<unsigned>(H - '0');
+            else if (H >= 'a' && H <= 'f')
+              V |= static_cast<unsigned>(H - 'a' + 10);
+            else if (H >= 'A' && H <= 'F')
+              V |= static_cast<unsigned>(H - 'A' + 10);
+            else
+              return fail("bad \\u escape digit");
+          }
+          // TraceEngine only emits \u00xx for control bytes; encode the
+          // low byte and reject anything that would need real UTF-16.
+          if (V > 0xFF)
+            return fail("unsupported \\u escape beyond U+00FF");
+          Out += static_cast<char>(V);
+          break;
+        }
+        default:
+          return fail("bad escape character");
+        }
+      } else if (static_cast<unsigned char>(C) < 0x20) {
+        return fail("raw control character in string");
+      } else {
+        Out += C;
+      }
+    }
+    if (peek() != '"')
+      return fail("unterminated string");
+    ++Pos;
+    return Status::success();
+  }
+
+  Status parseNumber(double &Out, std::string &Raw) {
+    skipWS();
+    size_t Start = Pos;
+    if (peek() == '-')
+      ++Pos;
+    if (!std::isdigit(static_cast<unsigned char>(peek())))
+      return fail("expected number");
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      ++Pos;
+    if (peek() == '.') {
+      ++Pos;
+      if (!std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("bad number: digit required after '.'");
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++Pos;
+      if (peek() == '+' || peek() == '-')
+        ++Pos;
+      if (!std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("bad number: digit required in exponent");
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    Raw = std::string(Text.substr(Start, Pos - Start));
+    Out = std::stod(Raw);
+    return Status::success();
+  }
+
+  /// Parse any value, returning a canonical text form: strings decoded,
+  /// numbers verbatim, literals verbatim, nested containers re-serialized
+  /// compactly. Used for event args and skipped fields.
+  Status parseValueText(std::string &Out) {
+    skipWS();
+    char C = peek();
+    if (C == '"')
+      return parseString(Out);
+    if (C == '{' || C == '[') {
+      char Close = C == '{' ? '}' : ']';
+      Out += C;
+      ++Pos;
+      skipWS();
+      bool First = true;
+      while (peek() != Close) {
+        if (!First) {
+          if (Status S = expect(','); !S.ok())
+            return S;
+        }
+        First = false;
+        if (C == '{') {
+          std::string Key;
+          if (Status S = parseString(Key); !S.ok())
+            return S;
+          if (Status S = expect(':'); !S.ok())
+            return S;
+          Out += '"' + Key + "\":";
+        }
+        std::string Val;
+        if (Status S = parseValueText(Val); !S.ok())
+          return S;
+        Out += Val;
+        skipWS();
+        if (peek() == ',')
+          Out += ',';
+      }
+      ++Pos;
+      Out += Close;
+      return Status::success();
+    }
+    if (Text.compare(Pos, 4, "true") == 0) {
+      Pos += 4;
+      Out = "true";
+      return Status::success();
+    }
+    if (Text.compare(Pos, 5, "false") == 0) {
+      Pos += 5;
+      Out = "false";
+      return Status::success();
+    }
+    if (Text.compare(Pos, 4, "null") == 0) {
+      Pos += 4;
+      Out = "null";
+      return Status::success();
+    }
+    double D;
+    return parseNumber(D, Out);
+  }
+
+  Status parseTopObject(std::vector<ParsedTraceEvent> &Events) {
+    if (Status S = expect('{'); !S.ok())
+      return S;
+    skipWS();
+    bool First = true;
+    while (peek() != '}') {
+      if (!First) {
+        if (Status S = expect(','); !S.ok())
+          return S;
+      }
+      First = false;
+      std::string Key;
+      if (Status S = parseString(Key); !S.ok())
+        return S;
+      if (Status S = expect(':'); !S.ok())
+        return S;
+      if (Key == "traceEvents") {
+        if (SawTraceEvents)
+          return fail("duplicate traceEvents key");
+        SawTraceEvents = true;
+        if (Status S = parseEventArray(Events); !S.ok())
+          return S;
+      } else {
+        std::string Skip;
+        if (Status S = parseValueText(Skip); !S.ok())
+          return S;
+      }
+      skipWS();
+    }
+    ++Pos;
+    if (!SawTraceEvents)
+      return fail("missing traceEvents array");
+    return Status::success();
+  }
+
+  Status parseEventArray(std::vector<ParsedTraceEvent> &Events) {
+    if (Status S = expect('['); !S.ok())
+      return S;
+    skipWS();
+    bool First = true;
+    while (peek() != ']') {
+      if (!First) {
+        if (Status S = expect(','); !S.ok())
+          return S;
+      }
+      First = false;
+      ParsedTraceEvent E;
+      if (Status S = parseEvent(E); !S.ok())
+        return S;
+      Events.push_back(std::move(E));
+      skipWS();
+    }
+    ++Pos;
+    return Status::success();
+  }
+
+  Status parseEvent(ParsedTraceEvent &E) {
+    if (Status S = expect('{'); !S.ok())
+      return S;
+    skipWS();
+    bool First = true;
+    bool HavePh = false, HaveName = false, HaveTs = false, HavePid = false,
+         HaveTid = false;
+    while (peek() != '}') {
+      if (!First) {
+        if (Status S = expect(','); !S.ok())
+          return S;
+      }
+      First = false;
+      std::string Key;
+      if (Status S = parseString(Key); !S.ok())
+        return S;
+      if (Status S = expect(':'); !S.ok())
+        return S;
+      if (Key == "ph") {
+        std::string V;
+        if (Status S = parseString(V); !S.ok())
+          return S;
+        if (V.size() != 1)
+          return fail("ph must be a single character");
+        E.Ph = V[0];
+        HavePh = true;
+      } else if (Key == "name") {
+        if (Status S = parseString(E.Name); !S.ok())
+          return S;
+        HaveName = true;
+      } else if (Key == "cat") {
+        if (Status S = parseString(E.Cat); !S.ok())
+          return S;
+      } else if (Key == "ts") {
+        std::string Raw;
+        if (Status S = parseNumber(E.Ts, Raw); !S.ok())
+          return S;
+        HaveTs = true;
+      } else if (Key == "pid" || Key == "tid" || Key == "dur") {
+        double V;
+        std::string Raw;
+        if (Status S = parseNumber(V, Raw); !S.ok())
+          return S;
+        if (Raw.find('.') != std::string::npos ||
+            Raw.find('e') != std::string::npos ||
+            Raw.find('E') != std::string::npos)
+          return fail(Key + " must be an integer");
+        if (Key == "pid") {
+          E.Pid = static_cast<int64_t>(V);
+          HavePid = true;
+        } else if (Key == "tid") {
+          E.Tid = static_cast<int64_t>(V);
+          HaveTid = true;
+        }
+      } else if (Key == "args") {
+        if (Status S = parseArgs(E.Args); !S.ok())
+          return S;
+      } else {
+        // "s" (instant scope) and any foreign field: parse, don't keep.
+        std::string Skip;
+        if (Status S = parseValueText(Skip); !S.ok())
+          return S;
+      }
+      skipWS();
+    }
+    ++Pos;
+    if (!HavePh)
+      return fail("event missing ph");
+    if (!HaveName)
+      return fail("event missing name");
+    if (!HaveTs)
+      return fail("event missing ts");
+    if (!HavePid || !HaveTid)
+      return fail("event missing pid/tid");
+    return Status::success();
+  }
+
+  Status parseArgs(std::vector<std::pair<std::string, std::string>> &Args) {
+    if (Status S = expect('{'); !S.ok())
+      return S;
+    skipWS();
+    bool First = true;
+    while (peek() != '}') {
+      if (!First) {
+        if (Status S = expect(','); !S.ok())
+          return S;
+      }
+      First = false;
+      std::string Key, Val;
+      if (Status S = parseString(Key); !S.ok())
+        return S;
+      if (Status S = expect(':'); !S.ok())
+        return S;
+      if (Status S = parseValueText(Val); !S.ok())
+        return S;
+      Args.emplace_back(std::move(Key), std::move(Val));
+      skipWS();
+    }
+    ++Pos;
+    return Status::success();
+  }
+};
+
+Status checkSemantics(const std::vector<ParsedTraceEvent> &Events) {
+  // Per-(pid, tid) track state: open B names (for balance + nesting) and
+  // the previous timestamp (for monotonicity).
+  struct Track {
+    std::vector<std::string> OpenSpans;
+    double LastTs = -1;
+    bool HasLast = false;
+  };
+  std::map<std::pair<int64_t, int64_t>, Track> Tracks;
+
+  for (size_t I = 0; I < Events.size(); ++I) {
+    const ParsedTraceEvent &E = Events[I];
+    const std::string Where = "event " + std::to_string(I) + " ('" + E.Name +
+                              "' on tid " + std::to_string(E.Tid) + ")";
+    if (E.Ph != 'B' && E.Ph != 'E' && E.Ph != 'X' && E.Ph != 'i')
+      return Status::error(Where + ": invalid phase '" +
+                           std::string(1, E.Ph) + "'");
+    Track &T = Tracks[{E.Pid, E.Tid}];
+    // X events sort by start time within nesting; only B/E/i must be
+    // non-decreasing along the track.
+    if (E.Ph != 'X') {
+      if (T.HasLast && E.Ts < T.LastTs)
+        return Status::error(Where + ": ts goes backwards on its track");
+      T.LastTs = E.Ts;
+      T.HasLast = true;
+    }
+    if (E.Ph == 'B') {
+      T.OpenSpans.push_back(E.Name);
+    } else if (E.Ph == 'E') {
+      if (T.OpenSpans.empty())
+        return Status::error(Where + ": end event with no open span");
+      if (T.OpenSpans.back() != E.Name)
+        return Status::error(Where + ": end event name mismatch (open span '" +
+                             T.OpenSpans.back() + "')");
+      T.OpenSpans.pop_back();
+    }
+  }
+  for (const auto &[Id, T] : Tracks)
+    if (!T.OpenSpans.empty())
+      return Status::error("unbalanced trace: span '" + T.OpenSpans.back() +
+                           "' on tid " + std::to_string(Id.second) +
+                           " never ends");
+  return Status::success();
+}
+
+} // namespace
+
+std::string ParsedTraceEvent::contentKey() const {
+  std::string Key;
+  Key += Ph;
+  Key += '|';
+  Key += Cat;
+  Key += '|';
+  Key += Name;
+  std::vector<std::pair<std::string, std::string>> Sorted = Args;
+  std::sort(Sorted.begin(), Sorted.end());
+  for (const auto &[K, V] : Sorted) {
+    Key += '|';
+    Key += K;
+    Key += '=';
+    Key += V;
+  }
+  return Key;
+}
+
+ErrorOr<std::vector<ParsedTraceEvent>>
+npral::parseChromeTrace(std::string_view JSON) {
+  TraceJSONReader Reader(JSON);
+  ErrorOr<std::vector<ParsedTraceEvent>> Events = Reader.run();
+  if (!Events.ok())
+    return Events;
+  if (Status S = checkSemantics(*Events); !S.ok())
+    return S;
+  return Events;
+}
+
+Status npral::validateChromeTrace(std::string_view JSON) {
+  ErrorOr<std::vector<ParsedTraceEvent>> Events = parseChromeTrace(JSON);
+  return Events.ok() ? Status::success() : Events.status();
+}

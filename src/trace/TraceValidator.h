@@ -1,0 +1,63 @@
+//===- TraceValidator.h - Strict Chrome trace-event parsing -----*- C++ -*-===//
+///
+/// \file
+/// A strict parser/validator for the Chrome trace-event JSON the
+/// TraceEngine exports. "Strict" means structural JSON errors, unknown
+/// phases, unbalanced begin/end pairs, and time going backwards on a track
+/// are all hard failures — the CI job and the round-trip tests run every
+/// emitted trace through this before calling it valid.
+///
+/// Checked invariants:
+///  * the document is one JSON object whose "traceEvents" is an array of
+///    event objects (a top-level bare array is also accepted — Chrome
+///    reads both);
+///  * every event has string "ph"/"name", and numeric "ts"/"pid"/"tid";
+///  * every "ph" is one of B, E, X, i;
+///  * B/E events nest and balance per (pid, tid) track, with matching
+///    names;
+///  * "ts" is non-decreasing along each track ("X" events are placed by
+///    start time and exempt, matching Chrome's sorting behavior).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_TRACE_TRACEVALIDATOR_H
+#define NPRAL_TRACE_TRACEVALIDATOR_H
+
+#include "support/Diagnostics.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace npral {
+
+/// One parsed trace event; Args values hold the literal JSON token text
+/// (quotes stripped for strings) so comparisons are exact.
+struct ParsedTraceEvent {
+  char Ph = '?';
+  std::string Name;
+  std::string Cat;
+  /// Microseconds, as written (fractional allowed).
+  double Ts = 0;
+  int64_t Pid = 0;
+  int64_t Tid = 0;
+  std::vector<std::pair<std::string, std::string>> Args;
+
+  /// Scheduling-independent identity: everything except ts/pid/tid, with
+  /// args order-normalized. The determinism test compares multisets of
+  /// these keys across worker counts.
+  std::string contentKey() const;
+};
+
+/// Parse and validate \p JSON; returns the events in document order or the
+/// first violation.
+ErrorOr<std::vector<ParsedTraceEvent>> parseChromeTrace(std::string_view JSON);
+
+/// Validation without the events.
+Status validateChromeTrace(std::string_view JSON);
+
+} // namespace npral
+
+#endif // NPRAL_TRACE_TRACEVALIDATOR_H

@@ -449,3 +449,113 @@ main:
   // Thread r stored p0's content (0x42 written by thread w) at 0x42+4.
   EXPECT_EQ(Sim.readMemoryWord(0x46), 0x42u);
 }
+
+TEST(SimulatorTest, CycleBreakdownSumsToTotalSingleThread) {
+  Program P = parseOrDie(R"(
+.thread solo
+main:
+    imm  a, 0x100
+    load b, [a+0]
+    store [a+1], b
+    halt
+)");
+  MultiThreadProgram MTP = singleThread(P);
+  SimConfig Config;
+  Config.MemLatency = 25;
+  Simulator Sim(MTP, Config);
+  SimResult R = Sim.run();
+  ASSERT_TRUE(R.Completed) << R.FailReason;
+  ASSERT_EQ(R.Threads.size(), 1u);
+  const ThreadStats &TS = R.Threads[0];
+  EXPECT_EQ(TS.accountedCycles(), R.TotalCycles);
+  // Alone on the engine: no switch penalties, no waiting for the CPU.
+  EXPECT_EQ(TS.SwitchPenaltyCycles, 0);
+  EXPECT_EQ(TS.ReadyWaitCycles, 0);
+  EXPECT_EQ(TS.ChannelWaitCycles, 0);
+  // Two memory ops of latency 25 each, minus the cycles the thread would
+  // have been charged anyway — the stall bucket must dominate.
+  EXPECT_GE(TS.MemStallCycles, 2 * (25 - 1));
+  EXPECT_GT(TS.RunCycles, 0);
+}
+
+TEST(SimulatorTest, CycleBreakdownSumsToTotalMultiThread) {
+  // Memory-heavy + ALU thread: every cycle of the run lands in exactly one
+  // bucket of each thread, and the buckets tell the hiding story — the ALU
+  // thread runs while the memory thread stalls.
+  ErrorOr<MultiThreadProgram> MTP = parseAssembly(R"(
+.thread mem
+main:
+    imm  a, 0x100
+    imm  n, 8
+loop:
+    load b, [a+0]
+    subi n, n, 1
+    bnz  n, loop
+    halt
+
+.thread alu
+main:
+    imm  x, 0
+    imm  n, 120
+loop:
+    addi x, x, 1
+    subi n, n, 1
+    bnz  n, loop
+    halt
+)");
+  ASSERT_TRUE(MTP.ok()) << MTP.status().str();
+  SimConfig Config;
+  Config.MemLatency = 40;
+  Simulator Sim(*MTP, Config);
+  SimResult R = Sim.run();
+  ASSERT_TRUE(R.Completed) << R.FailReason;
+  ASSERT_EQ(R.Threads.size(), 2u);
+  for (const ThreadStats &TS : R.Threads) {
+    EXPECT_EQ(TS.accountedCycles(), R.TotalCycles);
+    EXPECT_GE(TS.RunCycles, 0);
+    EXPECT_GE(TS.SwitchPenaltyCycles, 0);
+    EXPECT_GE(TS.MemStallCycles, 0);
+    EXPECT_GE(TS.ChannelWaitCycles, 0);
+    EXPECT_GE(TS.ReadyWaitCycles, 0);
+    EXPECT_GE(TS.HaltedCycles, 0);
+  }
+  const ThreadStats &Mem = R.Threads[0];
+  const ThreadStats &Alu = R.Threads[1];
+  EXPECT_GT(Mem.MemStallCycles, 0);
+  EXPECT_GT(Alu.RunCycles, 0);
+  // At most one thread occupies the CPU at a time, so run + penalty
+  // cycles across threads can never exceed the wall clock.
+  EXPECT_LE(Mem.RunCycles + Mem.SwitchPenaltyCycles + Alu.RunCycles +
+                Alu.SwitchPenaltyCycles,
+            R.TotalCycles);
+}
+
+TEST(SimulatorTest, CycleBreakdownCoversCtxAndHalt) {
+  // Thread a halts quickly and then accrues HaltedCycles while b keeps
+  // yielding through ctx instructions.
+  ErrorOr<MultiThreadProgram> MTP = parseAssembly(R"(
+.thread a
+main:
+    imm  x, 1
+    halt
+
+.thread b
+main:
+    imm  n, 6
+loop:
+    ctx
+    subi n, n, 1
+    bnz  n, loop
+    halt
+)");
+  ASSERT_TRUE(MTP.ok()) << MTP.status().str();
+  Simulator Sim(*MTP, SimConfig());
+  SimResult R = Sim.run();
+  ASSERT_TRUE(R.Completed) << R.FailReason;
+  ASSERT_EQ(R.Threads.size(), 2u);
+  EXPECT_EQ(R.Threads[0].accountedCycles(), R.TotalCycles);
+  EXPECT_EQ(R.Threads[1].accountedCycles(), R.TotalCycles);
+  EXPECT_GT(R.Threads[0].HaltedCycles, 0)
+      << "thread a halted first and must be billed halted cycles";
+  EXPECT_GT(R.Threads[1].RunCycles, R.Threads[0].RunCycles);
+}

@@ -23,9 +23,17 @@
 //                            [-nreg N] [--profile f] [--pgo-static]
 //                                      allocate and verify many programs
 //                                      across a thread pool
+//   npralc trace-validate t.json       strictly parse and validate a Chrome
+//                                      trace-event JSON file
 //
 // `alloc` and `batch` accept --profile <f.npprof> (collected by `profile`)
 // or --pgo-static to weight move costs by block execution frequency.
+// `alloc --explain` prints the allocator's decision log: one record per
+// Fig. 8 reduction step with every thread's move-cost bid.
+//
+// Every subcommand accepts --trace-out <f.json> (record spans and events
+// while the command runs, write Chrome trace-event JSON on exit) and
+// --metrics (dump the global metrics registry to stderr on exit).
 //
 // Threads may declare entry-live registers; `run` seeds them with zero (use
 // the C++ API for richer setups — see examples/).
@@ -51,6 +59,10 @@
 #include "support/StringUtils.h"
 #include "support/TableFormatter.h"
 #include "support/ThreadPool.h"
+#include "trace/DecisionLog.h"
+#include "trace/MetricsRegistry.h"
+#include "trace/TraceEngine.h"
+#include "trace/TraceValidator.h"
 
 #include <fstream>
 #include <iostream>
@@ -71,10 +83,15 @@ int usage() {
          "  analyze  file.s\n"
          "      per-thread analysis (live ranges, NSRs, pressure) and the\n"
          "      MinR/MinPR/MaxR/MaxPR register bounds; no options\n"
-         "  alloc    file.s [-nreg N] [--profile f] [--pgo-static]\n"
+         "  alloc    file.s [-nreg N] [--explain] [--profile f]\n"
+         "           [--pgo-static]\n"
          "      run the inter-thread allocator and print the physical\n"
          "      assembly plus the per-thread PR/SR split\n"
          "        -nreg N       register file size (default 128)\n"
+         "        --explain     print the allocation decision log: one\n"
+         "                      record per reduction step with every\n"
+         "                      thread's move-cost bid, plus rebalance\n"
+         "                      and intra-thread events\n"
          "        --profile f   weight move costs by the execution counts\n"
          "                      in f (a .npprof from `npralc profile`);\n"
          "                      threads are matched by position and must\n"
@@ -121,6 +138,18 @@ int usage() {
          "                      whose code hash matches (profile as a\n"
          "                      database; unmatched threads stay unit)\n"
          "        --pgo-static  10^loop-depth weights for unmatched threads\n"
+         "  trace-validate file.json\n"
+         "      strictly parse and validate a Chrome trace-event JSON\n"
+         "      file (phases, per-track span balance, timestamp order)\n"
+         "\n"
+         "global options (accepted by every subcommand):\n"
+         "  --trace-out f.json  record spans and instant events while the\n"
+         "                      command runs; write Chrome trace-event\n"
+         "                      JSON on exit (open in Perfetto or\n"
+         "                      chrome://tracing)\n"
+         "  --metrics           dump the metrics registry to stderr on\n"
+         "                      exit (one line per instrument)\n"
+         "\n"
          "      checkers:\n";
   for (const CheckerInfo &C : getCheckerRegistry())
     std::cerr << "        " << C.Name << ": " << C.Description << "\n";
@@ -184,7 +213,7 @@ std::optional<ExecutionProfile> loadProfile(const std::string &Path) {
 }
 
 int cmdAlloc(const MultiThreadProgram &MTP, int Nreg, bool Print,
-             const ExecutionProfile *Prof, bool StaticPGO) {
+             const ExecutionProfile *Prof, bool StaticPGO, bool Explain) {
   // Resolve per-thread cost models. A collected profile matches threads by
   // position and must hash to the code it was collected on — silently
   // applying stale counts would skew every weighted decision.
@@ -211,7 +240,13 @@ int cmdAlloc(const MultiThreadProgram &MTP, int Nreg, bool Print,
       Models.push_back(estimateCostModel(P));
   }
 
-  InterThreadResult R = allocateInterThread(MTP, Nreg, {}, Models);
+  AllocationDecisionLog Log;
+  InterThreadResult R =
+      allocateInterThread(MTP, Nreg, {}, Models, Explain ? &Log : nullptr);
+  if (Explain) {
+    Log.renderExplain(std::cout);
+    std::cout << "\n";
+  }
   if (!R.Success) {
     std::cerr << "allocation failed: " << R.FailReason << "\n";
     return 1;
@@ -485,12 +520,36 @@ int cmdBatch(const std::vector<std::string> &Files, int Jobs, bool UseCache,
   return Batch.allSucceeded() ? 0 : 1;
 }
 
-} // namespace
+int cmdTraceValidate(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::cerr << "error: cannot open '" << Path << "'\n";
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  const std::string Text = Buf.str();
+  ErrorOr<std::vector<ParsedTraceEvent>> Events = parseChromeTrace(Text);
+  if (!Events.ok()) {
+    std::cerr << Path << ": " << Events.status().str() << "\n";
+    return 1;
+  }
+  if (Status S = validateChromeTrace(Text); !S.ok()) {
+    std::cerr << Path << ": " << S.str() << "\n";
+    return 1;
+  }
+  std::cout << Path << ": valid chrome trace, " << Events->size()
+            << " events\n";
+  return 0;
+}
 
-int main(int argc, char **argv) {
+int dispatch(int argc, char **argv) {
   if (argc < 3)
     return usage();
   std::string Cmd = argv[1];
+
+  if (Cmd == "trace-validate")
+    return cmdTraceValidate(argv[2]);
 
   if (Cmd == "batch") {
     std::vector<std::string> Files;
@@ -529,11 +588,16 @@ int main(int argc, char **argv) {
   std::string Path = argv[2];
   int Nreg = 128, RegsPerThread = 32, Iters = 10, MemLat = 40, Nthd = 4;
   bool Json = false, AfterAlloc = false, Physical = false, StaticPGO = false;
+  bool Explain = false;
   std::string Only, ProfilePath, OutPath;
   for (int I = 3; I < argc; ++I) {
     std::string Opt = argv[I];
     if (Opt == "--json") {
       Json = true;
+      continue;
+    }
+    if (Opt == "--explain") {
+      Explain = true;
       continue;
     }
     if (Opt == "--after-alloc") {
@@ -589,8 +653,8 @@ int main(int argc, char **argv) {
       if (!Prof)
         return 1;
     }
-    return cmdAlloc(*MTP, Nreg, /*Print=*/true, Prof ? &*Prof : nullptr,
-                    StaticPGO);
+    return cmdAlloc(*MTP, Nreg, /*Print=*/!Explain, Prof ? &*Prof : nullptr,
+                    StaticPGO, Explain);
   }
   if (Cmd == "profile")
     return cmdProfile(*MTP, Iters, MemLat, OutPath);
@@ -603,4 +667,47 @@ int main(int argc, char **argv) {
   if (Cmd == "lint")
     return cmdLint(MTP.take(), Json, AfterAlloc, Physical, Only, Nreg);
   return usage();
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  // Strip the global observability flags before subcommand parsing so every
+  // subcommand accepts them without threading two extra options through
+  // each per-command argument loop.
+  std::string TraceOut;
+  bool Metrics = false;
+  std::vector<char *> Args;
+  Args.reserve(static_cast<size_t>(argc));
+  for (int I = 0; I < argc; ++I) {
+    std::string_view Opt = argv[I];
+    if (Opt == "--trace-out") {
+      if (I + 1 >= argc)
+        return usage();
+      TraceOut = argv[++I];
+    } else if (Opt == "--metrics") {
+      Metrics = true;
+    } else {
+      Args.push_back(argv[I]);
+    }
+  }
+  if (!TraceOut.empty())
+    TraceEngine::global().setEnabled(true);
+
+  int Ret = dispatch(static_cast<int>(Args.size()), Args.data());
+
+  if (!TraceOut.empty()) {
+    TraceEngine &TE = TraceEngine::global();
+    TE.setEnabled(false);
+    if (Status S = TE.writeFile(TraceOut); !S.ok()) {
+      std::cerr << "error: " << S.str() << "\n";
+      Ret = Ret ? Ret : 1;
+    } else {
+      std::cerr << "wrote " << TraceOut << " (" << TE.eventCount()
+                << " trace events)\n";
+    }
+  }
+  if (Metrics)
+    MetricsRegistry::global().renderText(std::cerr);
+  return Ret;
 }
