@@ -7,6 +7,7 @@
 #include "ir/IRVerifier.h"
 
 #include <algorithm>
+#include <map>
 
 using namespace npral;
 
@@ -14,6 +15,7 @@ namespace {
 
 constexpr const char *SafetyCheck = "alloc-safety";
 constexpr const char *RaceCheck = "cross-thread-race";
+constexpr const char *AbsOverlapCheck = "cross-thread-abs-overlap";
 
 /// First position in \p P that references \p R, as (block, instr); returns
 /// false when R is only entry-live (or not referenced at all).
@@ -166,6 +168,49 @@ void npral::collectAllocationSafety(const MultiThreadProgram &Physical,
         }
       });
     }
+  }
+
+  // Absolute-address disjointness: a word some thread *writes* with
+  // `storea` (spill slots after graceful degradation) must not be touched
+  // by any other thread. Loads alone never clash — two threads reading a
+  // shared constant table is fine. Warning severity: workloads may
+  // communicate through memory on purpose, but a spilled allocation must
+  // never trip this (the spill fallback hands each thread a disjoint
+  // scratch window).
+  {
+    std::map<int64_t, std::vector<int>> Writers, Toucher;
+    for (int T = 0; T < Nthd; ++T) {
+      if (!ThreadOk[static_cast<size_t>(T)])
+        continue;
+      const Program &P = Physical.Threads[static_cast<size_t>(T)];
+      for (const BasicBlock &BB : P.Blocks)
+        for (const Instruction &I : BB.Instrs) {
+          if (I.Op == Opcode::StoreA) {
+            auto &W = Writers[I.Imm];
+            if (W.empty() || W.back() != T)
+              W.push_back(T);
+          }
+          if (I.Op == Opcode::StoreA || I.Op == Opcode::LoadA) {
+            auto &U = Toucher[I.Imm];
+            if (U.empty() || U.back() != T)
+              U.push_back(T);
+          }
+        }
+    }
+    for (const auto &KV : Writers)
+      for (int Writer : KV.second)
+        for (int Other : Toucher[KV.first]) {
+          if (Other == Writer)
+            continue;
+          Diagnostic &D = Engine.report(
+              Severity::Warning, AbsOverlapCheck,
+              "absolute address " + std::to_string(KV.first) +
+                  " is written by thread '" +
+                  Physical.Threads[static_cast<size_t>(Writer)].Name +
+                  "' and accessed by thread '" +
+                  Physical.Threads[static_cast<size_t>(Other)].Name + "'");
+          D.Thread = Physical.Threads[static_cast<size_t>(Writer)].Name;
+        }
   }
 
   if (Stats) {

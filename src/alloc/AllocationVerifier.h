@@ -11,7 +11,12 @@
 ///     is referenced by thread i alone (private);
 ///  2. within each thread the program is structurally valid and never
 ///     reads an undefined register;
-///  3. (reported, not enforced) the partition statistics: private count
+///  3. an absolute memory word written by one thread (a spill slot after
+///     graceful degradation) and touched by another is reported as a
+///     warning under check "cross-thread-abs-overlap" — spill scratch must
+///     be thread-private, while deliberate shared-memory communication in
+///     hand-written workloads stays a reviewable warning, not an error;
+///  4. (reported, not enforced) the partition statistics: private count
 ///     per thread, shared count.
 ///
 //===----------------------------------------------------------------------===//

@@ -101,10 +101,23 @@ private:
   };
   std::vector<EdgeFix> EdgeFixes;
 
+  /// Set when any stage fails; run() and processBlock() bail out promptly.
+  bool Aborted = false;
+
   void fail(const std::string &Reason) {
     Result.Feasible = false;
     Result.FailReason = Reason;
+    Aborted = true;
   }
+
+  // Failure-site audit: this allocator trusts its (P, TA, PR, SR) contract,
+  // but two classes of violation are reachable from *input* when a caller
+  // skips the structural checkers (verifyProgram / checkNoUseOfUndef) —
+  // reading a register that was never defined, and liveness that exceeds
+  // the guarded bounds because TA was computed for a different program.
+  // Those sites fail() gracefully below. The remaining asserts (ColorMap
+  // bind/swap discipline, the xor-swap victim search) are pure internal
+  // invariants of the coloring algorithm and stay asserts.
 
   /// Preferred band scan for a node class.
   int chooseColor(const ColorMap &CM, Reg V) const {
@@ -161,18 +174,26 @@ ColorAllocation FragmentAllocatorImpl::run() {
       if (!LiveIn.test(V) || Entry[static_cast<size_t>(V)] >= 0)
         continue;
       int C = chooseColor(CM, V);
-      assert(C >= 0 && "entry pressure exceeds R");
+      if (C < 0) {
+        fail("entry pressure exceeds R");
+        return Result;
+      }
       CM.bind(V, C);
       Entry[static_cast<size_t>(V)] = C;
     }
     LiveIn.forEach([&](int V) {
-      if (Entry[static_cast<size_t>(V)] >= 0)
+      if (Aborted || Entry[static_cast<size_t>(V)] >= 0)
         return;
       int C = chooseColor(CM, V);
-      assert(C >= 0 && "entry pressure exceeds R");
+      if (C < 0) {
+        fail("entry pressure exceeds R");
+        return;
+      }
       CM.bind(V, C);
       Entry[static_cast<size_t>(V)] = C;
     });
+    if (Aborted)
+      return Result;
     for (Reg V : P.EntryLiveRegs) {
       int C = Entry[static_cast<size_t>(V)];
       // An entry-live register that is dead on arrival still needs a slot
@@ -184,8 +205,11 @@ ColorAllocation FragmentAllocatorImpl::run() {
     }
   }
 
-  for (int B : P.computeRPO())
+  for (int B : P.computeRPO()) {
     processBlock(B, Out);
+    if (Aborted)
+      return Result;
+  }
   reconcileEdges(Out);
 
   Result.ColorProgram = std::move(Out);
@@ -205,11 +229,18 @@ void FragmentAllocatorImpl::processBlock(int B, Program &Out) {
     Entry.assign(static_cast<size_t>(P.NumRegs), -1);
     ColorMap CM(P.NumRegs, R);
     TA.Liveness.blockLiveIn(B).forEach([&](int V) {
+      if (Aborted)
+        return;
       int C = chooseColor(CM, V);
-      assert(C >= 0 && "live-in pressure exceeds R");
+      if (C < 0) {
+        fail("live-in pressure exceeds R in block '" + P.block(B).Name + "'");
+        return;
+      }
       CM.bind(V, C);
       Entry[static_cast<size_t>(V)] = C;
     });
+    if (Aborted)
+      return;
   }
 
   ColorMap CM(P.NumRegs, R);
@@ -234,9 +265,12 @@ void FragmentAllocatorImpl::processBlock(int B, Program &Out) {
       BitVector Crossing = TA.Liveness.instrLiveOut(B, I);
       if (Inst.Def != NoReg)
         Crossing.reset(Inst.Def);
-      assert(Crossing.count() <= PR && "crossing set exceeds PR");
+      if (Crossing.count() > PR) {
+        fail("crossing set exceeds PR at CSB in block '" + BB.Name + "'");
+        return;
+      }
       Crossing.forEach([&](int V) {
-        if (CM.colorOf(V) < PR)
+        if (Aborted || CM.colorOf(V) < PR)
           return;
         int Free = CM.findFree(0, PR);
         if (Free >= 0) {
@@ -266,14 +300,24 @@ void FragmentAllocatorImpl::processBlock(int B, Program &Out) {
       });
     }
 
-    // Emit the instruction over colors.
+    // Emit the instruction over colors. An unbound use means the register
+    // was never defined on this path — a checkNoUseOfUndef violation the
+    // caller skipped; fail instead of colouring garbage.
     Instruction NewInst = Inst;
     if (Inst.Use1 != NoReg) {
-      assert(CM.colorOf(Inst.Use1) >= 0 && "use of unbound register");
+      if (CM.colorOf(Inst.Use1) < 0) {
+        fail("use of undefined register '" + P.getRegName(Inst.Use1) +
+             "' in block '" + BB.Name + "'");
+        return;
+      }
       NewInst.Use1 = CM.colorOf(Inst.Use1);
     }
     if (Inst.Use2 != NoReg) {
-      assert(CM.colorOf(Inst.Use2) >= 0 && "use of unbound register");
+      if (CM.colorOf(Inst.Use2) < 0) {
+        fail("use of undefined register '" + P.getRegName(Inst.Use2) +
+             "' in block '" + BB.Name + "'");
+        return;
+      }
       NewInst.Use2 = CM.colorOf(Inst.Use2);
     }
 
@@ -292,7 +336,11 @@ void FragmentAllocatorImpl::processBlock(int B, Program &Out) {
       // Redefinition: drop the old binding first.
       CM.release(Inst.Def);
       int C = chooseColor(CM, Inst.Def);
-      assert(C >= 0 && "pressure exceeds R at definition");
+      if (C < 0) {
+        fail("pressure exceeds R at definition of '" +
+             P.getRegName(Inst.Def) + "' in block '" + BB.Name + "'");
+        return;
+      }
       NewInst.Def = C;
       if (LiveOut.test(Inst.Def))
         CM.bind(Inst.Def, C);
@@ -306,9 +354,18 @@ void FragmentAllocatorImpl::processBlock(int B, Program &Out) {
     if (SuccEntry.empty()) {
       SuccEntry.assign(static_cast<size_t>(P.NumRegs), -1);
       TA.Liveness.blockLiveIn(S).forEach([&](int V) {
-        assert(CM.colorOf(V) >= 0 && "successor live-in unbound");
+        if (Aborted)
+          return;
+        if (CM.colorOf(V) < 0) {
+          fail("register '" + P.getRegName(V) + "' live into block '" +
+               P.block(S).Name + "' but undefined on the edge from '" +
+               BB.Name + "'");
+          return;
+        }
         SuccEntry[static_cast<size_t>(V)] = CM.colorOf(V);
       });
+      if (Aborted)
+        return;
       continue;
     }
     // Build the reconciling parallel copy.
@@ -317,14 +374,23 @@ void FragmentAllocatorImpl::processBlock(int B, Program &Out) {
     Fix.Succ = S;
     BitVector UsedHere(R);
     TA.Liveness.blockLiveIn(S).forEach([&](int V) {
+      if (Aborted)
+        return;
       int From = CM.colorOf(V);
       int To = SuccEntry[static_cast<size_t>(V)];
-      assert(From >= 0 && To >= 0 && "junction color missing");
+      if (From < 0 || To < 0) {
+        fail("register '" + P.getRegName(V) + "' live into block '" +
+             P.block(S).Name + "' but undefined on the edge from '" +
+             BB.Name + "'");
+        return;
+      }
       UsedHere.set(From);
       UsedHere.set(To);
       if (From != To)
         Fix.Copies.push_back({From, To});
     });
+    if (Aborted)
+      return;
     if (Fix.Copies.empty())
       continue;
     Fix.Scratch = -1;

@@ -143,14 +143,36 @@ InterThreadResult npral::allocateInterThread(
     const MultiThreadProgram &MTP, int Nreg,
     const std::vector<std::shared_ptr<const ThreadAnalysisBundle>> &Analyses,
     const std::vector<CostModel> &Models, AllocationDecisionLog *Log) {
+  return allocateInterThread(MTP, Nreg, Analyses, Models, Log,
+                             InterAllocLimits());
+}
+
+InterThreadResult npral::allocateInterThread(
+    const MultiThreadProgram &MTP, int Nreg,
+    const std::vector<std::shared_ptr<const ThreadAnalysisBundle>> &Analyses,
+    const std::vector<CostModel> &Models, AllocationDecisionLog *Log,
+    const InterAllocLimits &Limits) {
   NPRAL_TRACE_SPAN_ARGS("alloc", "allocateInterThread",
                         {"program", MTP.Name},
                         {"threads", std::to_string(MTP.getNumThreads())},
                         {"nreg", std::to_string(Nreg)});
   InterThreadResult Result;
   const int Nthd = MTP.getNumThreads();
+  auto cancelled = [&]() {
+    return Limits.Cancel && Limits.Cancel->load(std::memory_order_relaxed);
+  };
+  auto failCancelled = [&]() {
+    Result.FailReason = "allocation cancelled (deadline exceeded)";
+    Result.FailCode = StatusCode::DeadlineExceeded;
+    if (Log) {
+      Log->Success = false;
+      Log->FailReason = Result.FailReason;
+    }
+    return Result;
+  };
   if (Nthd == 0) {
     Result.FailReason = "no threads";
+    Result.FailCode = StatusCode::InvalidIR;
     if (Log) {
       Log->Success = false;
       Log->FailReason = Result.FailReason;
@@ -204,6 +226,8 @@ InterThreadResult npral::allocateInterThread(
   // Greedy reduction loop (Fig. 8 lines 5-16).
   int StepIndex = 0;
   while (requirement() > Nreg) {
+    if (cancelled())
+      return failCancelled();
     int BestKind = -1; // 0 = reduce PR of BestThread, 1 = reduce max SRs.
     int BestThread = -1;
     int64_t BestDelta = 0;
@@ -274,6 +298,7 @@ InterThreadResult npral::allocateInterThread(
         Result.FailReason =
             "register requirement cannot be reduced to fit Nreg=" +
             std::to_string(Nreg);
+        Result.FailCode = StatusCode::Infeasible;
         if (Log) {
           Log->Success = false;
           Log->FailReason = Result.FailReason;
@@ -330,6 +355,8 @@ InterThreadResult npral::allocateInterThread(
     if (!CM.isUnit())
       AnyWeighted = true;
   while (AnyWeighted) {
+    if (cancelled())
+      return failCancelled();
     const bool HaveSlack = requirement() < Nreg;
     int BestKind = -1; // 0 = raise PR, 1 = widen SRs, 2 = exchange PR.
     int BestUp = -1, BestDown = -1;

@@ -24,8 +24,10 @@
 
 #include "alloc/IntraAllocator.h"
 #include "ir/Program.h"
+#include "support/Status.h"
 #include "trace/DecisionLog.h"
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -46,10 +48,23 @@ struct ThreadAllocation {
   RegBounds Bounds;
 };
 
+/// External limits on one allocateInterThread call. All fields optional;
+/// the default imposes nothing.
+struct InterAllocLimits {
+  /// When non-null and set, the allocator abandons the run at the next loop
+  /// iteration and fails with StatusCode::DeadlineExceeded. The watchdog
+  /// of the batch pipeline flips this flag from another thread.
+  const std::atomic<bool> *Cancel = nullptr;
+};
+
 /// Outcome of the inter-thread allocator.
 struct InterThreadResult {
   bool Success = false;
   std::string FailReason;
+  /// Classification of the failure (Ok on success): Infeasible when no
+  /// configuration fits Nreg — the caller may degrade by spilling —
+  /// DeadlineExceeded when cancelled, InvalidIR for malformed input.
+  StatusCode FailCode = StatusCode::Ok;
   std::vector<ThreadAllocation> Threads;
   /// Number of globally shared registers (max SRᵢ).
   int SGR = 0;
@@ -99,6 +114,15 @@ InterThreadResult allocateInterThread(
     const MultiThreadProgram &MTP, int Nreg,
     const std::vector<std::shared_ptr<const ThreadAnalysisBundle>> &Analyses,
     const std::vector<CostModel> &Models, AllocationDecisionLog *Log);
+
+/// Cancellable variant: checks \p Limits.Cancel at every Fig. 8 iteration
+/// and every rebalance step, failing with StatusCode::DeadlineExceeded when
+/// it fires. Identical to the 5-argument overload under default limits.
+InterThreadResult allocateInterThread(
+    const MultiThreadProgram &MTP, int Nreg,
+    const std::vector<std::shared_ptr<const ThreadAnalysisBundle>> &Analyses,
+    const std::vector<CostModel> &Models, AllocationDecisionLog *Log,
+    const InterAllocLimits &Limits);
 
 /// Symmetric Register Allocation: all Nthd threads run \p P. Exhaustively
 /// sweeps (PR, SR) with Nthd*PR + SR <= Nreg, minimising total register use

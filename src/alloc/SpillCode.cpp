@@ -1,0 +1,106 @@
+//===- SpillCode.cpp ------------------------------------------------------===//
+
+#include "alloc/SpillCode.h"
+
+namespace npral {
+
+SpillRewrite insertSpillCode(Program &P, const std::vector<Reg> &Victims,
+                             const std::vector<int64_t> &SlotOf) {
+  SpillRewrite Out;
+  std::vector<char> IsSpilled(static_cast<size_t>(P.NumRegs), 0);
+  for (Reg V : Victims)
+    IsSpilled[static_cast<size_t>(V)] = 1;
+  // Registers created below (reload/store temps) are never spilled; they
+  // have IDs beyond the original NumRegs.
+  auto isSpilledReg = [&](Reg V) {
+    return V != NoReg && static_cast<size_t>(V) < IsSpilled.size() &&
+           IsSpilled[static_cast<size_t>(V)];
+  };
+
+  for (int B = 0; B < P.getNumBlocks(); ++B) {
+    BasicBlock &BB = P.block(B);
+    for (size_t I = 0; I < BB.Instrs.size(); ++I) {
+      // NOTE: insertions invalidate instruction references; re-take after
+      // each one.
+      {
+        Instruction &Cur = BB.Instrs[I];
+        // Reload the first use. If the same register also sits in the other
+        // use slot, one reload covers both.
+        if (isSpilledReg(Cur.Use1)) {
+          Reg V = Cur.Use1;
+          Reg T = P.addReg(P.getRegName(V) + ".rl");
+          Out.Temps.push_back(T);
+          BB.Instrs.insert(
+              BB.Instrs.begin() + static_cast<long>(I),
+              Instruction::makeLoadAbs(T, SlotOf[static_cast<size_t>(V)]));
+          ++I;
+          ++Out.Loads;
+          Instruction &Again = BB.Instrs[I];
+          if (Again.Use2 == V)
+            Again.Use2 = T; // same register used twice: one reload suffices
+          Again.Use1 = T;
+        }
+      }
+      {
+        Instruction &Cur = BB.Instrs[I];
+        if (isSpilledReg(Cur.Use2)) {
+          Reg V = Cur.Use2;
+          Reg T = P.addReg(P.getRegName(V) + ".rl");
+          Out.Temps.push_back(T);
+          BB.Instrs.insert(
+              BB.Instrs.begin() + static_cast<long>(I),
+              Instruction::makeLoadAbs(T, SlotOf[static_cast<size_t>(V)]));
+          ++I;
+          ++Out.Loads;
+          BB.Instrs[I].Use2 = T;
+        }
+      }
+      // Store after a definition.
+      {
+        Instruction &Cur = BB.Instrs[I];
+        if (isSpilledReg(Cur.Def)) {
+          Reg V = Cur.Def;
+          Reg T = P.addReg(P.getRegName(V) + ".st");
+          Out.Temps.push_back(T);
+          Cur.Def = T;
+          BB.Instrs.insert(
+              BB.Instrs.begin() + static_cast<long>(I) + 1,
+              Instruction::makeStoreAbs(SlotOf[static_cast<size_t>(V)], T));
+          ++I;
+          ++Out.Stores;
+        }
+      }
+    }
+  }
+
+  // Entry-live spilled registers: store their initial value exactly once
+  // from a dedicated pre-entry block.
+  std::vector<Instruction> EntryStores;
+  for (Reg V : P.EntryLiveRegs)
+    if (isSpilledReg(V)) {
+      EntryStores.push_back(
+          Instruction::makeStoreAbs(SlotOf[static_cast<size_t>(V)], V));
+      ++Out.Stores;
+    }
+  if (!EntryStores.empty()) {
+    // Keep the label unique across spill rounds so the printed assembly
+    // stays unambiguous if re-parsed.
+    std::string Label = "spill.entry";
+    auto taken = [&] {
+      for (const BasicBlock &BB : P.Blocks)
+        if (BB.Name == Label)
+          return true;
+      return false;
+    };
+    for (int Suffix = 2; taken(); ++Suffix)
+      Label = "spill.entry" + std::to_string(Suffix);
+    int Pre = P.addBlock(Label);
+    BasicBlock &PreBB = P.block(Pre);
+    PreBB.Instrs = std::move(EntryStores);
+    PreBB.Instrs.push_back(Instruction::makeBr(P.getEntryBlock()));
+    P.EntryBlock = Pre;
+  }
+  return Out;
+}
+
+} // namespace npral

@@ -1,0 +1,58 @@
+//===- SpillCode.h - Spill-code rewriting -----------------------*- C++ -*-===//
+///
+/// \file
+/// Shared spill-code rewriting: demote selected live ranges of a (virtual)
+/// thread program to absolute-addressed scratch memory. Every use of a
+/// spilled register is preceded by a `loada` into a fresh reload temporary,
+/// every definition is followed by a `storea` from a fresh store temporary,
+/// and entry-live spilled registers are stored exactly once from a
+/// dedicated pre-entry block (the original entry may be a loop header, and
+/// a store placed there would re-execute every iteration and keep the
+/// spilled register live around the loop).
+///
+/// On the simulated machine each spill access costs the full memory latency
+/// *and* yields the CPU — a context-switch boundary. The inserted
+/// temporaries are never live across any CSB (reload temps are defined at
+/// their own boundary and consumed in the same NSR; store temps die at the
+/// `storea` that reads them), so spilling strictly removes the victim from
+/// every CSB crossing set without adding new boundary live ranges.
+///
+/// Used by the Chaitin/Briggs baseline (spill-everything rounds) and by the
+/// harden subsystem's SpillFallback (graceful degradation of the Fig. 8
+/// inter-thread loop under infeasible register budgets).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_ALLOC_SPILLCODE_H
+#define NPRAL_ALLOC_SPILLCODE_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace npral {
+
+/// Outcome of one spill-code rewriting pass.
+struct SpillRewrite {
+  /// `loada` instructions inserted (one per spilled use site).
+  int Loads = 0;
+  /// `storea` instructions inserted (defs plus entry-live initialisers).
+  int Stores = 0;
+  /// The reload/store temporaries created by the rewrite. Temporaries must
+  /// never be re-spilled — their live ranges are already minimal.
+  std::vector<Reg> Temps;
+};
+
+/// Rewrite every reference to the registers in \p Victims through scratch
+/// memory. \p SlotOf maps each victim's register ID to its absolute word
+/// address (entries for non-victims are ignored; the vector must cover
+/// every victim ID). Victims with an entry-live initial value get a one-shot
+/// store in a prepended pre-entry block. Registers created by the rewrite
+/// have IDs >= the pre-call P.NumRegs and are reported in Temps.
+SpillRewrite insertSpillCode(Program &P, const std::vector<Reg> &Victims,
+                             const std::vector<int64_t> &SlotOf);
+
+} // namespace npral
+
+#endif // NPRAL_ALLOC_SPILLCODE_H

@@ -123,6 +123,7 @@ Status npral::checkNoUseOfUndef(const Program &P, const LivenessInfo &LI) {
       Names += ", ";
     Names += P.getRegName(R);
   });
-  return Status::error("program '" + P.Name +
+  return Status::error(StatusCode::UseOfUndef,
+                       "program '" + P.Name +
                        "' uses registers that may be undefined: " + Names);
 }

@@ -44,7 +44,7 @@ public:
   SourceLoc loc() const { return SourceLoc{LineNo, Cur.Column + 1}; }
 
   Status error(const std::string &Message) const {
-    return Status::error(Message, loc());
+    return Status::error(StatusCode::ParseError, Message, loc());
   }
 
 private:
@@ -422,12 +422,14 @@ Status ThreadParser::parseLine(LineLexer &Lex) {
 
 ErrorOr<Program> ThreadParser::finish() {
   if (!SawInstruction)
-    return Status::error("thread '" + P.Name + "' has no instructions");
+    return Status::error(StatusCode::ParseError,
+                         "thread '" + P.Name + "' has no instructions");
 
   for (const Fixup &F : Fixups) {
     auto It = BlockByName.find(F.Label);
     if (It == BlockByName.end())
-      return Status::error("undefined label '" + F.Label + "'", F.Loc);
+      return Status::error(StatusCode::ParseError,
+                           "undefined label '" + F.Label + "'", F.Loc);
     P.block(F.Block).Instrs[static_cast<size_t>(F.Instr)].Target = It->second;
   }
 
@@ -454,7 +456,8 @@ ErrorOr<MultiThreadProgram> npral::parseAssembly(std::string_view Source) {
       return P.status();
     if (CurIsFunction) {
       if (Functions.count(CurFuncName))
-        return Status::error("duplicate function '" + CurFuncName + "'");
+        return Status::error(StatusCode::ParseError,
+                             "duplicate function '" + CurFuncName + "'");
       Functions.emplace(CurFuncName, P.take());
     } else {
       MTP.Threads.push_back(P.take());
@@ -483,7 +486,8 @@ ErrorOr<MultiThreadProgram> npral::parseAssembly(std::string_view Source) {
           return S;
         Lex.take();
         if (Lex.peek().Kind != TokKind::Ident)
-          return Status::error(IsFunc ? "expected function name after .func"
+          return Status::error(StatusCode::ParseError,
+                               IsFunc ? "expected function name after .func"
                                       : "expected thread name after .thread",
                                Lex.loc());
         std::string Name(Lex.take().Text);
@@ -508,7 +512,7 @@ ErrorOr<MultiThreadProgram> npral::parseAssembly(std::string_view Source) {
   if (Status S = finishCurrent(); !S.ok())
     return S;
   if (MTP.Threads.empty())
-    return Status::error("no threads in input");
+    return Status::error(StatusCode::ParseError, "no threads in input");
   for (Program &T : MTP.Threads) {
     if (Status S = expandCalls(T, CallNames, Functions); !S.ok())
       return S;
@@ -523,7 +527,8 @@ ErrorOr<Program> npral::parseSingleProgram(std::string_view Source) {
   if (!MTP.ok())
     return MTP.status();
   if (MTP->Threads.size() != 1)
-    return Status::error("expected exactly one thread, found " +
+    return Status::error(StatusCode::ParseError,
+                         "expected exactly one thread, found " +
                          std::to_string(MTP->Threads.size()));
   return std::move(MTP->Threads.front());
 }

@@ -94,7 +94,7 @@ Status npral::expandCalls(Program &P,
     if (!findCall(P, Block, Index))
       return Status::success();
     if (Count >= MaxExpansions)
-      return Status::error("thread '" + P.Name +
+      return Status::error(StatusCode::ParseError, "thread '" + P.Name +
                            "': call expansion exceeded " +
                            std::to_string(MaxExpansions) +
                            " sites — recursive function?");
@@ -106,7 +106,7 @@ Status npral::expandCalls(Program &P,
     const std::string &Name = CallNames[static_cast<size_t>(Call.Imm)];
     auto It = Functions.find(Name);
     if (It == Functions.end())
-      return Status::error("thread '" + P.Name + "': call to undefined "
+      return Status::error(StatusCode::ParseError, "thread '" + P.Name + "': call to undefined "
                            "function '" + Name + "'");
     spliceFunction(P, Block, Index, It->second, Count);
   }

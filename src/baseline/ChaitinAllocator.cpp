@@ -3,6 +3,7 @@
 #include "baseline/ChaitinAllocator.h"
 
 #include "alloc/ColoringUtils.h"
+#include "alloc/SpillCode.h"
 #include "analysis/LiveRangeRenaming.h"
 #include "alloc/IntraAllocator.h"
 #include "analysis/InterferenceGraph.h"
@@ -130,101 +131,6 @@ bool colorOnce(const Program &P, const ThreadAnalysis &TA, int K,
   return ToSpill.empty();
 }
 
-/// Insert spill code for \p Spilled (already assigned slot addresses in
-/// \p SlotOf), rewriting every reference through a fresh temporary. Marks
-/// the temporaries in \p NoSpill.
-void insertSpillCode(Program &P, const std::vector<Reg> &Spilled,
-                     const std::vector<int64_t> &SlotOf,
-                     std::vector<char> &NoSpill, int &Loads, int &Stores) {
-  std::vector<char> IsSpilled(static_cast<size_t>(P.NumRegs), 0);
-  for (Reg V : Spilled)
-    IsSpilled[static_cast<size_t>(V)] = 1;
-  // Registers created below (reload/store temps) are never spilled; they
-  // have IDs beyond the original NumRegs.
-  auto isSpilledReg = [&](Reg V) {
-    return V != NoReg && static_cast<size_t>(V) < IsSpilled.size() &&
-           IsSpilled[static_cast<size_t>(V)];
-  };
-
-  for (int B = 0; B < P.getNumBlocks(); ++B) {
-    BasicBlock &BB = P.block(B);
-    for (size_t I = 0; I < BB.Instrs.size(); ++I) {
-      // NOTE: insertions invalidate instruction references; re-take after
-      // each one.
-      {
-        Instruction &Cur = BB.Instrs[I];
-        // Reload the first use. If the same register also sits in the other
-        // use slot, one reload covers both.
-        if (isSpilledReg(Cur.Use1)) {
-          Reg V = Cur.Use1;
-          Reg T = P.addReg(P.getRegName(V) + ".rl");
-          NoSpill.resize(static_cast<size_t>(P.NumRegs), 0);
-          NoSpill[static_cast<size_t>(T)] = 1;
-          BB.Instrs.insert(
-              BB.Instrs.begin() + static_cast<long>(I),
-              Instruction::makeLoadAbs(T, SlotOf[static_cast<size_t>(V)]));
-          ++I;
-          ++Loads;
-          Instruction &Again = BB.Instrs[I];
-          if (Again.Use2 == V)
-            Again.Use2 = T; // same register used twice: one reload suffices
-          Again.Use1 = T;
-        }
-      }
-      {
-        Instruction &Cur = BB.Instrs[I];
-        if (isSpilledReg(Cur.Use2)) {
-          Reg V = Cur.Use2;
-          Reg T = P.addReg(P.getRegName(V) + ".rl");
-          NoSpill.resize(static_cast<size_t>(P.NumRegs), 0);
-          NoSpill[static_cast<size_t>(T)] = 1;
-          BB.Instrs.insert(
-              BB.Instrs.begin() + static_cast<long>(I),
-              Instruction::makeLoadAbs(T, SlotOf[static_cast<size_t>(V)]));
-          ++I;
-          ++Loads;
-          BB.Instrs[I].Use2 = T;
-        }
-      }
-      // Store after a definition.
-      {
-        Instruction &Cur = BB.Instrs[I];
-        if (isSpilledReg(Cur.Def)) {
-          Reg V = Cur.Def;
-          Reg T = P.addReg(P.getRegName(V) + ".st");
-          NoSpill.resize(static_cast<size_t>(P.NumRegs), 0);
-          NoSpill[static_cast<size_t>(T)] = 1;
-          Cur.Def = T;
-          BB.Instrs.insert(
-              BB.Instrs.begin() + static_cast<long>(I) + 1,
-              Instruction::makeStoreAbs(SlotOf[static_cast<size_t>(V)], T));
-          ++I;
-          ++Stores;
-        }
-      }
-    }
-  }
-
-  // Entry-live spilled registers: store their initial value exactly once.
-  // The stores go into a dedicated pre-entry block — the original entry
-  // block may be a loop header, and a store placed there would re-execute
-  // every iteration and keep the spilled register live around the loop.
-  std::vector<Instruction> EntryStores;
-  for (Reg V : P.EntryLiveRegs)
-    if (isSpilledReg(V)) {
-      EntryStores.push_back(
-          Instruction::makeStoreAbs(SlotOf[static_cast<size_t>(V)], V));
-      ++Stores;
-    }
-  if (!EntryStores.empty()) {
-    int Pre = P.addBlock("spill.entry");
-    BasicBlock &PreBB = P.block(Pre);
-    PreBB.Instrs = std::move(EntryStores);
-    PreBB.Instrs.push_back(Instruction::makeBr(P.getEntryBlock()));
-    P.EntryBlock = Pre;
-  }
-}
-
 } // namespace
 
 ChaitinResult npral::runChaitinAllocator(const Program &P,
@@ -263,8 +169,12 @@ ChaitinResult npral::runChaitinAllocator(const Program &P,
       SlotOf[static_cast<size_t>(V)] = C.SpillBase + NextSlot++;
       ++Result.SpilledRanges;
     }
-    insertSpillCode(Work, ToSpill, SlotOf, NoSpill, Result.SpillLoads,
-                    Result.SpillStores);
+    SpillRewrite SR = insertSpillCode(Work, ToSpill, SlotOf);
+    Result.SpillLoads += SR.Loads;
+    Result.SpillStores += SR.Stores;
+    NoSpill.resize(static_cast<size_t>(Work.NumRegs), 0);
+    for (Reg T : SR.Temps)
+      NoSpill[static_cast<size_t>(T)] = 1;
   }
 
   Result.Success = false;

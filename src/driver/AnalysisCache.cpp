@@ -4,6 +4,7 @@
 
 #include "ir/IRPrinter.h"
 #include "support/StringUtils.h"
+#include "trace/MetricsRegistry.h"
 
 using namespace npral;
 
@@ -17,6 +18,16 @@ AnalysisCache::lookup(uint64_t Key, std::string_view Text) const {
   auto It = Entries.find(Key);
   if (It == Entries.end()) {
     Misses.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (fnv1aHash(It->second.Text) != It->second.TextSum) {
+    // The entry itself is damaged (truncated or bit-rotted after insert):
+    // serving it — or even comparing against it — is meaningless. Evict so
+    // the caller recomputes and reinserts a sound entry.
+    Entries.erase(It);
+    Corruptions.fetch_add(1, std::memory_order_relaxed);
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::global().counter("cache.corrupt_entries").increment();
     return nullptr;
   }
   if (It->second.Text != Text) {
@@ -42,8 +53,18 @@ AnalysisCache::insert(uint64_t Key, std::string Text,
       return Bundle;
     return It->second.Bundle;
   }
-  Entries.emplace(Key, Entry{std::move(Text), Bundle});
+  const uint64_t Sum = fnv1aHash(Text);
+  Entries.emplace(Key, Entry{std::move(Text), Sum, Bundle});
   return Bundle;
+}
+
+bool AnalysisCache::corruptEntryForTesting(uint64_t Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return false;
+  It->second.Text.resize(It->second.Text.size() / 2);
+  return true;
 }
 
 size_t AnalysisCache::size() const {

@@ -16,6 +16,15 @@
 /// a miss (counted separately as a collision). The hash is only an index —
 /// correctness rests on the byte comparison.
 ///
+/// Integrity against corruption: each entry also records a checksum of its
+/// stored assembly at insert time. A lookup that finds the stored text no
+/// longer matching its own checksum — truncation or bit-rot of the entry
+/// itself, as opposed to a key collision — evicts the entry, counts a miss,
+/// and bumps the corruption counter (`cache.corrupt_entries` in the global
+/// registry), so a damaged entry costs one recomputation instead of
+/// poisoning every later hit. corruptEntryForTesting() plants such damage
+/// deliberately for the forced-corruption test.
+///
 /// Thread safety: lookup and insert are individually atomic. Two workers
 /// that miss on the same key may both compute the bundle; the first insert
 /// wins and the loser's copy is dropped — wasted work, never wrong results,
@@ -68,18 +77,31 @@ public:
   int64_t collisions() const {
     return Collisions.load(std::memory_order_relaxed);
   }
+  /// Entries evicted because their stored text failed its checksum.
+  int64_t corruptions() const {
+    return Corruptions.load(std::memory_order_relaxed);
+  }
   size_t size() const;
+
+  /// Damage the stored text of the entry under \p Key (truncating it
+  /// without refreshing the checksum) so the next lookup exercises the
+  /// corruption path. Returns false when the key has no entry. Test hook;
+  /// production code never mutates stored entries.
+  bool corruptEntryForTesting(uint64_t Key);
 
 private:
   struct Entry {
     std::string Text;
+    /// FNV-1a of Text at insert time; revalidated on every lookup.
+    uint64_t TextSum = 0;
     std::shared_ptr<const ThreadAnalysisBundle> Bundle;
   };
   mutable std::mutex Mutex;
-  std::unordered_map<uint64_t, Entry> Entries;
+  mutable std::unordered_map<uint64_t, Entry> Entries;
   mutable std::atomic<int64_t> Hits{0};
   mutable std::atomic<int64_t> Misses{0};
   mutable std::atomic<int64_t> Collisions{0};
+  mutable std::atomic<int64_t> Corruptions{0};
 };
 
 } // namespace npral

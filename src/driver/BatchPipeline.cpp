@@ -6,6 +6,8 @@
 #include "analysis/LiveRangeRenaming.h"
 #include "asmparse/AsmParser.h"
 #include "driver/AnalysisCache.h"
+#include "harden/SpillFallback.h"
+#include "harden/Watchdog.h"
 #include "ir/IRPrinter.h"
 #include "ir/IRVerifier.h"
 #include "profile/StaticFrequencyEstimator.h"
@@ -15,6 +17,7 @@
 #include "trace/TraceEngine.h"
 
 #include <chrono>
+#include <exception>
 #include <fstream>
 #include <sstream>
 
@@ -32,30 +35,43 @@ int64_t nowNs() {
 /// (and the shared AnalysisCache, which synchronises internally).
 /// \p ProfileHash is the content hash of Opts.Profile (0 when absent),
 /// computed once by runBatch and folded into every cache key.
+/// \p AllowSpill overrides Opts.AllowSpill so the degraded retry can
+/// re-run a strict job in spill-permitted mode.
 BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
-                          AnalysisCache *Cache, uint64_t ProfileHash) {
+                          AnalysisCache *Cache, uint64_t ProfileHash,
+                          bool AllowSpill) {
   BatchJobResult R;
   R.Name = In.Name.empty() ? In.Path : In.Name;
   NPRAL_TRACE_SPAN_ARGS("batch", "job", {"name", R.Name});
+
+  // Every early return below fills FailStage + FailCode so the failed[]
+  // report can say *where* and *why* without parsing the message.
+  auto fail = [&R](const char *Stage, StatusCode Code,
+                   std::string Reason) -> BatchJobResult & {
+    R.FailStage = Stage;
+    R.FailCode = Code;
+    R.FailReason = std::move(Reason);
+    return R;
+  };
 
   // Stage 1: parse (or adopt the in-memory program).
   MultiThreadProgram MTP;
   {
     NPRAL_TRACE_SPAN_ARGS("batch", "parse", {"name", R.Name});
     const int64_t T0 = nowNs();
+    if (Status F = Opts.Faults.check("parse", R.Name); !F.ok())
+      return fail("parse", F.code(), F.str());
     if (!In.Path.empty()) {
       std::ifstream Stream(In.Path);
-      if (!Stream) {
-        R.FailReason = "cannot open '" + In.Path + "'";
-        return R;
-      }
+      if (!Stream)
+        return fail("parse", StatusCode::IOError,
+                    "cannot open '" + In.Path + "'");
       std::ostringstream Buf;
       Buf << Stream.rdbuf();
       ErrorOr<MultiThreadProgram> Parsed = parseAssembly(Buf.str());
       if (!Parsed.ok()) {
         R.ParseNs = nowNs() - T0;
-        R.FailReason = Parsed.status().str();
-        return R;
+        return fail("parse", Parsed.status().code(), Parsed.status().str());
       }
       MTP = Parsed.take();
     } else {
@@ -64,10 +80,8 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
     R.ParseNs = nowNs() - T0;
   }
   R.NumThreads = MTP.getNumThreads();
-  if (R.NumThreads == 0) {
-    R.FailReason = "no threads";
-    return R;
-  }
+  if (R.NumThreads == 0)
+    return fail("parse", StatusCode::InvalidIR, "no threads");
 
   // Stage 2+3: per-thread rename, analysis and bounds, through the cache.
   // Alongside, resolve each thread's cost model: a collected profile wins
@@ -76,13 +90,13 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
   std::vector<CostModel> Models;
   Bundles.reserve(MTP.Threads.size());
   Models.reserve(MTP.Threads.size());
+  if (Status F = Opts.Faults.check("analysis", R.Name); !F.ok())
+    return fail("analysis", F.code(), F.str());
   for (Program &T : MTP.Threads) {
     NPRAL_TRACE_SPAN_ARGS("batch", "analysis", {"name", R.Name},
                           {"thread", T.Name});
-    if (Status S = verifyProgram(T); !S.ok()) {
-      R.FailReason = "thread '" + T.Name + "': " + S.str();
-      return R;
-    }
+    if (Status S = verifyProgram(T); !S.ok())
+      return fail("analysis", S.code(), "thread '" + T.Name + "': " + S.str());
     const int64_t T0 = nowNs();
     T = renameLiveRanges(T);
     const std::string Text = programToString(T);
@@ -103,6 +117,8 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
 
     std::shared_ptr<const ThreadAnalysisBundle> Bundle;
     if (Cache) {
+      if (Status F = Opts.Faults.check("cache", R.Name); !F.ok())
+        return fail("analysis", F.code(), F.str());
       // The bundle itself is weight-independent, but folding the profile
       // hash keeps the cache partitioned per (program, profile) pair so a
       // long-lived shared cache never crosses PGO configurations.
@@ -134,25 +150,43 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
     }
     // Analysis precondition: no path may read an undefined register. The
     // bundle's liveness answers this without extra dataflow.
-    if (Status S = checkNoUseOfUndef(T, Bundle->TA.Liveness); !S.ok()) {
-      R.FailReason = "thread '" + T.Name + "': " + S.str();
-      return R;
-    }
+    if (Status S = checkNoUseOfUndef(T, Bundle->TA.Liveness); !S.ok())
+      return fail("analysis", S.code(), "thread '" + T.Name + "': " + S.str());
     Bundles.push_back(std::move(Bundle));
   }
 
-  // Stage 4: inter/intra allocation.
+  // Stage 4: inter/intra allocation, under the per-job watchdog. The
+  // deadline cancels the Fig. 8 loop cooperatively; an expired job fails
+  // with DeadlineExceeded instead of wedging its worker.
   InterThreadResult Alloc;
   {
     NPRAL_TRACE_SPAN_ARGS("batch", "alloc", {"name", R.Name});
+    if (Status F = Opts.Faults.check("alloc", R.Name); !F.ok())
+      return fail("alloc", F.code(), F.str());
     const int64_t T0 = nowNs();
-    Alloc = allocateInterThread(MTP, Opts.Nreg, Bundles, Models);
+    Watchdog Dog(Opts.DeadlineMs);
+    InterAllocLimits Limits;
+    Limits.Cancel = Dog.cancelFlag();
+    if (AllowSpill) {
+      SpillFallbackOptions SpillOpts;
+      SpillOpts.MaxSpills = Opts.MaxSpills;
+      SpillFallbackResult SF = allocateWithSpillFallback(
+          MTP, Opts.Nreg, Bundles, Models, nullptr, Limits, SpillOpts);
+      Alloc = std::move(SF.Inter);
+      R.UsedSpilling = SF.UsedSpilling;
+      R.SpilledRanges = SF.SpilledRanges;
+    } else {
+      Alloc = allocateInterThread(MTP, Opts.Nreg, Bundles, Models, nullptr,
+                                  Limits);
+    }
     R.AllocNs = nowNs() - T0;
+    R.WatchdogFired = Dog.fired();
   }
-  if (!Alloc.Success) {
-    R.FailReason = "allocation failed: " + Alloc.FailReason;
-    return R;
-  }
+  if (!Alloc.Success)
+    return fail("alloc",
+                Alloc.FailCode == StatusCode::Ok ? StatusCode::Generic
+                                                 : Alloc.FailCode,
+                "allocation failed: " + Alloc.FailReason);
   R.RegistersUsed = Alloc.RegistersUsed;
   R.SGR = Alloc.SGR;
   R.TotalMoveCost = Alloc.TotalMoveCost;
@@ -164,10 +198,9 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
     const int64_t T0 = nowNs();
     Status Safety = verifyAllocationSafety(Alloc.Physical);
     R.VerifyNs = nowNs() - T0;
-    if (!Safety.ok()) {
-      R.FailReason = "unsafe allocation: " + Safety.str();
-      return R;
-    }
+    if (!Safety.ok())
+      return fail("verify", StatusCode::Internal,
+                  "unsafe allocation: " + Safety.str());
   }
 
   if (Opts.KeepPhysical)
@@ -209,9 +242,30 @@ BatchResult npral::runBatch(const std::vector<BatchJob> &Inputs,
   {
     ThreadPool Pool(Opts.Jobs);
     parallelFor(Pool, static_cast<int>(Inputs.size()), [&](int I) {
+      const BatchJob &In = Inputs[static_cast<size_t>(I)];
+      BatchJobResult &Slot = Out.Results[static_cast<size_t>(I)];
       const int64_t Job0 = nowNs();
-      Out.Results[static_cast<size_t>(I)] =
-          processOne(Inputs[static_cast<size_t>(I)], Opts, Cache, ProfileHash);
+      // Fault isolation: whatever one item does — fail a stage, blow a
+      // deadline, or throw — lands in its own result slot; the batch and
+      // its siblings continue.
+      try {
+        Slot = processOne(In, Opts, Cache, ProfileHash, Opts.AllowSpill);
+        if (!Slot.Success && !Opts.AllowSpill && Opts.RetryDegraded &&
+            Slot.FailCode == StatusCode::Infeasible) {
+          // One bounded retry in degraded mode: only for budget failures
+          // (a deadline or parse error would fail identically again).
+          BatchJobResult Retry =
+              processOne(In, Opts, Cache, ProfileHash, /*AllowSpill=*/true);
+          Retry.Retried = true;
+          Slot = std::move(Retry);
+        }
+      } catch (const std::exception &E) {
+        Slot = BatchJobResult();
+        Slot.Name = In.Name.empty() ? In.Path : In.Name;
+        Slot.FailStage = "internal";
+        Slot.FailCode = StatusCode::Internal;
+        Slot.FailReason = std::string("uncaught exception: ") + E.what();
+      }
       RunMetrics.histogram("batch.job_wall_ns").observe(nowNs() - Job0);
     });
   }
@@ -223,6 +277,14 @@ BatchResult npral::runBatch(const std::vector<BatchJob> &Inputs,
   for (const BatchJobResult &R : Out.Results) {
     RunMetrics.counter(R.Success ? "batch.succeeded" : "batch.failed")
         .increment();
+    if (R.UsedSpilling)
+      RunMetrics.counter("batch.degraded").increment();
+    if (R.Retried)
+      RunMetrics.counter("batch.retried").increment();
+    if (R.WatchdogFired || R.FailCode == StatusCode::DeadlineExceeded)
+      RunMetrics.counter("batch.deadline_exceeded").increment();
+    if (R.FailCode == StatusCode::FaultInjected)
+      RunMetrics.counter("batch.faults_injected").increment();
     RunMetrics.counter("batch.cache.hits").add(R.CacheHits);
     RunMetrics.counter("batch.cache.misses").add(R.CacheMisses);
     RunMetrics.counter("batch.stage.parse_ns").add(R.ParseNs);
@@ -252,6 +314,10 @@ void PipelineStats::toRegistry(MetricsRegistry &MR) const {
   MR.counter("batch.stage.alloc_ns").add(AllocNs);
   MR.counter("batch.stage.verify_ns").add(VerifyNs);
   MR.counter("batch.wall_ns").add(WallNs);
+  MR.counter("batch.degraded").add(Degraded);
+  MR.counter("batch.retried").add(Retried);
+  MR.counter("batch.deadline_exceeded").add(DeadlineExceeded);
+  MR.counter("batch.faults_injected").add(FaultsInjected);
 }
 
 PipelineStats PipelineStats::fromRegistry(const MetricsRegistry &MR) {
@@ -269,6 +335,12 @@ PipelineStats PipelineStats::fromRegistry(const MetricsRegistry &MR) {
   S.AllocNs = MR.counterValue("batch.stage.alloc_ns");
   S.VerifyNs = MR.counterValue("batch.stage.verify_ns");
   S.WallNs = MR.counterValue("batch.wall_ns");
+  S.Degraded = static_cast<int>(MR.counterValue("batch.degraded"));
+  S.Retried = static_cast<int>(MR.counterValue("batch.retried"));
+  S.DeadlineExceeded =
+      static_cast<int>(MR.counterValue("batch.deadline_exceeded"));
+  S.FaultsInjected =
+      static_cast<int>(MR.counterValue("batch.faults_injected"));
   return S;
 }
 
@@ -287,6 +359,13 @@ void PipelineStats::renderText(std::ostream &OS) const {
                        cacheHitRate() * 100.0);
   else
     OS << "cache: disabled\n";
+  // Robustness line only when something robustness-related happened, so
+  // healthy runs keep their historical byte-stable output.
+  if (Degraded || Retried || DeadlineExceeded || FaultsInjected)
+    OS << formatString(
+        "harden: %d degraded, %d retried, %d deadline-exceeded, "
+        "%d faults injected\n",
+        Degraded, Retried, DeadlineExceeded, FaultsInjected);
   OS << formatString("wall: %.2f ms (%.1f programs/s)\n", ms(WallNs),
                      throughput());
 }
@@ -303,6 +382,11 @@ void PipelineStats::renderJSON(std::ostream &OS) const {
   OS << "  \"stages_ns\": {\"parse\": " << ParseNs
      << ", \"analysis\": " << AnalysisNs << ", \"bounds\": " << BoundsNs
      << ", \"alloc\": " << AllocNs << ", \"verify\": " << VerifyNs << "},\n";
+  if (Degraded || Retried || DeadlineExceeded || FaultsInjected)
+    OS << "  \"harden\": {\"degraded\": " << Degraded
+       << ", \"retried\": " << Retried
+       << ", \"deadline_exceeded\": " << DeadlineExceeded
+       << ", \"faults_injected\": " << FaultsInjected << "},\n";
   OS << "  \"wall_ns\": " << WallNs << ",\n";
   OS << formatString("  \"throughput_programs_per_sec\": %.2f\n",
                      throughput());

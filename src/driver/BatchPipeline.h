@@ -17,14 +17,25 @@
 /// PipelineStats, rendered as text or as JSON following the
 /// DiagnosticEngine's conventions (stable key order, FNV-style escaping).
 ///
+/// Fault isolation: one failing input never aborts the batch. Every
+/// per-item error — malformed assembly, infeasible budget, expired
+/// deadline, injected fault, even a C++ exception escaping a stage — is
+/// captured in that item's BatchJobResult (stage, StatusCode, reason) and
+/// the remaining items run to completion; BatchResult::failed() is the
+/// resulting failed[] report. Optional per-job hardening: a watchdog
+/// deadline over the allocation stage, spill-based graceful degradation
+/// for infeasible budgets, and one bounded retry in degraded mode.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NPRAL_DRIVER_BATCHPIPELINE_H
 #define NPRAL_DRIVER_BATCHPIPELINE_H
 
 #include "alloc/InterAllocator.h"
+#include "harden/FaultInjector.h"
 #include "ir/Program.h"
 #include "profile/ExecutionProfile.h"
+#include "support/Status.h"
 
 #include <cstdint>
 #include <ostream>
@@ -59,6 +70,26 @@ struct BatchOptions {
   /// Weight blocks by 10^loop-depth (StaticFrequencyEstimator) when no
   /// collected profile covers a thread.
   bool StaticPGO = false;
+  /// Permit spill-based graceful degradation: when the Fig. 8 loop reports
+  /// an infeasible budget, demote cheap live ranges to scratch memory and
+  /// retry (harden/SpillFallback.h). Feasible inputs are unaffected — their
+  /// output is bit-identical with this on or off.
+  bool AllowSpill = false;
+  /// Live ranges the spill fallback may demote per job.
+  int MaxSpills = 64;
+  /// Retry a job that failed with an infeasible budget once more in
+  /// degraded (spill-permitted) mode. Meaningful when AllowSpill is off:
+  /// the first attempt stays strict and only the retry may degrade.
+  bool RetryDegraded = false;
+  /// Per-job allocation deadline in milliseconds; 0 disables the watchdog.
+  /// An expired deadline cancels the Fig. 8 loop cooperatively and fails
+  /// the job with StatusCode::DeadlineExceeded.
+  int DeadlineMs = 0;
+  /// Deterministic fault injection (disabled by default). Probes fire at
+  /// the parse/analysis/cache/alloc stage entries of each job; an injected
+  /// fault fails that job like any other input-dependent error — captured
+  /// in its result slot, never aborting the batch.
+  FaultInjector Faults;
 };
 
 /// One batch input: either a path to an assembly file (parsed by the job)
@@ -76,6 +107,20 @@ struct BatchJobResult {
   std::string Name;
   bool Success = false;
   std::string FailReason;
+  /// Pipeline stage that failed: "parse", "analysis", "bounds", "alloc",
+  /// "verify", or "internal" for a captured exception. Empty on success.
+  std::string FailStage;
+  /// Classification of the failure; Ok on success.
+  StatusCode FailCode = StatusCode::Ok;
+  /// True when the job went through the bounded degraded retry (whether or
+  /// not the retry then succeeded).
+  bool Retried = false;
+  /// True when the allocation deadline expired for this job.
+  bool WatchdogFired = false;
+  /// True when the job's allocation came from the spill fallback.
+  bool UsedSpilling = false;
+  /// Live ranges demoted to memory by the spill fallback.
+  int SpilledRanges = 0;
   int NumThreads = 0;
   int RegistersUsed = 0;
   int SGR = 0;
@@ -115,6 +160,13 @@ struct PipelineStats {
   int64_t VerifyNs = 0;
   /// End-to-end wall clock of the whole batch, nanoseconds.
   int64_t WallNs = 0;
+  /// Robustness counters; all stay zero on a healthy run with hardening
+  /// features off, and the renderers only mention them when nonzero, so
+  /// the byte-stable golden outputs of plain runs are unchanged.
+  int Degraded = 0;        ///< Jobs whose allocation used the spill fallback.
+  int Retried = 0;         ///< Jobs sent through the degraded retry.
+  int DeadlineExceeded = 0; ///< Jobs cancelled by the watchdog.
+  int FaultsInjected = 0;  ///< Jobs failed by an injected fault.
 
   /// Hits / (hits + misses); 0 when the cache saw no traffic.
   double cacheHitRate() const {
@@ -150,6 +202,16 @@ struct BatchResult {
       if (!R.Success)
         return false;
     return true;
+  }
+
+  /// The failed jobs in input order — the batch's failed[] report. Each
+  /// entry carries the stage, status code and reason of its failure.
+  std::vector<const BatchJobResult *> failed() const {
+    std::vector<const BatchJobResult *> Out;
+    for (const BatchJobResult &R : Results)
+      if (!R.Success)
+        Out.push_back(&R);
+    return Out;
   }
 };
 

@@ -1,0 +1,31 @@
+//===- Watchdog.cpp -------------------------------------------------------===//
+
+#include "harden/Watchdog.h"
+
+#include <chrono>
+
+using namespace npral;
+
+Watchdog::Watchdog(int DeadlineMs) {
+  if (DeadlineMs <= 0)
+    return;
+  Timer = std::thread([this, DeadlineMs] {
+    std::unique_lock<std::mutex> Lock(M);
+    if (!CV.wait_for(Lock, std::chrono::milliseconds(DeadlineMs),
+                     [this] { return Stop; }))
+      Fired.store(true, std::memory_order_relaxed);
+  });
+}
+
+Watchdog::~Watchdog() { disarm(); }
+
+void Watchdog::disarm() {
+  if (!Timer.joinable())
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Stop = true;
+  }
+  CV.notify_all();
+  Timer.join();
+}

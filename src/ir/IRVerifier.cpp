@@ -32,7 +32,8 @@ private:
   const Program &P;
 
   Status fail(const std::string &Message) const {
-    return Status::error("program '" + P.Name + "': " + Message);
+    return Status::error(StatusCode::InvalidIR,
+                         "program '" + P.Name + "': " + Message);
   }
 
   bool regOk(Reg R) const { return R >= 0 && R < P.NumRegs; }

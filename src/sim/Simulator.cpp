@@ -211,6 +211,8 @@ bool Simulator::step(int T, int64_t &Clock, std::string &Error) {
       TS.PendingValue = Memory[static_cast<size_t>(Address)];
       ++Clock;
       ++TSt.MemOps;
+      if (I.Op == Opcode::LoadA)
+        ++TSt.AbsMemOps;
       ++TSt.CtxEvents;
       TS.ReadyAt = Clock + Config.MemLatency;
       return true;
@@ -228,6 +230,8 @@ bool Simulator::step(int T, int64_t &Clock, std::string &Error) {
       Memory[static_cast<size_t>(Address)] = u32(Value);
       ++Clock;
       ++TSt.MemOps;
+      if (I.Op == Opcode::StoreA)
+        ++TSt.AbsMemOps;
       ++TSt.CtxEvents;
       TS.ReadyAt = Clock + Config.MemLatency;
       return true;

@@ -93,6 +93,10 @@ struct ThreadStats {
   /// Times this thread yielded the CPU (ctx + memory ops).
   int64_t CtxEvents = 0;
   int64_t MemOps = 0;
+  /// Absolute-address memory ops (`loada`/`storea`) executed — the spill
+  /// traffic a degraded (spill-fallback) allocation adds. Subset of MemOps;
+  /// 0 for programs with no absolute accesses.
+  int64_t AbsMemOps = 0;
   bool Halted = false;
 
   /// Cycle breakdown: every simulated cycle lands in exactly one bucket per

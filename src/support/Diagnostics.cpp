@@ -1,11 +1,39 @@
 //===- Diagnostics.cpp ----------------------------------------------------===//
 
-#include "support/Diagnostics.h"
+#include "support/Status.h"
 
 #include <cstdio>
 #include <cstdlib>
 
 using namespace npral;
+
+const char *npral::statusCodeName(StatusCode Code) {
+  switch (Code) {
+  case StatusCode::Ok:
+    return "ok";
+  case StatusCode::Generic:
+    return "error";
+  case StatusCode::ParseError:
+    return "parse-error";
+  case StatusCode::InvalidIR:
+    return "invalid-ir";
+  case StatusCode::UseOfUndef:
+    return "use-of-undef";
+  case StatusCode::Infeasible:
+    return "infeasible";
+  case StatusCode::CacheCorrupt:
+    return "cache-corrupt";
+  case StatusCode::DeadlineExceeded:
+    return "deadline-exceeded";
+  case StatusCode::FaultInjected:
+    return "fault-injected";
+  case StatusCode::IOError:
+    return "io-error";
+  case StatusCode::Internal:
+    return "internal";
+  }
+  return "unknown";
+}
 
 std::string SourceLoc::str() const {
   if (!isValid())
@@ -14,8 +42,14 @@ std::string SourceLoc::str() const {
 }
 
 Status Status::error(std::string Message, SourceLoc Loc) {
+  return error(StatusCode::Generic, std::move(Message), Loc);
+}
+
+Status Status::error(StatusCode Code, std::string Message, SourceLoc Loc) {
+  assert(Code != StatusCode::Ok && "error status needs a failure code");
   Status S;
   S.Failed = true;
+  S.Code = Code;
   S.Message = std::move(Message);
   S.Loc = Loc;
   return S;

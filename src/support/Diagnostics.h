@@ -5,99 +5,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Lightweight recoverable-error machinery. Library code never throws and
-/// never calls exit(); fallible operations return ErrorOr<T> or Status and
-/// callers decide how to surface failures.
+/// Historical home of the recoverable-error machinery. The definitions
+/// (SourceLoc, Status, ErrorOr, reportFatalError) now live in
+/// support/Status.h, which adds the structured StatusCode layer; this
+/// header remains so existing includes keep compiling.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef NPRAL_SUPPORT_DIAGNOSTICS_H
 #define NPRAL_SUPPORT_DIAGNOSTICS_H
 
-#include <cassert>
-#include <optional>
-#include <string>
-#include <utility>
-
-namespace npral {
-
-/// A source location inside a textual assembly file: 1-based line and column.
-struct SourceLoc {
-  int Line = 0;
-  int Column = 0;
-
-  bool isValid() const { return Line > 0; }
-  std::string str() const;
-};
-
-/// Outcome of a fallible operation that produces no value.
-///
-/// A Status is either success (default) or failure with a human-readable
-/// message and an optional source location. Messages follow the LLVM error
-/// style: lowercase first letter, no trailing period.
-class Status {
-public:
-  Status() = default;
-
-  static Status success() { return Status(); }
-  static Status error(std::string Message, SourceLoc Loc = SourceLoc());
-
-  bool ok() const { return !Failed; }
-  explicit operator bool() const { return ok(); }
-
-  /// Message of a failed status; empty on success.
-  const std::string &message() const { return Message; }
-  SourceLoc loc() const { return Loc; }
-
-  /// Render "line L, column C: message" (or just the message when the
-  /// location is unknown).
-  std::string str() const;
-
-private:
-  bool Failed = false;
-  std::string Message;
-  SourceLoc Loc;
-};
-
-/// Value-or-error wrapper for fallible producers, in the spirit of
-/// llvm::ErrorOr but without error_code interop.
-template <typename T> class ErrorOr {
-public:
-  ErrorOr(T Value) : Value(std::move(Value)) {}
-  ErrorOr(Status Err) : Err(std::move(Err)) {
-    assert(!this->Err.ok() && "ErrorOr constructed from a success status");
-  }
-
-  bool ok() const { return Value.has_value(); }
-  explicit operator bool() const { return ok(); }
-
-  T &operator*() {
-    assert(ok() && "dereferencing failed ErrorOr");
-    return *Value;
-  }
-  const T &operator*() const {
-    assert(ok() && "dereferencing failed ErrorOr");
-    return *Value;
-  }
-  T *operator->() { return &**this; }
-  const T *operator->() const { return &**this; }
-
-  const Status &status() const { return Err; }
-  /// Move the contained value out; only valid when ok().
-  T take() {
-    assert(ok() && "taking value of failed ErrorOr");
-    return std::move(*Value);
-  }
-
-private:
-  std::optional<T> Value;
-  Status Err;
-};
-
-/// Abort with a message; used for internal invariant violations that must
-/// fire even in release builds (analogue of llvm::report_fatal_error).
-[[noreturn]] void reportFatalError(const std::string &Message);
-
-} // namespace npral
+#include "support/Status.h"
 
 #endif // NPRAL_SUPPORT_DIAGNOSTICS_H

@@ -24,6 +24,7 @@
 #include "alloc/InterAllocator.h"
 #include "analysis/LiveRangeRenaming.h"
 #include "baseline/ChaitinAllocator.h"
+#include "harden/SpillFallback.h"
 #include "lint/Lint.h"
 #include "support/Random.h"
 #include "workloads/ProgramGenerator.h"
@@ -47,7 +48,11 @@ struct FuzzCase {
   MultiThreadProgram Renamed;
 };
 
-FuzzCase makeCase(uint64_t Seed) {
+/// \p SmallPrograms caps every thread at the smallest generator size. The
+/// spill-fallback property re-runs the full allocator once per demoted
+/// range, so full-size threads would cost seconds per seed; small threads
+/// keep the 200-seed sweep fast while preserving structural variety.
+FuzzCase makeCase(uint64_t Seed, bool SmallPrograms = false) {
   Rng R(Seed * 0x9E3779B97F4A7C15ULL + 0xFC5Eull);
   FuzzCase C;
   C.Nthd = static_cast<int>(2 + R.nextBelow(3)); // 2..4 threads
@@ -58,7 +63,7 @@ FuzzCase makeCase(uint64_t Seed) {
 
   for (int T = 0; T < C.Nthd; ++T) {
     GeneratorConfig Config;
-    Config.TargetInstructions = Sizes[R.nextBelow(3)];
+    Config.TargetInstructions = SmallPrograms ? 40 : Sizes[R.nextBelow(3)];
     Config.CtxRatePerMille = CtxRates[R.nextBelow(3)];
     Config.NumLongLived = static_cast<int>(4 + R.nextBelow(5));
     Config.MaxDepth = static_cast<int>(2 + R.nextBelow(3));
@@ -194,7 +199,56 @@ TEST_P(AllocFuzzTest, DominatesSpillFreeChaitinPartition) {
   EXPECT_GE(R.TotalMoveCost, 0) << "seed " << Seed;
 }
 
-// 2 tests x 200 seeds = 400 randomized cases over varied (Nthd, Nreg, CSB
+TEST_P(AllocFuzzTest, SpillFallbackRecoversInfeasibleBudgets) {
+  const uint64_t Seed = GetParam();
+  FuzzCase C = makeCase(Seed, /*SmallPrograms=*/true);
+
+  // Squeeze the budget below the feasibility lower bound so the strict
+  // allocator must report Infeasible, then require the spill fallback to
+  // produce a safe, race-free allocation anyway. The squeeze is shallow
+  // (1..4 registers below LB, varied by seed) — each demoted range costs a
+  // full re-analysis round, so deep squeezes would dominate suite runtime
+  // without strengthening the property. Generated programs have
+  // three-operand instructions, so 4 registers is the practical floor.
+  int SumMinPR = 0, MaxMinSRGap = 0;
+  for (const Program &P : C.Renamed.Threads) {
+    const RegBounds B = estimateRegBounds(analyzeThread(P));
+    SumMinPR += B.MinPR;
+    MaxMinSRGap = std::max(MaxMinSRGap, B.MinR - B.MinPR);
+  }
+  const int LowerBound = SumMinPR + MaxMinSRGap;
+  const int Squeeze = 1 + static_cast<int>(Seed % 4);
+  const int Tight = std::max(4 * C.Nthd, LowerBound - Squeeze);
+  if (Tight >= LowerBound)
+    return; // this corpus entry has no squeezable gap
+
+  InterThreadResult Strict = allocateInterThread(C.Renamed, Tight);
+  ASSERT_FALSE(Strict.Success) << "seed " << Seed << ": Nreg=" << Tight
+                               << " below LB=" << LowerBound;
+  EXPECT_EQ(Strict.FailCode, StatusCode::Infeasible) << "seed " << Seed;
+
+  SpillFallbackOptions Opts;
+  Opts.MaxSpills = 256;
+  SpillFallbackResult SF = allocateWithSpillFallback(
+      C.Renamed, Tight, {}, {}, nullptr, InterAllocLimits(), Opts);
+  ASSERT_TRUE(SF.Inter.Success)
+      << "seed " << Seed << ": spill fallback failed at Nreg=" << Tight
+      << " (LB=" << LowerBound << "): " << SF.Inter.FailReason;
+  EXPECT_TRUE(SF.UsedSpilling) << "seed " << Seed;
+  EXPECT_LE(SF.Inter.RegistersUsed, Tight) << "seed " << Seed;
+
+  DiagnosticEngine Safety;
+  collectAllocationSafety(SF.Inter.Physical, Safety);
+  EXPECT_FALSE(Safety.hasErrors())
+      << "seed " << Seed << "\n" << dumpDiagnostics(Safety) << "\n"
+      << dumpNpralAllocation(SF.Inter);
+  for (const Diagnostic &D : Safety.diagnostics())
+    EXPECT_NE(D.Check, "cross-thread-abs-overlap")
+        << "seed " << Seed << ": spill scratch windows overlap: "
+        << D.Message;
+}
+
+// 3 tests x 200 seeds = 600 randomized cases over varied (Nthd, Nreg, CSB
 // density). The parameter is the seed itself; rerun one case with
 // --gtest_filter='*AllocFuzzTest*/<seed>'.
 INSTANTIATE_TEST_SUITE_P(AllocFuzz, AllocFuzzTest,

@@ -49,6 +49,8 @@
 #include "baseline/ChaitinAllocator.h"
 #include "driver/AnalysisCache.h"
 #include "driver/BatchPipeline.h"
+#include "harden/FaultInjector.h"
+#include "harden/SpillFallback.h"
 #include "ir/IRPrinter.h"
 #include "lint/Lint.h"
 #include "profile/ExecutionProfile.h"
@@ -84,7 +86,7 @@ int usage() {
          "      per-thread analysis (live ranges, NSRs, pressure) and the\n"
          "      MinR/MinPR/MaxR/MaxPR register bounds; no options\n"
          "  alloc    file.s [-nreg N] [--explain] [--profile f]\n"
-         "           [--pgo-static]\n"
+         "           [--pgo-static] [--allow-spill] [--max-spills K]\n"
          "      run the inter-thread allocator and print the physical\n"
          "      assembly plus the per-thread PR/SR split\n"
          "        -nreg N       register file size (default 128)\n"
@@ -98,6 +100,12 @@ int usage() {
          "                      hash to the profiled code\n"
          "        --pgo-static  weight move costs by 10^loop-depth instead\n"
          "                      of a collected profile\n"
+         "        --allow-spill degrade gracefully when the budget is\n"
+         "                      infeasible: demote the cheapest live ranges\n"
+         "                      to scratch memory and retry (feasible\n"
+         "                      inputs produce bit-identical output)\n"
+         "        --max-spills K  live ranges the fallback may demote\n"
+         "                      (default 64)\n"
          "  run      file.s [-nreg N] [-iters K] [-memlat L]\n"
          "      allocate, then simulate on the cycle-level engine\n"
          "        -nreg N    register file size (default 128)\n"
@@ -126,7 +134,9 @@ int usage() {
          "        -memlat L  memory latency in cycles (default 40)\n"
          "        -o file    write the profile to file (default: stdout)\n"
          "  batch    files... [--jobs N] [--cache] [--stats] [--json]\n"
-         "           [-nreg N] [--profile f] [--pgo-static]\n"
+         "           [-nreg N] [--profile f] [--pgo-static] [--allow-spill]\n"
+         "           [--max-spills K] [--retry-degraded] [--deadline-ms D]\n"
+         "           [--fault-inject spec]\n"
          "      run the full pipeline (parse, analyze, allocate, verify)\n"
          "      over many files on a thread pool; one result row per file\n"
          "        --jobs N      worker threads (default: hw concurrency)\n"
@@ -138,6 +148,21 @@ int usage() {
          "                      whose code hash matches (profile as a\n"
          "                      database; unmatched threads stay unit)\n"
          "        --pgo-static  10^loop-depth weights for unmatched threads\n"
+         "        --allow-spill spill-based graceful degradation for\n"
+         "                      infeasible budgets (see alloc)\n"
+         "        --max-spills K  per-job spill cap (default 64)\n"
+         "        --retry-degraded  retry an infeasible job once in\n"
+         "                      degraded (spill-permitted) mode; the first\n"
+         "                      attempt stays strict\n"
+         "        --deadline-ms D  per-job allocation deadline; an expired\n"
+         "                      deadline fails only that job\n"
+         "        --fault-inject <sites>@<rate>#<seed>\n"
+         "                      deterministic fault injection at the named\n"
+         "                      stage probes (parse,analysis,cache,alloc or\n"
+         "                      'all'); rate in percent, e.g. all@50#7. Also\n"
+         "                      honours NPRAL_FAULT_INJECT in the\n"
+         "                      environment. Injected faults fail the job,\n"
+         "                      never the batch\n"
          "  trace-validate file.json\n"
          "      strictly parse and validate a Chrome trace-event JSON\n"
          "      file (phases, per-track span balance, timestamp order)\n"
@@ -213,7 +238,8 @@ std::optional<ExecutionProfile> loadProfile(const std::string &Path) {
 }
 
 int cmdAlloc(const MultiThreadProgram &MTP, int Nreg, bool Print,
-             const ExecutionProfile *Prof, bool StaticPGO, bool Explain) {
+             const ExecutionProfile *Prof, bool StaticPGO, bool Explain,
+             bool AllowSpill, int MaxSpills) {
   // Resolve per-thread cost models. A collected profile matches threads by
   // position and must hash to the code it was collected on — silently
   // applying stale counts would skew every weighted decision.
@@ -241,8 +267,18 @@ int cmdAlloc(const MultiThreadProgram &MTP, int Nreg, bool Print,
   }
 
   AllocationDecisionLog Log;
-  InterThreadResult R =
-      allocateInterThread(MTP, Nreg, {}, Models, Explain ? &Log : nullptr);
+  InterThreadResult R;
+  SpillFallbackResult SF;
+  if (AllowSpill) {
+    SpillFallbackOptions SOpts;
+    SOpts.MaxSpills = MaxSpills;
+    SF = allocateWithSpillFallback(MTP, Nreg, {}, Models,
+                                   Explain ? &Log : nullptr,
+                                   InterAllocLimits(), SOpts);
+    R = std::move(SF.Inter);
+  } else {
+    R = allocateInterThread(MTP, Nreg, {}, Models, Explain ? &Log : nullptr);
+  }
   if (Explain) {
     Log.renderExplain(std::cout);
     std::cout << "\n";
@@ -276,6 +312,11 @@ int cmdAlloc(const MultiThreadProgram &MTP, int Nreg, bool Print,
   Table.print(std::cout);
   std::cout << "SGR=" << R.SGR << " at p" << R.SharedBase << "; "
             << R.RegistersUsed << "/" << Nreg << " registers used\n";
+  if (SF.UsedSpilling)
+    std::cout << "degraded: spilled " << SF.SpilledRanges
+              << " live range(s) to scratch memory (" << SF.SpillLoads
+              << " loads, " << SF.SpillStores << " stores, "
+              << SF.Attempts << " attempts)\n";
   if (PGO)
     std::cout << "weighted move cost: " << R.TotalWeightedCost << " ("
               << (Prof ? "collected profile" : "static estimate") << ")\n";
@@ -460,7 +501,9 @@ int cmdLint(MultiThreadProgram MTP, bool Json, bool AfterAlloc, bool Physical,
 
 int cmdBatch(const std::vector<std::string> &Files, int Jobs, bool UseCache,
              bool Stats, bool Json, int Nreg,
-             const std::string &ProfilePath, bool StaticPGO) {
+             const std::string &ProfilePath, bool StaticPGO, bool AllowSpill,
+             int MaxSpills, bool RetryDegraded, int DeadlineMs,
+             const std::string &FaultSpec) {
   if (Files.empty()) {
     std::cerr << "batch: no input files\n";
     return usage();
@@ -484,6 +527,21 @@ int cmdBatch(const std::vector<std::string> &Files, int Jobs, bool UseCache,
   Opts.UseCache = UseCache;
   Opts.Profile = Prof ? &*Prof : nullptr;
   Opts.StaticPGO = StaticPGO;
+  Opts.AllowSpill = AllowSpill;
+  Opts.MaxSpills = MaxSpills;
+  Opts.RetryDegraded = RetryDegraded;
+  Opts.DeadlineMs = DeadlineMs;
+  if (!FaultSpec.empty()) {
+    ErrorOr<FaultInjector> FI = FaultInjector::parse(FaultSpec);
+    if (!FI.ok()) {
+      std::cerr << "error: bad --fault-inject spec: " << FI.status().str()
+                << "\n";
+      return usage();
+    }
+    Opts.Faults = FI.take();
+  } else {
+    Opts.Faults = FaultInjector::fromEnv();
+  }
   const bool PGO = Opts.Profile != nullptr || StaticPGO;
   BatchResult Batch = runBatch(Inputs, Opts);
 
@@ -508,9 +566,11 @@ int cmdBatch(const std::vector<std::string> &Files, int Jobs, bool UseCache,
     }
   }
   Table.print(std::cout);
-  for (const BatchJobResult &R : Batch.Results)
-    if (!R.Success)
-      std::cerr << R.Name << ": " << R.FailReason << "\n";
+  // The failed[] report: one line per failed job with the stage and the
+  // status-code classification of its failure.
+  for (const BatchJobResult *R : Batch.failed())
+    std::cerr << R->Name << ": [" << R->FailStage << "/"
+              << statusCodeName(R->FailCode) << "] " << R->FailReason << "\n";
   if (Stats) {
     if (Json)
       Batch.Stats.renderJSON(std::cout);
@@ -553,9 +613,10 @@ int dispatch(int argc, char **argv) {
 
   if (Cmd == "batch") {
     std::vector<std::string> Files;
-    int Jobs = 0, Nreg = 128;
+    int Jobs = 0, Nreg = 128, MaxSpills = 64, DeadlineMs = 0;
     bool UseCache = false, Stats = false, Json = false, StaticPGO = false;
-    std::string ProfilePath;
+    bool AllowSpill = false, RetryDegraded = false;
+    std::string ProfilePath, FaultSpec;
     for (int I = 2; I < argc; ++I) {
       std::string Opt = argv[I];
       if (Opt == "--cache") {
@@ -566,15 +627,31 @@ int dispatch(int argc, char **argv) {
         Json = true;
       } else if (Opt == "--pgo-static") {
         StaticPGO = true;
+      } else if (Opt == "--allow-spill") {
+        AllowSpill = true;
+      } else if (Opt == "--retry-degraded") {
+        RetryDegraded = true;
       } else if (Opt == "--profile") {
         if (I + 1 >= argc)
           return usage();
         ProfilePath = argv[++I];
-      } else if (Opt == "--jobs" || Opt == "-nreg") {
+      } else if (Opt == "--fault-inject") {
+        if (I + 1 >= argc)
+          return usage();
+        FaultSpec = argv[++I];
+      } else if (Opt == "--jobs" || Opt == "-nreg" || Opt == "--max-spills" ||
+                 Opt == "--deadline-ms") {
         if (I + 1 >= argc)
           return usage();
         int Value = std::atoi(argv[++I]);
-        (Opt == "--jobs" ? Jobs : Nreg) = Value;
+        if (Opt == "--jobs")
+          Jobs = Value;
+        else if (Opt == "-nreg")
+          Nreg = Value;
+        else if (Opt == "--max-spills")
+          MaxSpills = Value;
+        else
+          DeadlineMs = Value;
       } else if (!Opt.empty() && Opt[0] == '-') {
         return usage();
       } else {
@@ -582,13 +659,15 @@ int dispatch(int argc, char **argv) {
       }
     }
     return cmdBatch(Files, Jobs, UseCache, Stats, Json, Nreg, ProfilePath,
-                    StaticPGO);
+                    StaticPGO, AllowSpill, MaxSpills, RetryDegraded,
+                    DeadlineMs, FaultSpec);
   }
 
   std::string Path = argv[2];
   int Nreg = 128, RegsPerThread = 32, Iters = 10, MemLat = 40, Nthd = 4;
+  int MaxSpills = 64;
   bool Json = false, AfterAlloc = false, Physical = false, StaticPGO = false;
-  bool Explain = false;
+  bool Explain = false, AllowSpill = false;
   std::string Only, ProfilePath, OutPath;
   for (int I = 3; I < argc; ++I) {
     std::string Opt = argv[I];
@@ -598,6 +677,10 @@ int dispatch(int argc, char **argv) {
     }
     if (Opt == "--explain") {
       Explain = true;
+      continue;
+    }
+    if (Opt == "--allow-spill") {
+      AllowSpill = true;
       continue;
     }
     if (Opt == "--after-alloc") {
@@ -623,6 +706,8 @@ int dispatch(int argc, char **argv) {
       OutPath = Value;
     else if (Opt == "-nreg")
       Nreg = std::atoi(Value.c_str());
+    else if (Opt == "--max-spills")
+      MaxSpills = std::atoi(Value.c_str());
     else if (Opt == "-regs")
       RegsPerThread = std::atoi(Value.c_str());
     else if (Opt == "-iters")
@@ -654,7 +739,7 @@ int dispatch(int argc, char **argv) {
         return 1;
     }
     return cmdAlloc(*MTP, Nreg, /*Print=*/!Explain, Prof ? &*Prof : nullptr,
-                    StaticPGO, Explain);
+                    StaticPGO, Explain, AllowSpill, MaxSpills);
   }
   if (Cmd == "profile")
     return cmdProfile(*MTP, Iters, MemLat, OutPath);
