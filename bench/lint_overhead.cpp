@@ -6,16 +6,29 @@
 // physical-program run adds the cross-thread race sweep over a real
 // allocation of an ARA scenario.
 //
+// The validator column measures translation validation the same way:
+// `validate_scenario` times a single validateTranslation proof over an
+// allocated ARA scenario, and `batch_validate/{off,on}` runs the batch
+// pipeline over the batch_throughput 64-program corpus with and without
+// --validate, so the end-to-end overhead of proving every allocation
+// reads directly off the two rows (EXPERIMENTS.md pins it under 10%).
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchSupport.h"
 
 #include "alloc/InterAllocator.h"
+#include "driver/BatchPipeline.h"
 #include "lint/Lint.h"
+#include "lint/TranslationValidator.h"
 #include "support/DiagnosticEngine.h"
 #include "workloads/Harness.h"
+#include "workloads/ProgramGenerator.h"
 
 #include "benchmark/benchmark.h"
+
+#include <string>
+#include <vector>
 
 using namespace npral;
 
@@ -58,6 +71,66 @@ void BM_LintSingleKernel(benchmark::State &State, const std::string &Name) {
   }
 }
 
+void BM_ValidateScenario(benchmark::State &State, int Index) {
+  MultiThreadProgram Virtual = scenarioVirtual(Index);
+  InterThreadResult R = allocateInterThread(Virtual, 128);
+  if (!R.Success)
+    reportFatalError("allocation failed: " + R.FailReason);
+  for (auto _ : State) {
+    DiagnosticEngine Engine;
+    ValidationResult V = validateTranslation(Virtual, R.Physical, Engine);
+    if (!V.Proved)
+      reportFatalError("validator refuted a correct allocation");
+    benchmark::DoNotOptimize(V.InstructionsMatched);
+  }
+}
+
+/// The batch_throughput corpus: 64 distinct two-thread generated programs,
+/// so the --validate overhead is measured on the same workload the batch
+/// scaling numbers come from.
+std::vector<BatchJob> makeBatchCorpus() {
+  constexpr int CorpusSize = 64;
+  std::vector<BatchJob> Jobs;
+  for (int I = 0; I < CorpusSize; ++I) {
+    const uint64_t Seed = static_cast<uint64_t>(I) + 1;
+    BatchJob Job;
+    Job.Name = "p" + std::to_string(I);
+    for (int T = 0; T < 2; ++T) {
+      GeneratorConfig Config;
+      Config.TargetInstructions = 90;
+      Config.CtxRatePerMille = 160;
+      Config.MemBase = 0x1000 + 0x800 * static_cast<uint32_t>(T);
+      Config.OutBase = 0x5000 + 0x100 * static_cast<uint32_t>(T);
+      Program P = generateRandomProgram(Seed * 10 + static_cast<uint64_t>(T),
+                                        Config);
+      P.Name = "t" + std::to_string(T);
+      Job.Program.Threads.push_back(std::move(P));
+    }
+    Jobs.push_back(std::move(Job));
+  }
+  return Jobs;
+}
+
+void BM_BatchValidate(benchmark::State &State, bool Validate) {
+  std::vector<BatchJob> Corpus = makeBatchCorpus();
+  BatchOptions Opts;
+  Opts.Jobs = 1; // serial, so the overhead is not hidden by idle workers
+  Opts.Validate = Validate;
+  PipelineStats Last;
+  for (auto _ : State) {
+    BatchResult R = runBatch(Corpus, Opts);
+    if (!R.allSucceeded())
+      reportFatalError("batch corpus failed to allocate");
+    Last = R.Stats;
+    benchmark::DoNotOptimize(R.Results.data());
+  }
+  State.counters["programs_per_sec"] = benchmark::Counter(
+      Last.throughput(), benchmark::Counter::kAvgIterations);
+  if (Validate)
+    State.counters["validate_ms"] =
+        static_cast<double>(Last.ValidateNs) / 1e6;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -71,7 +144,12 @@ int main(int argc, char **argv) {
     benchmark::RegisterBenchmark(
         ("lint_physical/S" + std::to_string(I + 1)).c_str(), BM_LintPhysical,
         I);
+    benchmark::RegisterBenchmark(
+        ("validate_scenario/S" + std::to_string(I + 1)).c_str(),
+        BM_ValidateScenario, I);
   }
+  benchmark::RegisterBenchmark("batch_validate/off", BM_BatchValidate, false);
+  benchmark::RegisterBenchmark("batch_validate/on", BM_BatchValidate, true);
 
   std::vector<std::string> ArgStorage;
   std::vector<char *> ArgPtrs;

@@ -1,0 +1,22 @@
+; A deliberately MISCOMPILED translation, as a paired fixture for
+; `npralc verify --paired`: the first half of the threads is the virtual
+; input, the second half the claimed physical output (p<N> names). The
+; "allocator" here swapped the operands of the subtraction — sub is not
+; commutative, so the physical thread computes b - a instead of a - b.
+; The translation validator must reject this with an operand-value
+; mismatch witness at the `sub`.
+.thread diff
+.entrylive a, b
+main:
+    sub  d, a, b
+    store [d+0], d
+    loopend
+    halt
+
+.thread diff.phys
+.entrylive p0, p1
+main:
+    sub  p2, p1, p0        ; BUG: operands swapped (b - a, not a - b)
+    store [p2+0], p2
+    loopend
+    halt

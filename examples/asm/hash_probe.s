@@ -1,0 +1,51 @@
+; Hash-table probe with a bounded reprobe loop: compute a mask-and-shift
+; hash, walk up to three probe slots, and fall out to an overflow bucket.
+; Nested control flow (loop inside loop, early exit) gives the validator's
+; fixpoint real joins to stabilise.
+;
+;   npralc alloc  examples/asm/hash_probe.s -nreg 9
+;   npralc verify examples/asm/hash_probe.s -nreg 9
+.thread hash_probe
+.entrylive keys, table, outp
+main:
+    imm  n, 6
+key:
+    load k, [keys+0]
+    muli h, k, 31
+    andi h, h, 7
+    add  slot, table, h
+    imm  tries, 3
+probe:
+    load cur, [slot+0]
+    beq  cur, k, hit
+    addi slot, slot, 1
+    subi tries, tries, 1
+    bnz  tries, probe
+    imm  miss, 0
+    store [outp+1], miss       ; overflow bucket
+    br   next
+hit:
+    store [outp+0], k
+next:
+    addi keys, keys, 1
+    subi n, n, 1
+    bnz  n, key
+    loopend
+    halt
+
+.thread occupancy
+.entrylive table, statp
+main:
+    imm  used, 0
+    imm  i, 8
+scan:
+    load e, [table+0]
+    bz   e, skip
+    addi used, used, 1
+skip:
+    addi table, table, 1
+    subi i, i, 1
+    bnz  i, scan
+    store [statp+0], used
+    loopend
+    halt

@@ -1,0 +1,42 @@
+; Header/payload split with a reassembly checker: thread one copies a
+; fixed-size header into one region and the payload into another; thread
+; two recomputes the split lengths and cross-checks the totals. High
+; simultaneous pressure inside the copy loops, low pressure at the CSBs —
+; the profile of code the paper's splitting transformations reward.
+;
+;   npralc alloc  examples/asm/header_split.s -nreg 10
+;   npralc verify examples/asm/header_split.s -nreg 10
+.thread splitter
+.entrylive pkt, hdrq, payq
+main:
+    imm  hl, 3                 ; header words
+    imm  pl, 5                 ; payload words
+hdr:
+    load w, [pkt+0]
+    store [hdrq+0], w
+    addi pkt, pkt, 1
+    addi hdrq, hdrq, 1
+    subi hl, hl, 1
+    bnz  hl, hdr
+pay:
+    load w, [pkt+0]
+    store [payq+0], w
+    addi pkt, pkt, 1
+    addi payq, payq, 1
+    subi pl, pl, 1
+    bnz  pl, pay
+    loopend
+    halt
+
+.thread length_check
+.entrylive statp
+main:
+    imm  hl, 3
+    imm  pl, 5
+    add  total, hl, pl
+    shli bytes, total, 2
+    ctx                        ; total/bytes live across the yield
+    store [statp+0], total
+    store [statp+1], bytes
+    loopend
+    halt

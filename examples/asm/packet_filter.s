@@ -1,0 +1,44 @@
+; A two-thread packet filter: the classifier walks a descriptor ring and
+; forwards or drops by port number (diamond CFG inside the loop), while a
+; statistics thread tallies how often the engine yielded. The classifier's
+; cursor and accept counter are live across the load CSBs, so they must
+; end up private under the paper's safety rule.
+;
+;   npralc alloc  examples/asm/packet_filter.s -nreg 8
+;   npralc verify examples/asm/packet_filter.s -nreg 8
+.thread classifier
+.entrylive ring, outq
+main:
+    imm  accept, 0
+    imm  n, 8
+pkt:
+    load port, [ring+0]        ; CSB: ring, accept, n live across
+    imm  allow, 80
+    beq  port, allow, fwd
+    imm  zero, 0
+    store [outq+1], zero       ; drop lane: write a zero marker
+    br   next
+fwd:
+    addi accept, accept, 1
+    store [outq+0], port
+next:
+    addi ring, ring, 1
+    subi n, n, 1
+    bnz  n, pkt
+    store [outq+2], accept
+    loopend
+    halt
+
+.thread yield_stats
+.entrylive statp
+main:
+    imm  yields, 0
+    imm  rounds, 6
+spin:
+    ctx                        ; voluntary yield: yields/rounds live across
+    addi yields, yields, 1
+    subi rounds, rounds, 1
+    bnz  rounds, spin
+    store [statp+0], yields
+    loopend
+    halt

@@ -1,0 +1,62 @@
+; Four symmetric counter threads — the paper's Nthd=4 configuration in
+; miniature. Every thread keeps its own stride accumulator live across a
+; voluntary yield, so each needs one private register while the scratch
+; values can share; a stress for the Fig. 8 reduction with many threads.
+;
+;   npralc alloc examples/asm/quad_counters.s -nreg 8
+;   npralc batch examples/asm/quad_counters.s --jobs 2
+.thread lane0
+.entrylive outp
+main:
+    imm  acc, 0
+    imm  n, 4
+tick:
+    ctx
+    addi acc, acc, 1
+    subi n, n, 1
+    bnz  n, tick
+    store [outp+0], acc
+    loopend
+    halt
+
+.thread lane1
+.entrylive outp
+main:
+    imm  acc, 0
+    imm  n, 4
+tick:
+    ctx
+    addi acc, acc, 2
+    subi n, n, 1
+    bnz  n, tick
+    store [outp+1], acc
+    loopend
+    halt
+
+.thread lane2
+.entrylive outp
+main:
+    imm  acc, 0
+    imm  n, 4
+tick:
+    ctx
+    addi acc, acc, 3
+    subi n, n, 1
+    bnz  n, tick
+    store [outp+2], acc
+    loopend
+    halt
+
+.thread lane3
+.entrylive outp
+main:
+    imm  acc, 0
+    imm  n, 4
+tick:
+    ctx
+    addi acc, acc, 4
+    subi n, n, 1
+    bnz  n, tick
+    store [outp+3], acc
+    loopend
+    halt

@@ -1,0 +1,38 @@
+; Producer/consumer hand-off over a signal channel: the producer fills a
+; ring slot then posts channel 1; the consumer blocks on the channel before
+; reading. Both `signal` and `wait` yield the CPU, so every loop-carried
+; register crosses a CSB every iteration — a worst case for shared
+; registers and a good stress for the allocator's private budgeting.
+;
+;   npralc run   examples/asm/ring_handoff.s -iters 4
+;   npralc alloc examples/asm/ring_handoff.s -nreg 8
+.thread producer
+.entrylive ring
+main:
+    imm  val, 0x11
+    imm  n, 4
+fill:
+    store [ring+0], val
+    addi ring, ring, 1
+    addi val, val, 2
+    signal 1                   ; CSB: ring, val, n live across
+    subi n, n, 1
+    bnz  n, fill
+    loopend
+    halt
+
+.thread consumer
+.entrylive ring, outp
+main:
+    imm  sum, 0
+    imm  n, 4
+drain:
+    wait 1                     ; CSB: blocks until the producer posts
+    load v, [ring+0]
+    add  sum, sum, v
+    addi ring, ring, 1
+    subi n, n, 1
+    bnz  n, drain
+    store [outp+0], sum
+    loopend
+    halt

@@ -1,0 +1,51 @@
+; Absolute-addressed scratch mailboxes: each thread owns a fixed scratch
+; word (loada/storea, the same opcodes spill code uses) and posts its
+; running total there every iteration. The addresses appear in the
+; *source*, so the translation validator must match them as original
+; instructions and not mistake them for allocator spill traffic.
+;
+;   npralc alloc  examples/asm/scratch_mailbox.s -nreg 8
+;   npralc verify examples/asm/scratch_mailbox.s -nreg 8
+.thread poster_a
+.entrylive src
+main:
+    imm  total, 0
+    imm  n, 4
+step:
+    load v, [src+0]
+    add  total, total, v
+    storea 0x400, total        ; mailbox A: absolute scratch word
+    addi src, src, 1
+    subi n, n, 1
+    bnz  n, step
+    loopend
+    halt
+
+.thread poster_b
+.entrylive src
+main:
+    imm  total, 0
+    imm  n, 4
+step:
+    load v, [src+8]
+    add  total, total, v
+    storea 0x401, total        ; mailbox B
+    addi src, src, 1
+    subi n, n, 1
+    bnz  n, step
+    loopend
+    halt
+
+.thread reader
+main:
+    imm  rounds, 3
+poll:
+    ctx
+    loada a, 0x400
+    loada b, 0x401
+    add  sum, a, b
+    storea 0x402, sum          ; combined mailbox
+    subi rounds, rounds, 1
+    bnz  rounds, poll
+    loopend
+    halt

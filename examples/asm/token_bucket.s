@@ -1,0 +1,44 @@
+; Token-bucket rate limiter: the refill thread adds tokens (saturating at
+; the burst size) on every yield; the shaper spends one token per packet
+; and diverts to a drop queue when the bucket in scratch memory is empty.
+; The bucket lives at an absolute scratch word both threads touch.
+;
+;   npralc alloc  examples/asm/token_bucket.s -nreg 8
+;   npralc verify examples/asm/token_bucket.s -nreg 8
+.thread refill
+main:
+    imm  burst, 4
+    imm  rounds, 6
+tick:
+    ctx
+    loada t, 0x500
+    addi t, t, 2
+    blt  t, burst, ok
+    mov  t, burst              ; saturate at the burst size
+ok:
+    storea 0x500, t
+    subi rounds, rounds, 1
+    bnz  rounds, tick
+    loopend
+    halt
+
+.thread shaper
+.entrylive inq, outq, dropq
+main:
+    imm  n, 6
+pkt:
+    load p, [inq+0]
+    loada t, 0x500
+    bz   t, drop
+    subi t, t, 1
+    storea 0x500, t
+    store [outq+0], p
+    br   next
+drop:
+    store [dropq+0], p
+next:
+    addi inq, inq, 1
+    subi n, n, 1
+    bnz  n, pkt
+    loopend
+    halt

@@ -1,0 +1,43 @@
+; IPv4-style TTL rewrite: load the TTL field, decrement, drop the packet
+; when it hits zero, otherwise patch the header and fix the checksum by
+; incremental update. A second thread ages a table entry every other
+; engine yield. Both threads keep several values across CSBs.
+;
+;   npralc alloc  examples/asm/ttl_rewrite.s -nreg 8
+;   npralc verify examples/asm/ttl_rewrite.s -nreg 8
+.thread ttl_rewrite
+.entrylive hdr, dropq
+main:
+    imm  n, 8
+pkt:
+    load ttl, [hdr+0]
+    subi ttl, ttl, 1
+    bz   ttl, drop
+    store [hdr+0], ttl
+    load csum, [hdr+1]
+    addi csum, csum, 1         ; incremental checksum fix-up
+    store [hdr+1], csum
+    br   next
+drop:
+    imm  one, 1
+    store [dropq+0], one
+next:
+    addi hdr, hdr, 2
+    subi n, n, 1
+    bnz  n, pkt
+    loopend
+    halt
+
+.thread table_ager
+.entrylive tbl
+main:
+    imm  rounds, 4
+age:
+    ctx
+    load e, [tbl+0]
+    shri e, e, 1               ; halve the activity counter
+    store [tbl+0], e
+    subi rounds, rounds, 1
+    bnz  rounds, age
+    loopend
+    halt

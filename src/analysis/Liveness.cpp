@@ -2,6 +2,8 @@
 
 #include "analysis/Liveness.h"
 
+#include "lint/dataflow/GenKill.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -30,53 +32,24 @@ LivenessInfo npral::computeLiveness(const Program &P) {
   LI.InstrLiveOut.resize(static_cast<size_t>(NumBlocks));
   LI.EverReferenced.assign(static_cast<size_t>(NumRegs), 0);
 
-  // Per-block upward-exposed uses and kills.
-  std::vector<BitVector> UEVar(static_cast<size_t>(NumBlocks),
-                               BitVector(NumRegs));
-  std::vector<BitVector> VarKill(static_cast<size_t>(NumBlocks),
-                                 BitVector(NumRegs));
-  for (int B = 0; B < NumBlocks; ++B) {
-    const BasicBlock &BB = P.block(B);
-    for (const Instruction &I : BB.Instrs) {
+  // Block-level fixpoint through the shared worklist solver: backward
+  // may-analysis with Gen = upward-exposed uses, Kill = defs, solved
+  // word-parallel over BitVector facts (lint/dataflow/GenKill.h).
+  GenKillProblem Prob = makeLivenessProblem(P);
+  DataflowResult<BitVector> Solved = solveDataflow(P, Prob);
+  LI.BlockLiveIn = std::move(Solved.In);
+  LI.BlockLiveOut = std::move(Solved.Out);
+
+  for (int B = 0; B < NumBlocks; ++B)
+    for (const Instruction &I : P.block(B).Instrs) {
       std::array<Reg, 2> Uses;
       int N = I.getUses(Uses);
-      for (int U = 0; U < N; ++U) {
-        Reg R = Uses[static_cast<size_t>(U)];
-        LI.EverReferenced[static_cast<size_t>(R)] = 1;
-        if (!VarKill[static_cast<size_t>(B)].test(R))
-          UEVar[static_cast<size_t>(B)].set(R);
-      }
-      if (I.Def != NoReg) {
+      for (int U = 0; U < N; ++U)
+        LI.EverReferenced[static_cast<size_t>(Uses[static_cast<size_t>(U)])] =
+            1;
+      if (I.Def != NoReg)
         LI.EverReferenced[static_cast<size_t>(I.Def)] = 1;
-        VarKill[static_cast<size_t>(B)].set(I.Def);
-      }
     }
-  }
-
-  // Iterate to fixpoint in post order (backward problem).
-  std::vector<int> RPO = P.computeRPO();
-  std::vector<int> PO(RPO.rbegin(), RPO.rend());
-  bool Changed = true;
-  while (Changed) {
-    Changed = false;
-    for (int B : PO) {
-      BitVector NewOut(NumRegs);
-      for (int S : P.successors(B))
-        NewOut.unionWith(LI.BlockLiveIn[static_cast<size_t>(S)]);
-      if (!(NewOut == LI.BlockLiveOut[static_cast<size_t>(B)])) {
-        LI.BlockLiveOut[static_cast<size_t>(B)] = NewOut;
-        Changed = true;
-      }
-      // LiveIn = UEVar | (LiveOut & ~VarKill)
-      BitVector NewIn = LI.BlockLiveOut[static_cast<size_t>(B)];
-      NewIn.subtract(VarKill[static_cast<size_t>(B)]);
-      NewIn.unionWith(UEVar[static_cast<size_t>(B)]);
-      if (!(NewIn == LI.BlockLiveIn[static_cast<size_t>(B)])) {
-        LI.BlockLiveIn[static_cast<size_t>(B)] = NewIn;
-        Changed = true;
-      }
-    }
-  }
 
   // Per-instruction live-out by a backward scan of each block, and pressure.
   LI.RegPmax = 0;

@@ -10,6 +10,7 @@
 #include "harden/Watchdog.h"
 #include "ir/IRPrinter.h"
 #include "ir/IRVerifier.h"
+#include "lint/TranslationValidator.h"
 #include "profile/StaticFrequencyEstimator.h"
 #include "support/StringUtils.h"
 #include "support/ThreadPool.h"
@@ -203,6 +204,26 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
                   "unsafe allocation: " + Safety.str());
   }
 
+  // Stage 6: translation validation — prove the physical output computes
+  // exactly what the renamed virtual program (still held in MTP; allocation
+  // does not mutate its input) computes. Spill-degraded outputs are proved
+  // against the same pre-spill reference.
+  if (Opts.Validate) {
+    NPRAL_TRACE_SPAN_ARGS("batch", "validate", {"name", R.Name});
+    const int64_t T0 = nowNs();
+    DiagnosticEngine Diags;
+    ValidationResult V = validateTranslation(MTP, Alloc.Physical, Diags);
+    R.ValidateNs = nowNs() - T0;
+    if (!V.Proved) {
+      const Diagnostic *First = Diags.firstError();
+      return fail("validate", StatusCode::Internal,
+                  "translation validation refuted the allocation: " +
+                      (First ? First->Message
+                             : std::string("program shape mismatch")));
+    }
+    R.Validated = true;
+  }
+
   if (Opts.KeepPhysical)
     R.Physical = std::move(Alloc.Physical);
   R.Success = true;
@@ -285,6 +306,10 @@ BatchResult npral::runBatch(const std::vector<BatchJob> &Inputs,
       RunMetrics.counter("batch.deadline_exceeded").increment();
     if (R.FailCode == StatusCode::FaultInjected)
       RunMetrics.counter("batch.faults_injected").increment();
+    if (R.Validated)
+      RunMetrics.counter("batch.validated").increment();
+    if (R.FailStage == "validate")
+      RunMetrics.counter("batch.validate_failed").increment();
     RunMetrics.counter("batch.cache.hits").add(R.CacheHits);
     RunMetrics.counter("batch.cache.misses").add(R.CacheMisses);
     RunMetrics.counter("batch.stage.parse_ns").add(R.ParseNs);
@@ -292,6 +317,7 @@ BatchResult npral::runBatch(const std::vector<BatchJob> &Inputs,
     RunMetrics.counter("batch.stage.bounds_ns").add(R.BoundsNs);
     RunMetrics.counter("batch.stage.alloc_ns").add(R.AllocNs);
     RunMetrics.counter("batch.stage.verify_ns").add(R.VerifyNs);
+    RunMetrics.counter("batch.stage.validate_ns").add(R.ValidateNs);
   }
   RunMetrics.counter("batch.wall_ns").add(nowNs() - Wall0);
 
@@ -318,6 +344,9 @@ void PipelineStats::toRegistry(MetricsRegistry &MR) const {
   MR.counter("batch.retried").add(Retried);
   MR.counter("batch.deadline_exceeded").add(DeadlineExceeded);
   MR.counter("batch.faults_injected").add(FaultsInjected);
+  MR.counter("batch.validated").add(Validated);
+  MR.counter("batch.validate_failed").add(ValidateFailed);
+  MR.counter("batch.stage.validate_ns").add(ValidateNs);
 }
 
 PipelineStats PipelineStats::fromRegistry(const MetricsRegistry &MR) {
@@ -341,6 +370,10 @@ PipelineStats PipelineStats::fromRegistry(const MetricsRegistry &MR) {
       static_cast<int>(MR.counterValue("batch.deadline_exceeded"));
   S.FaultsInjected =
       static_cast<int>(MR.counterValue("batch.faults_injected"));
+  S.Validated = static_cast<int>(MR.counterValue("batch.validated"));
+  S.ValidateFailed =
+      static_cast<int>(MR.counterValue("batch.validate_failed"));
+  S.ValidateNs = MR.counterValue("batch.stage.validate_ns");
   return S;
 }
 
@@ -366,6 +399,11 @@ void PipelineStats::renderText(std::ostream &OS) const {
         "harden: %d degraded, %d retried, %d deadline-exceeded, "
         "%d faults injected\n",
         Degraded, Retried, DeadlineExceeded, FaultsInjected);
+  // Same convention for the validation line: only --validate runs have
+  // nonzero counters, so plain runs keep their historical output.
+  if (Validated || ValidateFailed)
+    OS << formatString("validate: %d proved, %d refuted (%.2f ms)\n",
+                       Validated, ValidateFailed, ms(ValidateNs));
   OS << formatString("wall: %.2f ms (%.1f programs/s)\n", ms(WallNs),
                      throughput());
 }
@@ -387,6 +425,10 @@ void PipelineStats::renderJSON(std::ostream &OS) const {
        << ", \"retried\": " << Retried
        << ", \"deadline_exceeded\": " << DeadlineExceeded
        << ", \"faults_injected\": " << FaultsInjected << "},\n";
+  if (Validated || ValidateFailed)
+    OS << "  \"validate\": {\"proved\": " << Validated
+       << ", \"refuted\": " << ValidateFailed
+       << ", \"ns\": " << ValidateNs << "},\n";
   OS << "  \"wall_ns\": " << WallNs << ",\n";
   OS << formatString("  \"throughput_programs_per_sec\": %.2f\n",
                      throughput());

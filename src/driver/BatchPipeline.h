@@ -56,6 +56,13 @@ struct BatchOptions {
   bool UseCache = false;
   /// Run the AllocationVerifier over every successful allocation.
   bool Verify = true;
+  /// Run the translation validator over every successful allocation: a
+  /// symbolic value-flow proof that the physical program computes exactly
+  /// what the renamed virtual program computes (lint/TranslationValidator.h).
+  /// Strictly stronger than Verify's safety check — it catches miscompiles,
+  /// not just cross-thread clobbers — at roughly one extra dataflow pass
+  /// per job. A refuted job fails in stage "validate".
+  bool Validate = false;
   /// Retain each job's physical program in its result (costs memory; the
   /// CLI leaves it off, tests and the determinism suite turn it on).
   bool KeepPhysical = false;
@@ -119,6 +126,8 @@ struct BatchJobResult {
   bool WatchdogFired = false;
   /// True when the job's allocation came from the spill fallback.
   bool UsedSpilling = false;
+  /// True when translation validation ran and proved the job's output.
+  bool Validated = false;
   /// Live ranges demoted to memory by the spill fallback.
   int SpilledRanges = 0;
   int NumThreads = 0;
@@ -138,6 +147,7 @@ struct BatchJobResult {
   int64_t BoundsNs = 0;
   int64_t AllocNs = 0;
   int64_t VerifyNs = 0;
+  int64_t ValidateNs = 0;
   /// Filled when BatchOptions::KeepPhysical.
   MultiThreadProgram Physical;
 };
@@ -167,6 +177,11 @@ struct PipelineStats {
   int Retried = 0;         ///< Jobs sent through the degraded retry.
   int DeadlineExceeded = 0; ///< Jobs cancelled by the watchdog.
   int FaultsInjected = 0;  ///< Jobs failed by an injected fault.
+  /// Translation-validation counters; like the robustness counters they
+  /// stay zero (and unrendered) unless BatchOptions::Validate was on.
+  int Validated = 0;       ///< Jobs whose output the validator proved.
+  int ValidateFailed = 0;  ///< Jobs the validator refuted.
+  int64_t ValidateNs = 0;  ///< Wall clock of the validate stage, summed.
 
   /// Hits / (hits + misses); 0 when the cache saw no traffic.
   double cacheHitRate() const {

@@ -3,6 +3,7 @@
 #include "ir/IRPrinter.h"
 #include "lint/Checkers.h"
 #include "lint/Lint.h"
+#include "lint/dataflow/GenKill.h"
 #include "support/BitVector.h"
 
 #include <array>
@@ -16,44 +17,19 @@ void lintchecks::checkMaybeUninit(LintContext &Ctx) {
       continue;
     const Program &P = Ctx.thread(T);
     const int NumBlocks = P.getNumBlocks();
-    const int NumRegs = P.NumRegs;
 
-    // Forward may-analysis: a register is maybe-undefined at a point when
-    // some path from entry reaches the point without defining it. Defs
-    // kill; joins are unions. (checkNoUseOfUndef only looks at the entry
-    // live-in — this pinpoints every offending read.)
-    std::vector<BitVector> Defs(static_cast<size_t>(NumBlocks),
-                                BitVector(NumRegs));
-    for (int B = 0; B < NumBlocks; ++B)
-      for (const Instruction &I : P.block(B).Instrs)
-        if (I.Def != NoReg)
-          Defs[static_cast<size_t>(B)].set(I.Def);
-
-    BitVector EntryUndef(NumRegs);
-    for (int R = 0; R < NumRegs; ++R)
-      EntryUndef.set(R);
-    for (Reg R : P.EntryLiveRegs)
-      EntryUndef.reset(R);
-
-    std::vector<BitVector> In(static_cast<size_t>(NumBlocks),
-                              BitVector(NumRegs));
-    In[static_cast<size_t>(P.getEntryBlock())] = EntryUndef;
-    std::vector<int> RPO = P.computeRPO();
-    bool Changed = true;
-    while (Changed) {
-      Changed = false;
-      for (int B : RPO) {
-        BitVector Out = In[static_cast<size_t>(B)];
-        Out.subtract(Defs[static_cast<size_t>(B)]);
-        for (int S : P.successors(B))
-          Changed |= In[static_cast<size_t>(S)].unionWith(Out);
-      }
-    }
+    // Forward may-analysis on the shared worklist solver: a register is
+    // maybe-undefined at a point when some path from entry reaches the
+    // point without defining it. Defs kill; joins are unions.
+    // (checkNoUseOfUndef only looks at the entry live-in — this pinpoints
+    // every offending read.)
+    DataflowResult<BitVector> Undefness =
+        solveDataflow(P, makeMaybeUninitProblem(P));
 
     // Reporting pass: exact per-instruction walk of each block.
     for (int B = 0; B < NumBlocks; ++B) {
       const BasicBlock &BB = P.block(B);
-      BitVector Undef = In[static_cast<size_t>(B)];
+      BitVector Undef = Undefness.In[static_cast<size_t>(B)];
       for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
         const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
         std::array<Reg, 2> Uses;

@@ -1,0 +1,51 @@
+//===- GenKill.cpp - Gen/kill problem builders ----------------------------===//
+
+#include "lint/dataflow/GenKill.h"
+
+#include <array>
+
+using namespace npral;
+
+GenKillProblem npral::makeLivenessProblem(const Program &P) {
+  GenKillProblem Prob;
+  Prob.Dir = DataflowDirection::Backward;
+  Prob.NumBits = P.NumRegs;
+  const size_t NumBlocks = static_cast<size_t>(P.getNumBlocks());
+  Prob.Gen.assign(NumBlocks, BitVector(P.NumRegs));
+  Prob.Kill.assign(NumBlocks, BitVector(P.NumRegs));
+  Prob.BoundaryValue = BitVector(P.NumRegs);
+  for (size_t B = 0; B < NumBlocks; ++B) {
+    for (const Instruction &I : P.block(static_cast<int>(B)).Instrs) {
+      std::array<Reg, 2> Uses;
+      int N = I.getUses(Uses);
+      for (int U = 0; U < N; ++U) {
+        Reg R = Uses[static_cast<size_t>(U)];
+        // Upward-exposed: used before any def in this block.
+        if (!Prob.Kill[B].test(R))
+          Prob.Gen[B].set(R);
+      }
+      if (I.Def != NoReg)
+        Prob.Kill[B].set(I.Def);
+    }
+  }
+  return Prob;
+}
+
+GenKillProblem npral::makeMaybeUninitProblem(const Program &P) {
+  GenKillProblem Prob;
+  Prob.Dir = DataflowDirection::Forward;
+  Prob.NumBits = P.NumRegs;
+  const size_t NumBlocks = static_cast<size_t>(P.getNumBlocks());
+  Prob.Gen.assign(NumBlocks, BitVector(P.NumRegs));
+  Prob.Kill.assign(NumBlocks, BitVector(P.NumRegs));
+  for (size_t B = 0; B < NumBlocks; ++B)
+    for (const Instruction &I : P.block(static_cast<int>(B)).Instrs)
+      if (I.Def != NoReg)
+        Prob.Kill[B].set(I.Def);
+  Prob.BoundaryValue = BitVector(P.NumRegs);
+  for (Reg R = 0; R < P.NumRegs; ++R)
+    Prob.BoundaryValue.set(R);
+  for (Reg R : P.EntryLiveRegs)
+    Prob.BoundaryValue.reset(R);
+  return Prob;
+}

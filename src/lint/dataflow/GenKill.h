@@ -1,0 +1,67 @@
+//===- GenKill.h - Word-parallel bitset gen/kill problems -------*- C++ -*-===//
+///
+/// \file
+/// The workhorse dataflow domain: per-block gen/kill sets over a dense
+/// BitVector, solved word-parallel (64 registers per machine operation)
+/// by the generic solver in Dataflow.h. The transfer function is the
+/// classic
+///
+///   flow(V) = Gen[B] | (V & ~Kill[B])
+///
+/// with set-union join — a may-analysis in either direction. Liveness
+/// (backward: Gen = upward-exposed uses, Kill = defs) and maybe-uninit
+/// (forward: Gen = empty, Kill = defs, boundary = registers not entry-
+/// live) are both instances; this domain is also the working prototype
+/// for the ROADMAP item 3 bitset hot-path rewrite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_LINT_DATAFLOW_GENKILL_H
+#define NPRAL_LINT_DATAFLOW_GENKILL_H
+
+#include "lint/dataflow/Dataflow.h"
+#include "support/BitVector.h"
+
+#include <vector>
+
+namespace npral {
+
+/// A union-join gen/kill problem over BitVector facts.
+struct GenKillProblem {
+  using Value = BitVector;
+
+  DataflowDirection Dir = DataflowDirection::Forward;
+  int NumBits = 0;
+  /// Per-block facts generated (flow-side) and killed, indexed by block ID.
+  std::vector<BitVector> Gen;
+  std::vector<BitVector> Kill;
+  /// Facts holding at the CFG boundary: the entry block's join side for a
+  /// forward problem, every exit block's join side for a backward one.
+  BitVector BoundaryValue;
+
+  DataflowDirection direction() const { return Dir; }
+  Value boundary(const Program &) const { return BoundaryValue; }
+  Value bottom(const Program &) const { return BitVector(NumBits); }
+  bool join(Value &Into, const Value &From) const {
+    return Into.unionWith(From);
+  }
+  void transfer(const Program &, int Block, Value &V) const {
+    V.subtract(Kill[static_cast<size_t>(Block)]);
+    V.unionWith(Gen[static_cast<size_t>(Block)]);
+  }
+};
+
+/// Backward liveness over \p P: Gen = upward-exposed uses, Kill = defs,
+/// empty boundary. solveDataflow yields In = block live-in, Out = block
+/// live-out — the facts LivenessInfo is built from.
+GenKillProblem makeLivenessProblem(const Program &P);
+
+/// Forward maybe-uninitialized over \p P: a register is maybe-undef at a
+/// point when some path from entry reaches it without a def. Kill = defs,
+/// Gen = empty, boundary = all registers minus the declared entry-live
+/// ones. In = maybe-undef at block entry.
+GenKillProblem makeMaybeUninitProblem(const Program &P);
+
+} // namespace npral
+
+#endif // NPRAL_LINT_DATAFLOW_GENKILL_H

@@ -71,6 +71,17 @@ void DiagnosticEngine::sortBySeverity() {
                    });
 }
 
+void DiagnosticEngine::sortByPosition() {
+  std::stable_sort(Diags.begin(), Diags.end(),
+                   [](const Diagnostic &A, const Diagnostic &B) {
+                     if (A.Thread != B.Thread)
+                       return A.Thread < B.Thread;
+                     if (A.Block != B.Block)
+                       return A.Block < B.Block;
+                     return A.Instr < B.Instr;
+                   });
+}
+
 std::string npral::formatDiagnostic(const Diagnostic &D) {
   std::string Out;
   if (!D.Thread.empty()) {

@@ -84,6 +84,13 @@ public:
   /// so diagnostics from one check at one point keep their emission order.
   void sortBySeverity();
 
+  /// Sort by program position alone: thread, then block, then instruction
+  /// index, ignoring severity. Stable, so two findings at one point keep
+  /// their emission order. This is the canonical order for parallel lint
+  /// and verify runs — it depends only on the program, not on worker
+  /// scheduling, so a `--jobs 8` run renders byte-identically to `--jobs 1`.
+  void sortByPosition();
+
   /// Render one line per diagnostic plus a trailing summary line.
   void renderText(std::ostream &OS) const;
 

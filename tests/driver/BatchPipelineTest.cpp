@@ -9,6 +9,7 @@
 #include "driver/AnalysisCache.h"
 #include "driver/BatchPipeline.h"
 #include "ir/IRPrinter.h"
+#include "trace/MetricsRegistry.h"
 #include "workloads/ProgramGenerator.h"
 
 #include "gtest/gtest.h"
@@ -192,6 +193,55 @@ TEST(BatchPipelineTest, StatsRenderersEmitExpectedKeys) {
         "\"throughput_programs_per_sec\""})
     EXPECT_NE(S.find(Key), std::string::npos) << "missing " << Key << " in\n"
                                               << S;
+}
+
+TEST(BatchPipelineTest, ValidateProvesJobsAndFillsStats) {
+  std::vector<BatchJob> Jobs = makeCorpus(4);
+  BatchOptions Opts;
+  Opts.Jobs = 2;
+  Opts.Validate = true;
+  BatchResult R = runBatch(Jobs, Opts);
+
+  ASSERT_TRUE(R.allSucceeded());
+  for (const BatchJobResult &Res : R.Results) {
+    EXPECT_TRUE(Res.Validated) << Res.Name;
+    EXPECT_GT(Res.ValidateNs, 0) << Res.Name;
+  }
+  EXPECT_EQ(R.Stats.Validated, 4);
+  EXPECT_EQ(R.Stats.ValidateFailed, 0);
+  EXPECT_GT(R.Stats.ValidateNs, 0);
+
+  // The validate line is rendered by both renderers...
+  std::ostringstream Text;
+  R.Stats.renderText(Text);
+  EXPECT_NE(Text.str().find("validate: 4 proved, 0 refuted"),
+            std::string::npos)
+      << Text.str();
+  std::ostringstream JSON;
+  R.Stats.renderJSON(JSON);
+  EXPECT_NE(JSON.str().find("\"validate\": {\"proved\": 4"),
+            std::string::npos)
+      << JSON.str();
+
+  // ...and round-trips through the metrics registry adapters.
+  MetricsRegistry MR;
+  R.Stats.toRegistry(MR);
+  PipelineStats Back = PipelineStats::fromRegistry(MR);
+  EXPECT_EQ(Back.Validated, R.Stats.Validated);
+  EXPECT_EQ(Back.ValidateFailed, R.Stats.ValidateFailed);
+  EXPECT_EQ(Back.ValidateNs, R.Stats.ValidateNs);
+}
+
+TEST(BatchPipelineTest, ValidateOffKeepsStatsOutputByteStable) {
+  std::vector<BatchJob> Jobs = makeCorpus(2);
+  BatchResult R = runBatch(Jobs, BatchOptions{});
+  EXPECT_EQ(R.Stats.Validated, 0);
+  EXPECT_EQ(R.Stats.ValidateFailed, 0);
+  std::ostringstream Text, JSON;
+  R.Stats.renderText(Text);
+  R.Stats.renderJSON(JSON);
+  EXPECT_EQ(Text.str().find("validate"), std::string::npos) << Text.str();
+  EXPECT_EQ(JSON.str().find("\"validate\""), std::string::npos) << JSON.str();
 }
 
 TEST(AnalysisCacheTest, HashDistinguishesPrograms) {

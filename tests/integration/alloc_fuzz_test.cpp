@@ -26,6 +26,8 @@
 #include "baseline/ChaitinAllocator.h"
 #include "harden/SpillFallback.h"
 #include "lint/Lint.h"
+#include "lint/TranslationValidator.h"
+#include "profile/StaticFrequencyEstimator.h"
 #include "support/Random.h"
 #include "workloads/ProgramGenerator.h"
 
@@ -248,7 +250,72 @@ TEST_P(AllocFuzzTest, SpillFallbackRecoversInfeasibleBudgets) {
         << D.Message;
 }
 
-// 3 tests x 200 seeds = 600 randomized cases over varied (Nthd, Nreg, CSB
+TEST_P(AllocFuzzTest, TranslationValidationHolds) {
+  const uint64_t Seed = GetParam();
+  // Small programs: this property runs the allocator three times (unit,
+  // PGO-weighted, spill-degraded) and the validator's fixpoint after each.
+  FuzzCase C = makeCase(Seed, /*SmallPrograms=*/true);
+
+  // Unit-weighted allocation: every successful output must be provably
+  // equivalent to the renamed virtual program.
+  InterThreadResult Unit = allocateInterThread(C.Renamed, C.Nreg);
+  if (Unit.Success) {
+    DiagnosticEngine Engine;
+    ValidationResult V = validateTranslation(C.Renamed, Unit.Physical, Engine);
+    EXPECT_TRUE(V.Proved)
+        << "seed " << Seed << ": unit allocation refuted\n"
+        << dumpDiagnostics(Engine) << "\n" << dumpNpralAllocation(Unit);
+  }
+
+  // Static-PGO weights change which copies the allocator places, never
+  // what the program computes — the proof must still go through.
+  std::vector<CostModel> Models;
+  for (const Program &P : C.Renamed.Threads)
+    Models.push_back(estimateCostModel(P));
+  InterThreadResult Pgo = allocateInterThread(C.Renamed, C.Nreg, {}, Models);
+  if (Pgo.Success) {
+    DiagnosticEngine Engine;
+    ValidationResult V = validateTranslation(C.Renamed, Pgo.Physical, Engine);
+    EXPECT_TRUE(V.Proved)
+        << "seed " << Seed << ": static-PGO allocation refuted\n"
+        << dumpDiagnostics(Engine) << "\n" << dumpNpralAllocation(Pgo);
+  }
+
+  // Spill-degraded output: squeeze the budget below the feasibility lower
+  // bound so the fallback must demote ranges, then prove the degraded
+  // program (spill code, pre-entry blocks and all) against the same
+  // pre-spill reference.
+  int SumMinPR = 0, MaxMinSRGap = 0;
+  for (const Program &P : C.Renamed.Threads) {
+    const RegBounds B = estimateRegBounds(analyzeThread(P));
+    SumMinPR += B.MinPR;
+    MaxMinSRGap = std::max(MaxMinSRGap, B.MinR - B.MinPR);
+  }
+  const int LowerBound = SumMinPR + MaxMinSRGap;
+  const int Tight = std::max(4 * C.Nthd, LowerBound - 1 -
+                                             static_cast<int>(Seed % 4));
+  if (Tight >= LowerBound)
+    return; // no squeezable gap in this corpus entry
+  SpillFallbackOptions Opts;
+  Opts.MaxSpills = 256;
+  SpillFallbackResult SF = allocateWithSpillFallback(
+      C.Renamed, Tight, {}, {}, nullptr, InterAllocLimits(), Opts);
+  if (!SF.Inter.Success)
+    return; // recovery itself is SpillFallbackRecoversInfeasibleBudgets' job
+  DiagnosticEngine Engine;
+  ValidationResult V =
+      validateTranslation(C.Renamed, SF.Inter.Physical, Engine);
+  EXPECT_TRUE(V.Proved)
+      << "seed " << Seed << ": spill-degraded allocation at Nreg=" << Tight
+      << " refuted\n" << dumpDiagnostics(Engine) << "\n"
+      << dumpNpralAllocation(SF.Inter);
+  if (SF.UsedSpilling)
+    EXPECT_GT(V.CopiesInterpreted, 0)
+        << "seed " << Seed
+        << ": degraded output proved without interpreting any spill code";
+}
+
+// 4 tests x 200 seeds = 800 randomized cases over varied (Nthd, Nreg, CSB
 // density). The parameter is the seed itself; rerun one case with
 // --gtest_filter='*AllocFuzzTest*/<seed>'.
 INSTANTIATE_TEST_SUITE_P(AllocFuzz, AllocFuzzTest,

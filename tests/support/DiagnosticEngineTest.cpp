@@ -73,6 +73,36 @@ TEST(DiagnosticEngineTest, SortPutsErrorsFirstAndIsStable) {
   EXPECT_EQ(Engine.diagnostics()[3].Message, "n1");
 }
 
+TEST(DiagnosticEngineTest, SortByPositionOrdersByThreadBlockInstrStably) {
+  auto at = [](const std::string &Thread, int Block, int Instr, Severity Sev,
+               const std::string &Message) {
+    Diagnostic D;
+    D.Sev = Sev;
+    D.Check = "translation-validation";
+    D.Thread = Thread;
+    D.Block = Block;
+    D.Instr = Instr;
+    D.Message = Message;
+    return D;
+  };
+  DiagnosticEngine Engine;
+  // Emission order scrambled across threads/blocks, plus two findings at
+  // the same point whose relative order must survive (stability).
+  Engine.report(at("beta", 1, 0, Severity::Warning, "b-1-0"));
+  Engine.report(at("alpha", 2, 3, Severity::Error, "a-2-3"));
+  Engine.report(at("alpha", 0, 5, Severity::Note, "a-0-5-first"));
+  Engine.report(at("alpha", 0, 5, Severity::Error, "a-0-5-second"));
+  Engine.report(at("alpha", 0, 1, Severity::Warning, "a-0-1"));
+  Engine.sortByPosition();
+
+  ASSERT_EQ(Engine.size(), 5);
+  EXPECT_EQ(Engine.diagnostics()[0].Message, "a-0-1");
+  EXPECT_EQ(Engine.diagnostics()[1].Message, "a-0-5-first");
+  EXPECT_EQ(Engine.diagnostics()[2].Message, "a-0-5-second");
+  EXPECT_EQ(Engine.diagnostics()[3].Message, "a-2-3");
+  EXPECT_EQ(Engine.diagnostics()[4].Message, "b-1-0");
+}
+
 TEST(DiagnosticEngineTest, TextRenderingIncludesPositionsAndSummary) {
   DiagnosticEngine Engine;
   Diagnostic &D = Engine.report(Severity::Warning, "dead-store",

@@ -13,9 +13,17 @@
 //                                      symmetric allocation: N copies of the
 //                                      (single) thread on one engine
 //   npralc lint     file.s [--json] [--after-alloc] [--physical]
-//                          [--only checks] [-nreg N]
+//                          [--only checks] [-nreg N] [--Werror]
 //                                      run every registered checker, report
 //                                      all findings (text or JSON)
+//   npralc verify   files... [--jobs N] [--json] [--Werror] [-nreg N]
+//                            [--allow-spill] [--max-spills K] [--paired]
+//                            [--pgo-static] [--profile f]
+//                                      allocate each file, then prove the
+//                                      physical output equivalent to the
+//                                      virtual input (translation
+//                                      validation); --paired checks a
+//                                      hand-written physical half instead
 //   npralc profile  file.s [-iters K] [-memlat L] [-o out.npprof]
 //                                      simulate the virtual program and
 //                                      collect an execution profile
@@ -49,10 +57,12 @@
 #include "baseline/ChaitinAllocator.h"
 #include "driver/AnalysisCache.h"
 #include "driver/BatchPipeline.h"
+#include "driver/VerifyPipeline.h"
 #include "harden/FaultInjector.h"
 #include "harden/SpillFallback.h"
 #include "ir/IRPrinter.h"
 #include "lint/Lint.h"
+#include "lint/TranslationValidator.h"
 #include "profile/ExecutionProfile.h"
 #include "profile/ProfileCollector.h"
 #include "profile/StaticFrequencyEstimator.h"
@@ -87,6 +97,7 @@ int usage() {
          "      MinR/MinPR/MaxR/MaxPR register bounds; no options\n"
          "  alloc    file.s [-nreg N] [--explain] [--profile f]\n"
          "           [--pgo-static] [--allow-spill] [--max-spills K]\n"
+         "           [--validate]\n"
          "      run the inter-thread allocator and print the physical\n"
          "      assembly plus the per-thread PR/SR split\n"
          "        -nreg N       register file size (default 128)\n"
@@ -106,6 +117,10 @@ int usage() {
          "                      inputs produce bit-identical output)\n"
          "        --max-spills K  live ranges the fallback may demote\n"
          "                      (default 64)\n"
+         "        --validate    prove the physical output equivalent to\n"
+         "                      the virtual input (translation validation)\n"
+         "                      and cross-check the allocation decision\n"
+         "                      log; a refuted run fails with a witness\n"
          "  run      file.s [-nreg N] [-iters K] [-memlat L]\n"
          "      allocate, then simulate on the cycle-level engine\n"
          "        -nreg N    register file size (default 128)\n"
@@ -119,7 +134,7 @@ int usage() {
          "        -nthd N    thread count (default 4)\n"
          "        -nreg R    register file size (default 128)\n"
          "  lint     file.s [--json] [--after-alloc] [--physical]\n"
-         "           [--only checks] [-nreg N]\n"
+         "           [--only checks] [-nreg N] [--Werror]\n"
          "      run the static-analysis checkers and report every finding\n"
          "        --json          emit diagnostics as JSON\n"
          "        --after-alloc   allocate first, lint the physical result\n"
@@ -127,6 +142,29 @@ int usage() {
          "                        hand-crafted physical allocation\n"
          "        --only checks   comma-separated checker names to run\n"
          "        -nreg N         register file size for --after-alloc\n"
+         "        --Werror        exit nonzero on warnings, not just errors\n"
+         "  verify   files... [--jobs N] [--json] [--Werror] [-nreg N]\n"
+         "           [--allow-spill] [--max-spills K] [--pgo-static]\n"
+         "           [--profile f] [--paired]\n"
+         "      allocate each file and statically prove the physical\n"
+         "      output computes exactly what the virtual input computes\n"
+         "      (translation validation); a mismatch is reported as a\n"
+         "      diagnostic with a witness path\n"
+         "        --jobs N      worker threads (default 1); the report is\n"
+         "                      byte-identical for any worker count\n"
+         "        --json        emit the report as JSON\n"
+         "        --Werror      exit nonzero on warnings, not just\n"
+         "                      rejections\n"
+         "        -nreg N       register file size (default 128)\n"
+         "        --allow-spill prove spill-degraded outputs against the\n"
+         "                      pre-spill reference\n"
+         "        --max-spills K  spill cap for --allow-spill (default 64)\n"
+         "        --pgo-static  static PGO weights during allocation\n"
+         "        --profile f   collected-profile weights (hash-matched)\n"
+         "        --paired      each file carries virtual threads followed\n"
+         "                      by an equal number of hand-written physical\n"
+         "                      (p<N>-named) threads; check those instead\n"
+         "                      of allocating\n"
          "  profile  file.s [-iters K] [-memlat L] [-o out.npprof]\n"
          "      simulate the virtual (pre-allocation) program and collect\n"
          "      per-block execution and context-switch counts\n"
@@ -136,7 +174,7 @@ int usage() {
          "  batch    files... [--jobs N] [--cache] [--stats] [--json]\n"
          "           [-nreg N] [--profile f] [--pgo-static] [--allow-spill]\n"
          "           [--max-spills K] [--retry-degraded] [--deadline-ms D]\n"
-         "           [--fault-inject spec]\n"
+         "           [--fault-inject spec] [--validate]\n"
          "      run the full pipeline (parse, analyze, allocate, verify)\n"
          "      over many files on a thread pool; one result row per file\n"
          "        --jobs N      worker threads (default: hw concurrency)\n"
@@ -163,6 +201,10 @@ int usage() {
          "                      honours NPRAL_FAULT_INJECT in the\n"
          "                      environment. Injected faults fail the job,\n"
          "                      never the batch\n"
+         "        --validate    translation-validate every successful\n"
+         "                      allocation; a refuted job fails in stage\n"
+         "                      'validate' and --stats grows a validate\n"
+         "                      line\n"
          "  trace-validate file.json\n"
          "      strictly parse and validate a Chrome trace-event JSON\n"
          "      file (phases, per-track span balance, timestamp order)\n"
@@ -239,7 +281,7 @@ std::optional<ExecutionProfile> loadProfile(const std::string &Path) {
 
 int cmdAlloc(const MultiThreadProgram &MTP, int Nreg, bool Print,
              const ExecutionProfile *Prof, bool StaticPGO, bool Explain,
-             bool AllowSpill, int MaxSpills) {
+             bool AllowSpill, int MaxSpills, bool Validate) {
   // Resolve per-thread cost models. A collected profile matches threads by
   // position and must hash to the code it was collected on — silently
   // applying stale counts would skew every weighted decision.
@@ -269,6 +311,10 @@ int cmdAlloc(const MultiThreadProgram &MTP, int Nreg, bool Print,
   AllocationDecisionLog Log;
   InterThreadResult R;
   SpillFallbackResult SF;
+  // --validate cross-checks the decision log against the result, so it
+  // needs the log collected even without --explain. The log is purely
+  // observational: collecting it never changes the allocation.
+  const bool WantLog = Explain || (Validate && !AllowSpill);
   if (AllowSpill) {
     SpillFallbackOptions SOpts;
     SOpts.MaxSpills = MaxSpills;
@@ -277,7 +323,7 @@ int cmdAlloc(const MultiThreadProgram &MTP, int Nreg, bool Print,
                                    InterAllocLimits(), SOpts);
     R = std::move(SF.Inter);
   } else {
-    R = allocateInterThread(MTP, Nreg, {}, Models, Explain ? &Log : nullptr);
+    R = allocateInterThread(MTP, Nreg, {}, Models, WantLog ? &Log : nullptr);
   }
   if (Explain) {
     Log.renderExplain(std::cout);
@@ -290,6 +336,29 @@ int cmdAlloc(const MultiThreadProgram &MTP, int Nreg, bool Print,
   if (Status S = verifyAllocationSafety(R.Physical); !S.ok()) {
     std::cerr << "internal error, unsafe allocation: " << S.str() << "\n";
     return 1;
+  }
+  // Translation validation: prove the physical output equivalent to the
+  // (renamed) virtual input, and cross-check the decision log against the
+  // reported result. Spill-degraded outputs are proved against the same
+  // pre-spill reference; the log cross-check only applies to the strict
+  // path, where the log describes the final (only) allocation attempt.
+  if (Validate) {
+    DiagnosticEngine Engine;
+    ValidationResult V = validateTranslation(MTP, R.Physical, Engine,
+                                             &MetricsRegistry::global());
+    int LogMismatches = 0;
+    if (!AllowSpill)
+      LogMismatches =
+          crossCheckDecisionLog(Log, R, Engine, &MetricsRegistry::global());
+    if (!V.Proved || LogMismatches > 0) {
+      Engine.sortByPosition();
+      Engine.renderText(std::cerr);
+      std::cerr << "translation validation FAILED\n";
+      return 1;
+    }
+    std::cout << "validated: " << V.ThreadsProved << " thread(s) proved, "
+              << V.InstructionsMatched << " instruction(s) matched, "
+              << V.CopiesInterpreted << " copies interpreted\n";
   }
   // The default table is byte-stable against pre-PGO builds; the weighted
   // column only appears when a PGO flag is active.
@@ -451,7 +520,7 @@ int cmdSra(const MultiThreadProgram &MTP, int Nthd, int Nreg) {
 }
 
 int cmdLint(MultiThreadProgram MTP, bool Json, bool AfterAlloc, bool Physical,
-            const std::string &Only, int Nreg) {
+            const std::string &Only, int Nreg, bool Werror) {
   if (Physical) {
     if (Status S = mapNamedPhysicalRegisters(MTP); !S.ok()) {
       std::cerr << "error: " << S.str() << "\n";
@@ -496,14 +565,47 @@ int cmdLint(MultiThreadProgram MTP, bool Json, bool AfterAlloc, bool Physical,
     Engine.renderJSON(std::cout);
   else
     Engine.renderText(std::cout);
-  return Engine.hasErrors() ? 1 : 0;
+  if (Engine.hasErrors())
+    return 1;
+  return Werror && Engine.warningCount() > 0 ? 1 : 0;
+}
+
+int cmdVerify(const std::vector<std::string> &Files, int Jobs, bool Json,
+              bool Werror, int Nreg, bool AllowSpill, int MaxSpills,
+              bool StaticPGO, const std::string &ProfilePath, bool Paired) {
+  if (Files.empty()) {
+    std::cerr << "verify: no input files\n";
+    return usage();
+  }
+  std::optional<ExecutionProfile> Prof;
+  if (!ProfilePath.empty()) {
+    Prof = loadProfile(ProfilePath);
+    if (!Prof)
+      return 1;
+  }
+  VerifyOptions Opts;
+  Opts.Nreg = Nreg;
+  Opts.Jobs = Jobs > 0 ? Jobs : 1;
+  Opts.AllowSpill = AllowSpill;
+  Opts.MaxSpills = MaxSpills;
+  Opts.StaticPGO = StaticPGO;
+  Opts.Profile = Prof ? &*Prof : nullptr;
+  Opts.Paired = Paired;
+  VerifyResult R = runVerify(Files, Opts);
+  if (Json)
+    R.renderJSON(std::cout);
+  else
+    R.renderText(std::cout);
+  if (!R.allProved())
+    return 1;
+  return Werror && R.warningCount() > 0 ? 1 : 0;
 }
 
 int cmdBatch(const std::vector<std::string> &Files, int Jobs, bool UseCache,
              bool Stats, bool Json, int Nreg,
              const std::string &ProfilePath, bool StaticPGO, bool AllowSpill,
              int MaxSpills, bool RetryDegraded, int DeadlineMs,
-             const std::string &FaultSpec) {
+             const std::string &FaultSpec, bool Validate) {
   if (Files.empty()) {
     std::cerr << "batch: no input files\n";
     return usage();
@@ -531,6 +633,7 @@ int cmdBatch(const std::vector<std::string> &Files, int Jobs, bool UseCache,
   Opts.MaxSpills = MaxSpills;
   Opts.RetryDegraded = RetryDegraded;
   Opts.DeadlineMs = DeadlineMs;
+  Opts.Validate = Validate;
   if (!FaultSpec.empty()) {
     ErrorOr<FaultInjector> FI = FaultInjector::parse(FaultSpec);
     if (!FI.ok()) {
@@ -615,7 +718,7 @@ int dispatch(int argc, char **argv) {
     std::vector<std::string> Files;
     int Jobs = 0, Nreg = 128, MaxSpills = 64, DeadlineMs = 0;
     bool UseCache = false, Stats = false, Json = false, StaticPGO = false;
-    bool AllowSpill = false, RetryDegraded = false;
+    bool AllowSpill = false, RetryDegraded = false, Validate = false;
     std::string ProfilePath, FaultSpec;
     for (int I = 2; I < argc; ++I) {
       std::string Opt = argv[I];
@@ -631,6 +734,8 @@ int dispatch(int argc, char **argv) {
         AllowSpill = true;
       } else if (Opt == "--retry-degraded") {
         RetryDegraded = true;
+      } else if (Opt == "--validate") {
+        Validate = true;
       } else if (Opt == "--profile") {
         if (I + 1 >= argc)
           return usage();
@@ -660,14 +765,56 @@ int dispatch(int argc, char **argv) {
     }
     return cmdBatch(Files, Jobs, UseCache, Stats, Json, Nreg, ProfilePath,
                     StaticPGO, AllowSpill, MaxSpills, RetryDegraded,
-                    DeadlineMs, FaultSpec);
+                    DeadlineMs, FaultSpec, Validate);
+  }
+
+  if (Cmd == "verify") {
+    std::vector<std::string> Files;
+    int Jobs = 1, Nreg = 128, MaxSpills = 64;
+    bool Json = false, Werror = false, AllowSpill = false, StaticPGO = false;
+    bool Paired = false;
+    std::string ProfilePath;
+    for (int I = 2; I < argc; ++I) {
+      std::string Opt = argv[I];
+      if (Opt == "--json") {
+        Json = true;
+      } else if (Opt == "--Werror") {
+        Werror = true;
+      } else if (Opt == "--allow-spill") {
+        AllowSpill = true;
+      } else if (Opt == "--pgo-static") {
+        StaticPGO = true;
+      } else if (Opt == "--paired") {
+        Paired = true;
+      } else if (Opt == "--profile") {
+        if (I + 1 >= argc)
+          return usage();
+        ProfilePath = argv[++I];
+      } else if (Opt == "--jobs" || Opt == "-nreg" || Opt == "--max-spills") {
+        if (I + 1 >= argc)
+          return usage();
+        int Value = std::atoi(argv[++I]);
+        if (Opt == "--jobs")
+          Jobs = Value;
+        else if (Opt == "-nreg")
+          Nreg = Value;
+        else
+          MaxSpills = Value;
+      } else if (!Opt.empty() && Opt[0] == '-') {
+        return usage();
+      } else {
+        Files.push_back(std::move(Opt));
+      }
+    }
+    return cmdVerify(Files, Jobs, Json, Werror, Nreg, AllowSpill, MaxSpills,
+                     StaticPGO, ProfilePath, Paired);
   }
 
   std::string Path = argv[2];
   int Nreg = 128, RegsPerThread = 32, Iters = 10, MemLat = 40, Nthd = 4;
   int MaxSpills = 64;
   bool Json = false, AfterAlloc = false, Physical = false, StaticPGO = false;
-  bool Explain = false, AllowSpill = false;
+  bool Explain = false, AllowSpill = false, Validate = false, Werror = false;
   std::string Only, ProfilePath, OutPath;
   for (int I = 3; I < argc; ++I) {
     std::string Opt = argv[I];
@@ -681,6 +828,14 @@ int dispatch(int argc, char **argv) {
     }
     if (Opt == "--allow-spill") {
       AllowSpill = true;
+      continue;
+    }
+    if (Opt == "--validate") {
+      Validate = true;
+      continue;
+    }
+    if (Opt == "--Werror") {
+      Werror = true;
       continue;
     }
     if (Opt == "--after-alloc") {
@@ -739,7 +894,7 @@ int dispatch(int argc, char **argv) {
         return 1;
     }
     return cmdAlloc(*MTP, Nreg, /*Print=*/!Explain, Prof ? &*Prof : nullptr,
-                    StaticPGO, Explain, AllowSpill, MaxSpills);
+                    StaticPGO, Explain, AllowSpill, MaxSpills, Validate);
   }
   if (Cmd == "profile")
     return cmdProfile(*MTP, Iters, MemLat, OutPath);
@@ -750,7 +905,7 @@ int dispatch(int argc, char **argv) {
   if (Cmd == "sra")
     return cmdSra(*MTP, Nthd, Nreg);
   if (Cmd == "lint")
-    return cmdLint(MTP.take(), Json, AfterAlloc, Physical, Only, Nreg);
+    return cmdLint(MTP.take(), Json, AfterAlloc, Physical, Only, Nreg, Werror);
   return usage();
 }
 

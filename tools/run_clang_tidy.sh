@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Static self-analysis: clang-tidy over the library sources with the
+# checked-in .clang-tidy profile (bugprone/performance/concurrency as
+# errors). CI runs this as the `static-analysis` job; locally it needs a
+# configured build tree for compile_commands.json:
+#
+#   cmake -B build -S . && tools/run_clang_tidy.sh build
+#
+# Exits 0 with a notice when clang-tidy is not installed, so the script
+# is safe to call from environments without LLVM tooling.
+set -eu
+
+BUILD_DIR="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy: clang-tidy not found in PATH; skipping" >&2
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json not found;" \
+       "configure with cmake -B $BUILD_DIR -S . first" >&2
+  exit 1
+fi
+
+# Library sources only: tests and benches expand gtest/google-benchmark
+# macros whose generated code is not ours to fix.
+FILES=$(find src tools -name '*.cpp' | sort)
+
+echo "run_clang_tidy: checking $(echo "$FILES" | wc -l) files"
+# shellcheck disable=SC2086 # word splitting over the file list is intended
+echo "$FILES" | xargs -P "$(nproc 2>/dev/null || echo 4)" -n 8 \
+  clang-tidy -p "$BUILD_DIR" --quiet
+echo "run_clang_tidy: clean"
