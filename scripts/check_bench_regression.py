@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for bench/batch_throughput.
+
+Compares a fresh Google-Benchmark JSON report (``batch_throughput --json``
+writes ``BENCH_batch_throughput.json``) against the committed baseline in
+``bench/baseline_batch_throughput.json`` and fails when corpus throughput
+regresses by more than the tolerance.
+
+Throughput is derived from per-batch ``real_time`` (64 programs per batch
+iteration), NOT from the report's ``programs_per_sec`` counter: that counter
+averages the pipeline's wall-clock throughput sample over iterations and so
+drifts with iteration count; ``real_time`` is the number the benchmark
+actually measures.
+
+Usage:
+  check_bench_regression.py --baseline bench/baseline_batch_throughput.json \
+      --current BENCH_batch_throughput.json [--tolerance-pct 15]
+  check_bench_regression.py --current ... --baseline ... --update
+      # rewrite the baseline from the current report (deliberate refresh)
+"""
+
+import argparse
+import json
+import sys
+
+CORPUS_PROGRAMS = 64
+
+_TIME_UNIT_SECONDS = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+
+
+def load_current(path):
+    """Extract {benchmark name: real_time seconds} from a Google Benchmark
+    native JSON report. Prefers median aggregates when --benchmark_repetitions
+    was used; otherwise takes plain iteration entries."""
+    with open(path) as f:
+        doc = json.load(f)
+    entries = doc.get("benchmarks", [])
+    medians = [e for e in entries if e.get("aggregate_name") == "median"]
+    if medians:
+        chosen = medians
+    else:
+        chosen = [e for e in entries
+                  if e.get("run_type", "iteration") == "iteration"]
+    result = {}
+    for e in chosen:
+        name = e.get("run_name") or e["name"]
+        # A repeated benchmark contributes several iteration entries under
+        # the same run_name; keep the fastest (least-noise) sample.
+        seconds = e["real_time"] * _TIME_UNIT_SECONDS[e.get("time_unit", "ns")]
+        if name not in result or seconds < result[name]:
+            result[name] = seconds
+    return result
+
+
+def programs_per_sec(seconds):
+    return CORPUS_PROGRAMS / seconds
+
+
+def write_baseline(path, current):
+    doc = {
+        "corpus_programs": CORPUS_PROGRAMS,
+        "note": "programs_per_sec = corpus_programs / per-batch real_time; "
+                "refresh with scripts/check_bench_regression.py --update",
+        "benchmarks": {
+            name: {
+                "real_time_ms": round(sec * 1e3, 3),
+                "programs_per_sec": round(programs_per_sec(sec), 1),
+            }
+            for name, sec in sorted(current.items())
+        },
+    }
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote baseline {path} ({len(current)} benchmarks)")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline JSON (reduced schema)")
+    ap.add_argument("--current", required=True,
+                    help="fresh Google Benchmark JSON report")
+    ap.add_argument("--tolerance-pct", type=float, default=15.0,
+                    help="max allowed programs/sec regression (default 15)")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from the current report")
+    args = ap.parse_args()
+
+    current = load_current(args.current)
+    if not current:
+        print(f"error: no benchmark entries in {args.current}",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        write_baseline(args.baseline, current)
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    base_benchmarks = baseline.get("benchmarks", {})
+    if not base_benchmarks:
+        print(f"error: no benchmarks in baseline {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    missing = []
+    compared = 0
+    print(f"{'benchmark':32} {'base p/s':>10} {'now p/s':>10} {'delta':>8}")
+    for name, base in sorted(base_benchmarks.items()):
+        if name not in current:
+            missing.append(name)
+            continue
+        compared += 1
+        base_pps = base["programs_per_sec"]
+        cur_pps = programs_per_sec(current[name])
+        delta_pct = (cur_pps - base_pps) / base_pps * 100.0
+        marker = ""
+        if delta_pct < -args.tolerance_pct:
+            failures.append(name)
+            marker = "  << REGRESSION"
+        print(f"{name:32} {base_pps:10.1f} {cur_pps:10.1f} "
+              f"{delta_pct:+7.1f}%{marker}")
+    for name in sorted(set(current) - set(base_benchmarks)):
+        print(f"{name:32} {'-':>10} "
+              f"{programs_per_sec(current[name]):10.1f}   (new, no baseline)")
+
+    if missing:
+        print(f"error: baseline benchmarks missing from current report: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        return 2
+    if compared == 0:
+        print("error: no benchmarks compared", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"FAIL: throughput regressed >{args.tolerance_pct:g}% on: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"OK: {compared} benchmarks within {args.tolerance_pct:g}% "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,15 +64,23 @@ void npral::collectAllocationSafety(const MultiThreadProgram &Physical,
   if (!PreconditionsOk)
     return;
 
-  // Per-thread structural validity and use-before-def. A thread that fails
-  // here drops out of the cross-thread analysis; the remaining pairs are
-  // still checked so one malformed thread does not hide another's race.
+  // Per-thread structural validity, use-before-def, referenced registers
+  // and live-across-CSB sets, in one pass sharing a single liveness run per
+  // thread. A thread that fails the structural checks drops out of the
+  // cross-thread analysis; the remaining pairs are still checked so one
+  // malformed thread does not hide another's race.
   std::vector<char> ThreadOk(static_cast<size_t>(Nthd), 1);
+  std::vector<BitVector> Referenced(static_cast<size_t>(Nthd),
+                                    BitVector(NumRegs));
+  std::vector<BitVector> LiveAcrossCSB(static_cast<size_t>(Nthd),
+                                       BitVector(NumRegs));
+  std::vector<NSRInfo> ThreadNSRs(static_cast<size_t>(Nthd));
   for (int T = 0; T < Nthd; ++T) {
     const Program &P = Physical.Threads[static_cast<size_t>(T)];
     Status S = verifyProgram(P);
+    LivenessInfo LI;
     if (S.ok()) {
-      LivenessInfo LI = computeLiveness(P);
+      LI = computeLiveness(P);
       S = checkNoUseOfUndef(P, LI);
     }
     if (!S.ok()) {
@@ -80,20 +88,8 @@ void npral::collectAllocationSafety(const MultiThreadProgram &Physical,
       if (StructuralDiags)
         Engine.report(Severity::Error, SafetyCheck, S.message()).Thread =
             P.Name;
-    }
-  }
-
-  // Which registers does each thread reference, and which does it hold live
-  // across its own CSBs?
-  std::vector<BitVector> Referenced(static_cast<size_t>(Nthd),
-                                    BitVector(NumRegs));
-  std::vector<BitVector> LiveAcrossCSB(static_cast<size_t>(Nthd),
-                                       BitVector(NumRegs));
-  std::vector<NSRInfo> ThreadNSRs(static_cast<size_t>(Nthd));
-  for (int T = 0; T < Nthd; ++T) {
-    if (!ThreadOk[static_cast<size_t>(T)])
       continue;
-    const Program &P = Physical.Threads[static_cast<size_t>(T)];
+    }
     for (const BasicBlock &BB : P.Blocks)
       for (const Instruction &I : BB.Instrs) {
         if (I.Def != NoReg)
@@ -106,7 +102,6 @@ void npral::collectAllocationSafety(const MultiThreadProgram &Physical,
     for (Reg R : P.EntryLiveRegs)
       Referenced[static_cast<size_t>(T)].set(R);
 
-    LivenessInfo LI = computeLiveness(P);
     ThreadNSRs[static_cast<size_t>(T)] = computeNSRs(P, LI);
     for (const CSB &Boundary : ThreadNSRs[static_cast<size_t>(T)].getCSBs())
       LiveAcrossCSB[static_cast<size_t>(T)].unionWith(Boundary.LiveAcross);

@@ -25,12 +25,17 @@ RegBounds npral::estimateRegBounds(const ThreadAnalysis &TA) {
   });
 
   // Step 2: color each IIG minimally and independently (Claim 2: they share
-  // no edges, so a shared scratch coloring vector is safe).
+  // no edges, so a shared scratch coloring vector is safe). The scratch is
+  // reused across IIGs without re-clearing: colorMinimally only writes
+  // member slots, stale entries all belong to other NSRs' internal nodes,
+  // and two internal nodes of different NSRs are never GIG-adjacent (they
+  // would be co-live at a point, making that point's NSR the home of both),
+  // so stale colors are never read either.
   int R = PR;
+  Coloring IIGColors(static_cast<size_t>(N), NoColor);
   for (const BitVector &Members : TA.IIGMembers) {
     if (Members.none())
       continue;
-    Coloring IIGColors(static_cast<size_t>(N), NoColor);
     int Used = colorMinimally(GIG, Members, IIGColors);
     R = std::max(R, Used);
     Members.forEach([&](int Node) {
@@ -58,16 +63,15 @@ RegBounds npral::estimateRegBounds(const ThreadAnalysis &TA) {
       int CA = Colors[static_cast<size_t>(A)];
       if (CA == NoColor)
         continue;
-      bool Found = false;
-      GIG.neighbors(A).forEach([&](int B) {
-        if (!Found && B > A && Colors[static_cast<size_t>(B)] == CA) {
+      // Neighbors are ascending, so the first match is the lowest B > A —
+      // and the early break skips the tail of the adjacency slice.
+      for (int B : GIG.neighbors(A)) {
+        if (B > A && Colors[static_cast<size_t>(B)] == CA) {
           OutA = A;
           OutB = B;
-          Found = true;
+          return true;
         }
-      });
-      if (Found)
-        return true;
+      }
     }
     return false;
   };

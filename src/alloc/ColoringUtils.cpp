@@ -13,9 +13,10 @@ int npral::colorMinimally(const InterferenceGraph &IG, const BitVector &Members,
     Colors.assign(static_cast<size_t>(IG.getNumNodes()), NoColor);
 
   int MaxUsed = -1;
+  std::vector<char> Used; // reused across nodes; grown, never shrunk
   for (int Node : IG.smallestLastOrder(Members)) {
     // Gather neighbor colors.
-    std::vector<char> Used;
+    std::fill(Used.begin(), Used.end(), 0);
     IG.neighbors(Node).forEach([&](int Nb) {
       int C = Colors[static_cast<size_t>(Nb)];
       if (C < 0)
@@ -55,15 +56,24 @@ int npral::pickFreeColor(const InterferenceGraph &IG, const Coloring &Colors,
                          int Node, int Lo, int Hi, int PreferFrom) {
   if (Lo >= Hi)
     return NoColor;
-  BitVector Used(Hi);
-  IG.neighbors(Node).forEach([&](int Nb) {
+  // Neighbor-color bitset on the stack for realistic register counts; this
+  // runs once per select step of every coloring, so a heap BitVector here
+  // is measurable batch-pipeline overhead.
+  uint64_t Small[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::vector<uint64_t> Big;
+  uint64_t *Used = Small;
+  if (Hi > 512) {
+    Big.assign(static_cast<size_t>((Hi + 63) / 64), 0);
+    Used = Big.data();
+  }
+  for (int Nb : IG.neighbors(Node)) {
     int C = Colors[static_cast<size_t>(Nb)];
     if (C >= 0 && C < Hi)
-      Used.set(C);
-  });
+      Used[static_cast<size_t>(C) / 64] |= uint64_t(1) << (C % 64);
+  }
   auto scan = [&](int Begin, int End) -> int {
     for (int C = Begin; C < End; ++C)
-      if (!Used.test(C))
+      if (!((Used[static_cast<size_t>(C) / 64] >> (C % 64)) & 1))
         return C;
     return NoColor;
   };

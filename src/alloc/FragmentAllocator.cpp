@@ -150,7 +150,7 @@ ColorAllocation FragmentAllocatorImpl::run() {
   Out.IsPhysical = false;
   Out.EntryBlock = P.EntryBlock;
   for (int B = 0; B < P.getNumBlocks(); ++B) {
-    Out.addBlock(P.block(B).Name);
+    Out.addBlock(P.blockName(B));
     Out.block(B).FallThrough = P.block(B).FallThrough;
   }
 
@@ -233,7 +233,8 @@ void FragmentAllocatorImpl::processBlock(int B, Program &Out) {
         return;
       int C = chooseColor(CM, V);
       if (C < 0) {
-        fail("live-in pressure exceeds R in block '" + P.block(B).Name + "'");
+        fail("live-in pressure exceeds R in block '" +
+             std::string(P.blockName(B)) + "'");
         return;
       }
       CM.bind(V, C);
@@ -266,7 +267,8 @@ void FragmentAllocatorImpl::processBlock(int B, Program &Out) {
       if (Inst.Def != NoReg)
         Crossing.reset(Inst.Def);
       if (Crossing.count() > PR) {
-        fail("crossing set exceeds PR at CSB in block '" + BB.Name + "'");
+        fail("crossing set exceeds PR at CSB in block '" +
+             std::string(P.blockName(BB.Id)) + "'");
         return;
       }
       Crossing.forEach([&](int V) {
@@ -307,7 +309,7 @@ void FragmentAllocatorImpl::processBlock(int B, Program &Out) {
     if (Inst.Use1 != NoReg) {
       if (CM.colorOf(Inst.Use1) < 0) {
         fail("use of undefined register '" + P.getRegName(Inst.Use1) +
-             "' in block '" + BB.Name + "'");
+             "' in block '" + std::string(P.blockName(B)) + "'");
         return;
       }
       NewInst.Use1 = CM.colorOf(Inst.Use1);
@@ -315,7 +317,7 @@ void FragmentAllocatorImpl::processBlock(int B, Program &Out) {
     if (Inst.Use2 != NoReg) {
       if (CM.colorOf(Inst.Use2) < 0) {
         fail("use of undefined register '" + P.getRegName(Inst.Use2) +
-             "' in block '" + BB.Name + "'");
+             "' in block '" + std::string(P.blockName(B)) + "'");
         return;
       }
       NewInst.Use2 = CM.colorOf(Inst.Use2);
@@ -337,8 +339,8 @@ void FragmentAllocatorImpl::processBlock(int B, Program &Out) {
       CM.release(Inst.Def);
       int C = chooseColor(CM, Inst.Def);
       if (C < 0) {
-        fail("pressure exceeds R at definition of '" +
-             P.getRegName(Inst.Def) + "' in block '" + BB.Name + "'");
+        fail("pressure exceeds R at definition of '" + P.getRegName(Inst.Def) +
+             "' in block '" + std::string(P.blockName(B)) + "'");
         return;
       }
       NewInst.Def = C;
@@ -358,8 +360,9 @@ void FragmentAllocatorImpl::processBlock(int B, Program &Out) {
           return;
         if (CM.colorOf(V) < 0) {
           fail("register '" + P.getRegName(V) + "' live into block '" +
-               P.block(S).Name + "' but undefined on the edge from '" +
-               BB.Name + "'");
+               std::string(P.blockName(S)) +
+               "' but undefined on the edge from '" +
+               std::string(P.blockName(B)) + "'");
           return;
         }
         SuccEntry[static_cast<size_t>(V)] = CM.colorOf(V);
@@ -380,8 +383,9 @@ void FragmentAllocatorImpl::processBlock(int B, Program &Out) {
       int To = SuccEntry[static_cast<size_t>(V)];
       if (From < 0 || To < 0) {
         fail("register '" + P.getRegName(V) + "' live into block '" +
-             P.block(S).Name + "' but undefined on the edge from '" +
-             BB.Name + "'");
+             std::string(P.blockName(S)) +
+             "' but undefined on the edge from '" +
+             std::string(P.blockName(B)) + "'");
         return;
       }
       UsedHere.set(From);

@@ -38,7 +38,7 @@ Program npral::rewriteToColors(const Program &P, const Coloring &Colors,
   };
   for (int B = 0; B < P.getNumBlocks(); ++B) {
     const BasicBlock &BB = P.block(B);
-    int NewB = Out.addBlock(BB.Name);
+    int NewB = Out.addBlock(P.blockName(BB.Id));
     Out.block(NewB).FallThrough = BB.FallThrough;
     for (const Instruction &I : BB.Instrs) {
       Instruction NewI = I;

@@ -88,7 +88,7 @@ SpillRewrite insertSpillCode(Program &P, const std::vector<Reg> &Victims,
     std::string Label = "spill.entry";
     auto taken = [&] {
       for (const BasicBlock &BB : P.Blocks)
-        if (BB.Name == Label)
+        if (P.blockName(BB.Id) == Label)
           return true;
       return false;
     };

@@ -7,69 +7,132 @@
 
 using namespace npral;
 
-void InterferenceGraph::reset(int NumNodes) {
-  Adj.assign(static_cast<size_t>(NumNodes), BitVector(NumNodes));
+void InterferenceGraph::reset(int Nodes) {
+  NumNodes = Nodes;
   NumEdges = 0;
+  Frozen = false;
+  Build.assign(static_cast<size_t>(Nodes) * WordsPerRow(), 0);
+  Tri.clear();
+  Offsets.clear();
+  AdjList.clear();
 }
 
-void InterferenceGraph::addEdge(int A, int B) {
-  if (A == B)
+void InterferenceGraph::freeze() {
+  if (Frozen)
     return;
-  if (Adj[static_cast<size_t>(A)].test(B))
-    return;
-  Adj[static_cast<size_t>(A)].set(B);
-  Adj[static_cast<size_t>(B)].set(A);
-  ++NumEdges;
-}
+  const size_t W = WordsPerRow();
 
-int InterferenceGraph::addNode() {
-  int NewId = getNumNodes();
-  for (BitVector &Row : Adj)
-    Row.resize(NewId + 1);
-  Adj.emplace_back(NewId + 1);
-  return NewId;
+  // Strip self-loops (clique ORs set them), then symmetrize. Mirroring
+  // (a, b) -> (b, a) while scanning rows in ascending order is safe: a bit
+  // added to an earlier row is exactly the mirror of one already present
+  // in the row being scanned.
+  for (int A = 0; A < NumNodes; ++A)
+    Build[static_cast<size_t>(A) * W + static_cast<size_t>(A) / 64] &=
+        ~(uint64_t(1) << (A % 64));
+  for (int A = 0; A < NumNodes; ++A) {
+    const uint64_t *Row = Build.data() + static_cast<size_t>(A) * W;
+    for (size_t WI = 0; WI < W; ++WI) {
+      uint64_t Word = Row[WI];
+      while (Word) {
+        int B = static_cast<int>(WI * 64) + __builtin_ctzll(Word);
+        Word &= Word - 1;
+        Build[static_cast<size_t>(B) * W + static_cast<size_t>(A) / 64] |=
+            uint64_t(1) << (A % 64);
+      }
+    }
+  }
+
+  // CSR adjacency: ascending neighbor ids per node.
+  Offsets.assign(static_cast<size_t>(NumNodes) + 1, 0);
+  int Total = 0;
+  for (int A = 0; A < NumNodes; ++A) {
+    const uint64_t *Row = Build.data() + static_cast<size_t>(A) * W;
+    int D = 0;
+    for (size_t WI = 0; WI < W; ++WI)
+      D += __builtin_popcountll(Row[WI]);
+    Offsets[static_cast<size_t>(A)] = Total;
+    Total += D;
+  }
+  Offsets[static_cast<size_t>(NumNodes)] = Total;
+  AdjList.resize(static_cast<size_t>(Total));
+  for (int A = 0; A < NumNodes; ++A) {
+    const uint64_t *Row = Build.data() + static_cast<size_t>(A) * W;
+    int32_t *Out = AdjList.data() + Offsets[static_cast<size_t>(A)];
+    for (size_t WI = 0; WI < W; ++WI) {
+      uint64_t Word = Row[WI];
+      while (Word) {
+        *Out++ = static_cast<int32_t>(WI * 64) + __builtin_ctzll(Word);
+        Word &= Word - 1;
+      }
+    }
+  }
+  NumEdges = Total / 2;
+
+  // Packed lower-triangular membership bits: edge (a, b) with a > b lives
+  // at bit a*(a-1)/2 + b.
+  const size_t TriBits =
+      static_cast<size_t>(NumNodes) * (static_cast<size_t>(NumNodes) + 1) / 2;
+  Tri.assign((TriBits + 63) / 64, 0);
+  for (int A = 1; A < NumNodes; ++A) {
+    const size_t RowBase =
+        static_cast<size_t>(A) * (static_cast<size_t>(A) - 1) / 2;
+    const uint64_t *Row = Build.data() + static_cast<size_t>(A) * W;
+    for (size_t WI = 0; WI <= static_cast<size_t>(A) / 64; ++WI) {
+      uint64_t Word = Row[WI];
+      while (Word) {
+        int B = static_cast<int>(WI * 64) + __builtin_ctzll(Word);
+        Word &= Word - 1;
+        if (B >= A)
+          break;
+        size_t Bit = RowBase + static_cast<size_t>(B);
+        Tri[Bit / 64] |= uint64_t(1) << (Bit % 64);
+      }
+    }
+  }
+
+  Build.clear();
+  Build.shrink_to_fit();
+  Frozen = true;
 }
 
 std::vector<int>
 InterferenceGraph::smallestLastOrder(const BitVector &Members) const {
-  // Repeatedly remove the member of minimum residual degree; the reverse
-  // removal order is the coloring order.
+  assert(Frozen && "ordering an unfrozen graph");
   const int N = getNumNodes();
-  std::vector<int> ResidualDeg(static_cast<size_t>(N), 0);
-  std::vector<char> InGraph(static_cast<size_t>(N), 0);
+
+  // Residual degree = neighbors still present. Selection repeatedly takes
+  // the lowest-id node of minimum residual degree — the exact tie-break of
+  // the pre-rewrite linear scan, which coloring outputs depend on.
+  std::vector<int32_t> ResidualDeg(static_cast<size_t>(N), 0);
+  BitVector Remaining(N);
   std::vector<int> MemberList;
   Members.forEach([&](int M) {
-    InGraph[static_cast<size_t>(M)] = 1;
+    Remaining.set(M);
     MemberList.push_back(M);
   });
   for (int M : MemberList) {
     int D = 0;
-    neighbors(M).forEach([&](int Nb) {
-      if (InGraph[static_cast<size_t>(Nb)])
+    for (int32_t Nb : neighbors(M))
+      if (Remaining.test(Nb))
         ++D;
-    });
     ResidualDeg[static_cast<size_t>(M)] = D;
   }
 
   std::vector<int> Removal;
   Removal.reserve(MemberList.size());
-  std::vector<char> Removed(static_cast<size_t>(N), 0);
   for (size_t Step = 0; Step < MemberList.size(); ++Step) {
     int Best = -1;
-    for (int M : MemberList) {
-      if (Removed[static_cast<size_t>(M)])
-        continue;
+    Remaining.forEach([&](int M) {
       if (Best < 0 || ResidualDeg[static_cast<size_t>(M)] <
                           ResidualDeg[static_cast<size_t>(Best)])
         Best = M;
-    }
-    assert(Best >= 0 && "no removable node");
-    Removed[static_cast<size_t>(Best)] = 1;
-    Removal.push_back(Best);
-    neighbors(Best).forEach([&](int Nb) {
-      if (InGraph[static_cast<size_t>(Nb)] && !Removed[static_cast<size_t>(Nb)])
-        --ResidualDeg[static_cast<size_t>(Nb)];
     });
+    assert(Best >= 0 && "no removable node");
+    Remaining.reset(Best);
+    Removal.push_back(Best);
+    for (int32_t Nb : neighbors(Best))
+      if (Remaining.test(Nb))
+        --ResidualDeg[static_cast<size_t>(Nb)];
   }
   std::reverse(Removal.begin(), Removal.end());
   return Removal;
@@ -93,36 +156,29 @@ ThreadAnalysis npral::analyzeThread(const Program &P) {
       TA.ReferencedNodes.set(R);
 
   // GIG edges: at every definition point, the defined register interferes
-  // with everything live after the instruction. Entry-live registers act as
-  // defined simultaneously at a virtual entry point.
+  // with everything live after the instruction — one word-parallel row OR
+  // per definition. Entry-live registers act as defined simultaneously at
+  // a virtual entry point (a clique).
   for (int B = 0; B < P.getNumBlocks(); ++B) {
     const BasicBlock &BB = P.block(B);
     for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
       const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
       if (Inst.Def == NoReg)
         continue;
-      TA.Liveness.instrLiveOut(B, I).forEach([&](int Live) {
-        TA.GIG.addEdge(Inst.Def, Live);
-      });
+      TA.GIG.markRow(Inst.Def, TA.Liveness.instrLiveOut(B, I));
     }
   }
-  {
-    const BitVector &EntryLive = TA.Liveness.blockLiveIn(P.getEntryBlock());
-    std::vector<int> EntryRegs = EntryLive.toVector();
-    for (size_t A = 0; A < EntryRegs.size(); ++A)
-      for (size_t B2 = A + 1; B2 < EntryRegs.size(); ++B2)
-        TA.GIG.addEdge(EntryRegs[A], EntryRegs[B2]);
+  TA.GIG.addClique(TA.Liveness.blockLiveIn(P.getEntryBlock()));
+
+  // Boundary classification and BIG edges: everything crossing one CSB
+  // forms a clique, word-parallel per boundary.
+  for (const CSB &Boundary : TA.NSRs.getCSBs()) {
+    TA.BoundaryNodes.unionWith(Boundary.LiveAcross);
+    TA.BIG.addClique(Boundary.LiveAcross);
   }
 
-  // Boundary classification and BIG edges per CSB.
-  for (const CSB &Boundary : TA.NSRs.getCSBs()) {
-    std::vector<int> Crossing = Boundary.LiveAcross.toVector();
-    for (int R : Crossing)
-      TA.BoundaryNodes.set(R);
-    for (size_t A = 0; A < Crossing.size(); ++A)
-      for (size_t B2 = A + 1; B2 < Crossing.size(); ++B2)
-        TA.BIG.addEdge(Crossing[A], Crossing[B2]);
-  }
+  TA.GIG.freeze();
+  TA.BIG.freeze();
 
   TA.InternalNodes = TA.ReferencedNodes;
   TA.InternalNodes.subtract(TA.BoundaryNodes);

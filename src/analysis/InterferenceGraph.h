@@ -14,6 +14,16 @@
 /// Claim 1: spill-free allocation needs GIG colorable with R colors and BIG
 /// with PR colors. Claim 2: distinct IIGs share no edges.
 ///
+/// Representation: the graph is built word-parallel — a definition point
+/// ORs the whole live-out row into the defining node's row; cliques OR the
+/// member set into every member's row — into a square bit-matrix scratch,
+/// then freeze() converts it into the two query structures the allocators
+/// use: a packed lower-triangular bit-matrix for O(1) membership
+/// (`hasEdge`) at half the memory, and a CSR adjacency list (int32 ids,
+/// ascending) for iteration. The Fig. 8 loop and the coloring primitives
+/// only ever iterate frozen graphs, so neighbor walks touch a dense int32
+/// slice instead of re-scanning matrix rows bit by bit.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NPRAL_ANALYSIS_INTERFERENCEGRAPH_H
@@ -24,11 +34,18 @@
 #include "ir/Program.h"
 #include "support/BitVector.h"
 
+#include <cassert>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace npral {
 
-/// Undirected graph over dense node IDs with bit-matrix adjacency.
+/// Undirected graph over dense node IDs. Mutable while building (word-
+/// parallel row ORs into a square bit-matrix); freeze() locks it into the
+/// triangular-matrix + CSR form all queries run on. Analysis results are
+/// shared read-only across batch worker threads, so analyzeThread freezes
+/// every graph before publishing it.
 class InterferenceGraph {
 public:
   InterferenceGraph() = default;
@@ -36,28 +53,118 @@ public:
 
   void reset(int NumNodes);
 
-  int getNumNodes() const { return static_cast<int>(Adj.size()); }
+  int getNumNodes() const { return NumNodes; }
 
-  void addEdge(int A, int B);
+  //===--- Construction (before freeze) -----------------------------------===//
+
+  /// OR \p Live into node \p N's adjacency row, word-parallel. The reverse
+  /// direction is established at freeze() time, so a build is a plain row
+  /// OR with no per-bit test-and-set.
+  void markRow(int N, BitSpan Live) {
+    assert(!Frozen && "graph already frozen");
+    assert(Live.size() == NumNodes && "row size mismatch");
+    uint64_t *Row = Build.data() + static_cast<size_t>(N) * WordsPerRow();
+    const uint64_t *L = Live.words();
+    for (size_t K = 0, W = WordsPerRow(); K < W; ++K)
+      Row[K] |= L[K];
+  }
+  void markRow(int N, const BitVector &Live) { markRow(N, Live.span()); }
+
+  /// Make every pair of set bits in \p Members adjacent (the entry-live
+  /// clique and per-CSB cliques): each member's row ORs in the whole set;
+  /// self-loops are stripped at freeze().
+  void addClique(const BitVector &Members) {
+    Members.forEach([&](int N) { markRow(N, Members); });
+  }
+
+  /// Add one edge (kept for tests and incremental callers).
+  void addEdge(int A, int B) {
+    assert(!Frozen && "graph already frozen");
+    if (A == B)
+      return;
+    Build[static_cast<size_t>(A) * WordsPerRow() + static_cast<size_t>(B) / 64]
+        |= uint64_t(1) << (B % 64);
+    Build[static_cast<size_t>(B) * WordsPerRow() + static_cast<size_t>(A) / 64]
+        |= uint64_t(1) << (A % 64);
+  }
+
+  /// Symmetrize, strip the diagonal, count edges, and build the packed
+  /// triangular matrix + CSR adjacency. Idempotent; queries require it.
+  void freeze();
+
+  bool isFrozen() const { return Frozen; }
+
+  //===--- Queries (after freeze) ------------------------------------------===//
+
   bool hasEdge(int A, int B) const {
-    return Adj[static_cast<size_t>(A)].test(B);
+    assert(Frozen && "query on unfrozen graph");
+    if (A == B)
+      return false;
+    if (A < B)
+      std::swap(A, B);
+    // Lower-triangular packing: row A (A > B) starts at bit A*(A-1)/2.
+    size_t Bit = static_cast<size_t>(A) * (static_cast<size_t>(A) - 1) / 2 +
+                 static_cast<size_t>(B);
+    return (Tri[Bit / 64] >> (Bit % 64)) & 1;
   }
-  int degree(int N) const { return Adj[static_cast<size_t>(N)].count(); }
-  const BitVector &neighbors(int N) const {
-    return Adj[static_cast<size_t>(N)];
-  }
-  int getNumEdges() const { return NumEdges; }
 
-  /// Add a node (no edges); returns its ID.
-  int addNode();
+  int degree(int N) const {
+    assert(Frozen && "query on unfrozen graph");
+    return Offsets[static_cast<size_t>(N) + 1] -
+           Offsets[static_cast<size_t>(N)];
+  }
+
+  /// Ascending neighbor ids of \p N as a contiguous int32 slice.
+  class NeighborList {
+  public:
+    NeighborList(const int32_t *Begin, const int32_t *End)
+        : B(Begin), E(End) {}
+    const int32_t *begin() const { return B; }
+    const int32_t *end() const { return E; }
+    int size() const { return static_cast<int>(E - B); }
+    template <typename FnT> void forEach(FnT Fn) const {
+      for (const int32_t *It = B; It != E; ++It)
+        Fn(static_cast<int>(*It));
+    }
+
+  private:
+    const int32_t *B;
+    const int32_t *E;
+  };
+
+  NeighborList neighbors(int N) const {
+    assert(Frozen && "query on unfrozen graph");
+    return {AdjList.data() + Offsets[static_cast<size_t>(N)],
+            AdjList.data() + Offsets[static_cast<size_t>(N) + 1]};
+  }
+
+  int getNumEdges() const {
+    assert(Frozen && "query on unfrozen graph");
+    return NumEdges;
+  }
 
   /// Smallest-last (degeneracy) elimination order restricted to the nodes
-  /// set in \p Members; good orders for greedy coloring.
+  /// set in \p Members; good orders for greedy coloring. Ties on residual
+  /// degree break toward the lowest node id (bit-compatible with the
+  /// pre-rewrite linear-scan implementation).
   std::vector<int> smallestLastOrder(const BitVector &Members) const;
 
 private:
-  std::vector<BitVector> Adj;
+  size_t WordsPerRow() const {
+    return static_cast<size_t>((NumNodes + 63) / 64);
+  }
+
+  int NumNodes = 0;
   int NumEdges = 0;
+  bool Frozen = false;
+  /// Square bit-matrix scratch used only between reset() and freeze().
+  std::vector<uint64_t> Build;
+  /// Packed lower-triangular adjacency bits (frozen).
+  std::vector<uint64_t> Tri;
+  /// CSR adjacency (frozen): neighbors of N are
+  /// AdjList[Offsets[N] .. Offsets[N+1]), ascending.
+  std::vector<int32_t> Offsets;
+  std::vector<int32_t> AdjList;
 };
 
 /// Everything the allocators need to know about one thread.
@@ -83,7 +190,8 @@ struct ThreadAnalysis {
 };
 
 /// Run liveness, NSR construction and interference graph construction.
-/// The program must verify and must not use undefined registers.
+/// The program must verify and must not use undefined registers. Both
+/// graphs come back frozen.
 ThreadAnalysis analyzeThread(const Program &P);
 
 } // namespace npral

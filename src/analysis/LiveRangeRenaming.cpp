@@ -1,55 +1,34 @@
 //===- LiveRangeRenaming.cpp ----------------------------------------------===//
+//
+// Web discovery runs word-parallel: one flat union-find over
+// (register, program point) pairs, with unions driven by AND-ing the live
+// sets of adjacent points and uniting only the co-live bits. Register
+// assignment then replays per-register reference events in the exact order
+// the original per-register implementation visited them (entry component
+// first, uses before defs within an instruction, dead defs last), so fresh
+// register numbering and the ".w<k>"/".dead" names are bit-identical to the
+// pre-rewrite pass.
+//
+//===----------------------------------------------------------------------===//
 
 #include "analysis/LiveRangeRenaming.h"
 
 #include "analysis/Liveness.h"
 
 #include <cassert>
+#include <cstdint>
 #include <numeric>
+#include <string>
 #include <vector>
 
 using namespace npral;
 
 namespace {
 
-/// Union-find over program points (same layout as NSR construction: block b
-/// contributes size(b)+1 points).
-class PointUnionFind {
-public:
-  PointUnionFind(const Program &P) {
-    PointBase.resize(static_cast<size_t>(P.getNumBlocks()));
-    int Total = 0;
-    for (int B = 0; B < P.getNumBlocks(); ++B) {
-      PointBase[static_cast<size_t>(B)] = Total;
-      Total += static_cast<int>(P.block(B).Instrs.size()) + 1;
-    }
-    Parent.resize(static_cast<size_t>(Total));
-    std::iota(Parent.begin(), Parent.end(), 0);
-  }
-
-  int pointId(int B, int I) const {
-    return PointBase[static_cast<size_t>(B)] + I;
-  }
-
-  int find(int X) {
-    while (Parent[static_cast<size_t>(X)] != X) {
-      Parent[static_cast<size_t>(X)] =
-          Parent[static_cast<size_t>(Parent[static_cast<size_t>(X)])];
-      X = Parent[static_cast<size_t>(X)];
-    }
-    return X;
-  }
-
-  void unite(int A, int B) {
-    A = find(A);
-    B = find(B);
-    if (A != B)
-      Parent[static_cast<size_t>(A)] = B;
-  }
-
-private:
-  std::vector<int> PointBase;
-  std::vector<int> Parent;
+struct RefEvent {
+  int32_t Block;
+  int32_t Instr;
+  uint8_t IsDef; ///< 0 = use slot(s), 1 = definition.
 };
 
 } // namespace
@@ -58,42 +37,125 @@ Program npral::renameLiveRanges(const Program &P) {
   Program Out = P;
   LivenessInfo LI = computeLiveness(Out);
 
-  // "Live at point (b,i)" means live just before instruction i; the
-  // end-of-block point carries block live-out.
-  auto liveAt = [&](Reg R, int B, int I) {
-    const BasicBlock &BB = Out.block(B);
-    if (I == static_cast<int>(BB.Instrs.size()))
-      return LI.blockLiveOut(B).test(R);
+  const int NumBlocks = Out.getNumBlocks();
+  const int OrigRegs = P.NumRegs;
+  const int W = (OrigRegs + 63) / 64;
+
+  // Program points: block b contributes size(b)+1 points; point (b, i) is
+  // "just before instruction i", the final point carries block live-out.
+  std::vector<int32_t> PointBase(static_cast<size_t>(NumBlocks));
+  int TotalPoints = 0;
+  for (int B = 0; B < NumBlocks; ++B) {
+    PointBase[static_cast<size_t>(B)] = TotalPoints;
+    TotalPoints += static_cast<int>(Out.block(B).Instrs.size()) + 1;
+  }
+  auto pointId = [&](int B, int I) {
+    return PointBase[static_cast<size_t>(B)] + I;
+  };
+  // Words of the live set at point (b, i); live-after-instruction slots in
+  // the flat liveness pool double as the interior points.
+  auto pointWords = [&](int B, int I) -> const uint64_t * {
     if (I == 0)
-      return LI.blockLiveIn(B).test(R);
-    return LI.instrLiveOut(B, I - 1).test(R);
+      return LI.blockLiveIn(B).words();
+    return LI.instrLiveOut(B, I - 1).words();
+  };
+  auto liveAtPoint = [&](Reg R, int B, int I) {
+    return (pointWords(B, I)[static_cast<size_t>(R) / 64] >> (R % 64)) & 1;
   };
 
-  const int OrigRegs = P.NumRegs;
-  // Fresh register per (web of each original register). Process one
-  // original register at a time.
-  std::vector<Reg> NewOf; // scratch: component root -> fresh register
-
-  for (Reg R = 0; R < OrigRegs; ++R) {
-    PointUnionFind UF(Out);
-    // Union adjacent points where R is live.
-    for (int B = 0; B < Out.getNumBlocks(); ++B) {
-      const BasicBlock &BB = Out.block(B);
-      for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I)
-        if (liveAt(R, B, I) && liveAt(R, B, I + 1))
-          UF.unite(UF.pointId(B, I), UF.pointId(B, I + 1));
-      int EndPoint = static_cast<int>(BB.Instrs.size());
-      for (int S : Out.successors(B))
-        if (liveAt(R, B, EndPoint) && liveAt(R, S, 0))
-          UF.unite(UF.pointId(B, EndPoint), UF.pointId(S, 0));
+  // Flat union-find over (register, point): register R's row occupies ids
+  // [R*TotalPoints, (R+1)*TotalPoints).
+  std::vector<int32_t> Parent(static_cast<size_t>(OrigRegs) *
+                              static_cast<size_t>(TotalPoints));
+  std::iota(Parent.begin(), Parent.end(), 0);
+  auto find = [&](int32_t X) {
+    while (Parent[static_cast<size_t>(X)] != X) {
+      Parent[static_cast<size_t>(X)] =
+          Parent[static_cast<size_t>(Parent[static_cast<size_t>(X)])];
+      X = Parent[static_cast<size_t>(X)];
     }
+    return X;
+  };
+  auto unite = [&](int32_t A, int32_t B) {
+    A = find(A);
+    B = find(B);
+    if (A != B)
+      Parent[static_cast<size_t>(A)] = B;
+  };
 
-    // Map each reference to its component's register. The first component
-    // seen keeps the original register so most programs are unchanged.
-    std::vector<int> RootToReg;     // parallel arrays
-    std::vector<int> Roots;
+  // Union adjacent points for every register live across the pair, one
+  // word-parallel intersection per pair instead of a per-register bit test.
+  auto uniteCoLive = [&](const uint64_t *LA, const uint64_t *LB, int PA,
+                         int PB) {
+    const int32_t BaseA = PA, BaseB = PB;
+    for (int WI = 0; WI < W; ++WI) {
+      uint64_t Word = LA[WI] & LB[WI];
+      while (Word) {
+        int R = WI * 64 + __builtin_ctzll(Word);
+        Word &= Word - 1;
+        unite(R * TotalPoints + BaseA, R * TotalPoints + BaseB);
+      }
+    }
+  };
+  for (int B = 0; B < NumBlocks; ++B) {
+    const BasicBlock &BB = Out.block(B);
+    const int N = static_cast<int>(BB.Instrs.size());
+    for (int I = 0; I < N; ++I)
+      uniteCoLive(pointWords(B, I), pointWords(B, I + 1), pointId(B, I),
+                  pointId(B, I + 1));
+    for (int S : Out.successors(B))
+      uniteCoLive(pointWords(B, N), pointWords(S, 0), pointId(B, N),
+                  pointId(S, 0));
+  }
+
+  // Reference events per original register, in program order (uses before
+  // the def of the same instruction) — counting-sorted into one flat buffer.
+  std::vector<int32_t> EventStart(static_cast<size_t>(OrigRegs) + 1, 0);
+  for (int B = 0; B < NumBlocks; ++B)
+    for (const Instruction &Inst : Out.block(B).Instrs) {
+      if (Inst.Use1 != NoReg || Inst.Use2 != NoReg) {
+        if (Inst.Use1 != NoReg)
+          ++EventStart[static_cast<size_t>(Inst.Use1) + 1];
+        if (Inst.Use2 != NoReg && Inst.Use2 != Inst.Use1)
+          ++EventStart[static_cast<size_t>(Inst.Use2) + 1];
+      }
+      if (Inst.Def != NoReg)
+        ++EventStart[static_cast<size_t>(Inst.Def) + 1];
+    }
+  for (int R = 0; R < OrigRegs; ++R)
+    EventStart[static_cast<size_t>(R) + 1] += EventStart[static_cast<size_t>(R)];
+  std::vector<RefEvent> Events(
+      static_cast<size_t>(EventStart[static_cast<size_t>(OrigRegs)]));
+  std::vector<int32_t> Cursor(EventStart.begin(), EventStart.end() - 1);
+  for (int B = 0; B < NumBlocks; ++B) {
+    const BasicBlock &BB = Out.block(B);
+    for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
+      const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+      auto push = [&](Reg R, uint8_t IsDef) {
+        Events[static_cast<size_t>(Cursor[static_cast<size_t>(R)]++)] = {
+            B, I, IsDef};
+      };
+      if (Inst.Use1 != NoReg)
+        push(Inst.Use1, 0);
+      if (Inst.Use2 != NoReg && Inst.Use2 != Inst.Use1)
+        push(Inst.Use2, 0);
+      if (Inst.Def != NoReg)
+        push(Inst.Def, 1);
+    }
+  }
+
+  // Replay: assign each web a register in first-seen order per original
+  // register. The first component keeps the original register so most
+  // programs are unchanged; later webs get fresh ".w<k>" registers and dead
+  // defs ".dead" ones, numbered in the exact order the events occur.
+  std::vector<int32_t> Roots; // scratch: component root -> fresh register
+  std::vector<Reg> RootToReg;
+  for (Reg R = 0; R < OrigRegs; ++R) {
+    Roots.clear();
+    RootToReg.clear();
     bool KeepOriginalUsed = false;
-    auto regForRoot = [&](int Root) -> Reg {
+    const int32_t Row = R * TotalPoints;
+    auto regForRoot = [&](int32_t Root) -> Reg {
       for (size_t K = 0; K < Roots.size(); ++K)
         if (Roots[K] == Root)
           return RootToReg[K];
@@ -112,35 +174,35 @@ Program npral::renameLiveRanges(const Program &P) {
 
     // Entry component first so entry-live registers keep their identity.
     if (LI.blockLiveIn(Out.getEntryBlock()).test(R))
-      (void)regForRoot(UF.find(UF.pointId(Out.getEntryBlock(), 0)));
+      (void)regForRoot(find(Row + pointId(Out.getEntryBlock(), 0)));
 
-    for (int B = 0; B < Out.getNumBlocks(); ++B) {
-      BasicBlock &BB = Out.block(B);
-      for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
-        Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+    const int32_t Begin = EventStart[static_cast<size_t>(R)];
+    const int32_t End = EventStart[static_cast<size_t>(R) + 1];
+    for (int32_t E = Begin; E < End; ++E) {
+      const RefEvent &Ev = Events[static_cast<size_t>(E)];
+      const int B = Ev.Block, I = Ev.Instr;
+      Instruction &Inst = Out.block(B).Instrs[static_cast<size_t>(I)];
+      if (!Ev.IsDef) {
         // Uses read the value live at the pre-point.
-        if (Inst.Use1 == R || Inst.Use2 == R) {
-          assert(liveAt(R, B, I) && "use of dead register");
-          Reg NewReg = regForRoot(UF.find(UF.pointId(B, I)));
-          if (Inst.Use1 == R)
-            Inst.Use1 = NewReg;
-          if (Inst.Use2 == R)
-            Inst.Use2 = NewReg;
-        }
+        assert(liveAtPoint(R, B, I) && "use of dead register");
+        Reg NewReg = regForRoot(find(Row + pointId(B, I)));
+        if (Inst.Use1 == R)
+          Inst.Use1 = NewReg;
+        if (Inst.Use2 == R)
+          Inst.Use2 = NewReg;
+      } else {
         // Definitions write the value live at the post-point; a dead
         // definition gets its own register.
-        if (Inst.Def == R) {
-          Reg NewReg;
-          if (liveAt(R, B, I + 1)) {
-            NewReg = regForRoot(UF.find(UF.pointId(B, I + 1)));
-          } else if (!KeepOriginalUsed) {
-            NewReg = R;
-            KeepOriginalUsed = true;
-          } else {
-            NewReg = Out.addReg(Out.getRegName(R) + ".dead");
-          }
-          Inst.Def = NewReg;
+        Reg NewReg;
+        if (liveAtPoint(R, B, I + 1)) {
+          NewReg = regForRoot(find(Row + pointId(B, I + 1)));
+        } else if (!KeepOriginalUsed) {
+          NewReg = R;
+          KeepOriginalUsed = true;
+        } else {
+          NewReg = Out.addReg(Out.getRegName(R) + ".dead");
         }
+        Inst.Def = NewReg;
       }
     }
   }

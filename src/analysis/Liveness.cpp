@@ -10,7 +10,7 @@
 using namespace npral;
 
 BitVector LivenessInfo::instrLiveIn(const Program &P, int B, int I) const {
-  BitVector Live = instrLiveOut(B, I);
+  BitVector Live(instrLiveOut(B, I));
   const Instruction &Inst =
       P.block(B).Instrs[static_cast<size_t>(I)];
   if (Inst.Def != NoReg)
@@ -27,10 +27,9 @@ LivenessInfo npral::computeLiveness(const Program &P) {
   const int NumBlocks = P.getNumBlocks();
   const int NumRegs = P.NumRegs;
 
-  LI.BlockLiveIn.assign(static_cast<size_t>(NumBlocks), BitVector(NumRegs));
-  LI.BlockLiveOut.assign(static_cast<size_t>(NumBlocks), BitVector(NumRegs));
-  LI.InstrLiveOut.resize(static_cast<size_t>(NumBlocks));
   LI.EverReferenced.assign(static_cast<size_t>(NumRegs), 0);
+  LI.NumRegs = NumRegs;
+  LI.WordsPerSet = (NumRegs + 63) / 64;
 
   // Block-level fixpoint through the shared worklist solver: backward
   // may-analysis with Gen = upward-exposed uses, Kill = defs, solved
@@ -51,17 +50,32 @@ LivenessInfo npral::computeLiveness(const Program &P) {
         LI.EverReferenced[static_cast<size_t>(I.Def)] = 1;
     }
 
+  // Lay out the flat per-instruction pool: one WordsPerSet-wide slot per
+  // instruction, block-major.
+  LI.InstrBase.resize(static_cast<size_t>(NumBlocks));
+  int TotalInstrs = 0;
+  for (int B = 0; B < NumBlocks; ++B) {
+    LI.InstrBase[static_cast<size_t>(B)] = TotalInstrs;
+    TotalInstrs += static_cast<int>(P.block(B).Instrs.size());
+  }
+  LI.InstrPool.resize(static_cast<size_t>(TotalInstrs) *
+                      static_cast<size_t>(LI.WordsPerSet));
+
   // Per-instruction live-out by a backward scan of each block, and pressure.
   LI.RegPmax = 0;
+  const size_t W = static_cast<size_t>(LI.WordsPerSet);
   for (int B = 0; B < NumBlocks; ++B) {
     const BasicBlock &BB = P.block(B);
     const int N = static_cast<int>(BB.Instrs.size());
-    LI.InstrLiveOut[static_cast<size_t>(B)].assign(static_cast<size_t>(N),
-                                                   BitVector(NumRegs));
+    uint64_t *Slot0 =
+        LI.InstrPool.data() +
+        static_cast<size_t>(LI.InstrBase[static_cast<size_t>(B)]) * W;
     BitVector Live = LI.BlockLiveOut[static_cast<size_t>(B)];
     for (int I = N - 1; I >= 0; --I) {
       const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
-      LI.InstrLiveOut[static_cast<size_t>(B)][static_cast<size_t>(I)] = Live;
+      uint64_t *Slot = Slot0 + static_cast<size_t>(I) * W;
+      for (size_t K = 0; K < W; ++K)
+        Slot[K] = Live.words()[K];
 
       // Pressure at the defining moment: live-out plus the def itself (a
       // dead def still occupies a register while executing).

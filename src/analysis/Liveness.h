@@ -25,6 +25,11 @@
 namespace npral {
 
 /// Result of liveness analysis for one Program.
+///
+/// Per-instruction live-out sets live in one flat word pool (instruction
+/// slots laid out block-major), so computing them is a single backward
+/// sweep writing words — no per-instruction heap BitVector — and reading
+/// them hands out non-owning BitSpan views.
 class LivenessInfo {
 public:
   /// Live registers at entry of block \p B.
@@ -35,9 +40,13 @@ public:
   const BitVector &blockLiveOut(int B) const {
     return BlockLiveOut[static_cast<size_t>(B)];
   }
-  /// Live registers just after instruction \p I of block \p B.
-  const BitVector &instrLiveOut(int B, int I) const {
-    return InstrLiveOut[static_cast<size_t>(B)][static_cast<size_t>(I)];
+  /// Live registers just after instruction \p I of block \p B. The view
+  /// borrows the analysis result; copy into a BitVector to keep it longer.
+  BitSpan instrLiveOut(int B, int I) const {
+    return {InstrPool.data() +
+                static_cast<size_t>(InstrBase[static_cast<size_t>(B)] + I) *
+                    static_cast<size_t>(WordsPerSet),
+            NumRegs};
   }
   /// Live registers just before instruction \p I of block \p B (computed).
   BitVector instrLiveIn(const Program &P, int B, int I) const;
@@ -57,7 +66,12 @@ public:
 private:
   std::vector<BitVector> BlockLiveIn;
   std::vector<BitVector> BlockLiveOut;
-  std::vector<std::vector<BitVector>> InstrLiveOut;
+  /// Flat live-out pool: instruction (B, I) occupies WordsPerSet words at
+  /// index (InstrBase[B] + I) * WordsPerSet.
+  std::vector<uint64_t> InstrPool;
+  std::vector<int32_t> InstrBase; ///< Per-block first instruction slot.
+  int WordsPerSet = 0;
+  int NumRegs = 0;
   std::vector<char> EverReferenced;
   int RegPmax = 0;
 };

@@ -41,8 +41,8 @@ void spliceFunction(Program &P, int Block, int Index, const Program &F,
 
   // Split the call block: everything after the call moves to a
   // continuation block that inherits the original fallthrough.
-  BasicBlock &CallBB = P.block(Block);
-  int Cont = P.addBlock(CallBB.Name + ".ret" + std::to_string(ExpansionId));
+  int Cont = P.addBlock(std::string(P.blockName(Block)) + ".ret" +
+                        std::to_string(ExpansionId));
   {
     BasicBlock &ContBB = P.block(Cont);
     BasicBlock &Caller = P.block(Block); // re-take: addBlock reallocates
@@ -56,7 +56,7 @@ void spliceFunction(Program &P, int Block, int Index, const Program &F,
   int Base = P.getNumBlocks();
   for (int FB = 0; FB < F.getNumBlocks(); ++FB) {
     int NewB = P.addBlock("f" + std::to_string(ExpansionId) + "." +
-                          F.block(FB).Name);
+                          std::string(F.blockName(FB)));
     BasicBlock &NewBB = P.block(NewB);
     const BasicBlock &Body = F.block(FB);
     NewBB.FallThrough =

@@ -199,7 +199,7 @@ MultiThreadProgram npral::materializeBaseline(
     Phys.EntryBlock = CP.EntryBlock;
     for (int B = 0; B < CP.getNumBlocks(); ++B) {
       const BasicBlock &BB = CP.block(B);
-      int NewB = Phys.addBlock(BB.Name);
+      int NewB = Phys.addBlock(CP.blockName(BB.Id));
       Phys.block(NewB).FallThrough = BB.FallThrough;
       for (const Instruction &I : BB.Instrs) {
         Instruction NewI = I;

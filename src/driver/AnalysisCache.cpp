@@ -2,14 +2,59 @@
 
 #include "driver/AnalysisCache.h"
 
-#include "ir/IRPrinter.h"
 #include "support/StringUtils.h"
 #include "trace/MetricsRegistry.h"
 
+#include <cstring>
+
 using namespace npral;
 
+namespace {
+
+void append64(std::string &Out, uint64_t V) {
+  char Buf[8];
+  for (int I = 0; I < 8; ++I)
+    Buf[I] = static_cast<char>((V >> (8 * I)) & 0xFF);
+  Out.append(Buf, 8);
+}
+
+} // namespace
+
+std::string npral::encodeProgram(const Program &P) {
+  std::string Out;
+  // Rough sizing: 4 words per instruction + small per-block overhead.
+  Out.reserve(64 + P.Name.size() +
+              static_cast<size_t>(P.countInstructions()) * 32 +
+              P.Blocks.size() * 16);
+  append64(Out, P.Name.size());
+  Out += P.Name;
+  append64(Out, static_cast<uint64_t>(static_cast<uint32_t>(P.NumRegs)) |
+                    (static_cast<uint64_t>(P.IsPhysical) << 32));
+  append64(Out, static_cast<uint64_t>(static_cast<uint32_t>(P.EntryBlock)));
+  append64(Out, P.EntryLiveRegs.size());
+  for (Reg R : P.EntryLiveRegs)
+    append64(Out, static_cast<uint64_t>(static_cast<uint32_t>(R)));
+  append64(Out, P.Blocks.size());
+  for (const BasicBlock &BB : P.Blocks) {
+    append64(Out,
+             static_cast<uint64_t>(static_cast<uint32_t>(BB.FallThrough)) |
+                 (static_cast<uint64_t>(BB.Instrs.size()) << 32));
+    for (const Instruction &I : BB.Instrs) {
+      append64(Out, static_cast<uint64_t>(static_cast<uint32_t>(I.Op)) |
+                        (static_cast<uint64_t>(static_cast<uint32_t>(I.Def))
+                         << 32));
+      append64(Out, static_cast<uint64_t>(static_cast<uint32_t>(I.Use1)) |
+                        (static_cast<uint64_t>(static_cast<uint32_t>(I.Use2))
+                         << 32));
+      append64(Out, static_cast<uint64_t>(I.Imm));
+      append64(Out, static_cast<uint64_t>(static_cast<uint32_t>(I.Target)));
+    }
+  }
+  return Out;
+}
+
 uint64_t npral::hashProgramContent(const Program &P) {
-  return fnv1aHash(programToString(P));
+  return fnv1aHash(encodeProgram(P));
 }
 
 std::shared_ptr<const ThreadAnalysisBundle>

@@ -3,16 +3,17 @@
 /// \file
 /// A concurrent, content-hash-keyed store of per-thread analysis bundles
 /// (liveness, NSR decomposition, GIG/BIG/IIG, register bounds). The batch
-/// pipeline keys each renamed thread by an FNV-1a hash of its printed
-/// assembly: the printer is byte-stable and print -> parse is a fixed
-/// point (both guarded by the round-trip golden tests), so equal text means
-/// equal analysis input. Repeated programs and shared kernels across batch
-/// jobs then reuse one immutable bundle instead of re-running the dataflow.
+/// pipeline keys each renamed thread by an FNV-1a hash of its flat binary
+/// encoding (encodeProgram below): fixed-width words covering every field
+/// that analysis can observe, byte-stable by construction, so equal bytes
+/// mean equal analysis input. Repeated programs and shared kernels across
+/// batch jobs then reuse one immutable bundle instead of re-running the
+/// dataflow — and keying never pays for an assembly print.
 ///
 /// Soundness against hash collisions: a 64-bit content hash can collide,
 /// and serving another program's bundle would silently corrupt allocation.
-/// Every entry therefore stores the printed assembly it was computed from;
-/// lookup() compares it against the caller's text and treats a mismatch as
+/// Every entry therefore stores the encoding it was computed from;
+/// lookup() compares it against the caller's bytes and treats a mismatch as
 /// a miss (counted separately as a collision). The hash is only an index —
 /// correctness rests on the byte comparison.
 ///
@@ -48,21 +49,31 @@
 
 namespace npral {
 
-/// FNV-1a hash of \p P's printed assembly — the cache key. Includes the
-/// thread name, entry-live list, block structure and every instruction, so
-/// any observable difference between programs changes the key.
+/// Flat binary encoding of \p P's analysis-relevant content: thread name,
+/// register count, entry block, entry-live list, block structure (fall-
+/// throughs) and every instruction field, all as fixed-width little-endian
+/// words. Two programs encode equally iff their printed assembly parses to
+/// the same IR modulo debug names (register and block labels are excluded —
+/// analysis bundles are ID-based and never look at names). Encoding is a
+/// straight sweep over the IR with no string formatting, so keying the
+/// cache costs memcpy-speed instead of a full assembly print.
+std::string encodeProgram(const Program &P);
+
+/// FNV-1a hash of \p P's flat encoding — the cache key. Any difference in
+/// thread name, structure or instruction bytes changes the key; debug
+/// names do not (they do not affect analysis results).
 uint64_t hashProgramContent(const Program &P);
 
 class AnalysisCache {
 public:
-  /// Bundle for \p Key, or null on a miss. \p Text must be the printed
-  /// assembly the key was hashed from; an entry whose stored text differs
+  /// Bundle for \p Key, or null on a miss. \p Text must be the flat
+  /// encoding the key was hashed from; an entry whose stored bytes differ
   /// is a hash collision — it is never served, counts as a miss, and bumps
   /// the collision counter.
   std::shared_ptr<const ThreadAnalysisBundle>
   lookup(uint64_t Key, std::string_view Text) const;
 
-  /// Store \p Bundle (computed from the program printed as \p Text) under
+  /// Store \p Bundle (computed from the program encoded as \p Text) under
   /// \p Key. If another worker inserted the key first, that entry is kept
   /// and returned instead — even when it holds a colliding program's
   /// bundle, in which case the caller's fresh bundle is handed back

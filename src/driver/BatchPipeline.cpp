@@ -100,12 +100,17 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
       return fail("analysis", S.code(), "thread '" + T.Name + "': " + S.str());
     const int64_t T0 = nowNs();
     T = renameLiveRanges(T);
-    const std::string Text = programToString(T);
+    // Cache keying runs on the flat binary encoding — no assembly print in
+    // the hot path. Collected profiles are keyed by printed-text hash (the
+    // collector's convention), so only profile-carrying runs pay for one.
+    const std::string Text = encodeProgram(T);
     const uint64_t ContentHash = fnv1aHash(Text);
 
     CostModel CM;
     const ThreadProfile *TP =
-        Opts.Profile ? Opts.Profile->findByCodeHash(ContentHash) : nullptr;
+        Opts.Profile
+            ? Opts.Profile->findByCodeHash(fnv1aHash(programToString(T)))
+            : nullptr;
     if (TP) {
       ++R.ProfiledThreads;
       const int ProfIdx =

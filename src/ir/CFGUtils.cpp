@@ -156,7 +156,7 @@ int npral::splitEdge(Program &P, int Pred, int Succ) {
   assert(Pred >= 0 && Pred < P.getNumBlocks() && "bad pred");
   assert(Succ >= 0 && Succ < P.getNumBlocks() && "bad succ");
 
-  int NewBlock = P.addBlock(P.block(Pred).Name + ".split." +
+  int NewBlock = P.addBlock(std::string(P.blockName(Pred)) + ".split." +
                             std::to_string(Succ));
   P.block(NewBlock).Instrs.push_back(Instruction::makeBr(Succ));
 

@@ -13,7 +13,7 @@ static std::string blockLabel(const Program &P, int BlockId) {
   // render instead of indexing out of range.
   if (BlockId < 0 || BlockId >= P.getNumBlocks())
     return "<invalid:" + std::to_string(BlockId) + ">";
-  return P.block(BlockId).Name;
+  return std::string(P.blockName(BlockId));
 }
 
 std::string npral::formatInstruction(const Program &P, const Instruction &I) {
@@ -74,14 +74,14 @@ void npral::printProgram(std::ostream &OS, const Program &P) {
   }
   for (int B = 0; B < P.getNumBlocks(); ++B) {
     const BasicBlock &BB = P.block(B);
-    OS << BB.Name << ":\n";
+    OS << P.blockName(B) << ":\n";
     for (const Instruction &I : BB.Instrs)
       OS << "    " << formatInstruction(P, I) << '\n';
     // Make fallthrough explicit when it is not the next block in layout
     // order; the parser re-derives implicit fallthrough from layout.
     bool EndsWithTerm = !BB.Instrs.empty() && BB.Instrs.back().isTerminator();
     if (!EndsWithTerm && BB.FallThrough != NoBlock && BB.FallThrough != B + 1)
-      OS << "    br " << P.block(BB.FallThrough).Name << '\n';
+      OS << "    br " << P.blockName(BB.FallThrough) << '\n';
   }
 }
 

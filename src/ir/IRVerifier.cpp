@@ -55,23 +55,26 @@ private:
     // Every block needs an exit.
     bool EndsClosed = !BB.Instrs.empty() && (BB.Instrs.back().isTerminator());
     if (!EndsClosed && !blockOk(BB.FallThrough))
-      return fail("block '" + BB.Name + "' has no terminator and no valid "
+      return fail("block '" + std::string(P.blockName(B)) +
+                  "' has no terminator and no valid "
                   "fallthrough");
     if (EndsClosed && BB.FallThrough != NoBlock)
-      return fail("block '" + BB.Name + "' has both a terminator and a "
+      return fail("block '" + std::string(P.blockName(B)) +
+                  "' has both a terminator and a "
                   "fallthrough");
     return Status::success();
   }
 
   Status checkInstruction(const BasicBlock &BB, const Instruction &I) {
     if (I.Op == Opcode::Call || I.Op == Opcode::Ret)
-      return fail("in block '" + BB.Name + "': '" +
+      return fail("in block '" + std::string(P.blockName(BB.Id)) + "': '" +
                   std::string(I.info().Mnemonic) +
                   "' must be expanded by the assembler and cannot appear in "
                   "a final program");
     const OpcodeInfo &Info = I.info();
     auto badShape = [&](const char *What) {
-      return fail("in block '" + BB.Name + "', instruction '" +
+      return fail("in block '" + std::string(P.blockName(BB.Id)) +
+                  "', instruction '" +
                   formatInstruction(P, I) + "': " + What);
     };
 
@@ -147,7 +150,8 @@ private:
     if (CondBeforeFinalBr)
       return Status::success();
     return fail("control-flow instruction '" + formatInstruction(P, I) +
-                "' in block '" + BB.Name + "' is not in terminator position");
+                "' in block '" + std::string(P.blockName(BB.Id)) +
+                "' is not in terminator position");
   }
 };
 

@@ -6,20 +6,42 @@
 
 using namespace npral;
 
-int Program::addBlock(std::string Name) {
+int Program::addBlock(std::string_view Name) {
   int Id = getNumBlocks();
   BasicBlock BB;
   BB.Id = Id;
-  BB.Name = Name.empty() ? "bb" + std::to_string(Id) : std::move(Name);
+  BB.NameId = Name.empty() ? Strings.intern("bb" + std::to_string(Id))
+                           : Strings.intern(Name);
   Blocks.push_back(std::move(BB));
   return Id;
 }
 
-Reg Program::addReg(std::string Name) {
+/// True when \p Name is exactly what getRegName() synthesizes for an
+/// unnamed register \p R ("r<R>"/"p<R>", no leading zeros). Such names need
+/// no arena slot — most programs (generated corpora, renamed outputs whose
+/// webs kept their ids) name every register this way, so skipping them
+/// keeps parse and renaming off the interner entirely.
+static bool isDefaultRegName(std::string_view Name, bool IsPhysical, Reg R) {
+  if (Name.size() < 2 || Name.size() > 11 ||
+      Name[0] != (IsPhysical ? 'p' : 'r'))
+    return false;
+  if (Name[1] == '0' && Name.size() > 2)
+    return false;
+  uint32_t V = 0;
+  for (size_t I = 1; I < Name.size(); ++I) {
+    char C = Name[I];
+    if (C < '0' || C > '9')
+      return false;
+    V = V * 10 + static_cast<uint32_t>(C - '0');
+  }
+  return V == static_cast<uint32_t>(R);
+}
+
+Reg Program::addReg(std::string_view Name) {
   Reg R = NumRegs++;
-  if (!Name.empty()) {
-    RegNames.resize(static_cast<size_t>(NumRegs));
-    RegNames[static_cast<size_t>(R)] = std::move(Name);
+  if (!Name.empty() && !isDefaultRegName(Name, IsPhysical, R)) {
+    RegNameIds.resize(static_cast<size_t>(NumRegs), NoStr);
+    RegNameIds[static_cast<size_t>(R)] = Strings.intern(Name);
   }
   return R;
 }
@@ -27,9 +49,9 @@ Reg Program::addReg(std::string Name) {
 std::string Program::getRegName(Reg R) const {
   if (R == NoReg)
     return "<none>";
-  if (static_cast<size_t>(R) < RegNames.size() &&
-      !RegNames[static_cast<size_t>(R)].empty())
-    return RegNames[static_cast<size_t>(R)];
+  if (static_cast<size_t>(R) < RegNameIds.size() &&
+      RegNameIds[static_cast<size_t>(R)] != NoStr)
+    return std::string(Strings.view(RegNameIds[static_cast<size_t>(R)]));
   return (IsPhysical ? "p" : "r") + std::to_string(R);
 }
 

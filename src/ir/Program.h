@@ -12,8 +12,10 @@
 #define NPRAL_IR_PROGRAM_H
 
 #include "ir/Instruction.h"
+#include "support/Arena.h"
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace npral {
@@ -27,7 +29,9 @@ namespace npral {
 ///  * otherwise                  -> successors {FallThrough}.
 struct BasicBlock {
   int Id = NoBlock;
-  std::string Name;
+  /// Label id in the owning Program's string arena (NoStr when unnamed);
+  /// resolve with Program::blockName().
+  int32_t NameId = NoStr;
   std::vector<Instruction> Instrs;
   /// Block executed when control falls off the end (NoBlock for br/halt
   /// terminated blocks).
@@ -38,6 +42,12 @@ struct BasicBlock {
 };
 
 /// One thread's code.
+///
+/// All debug labels (block names, register names) live in one per-program
+/// string arena and are referenced by int32 ids, so copying a Program —
+/// the renaming pass and the batch pipeline do this per thread — moves a
+/// handful of flat vectors instead of a string per label, and the analysis
+/// passes never touch a string at all.
 class Program {
 public:
   std::string Name;
@@ -45,8 +55,11 @@ public:
   /// Number of registers referenced (virtual before allocation, physical
   /// after). Register IDs are dense in [0, NumRegs).
   int NumRegs = 0;
-  /// Optional debug names per register ID (may be shorter than NumRegs).
-  std::vector<std::string> RegNames;
+  /// Arena for block and register labels.
+  StringInterner Strings;
+  /// Optional debug-name ids per register ID (may be shorter than NumRegs;
+  /// NoStr = unnamed).
+  std::vector<int32_t> RegNameIds;
   /// True once registers denote physical registers.
   bool IsPhysical = false;
   /// Registers live at program entry (e.g. packet buffer pointer handed to
@@ -67,14 +80,25 @@ public:
     return Blocks[static_cast<size_t>(Id)];
   }
 
-  /// Append a new block; returns its ID.
-  int addBlock(std::string Name = std::string());
+  /// Append a new block; returns its ID. An empty \p Name becomes
+  /// "bb<id>".
+  int addBlock(std::string_view Name = {});
 
   /// Allocate a fresh register ID; \p Name is a debug label.
-  Reg addReg(std::string Name = std::string());
+  Reg addReg(std::string_view Name = {});
 
   /// Debug name of \p R ("r<N>" when unnamed).
   std::string getRegName(Reg R) const;
+
+  /// Label of block \p B (view into the program's arena).
+  std::string_view blockName(int B) const {
+    const BasicBlock &BB = block(B);
+    return BB.NameId == NoStr ? std::string_view() : Strings.view(BB.NameId);
+  }
+
+  /// Drop all register debug names (labels of a physical program are
+  /// meaningless once registers are renumbered).
+  void clearRegNames() { RegNameIds.clear(); }
 
   /// Successor block IDs of \p BlockId under the rules above.
   std::vector<int> successors(int BlockId) const;

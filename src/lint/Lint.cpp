@@ -155,7 +155,7 @@ Status npral::mapNamedPhysicalRegisters(MultiThreadProgram &MTP) {
       R = Remap(R);
     P.NumRegs = NumRegs;
     // getRegName renders p<N> for physical programs on its own.
-    P.RegNames.clear();
+    P.clearRegNames();
     P.IsPhysical = true;
   }
   return Status::success();

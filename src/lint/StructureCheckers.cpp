@@ -49,7 +49,7 @@ void lintchecks::checkUnreachableBlocks(LintContext &Ctx) {
     for (int B = 0; B < P.getNumBlocks(); ++B)
       if (!Reached[static_cast<size_t>(B)])
         Ctx.emit(Severity::Warning, "unreachable-block", T, B, -1,
-                 "block '" + P.block(B).Name +
+                 "block '" + std::string(P.blockName(B)) +
                      "' is unreachable from the entry block");
   }
 }

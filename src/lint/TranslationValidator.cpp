@@ -424,8 +424,8 @@ std::string ThreadValidator::blockPathFromEntry(int Block) const {
   for (int B : Path) {
     if (!Out.empty())
       Out += " -> ";
-    const std::string &Name = Phys.block(B).Name;
-    Out += Name.empty() ? "b" + std::to_string(B) : Name;
+    std::string_view Name = Phys.blockName(B);
+    Out += Name.empty() ? "b" + std::to_string(B) : std::string(Name);
   }
   return Out;
 }

@@ -109,7 +109,7 @@ bool Simulator::step(int T, int64_t &Clock, std::string &Error) {
     if (TS.Index >= static_cast<int>(BB.Instrs.size())) {
       if (BB.FallThrough == NoBlock) {
         Error = formatString("thread %d: fell off block '%s'", T,
-                             BB.Name.c_str());
+                             std::string(P.blockName(TS.Block)).c_str());
         return false;
       }
       TS.Block = BB.FallThrough;

@@ -6,6 +6,7 @@
 #include "ir/IRVerifier.h"
 #include "support/Diagnostics.h"
 
+#include <algorithm>
 #include <vector>
 
 using namespace npral;
@@ -29,6 +30,7 @@ private:
   Reg OutPtr = NoReg;
   int Budget = 0;
   int StoreCursor = 0;
+  int LoopNest = 0;
 
   Reg pick() { return Pool[R.nextBelow(Pool.size())]; }
 
@@ -90,6 +92,7 @@ private:
   }
 
   void emitLoop(int Depth) {
+    ++LoopNest;
     // Fresh counter outside the pool so the body cannot clobber it.
     Reg Counter = B.reg();
     B.imm(Counter, static_cast<int64_t>(2 + R.nextBelow(3)));
@@ -102,6 +105,11 @@ private:
     B.condBrZ(Opcode::BrNz, Counter, Body);
     B.setFallThrough(After);
     B.setInsertBlock(After);
+    --LoopNest;
+  }
+
+  bool loopAllowed() const {
+    return Config.MaxLoopNest < 0 || LoopNest < Config.MaxLoopNest;
   }
 
   void emitSequence(int Depth, int Items) {
@@ -118,7 +126,7 @@ private:
         continue;
       }
       if (Dice < static_cast<uint64_t>(Config.CtxRatePerMille) + 110 &&
-          Depth < Config.MaxDepth) {
+          Depth < Config.MaxDepth && loopAllowed()) {
         emitLoop(Depth);
         continue;
       }
@@ -135,7 +143,8 @@ Program GeneratorImpl::generate() {
   OutPtr = B.reg("outp");
   B.imm(InPtr, Config.MemBase);
   B.imm(OutPtr, Config.OutBase);
-  for (int I = 0; I < Config.NumLongLived; ++I) {
+  const int PoolSize = std::max(Config.NumLongLived, Config.PressureTarget);
+  for (int I = 0; I < PoolSize; ++I) {
     Reg V = B.reg("v" + std::to_string(I));
     B.imm(V, static_cast<int64_t>(R.nextBelow(1 << 20)));
     Pool.push_back(V);
@@ -144,9 +153,14 @@ Program GeneratorImpl::generate() {
   Budget = Config.TargetInstructions;
   emitSequence(0, Config.TargetInstructions);
 
-  // Store trail tail: make every pool register observable.
+  // Store trail tail: make every pool register observable. Slots wrap when
+  // a PressureTarget-widened pool outgrows the output region (the store is
+  // still a use, which is what keeps the register live to the end).
   for (size_t I = 0; I < Pool.size(); ++I)
-    B.store(OutPtr, static_cast<int64_t>(Config.OutLen - 1 - I), Pool[I]);
+    B.store(OutPtr,
+            static_cast<int64_t>(Config.OutLen - 1 -
+                                 (I % static_cast<size_t>(Config.OutLen))),
+            Pool[I]);
   B.loopEnd();
   B.halt();
 

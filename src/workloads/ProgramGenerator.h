@@ -28,6 +28,18 @@ struct GeneratorConfig {
   int CtxRatePerMille = 120;
   /// Maximum structured-control nesting.
   int MaxDepth = 3;
+  /// When positive, lower bound on the register pressure the program
+  /// sustains: the entry-initialised pool is widened to at least this many
+  /// registers, all of them kept live to the store trail at the end. Values
+  /// above 32/64 force multi-word live sets and dense interference rows
+  /// (the word-parallel analysis paths). 0 = leave the pool at
+  /// NumLongLived; seed streams are unchanged in that case.
+  int PressureTarget = 0;
+  /// When non-negative, cap on *loop* nesting specifically (MaxDepth still
+  /// bounds ifs and loops together); 0 generates loop-free bodies. A seed's
+  /// rejected loop rolls fall back to plain ALU emission. -1 = no extra
+  /// cap; seed streams are unchanged in that case.
+  int MaxLoopNest = -1;
   /// Memory region the program may touch (word addresses).
   uint32_t MemBase = 0x1000;
   uint32_t MemLen = 256;

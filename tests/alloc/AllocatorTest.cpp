@@ -171,7 +171,7 @@ TEST(SplitTransformsTest, SplitInBlockPreservesBehaviour) {
   // Split buf inside the loop block.
   int LoopBlock = -1;
   for (int B = 0; B < P.getNumBlocks(); ++B)
-    if (P.block(B).Name == "loop")
+    if (P.blockName(B) == "loop")
       LoopBlock = B;
   ASSERT_GE(LoopBlock, 0);
   Program Q = P;

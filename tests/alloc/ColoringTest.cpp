@@ -31,6 +31,7 @@ InterferenceGraph makeClique(int N) {
   for (int A = 0; A < N; ++A)
     for (int B = A + 1; B < N; ++B)
       G.addEdge(A, B);
+  G.freeze();
   return G;
 }
 
@@ -54,6 +55,7 @@ TEST(ColorMinimallyTest, PathNeedsTwoColors) {
   InterferenceGraph G(6);
   for (int I = 0; I + 1 < 6; ++I)
     G.addEdge(I, I + 1);
+  G.freeze();
   Coloring C;
   EXPECT_EQ(colorMinimally(G, allNodes(6), C), 2);
   expectProperColoring(G, C);
@@ -65,6 +67,7 @@ TEST(ColorMinimallyTest, CycleEvenOdd) {
     InterferenceGraph G(N);
     for (int I = 0; I < N; ++I)
       G.addEdge(I, (I + 1) % N);
+    G.freeze();
     Coloring C;
     int Used = colorMinimally(G, allNodes(N), C);
     EXPECT_EQ(Used, N % 2 == 0 ? 2 : 3) << "cycle of length " << N;
@@ -76,6 +79,7 @@ TEST(ColorMinimallyTest, RespectsPrecoloredNeighbors) {
   InterferenceGraph G(3);
   G.addEdge(0, 1);
   G.addEdge(1, 2);
+  G.freeze();
   Coloring C(3, NoColor);
   C[0] = 0;
   C[2] = 0;
@@ -90,6 +94,7 @@ TEST(NeighborColorCountTest, CountsDistinctColors) {
   G.addEdge(0, 1);
   G.addEdge(0, 2);
   G.addEdge(0, 3);
+  G.freeze();
   Coloring C = {NoColor, 1, 1, 2};
   EXPECT_EQ(neighborColorCount(G, C, 0), 2);
 }
@@ -98,6 +103,7 @@ TEST(PickFreeColorTest, BandsAndPreference) {
   InterferenceGraph G(3);
   G.addEdge(0, 1);
   G.addEdge(0, 2);
+  G.freeze();
   Coloring C = {NoColor, 0, 2};
   EXPECT_EQ(pickFreeColor(G, C, 0, 0, 4), 1);
   EXPECT_EQ(pickFreeColor(G, C, 0, 0, 4, /*PreferFrom=*/3), 3);

@@ -22,25 +22,52 @@ TEST(InterferenceGraphTest, BasicEdges) {
   InterferenceGraph G(4);
   G.addEdge(0, 1);
   G.addEdge(1, 2);
+  G.addEdge(0, 1); // duplicate ignored
+  G.addEdge(3, 3); // self loop ignored
+  G.freeze();
+  EXPECT_TRUE(G.isFrozen());
   EXPECT_TRUE(G.hasEdge(0, 1));
   EXPECT_TRUE(G.hasEdge(1, 0));
   EXPECT_FALSE(G.hasEdge(0, 2));
   EXPECT_EQ(G.degree(1), 2);
   EXPECT_EQ(G.getNumEdges(), 2);
-  G.addEdge(0, 1); // duplicate ignored
-  EXPECT_EQ(G.getNumEdges(), 2);
-  G.addEdge(3, 3); // self loop ignored
   EXPECT_EQ(G.degree(3), 0);
 }
 
-TEST(InterferenceGraphTest, AddNodePreservesEdges) {
-  InterferenceGraph G(2);
-  G.addEdge(0, 1);
-  int N = G.addNode();
-  EXPECT_EQ(N, 2);
-  EXPECT_TRUE(G.hasEdge(0, 1));
-  G.addEdge(2, 0);
-  EXPECT_TRUE(G.hasEdge(2, 0));
+TEST(InterferenceGraphTest, CliqueAndRowBuildMatchExplicitEdges) {
+  // Word-parallel construction (markRow / addClique) must produce the same
+  // frozen graph as explicit addEdge calls.
+  InterferenceGraph ByEdges(5);
+  for (int A : {0, 2, 4})
+    for (int B : {0, 2, 4})
+      ByEdges.addEdge(A, B);
+  ByEdges.addEdge(1, 3);
+  ByEdges.freeze();
+
+  InterferenceGraph ByRows(5);
+  BitVector Clique(5);
+  Clique.set(0);
+  Clique.set(2);
+  Clique.set(4);
+  ByRows.addClique(Clique); // self-loops stripped at freeze()
+  BitVector Row(5);
+  Row.set(3);
+  ByRows.markRow(1, Row); // one-directional; symmetrized at freeze()
+  ByRows.freeze();
+
+  EXPECT_EQ(ByRows.getNumEdges(), ByEdges.getNumEdges());
+  for (int A = 0; A < 5; ++A) {
+    EXPECT_EQ(ByRows.degree(A), ByEdges.degree(A)) << "node " << A;
+    for (int B = 0; B < 5; ++B)
+      EXPECT_EQ(ByRows.hasEdge(A, B), ByEdges.hasEdge(A, B))
+          << "edge (" << A << "," << B << ")";
+  }
+  // Neighbor lists are ascending.
+  int Prev = -1;
+  ByRows.neighbors(0).forEach([&](int Nb) {
+    EXPECT_GT(Nb, Prev);
+    Prev = Nb;
+  });
 }
 
 TEST(InterferenceGraphTest, SmallestLastOrderCoversMembers) {
@@ -48,6 +75,7 @@ TEST(InterferenceGraphTest, SmallestLastOrderCoversMembers) {
   G.addEdge(0, 1);
   G.addEdge(1, 2);
   G.addEdge(2, 0);
+  G.freeze();
   BitVector Members(5);
   Members.set(0);
   Members.set(1);

@@ -60,7 +60,7 @@ loop:
   // s is live-in at the loop header from both entry and back edge.
   int LoopBlock = -1;
   for (int B = 0; B < P.getNumBlocks(); ++B)
-    if (P.block(B).Name == "loop")
+    if (P.blockName(B) == "loop")
       LoopBlock = B;
   ASSERT_GE(LoopBlock, 0);
   EXPECT_TRUE(LI.blockLiveIn(LoopBlock).test(S));

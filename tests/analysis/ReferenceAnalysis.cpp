@@ -1,0 +1,676 @@
+//===- ReferenceAnalysis.cpp - Frozen pre-rewrite analysis oracle ---------===//
+//
+// Verbatim snapshot of src/analysis/{Liveness,NSR,InterferenceGraph,
+// LiveRangeRenaming} and src/alloc/{ColoringUtils,BoundsEstimator} as of the
+// commit preceding the word-parallel rewrite, with only mechanical renames
+// (npral:: -> npral::refimpl::) and the block-level liveness fixpoint
+// re-expressed as a naive round-robin iteration so the oracle does not link
+// against the production dataflow solver. Do not "improve" this file: its
+// value is that it stays behind while the production path moves.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ReferenceAnalysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace npral;
+using namespace npral::refimpl;
+
+//===----------------------------------------------------------------------===//
+// Liveness
+//===----------------------------------------------------------------------===//
+
+RefLivenessInfo npral::refimpl::computeLiveness(const Program &P) {
+  RefLivenessInfo LI;
+  const int NumBlocks = P.getNumBlocks();
+  const int NumRegs = P.NumRegs;
+
+  LI.BlockLiveIn.assign(static_cast<size_t>(NumBlocks), BitVector(NumRegs));
+  LI.BlockLiveOut.assign(static_cast<size_t>(NumBlocks), BitVector(NumRegs));
+  LI.InstrLiveOut.resize(static_cast<size_t>(NumBlocks));
+  LI.EverReferenced.assign(static_cast<size_t>(NumRegs), 0);
+
+  // Per-block Gen (upward-exposed uses) and Kill (defs).
+  std::vector<BitVector> Gen(static_cast<size_t>(NumBlocks),
+                             BitVector(NumRegs));
+  std::vector<BitVector> Kill(static_cast<size_t>(NumBlocks),
+                              BitVector(NumRegs));
+  for (int B = 0; B < NumBlocks; ++B) {
+    const BasicBlock &BB = P.block(B);
+    for (const Instruction &I : BB.Instrs) {
+      std::array<Reg, 2> Uses;
+      int N = I.getUses(Uses);
+      for (int U = 0; U < N; ++U)
+        if (!Kill[static_cast<size_t>(B)].test(Uses[static_cast<size_t>(U)]))
+          Gen[static_cast<size_t>(B)].set(Uses[static_cast<size_t>(U)]);
+      if (I.Def != NoReg)
+        Kill[static_cast<size_t>(B)].set(I.Def);
+    }
+  }
+
+  // Naive round-robin backward fixpoint. The liveness lattice has a unique
+  // least fixpoint, so this matches any correct solver bit-for-bit.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int B = NumBlocks - 1; B >= 0; --B) {
+      BitVector Out(NumRegs);
+      for (int S : P.successors(B))
+        Out.unionWith(LI.BlockLiveIn[static_cast<size_t>(S)]);
+      BitVector In = Out;
+      In.subtract(Kill[static_cast<size_t>(B)]);
+      In.unionWith(Gen[static_cast<size_t>(B)]);
+      if (!(Out == LI.BlockLiveOut[static_cast<size_t>(B)]) ||
+          !(In == LI.BlockLiveIn[static_cast<size_t>(B)])) {
+        LI.BlockLiveOut[static_cast<size_t>(B)] = std::move(Out);
+        LI.BlockLiveIn[static_cast<size_t>(B)] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+
+  for (int B = 0; B < NumBlocks; ++B)
+    for (const Instruction &I : P.block(B).Instrs) {
+      std::array<Reg, 2> Uses;
+      int N = I.getUses(Uses);
+      for (int U = 0; U < N; ++U)
+        LI.EverReferenced[static_cast<size_t>(Uses[static_cast<size_t>(U)])] =
+            1;
+      if (I.Def != NoReg)
+        LI.EverReferenced[static_cast<size_t>(I.Def)] = 1;
+    }
+
+  // Per-instruction live-out by a backward scan of each block, and pressure.
+  LI.RegPmax = 0;
+  for (int B = 0; B < NumBlocks; ++B) {
+    const BasicBlock &BB = P.block(B);
+    const int N = static_cast<int>(BB.Instrs.size());
+    LI.InstrLiveOut[static_cast<size_t>(B)].assign(static_cast<size_t>(N),
+                                                   BitVector(NumRegs));
+    BitVector Live = LI.BlockLiveOut[static_cast<size_t>(B)];
+    for (int I = N - 1; I >= 0; --I) {
+      const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+      LI.InstrLiveOut[static_cast<size_t>(B)][static_cast<size_t>(I)] = Live;
+
+      int OutCount = Live.count();
+      if (Inst.Def != NoReg && !Live.test(Inst.Def))
+        ++OutCount;
+      LI.RegPmax = std::max(LI.RegPmax, OutCount);
+
+      if (Inst.Def != NoReg)
+        Live.reset(Inst.Def);
+      std::array<Reg, 2> Uses;
+      int NU = Inst.getUses(Uses);
+      for (int U = 0; U < NU; ++U)
+        Live.set(Uses[static_cast<size_t>(U)]);
+      LI.RegPmax = std::max(LI.RegPmax, Live.count());
+    }
+  }
+  return LI;
+}
+
+//===----------------------------------------------------------------------===//
+// NSR
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class RefUnionFind {
+public:
+  explicit RefUnionFind(int N) : Parent(static_cast<size_t>(N)) {
+    std::iota(Parent.begin(), Parent.end(), 0);
+  }
+
+  int find(int X) {
+    while (Parent[static_cast<size_t>(X)] != X) {
+      Parent[static_cast<size_t>(X)] =
+          Parent[static_cast<size_t>(Parent[static_cast<size_t>(X)])];
+      X = Parent[static_cast<size_t>(X)];
+    }
+    return X;
+  }
+
+  void unite(int A, int B) {
+    A = find(A);
+    B = find(B);
+    if (A != B)
+      Parent[static_cast<size_t>(A)] = B;
+  }
+
+private:
+  std::vector<int> Parent;
+};
+
+} // namespace
+
+RefNSRInfo npral::refimpl::computeNSRs(const Program &P,
+                                       const RefLivenessInfo &LI) {
+  RefNSRInfo Info;
+  const int NumBlocks = P.getNumBlocks();
+
+  Info.PointBase.resize(static_cast<size_t>(NumBlocks));
+  int TotalPoints = 0;
+  for (int B = 0; B < NumBlocks; ++B) {
+    Info.PointBase[static_cast<size_t>(B)] = TotalPoints;
+    TotalPoints += static_cast<int>(P.block(B).Instrs.size()) + 1;
+  }
+
+  RefUnionFind UF(TotalPoints);
+  auto pointId = [&](int B, int I) {
+    return Info.PointBase[static_cast<size_t>(B)] + I;
+  };
+
+  for (int B = 0; B < NumBlocks; ++B) {
+    const BasicBlock &BB = P.block(B);
+    for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I)
+      if (!BB.Instrs[static_cast<size_t>(I)].causesCtxSwitch())
+        UF.unite(pointId(B, I), pointId(B, I + 1));
+  }
+  for (int B = 0; B < NumBlocks; ++B)
+    for (int S : P.successors(B))
+      UF.unite(pointId(B, static_cast<int>(P.block(B).Instrs.size())),
+               pointId(S, 0));
+
+  Info.PointNSR.assign(static_cast<size_t>(TotalPoints), -1);
+  std::vector<int> RootToNSR(static_cast<size_t>(TotalPoints), -1);
+  int NextNSR = 0;
+  for (int Pt = 0; Pt < TotalPoints; ++Pt) {
+    int Root = UF.find(Pt);
+    if (RootToNSR[static_cast<size_t>(Root)] < 0)
+      RootToNSR[static_cast<size_t>(Root)] = NextNSR++;
+    Info.PointNSR[static_cast<size_t>(Pt)] =
+        RootToNSR[static_cast<size_t>(Root)];
+  }
+  Info.NumNSRs = NextNSR;
+
+  Info.NSRSizes.assign(static_cast<size_t>(NextNSR), 0);
+  for (int B = 0; B < NumBlocks; ++B) {
+    const BasicBlock &BB = P.block(B);
+    for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I)
+      ++Info.NSRSizes[static_cast<size_t>(Info.pointNSR(B, I))];
+  }
+
+  Info.RegPCSBmax = 0;
+  for (int B = 0; B < NumBlocks; ++B) {
+    const BasicBlock &BB = P.block(B);
+    for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
+      const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+      if (!Inst.causesCtxSwitch())
+        continue;
+      RefCSB Boundary;
+      Boundary.Block = B;
+      Boundary.InstrIndex = I;
+      Boundary.PreNSR = Info.pointNSR(B, I);
+      Boundary.PostNSR = Info.pointNSR(B, I + 1);
+      Boundary.LiveAcross = LI.instrLiveOut(B, I);
+      if (Inst.Def != NoReg)
+        Boundary.LiveAcross.reset(Inst.Def);
+      Info.RegPCSBmax =
+          std::max(Info.RegPCSBmax, Boundary.LiveAcross.count());
+      Info.CSBs.push_back(std::move(Boundary));
+    }
+  }
+  return Info;
+}
+
+//===----------------------------------------------------------------------===//
+// Interference graph + thread analysis
+//===----------------------------------------------------------------------===//
+
+std::vector<int>
+RefInterferenceGraph::smallestLastOrder(const BitVector &Members) const {
+  const int N = getNumNodes();
+  std::vector<int> ResidualDeg(static_cast<size_t>(N), 0);
+  std::vector<char> InGraph(static_cast<size_t>(N), 0);
+  std::vector<int> MemberList;
+  Members.forEach([&](int M) {
+    InGraph[static_cast<size_t>(M)] = 1;
+    MemberList.push_back(M);
+  });
+  for (int M : MemberList) {
+    int D = 0;
+    neighbors(M).forEach([&](int Nb) {
+      if (InGraph[static_cast<size_t>(Nb)])
+        ++D;
+    });
+    ResidualDeg[static_cast<size_t>(M)] = D;
+  }
+
+  std::vector<int> Removal;
+  Removal.reserve(MemberList.size());
+  std::vector<char> Removed(static_cast<size_t>(N), 0);
+  for (size_t Step = 0; Step < MemberList.size(); ++Step) {
+    int Best = -1;
+    for (int M : MemberList) {
+      if (Removed[static_cast<size_t>(M)])
+        continue;
+      if (Best < 0 || ResidualDeg[static_cast<size_t>(M)] <
+                          ResidualDeg[static_cast<size_t>(Best)])
+        Best = M;
+    }
+    assert(Best >= 0 && "no removable node");
+    Removed[static_cast<size_t>(Best)] = 1;
+    Removal.push_back(Best);
+    neighbors(Best).forEach([&](int Nb) {
+      if (InGraph[static_cast<size_t>(Nb)] && !Removed[static_cast<size_t>(Nb)])
+        --ResidualDeg[static_cast<size_t>(Nb)];
+    });
+  }
+  std::reverse(Removal.begin(), Removal.end());
+  return Removal;
+}
+
+RefThreadAnalysis npral::refimpl::analyzeThread(const Program &P) {
+  RefThreadAnalysis TA;
+  TA.Liveness = computeLiveness(P);
+  TA.NSRs = computeNSRs(P, TA.Liveness);
+
+  const int NumRegs = P.NumRegs;
+  TA.GIG.reset(NumRegs);
+  TA.BIG.reset(NumRegs);
+  TA.BoundaryNodes.resize(NumRegs);
+  TA.InternalNodes.resize(NumRegs);
+  TA.ReferencedNodes.resize(NumRegs);
+  TA.HomeNSR.assign(static_cast<size_t>(NumRegs), -1);
+
+  for (Reg R = 0; R < NumRegs; ++R)
+    if (TA.Liveness.isEverReferenced(R))
+      TA.ReferencedNodes.set(R);
+
+  for (int B = 0; B < P.getNumBlocks(); ++B) {
+    const BasicBlock &BB = P.block(B);
+    for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
+      const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+      if (Inst.Def == NoReg)
+        continue;
+      TA.Liveness.instrLiveOut(B, I).forEach([&](int Live) {
+        TA.GIG.addEdge(Inst.Def, Live);
+      });
+    }
+  }
+  {
+    const BitVector &EntryLive = TA.Liveness.blockLiveIn(P.getEntryBlock());
+    std::vector<int> EntryRegs = EntryLive.toVector();
+    for (size_t A = 0; A < EntryRegs.size(); ++A)
+      for (size_t B2 = A + 1; B2 < EntryRegs.size(); ++B2)
+        TA.GIG.addEdge(EntryRegs[A], EntryRegs[B2]);
+  }
+
+  for (const RefCSB &Boundary : TA.NSRs.CSBs) {
+    std::vector<int> Crossing = Boundary.LiveAcross.toVector();
+    for (int R : Crossing)
+      TA.BoundaryNodes.set(R);
+    for (size_t A = 0; A < Crossing.size(); ++A)
+      for (size_t B2 = A + 1; B2 < Crossing.size(); ++B2)
+        TA.BIG.addEdge(Crossing[A], Crossing[B2]);
+  }
+
+  TA.InternalNodes = TA.ReferencedNodes;
+  TA.InternalNodes.subtract(TA.BoundaryNodes);
+
+  TA.IIGMembers.assign(static_cast<size_t>(TA.NSRs.NumNSRs),
+                       BitVector(NumRegs));
+  for (int B = 0; B < P.getNumBlocks(); ++B) {
+    const BasicBlock &BB = P.block(B);
+    for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
+      const Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+      auto touch = [&](Reg R, int NSR) {
+        if (R == NoReg || !TA.InternalNodes.test(R))
+          return;
+        int &Home = TA.HomeNSR[static_cast<size_t>(R)];
+        assert((Home == -1 || Home == NSR) &&
+               "internal live range spans multiple NSRs");
+        Home = NSR;
+        TA.IIGMembers[static_cast<size_t>(NSR)].set(R);
+      };
+      touch(Inst.Def, TA.NSRs.instrPostNSR(B, I));
+      touch(Inst.Use1, TA.NSRs.instrPreNSR(B, I));
+      touch(Inst.Use2, TA.NSRs.instrPreNSR(B, I));
+    }
+  }
+  TA.Liveness.blockLiveIn(P.getEntryBlock()).forEach([&](int R) {
+    if (!TA.InternalNodes.test(R))
+      return;
+    int &Home = TA.HomeNSR[static_cast<size_t>(R)];
+    int EntryNSR = TA.NSRs.pointNSR(P.getEntryBlock(), 0);
+    assert((Home == -1 || Home == EntryNSR) &&
+           "internal live range spans multiple NSRs");
+    Home = EntryNSR;
+    TA.IIGMembers[static_cast<size_t>(EntryNSR)].set(R);
+  });
+
+  return TA;
+}
+
+//===----------------------------------------------------------------------===//
+// Coloring helpers + bounds estimation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr int RefNoColor = -1;
+using RefColoring = std::vector<int>;
+
+int refColorMinimally(const RefInterferenceGraph &IG, const BitVector &Members,
+                      RefColoring &Colors) {
+  if (Colors.size() != static_cast<size_t>(IG.getNumNodes()))
+    Colors.assign(static_cast<size_t>(IG.getNumNodes()), RefNoColor);
+
+  int MaxUsed = -1;
+  for (int Node : IG.smallestLastOrder(Members)) {
+    std::vector<char> Used;
+    IG.neighbors(Node).forEach([&](int Nb) {
+      int C = Colors[static_cast<size_t>(Nb)];
+      if (C < 0)
+        return;
+      if (C >= static_cast<int>(Used.size()))
+        Used.resize(static_cast<size_t>(C) + 1, 0);
+      Used[static_cast<size_t>(C)] = 1;
+    });
+    int C = 0;
+    while (C < static_cast<int>(Used.size()) && Used[static_cast<size_t>(C)])
+      ++C;
+    Colors[static_cast<size_t>(Node)] = C;
+    MaxUsed = std::max(MaxUsed, C);
+  }
+  return MaxUsed + 1;
+}
+
+int refPickFreeColor(const RefInterferenceGraph &IG, const RefColoring &Colors,
+                     int Node, int Lo, int Hi, int PreferFrom = -1) {
+  if (Lo >= Hi)
+    return RefNoColor;
+  BitVector Used(Hi);
+  IG.neighbors(Node).forEach([&](int Nb) {
+    int C = Colors[static_cast<size_t>(Nb)];
+    if (C >= 0 && C < Hi)
+      Used.set(C);
+  });
+  auto scan = [&](int Begin, int End) -> int {
+    for (int C = Begin; C < End; ++C)
+      if (!Used.test(C))
+        return C;
+    return RefNoColor;
+  };
+  if (PreferFrom >= Lo && PreferFrom < Hi) {
+    int C = scan(PreferFrom, Hi);
+    if (C != RefNoColor)
+      return C;
+    return scan(Lo, PreferFrom);
+  }
+  return scan(Lo, Hi);
+}
+
+bool refRecolorViaNeighbor(const RefInterferenceGraph &IG, RefColoring &Colors,
+                           int Node, int Lo, int Hi,
+                           const std::vector<int> &BandLo,
+                           const std::vector<int> &BandHi) {
+  for (int C = Lo; C < Hi; ++C) {
+    int Blocker = -1;
+    int NumBlockers = 0;
+    IG.neighbors(Node).forEach([&](int Nb) {
+      if (Colors[static_cast<size_t>(Nb)] == C) {
+        Blocker = Nb;
+        ++NumBlockers;
+      }
+    });
+    if (NumBlockers != 1)
+      continue;
+    int NbLo = BandLo[static_cast<size_t>(Blocker)];
+    int NbHi = BandHi[static_cast<size_t>(Blocker)];
+    int OldColor = Colors[static_cast<size_t>(Blocker)];
+    Colors[static_cast<size_t>(Blocker)] = RefNoColor;
+    int NewColor = refPickFreeColor(IG, Colors, Blocker, NbLo, NbHi);
+    if (NewColor == RefNoColor || NewColor == C) {
+      Colors[static_cast<size_t>(Blocker)] = OldColor;
+      continue;
+    }
+    Colors[static_cast<size_t>(Blocker)] = NewColor;
+    Colors[static_cast<size_t>(Node)] = C;
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+RefRegBounds npral::refimpl::estimateRegBounds(const RefThreadAnalysis &TA) {
+  RefRegBounds Bounds;
+  Bounds.MinR = TA.getRegPmax();
+  Bounds.MinPR = TA.getRegPCSBmax();
+
+  const RefInterferenceGraph &GIG = TA.GIG;
+  const int N = GIG.getNumNodes();
+  RefColoring Colors(static_cast<size_t>(N), RefNoColor);
+
+  RefColoring BIGColors(static_cast<size_t>(N), RefNoColor);
+  int PR = refColorMinimally(TA.BIG, TA.BoundaryNodes, BIGColors);
+  TA.BoundaryNodes.forEach([&](int Node) {
+    Colors[static_cast<size_t>(Node)] = BIGColors[static_cast<size_t>(Node)];
+  });
+
+  int R = PR;
+  for (const BitVector &Members : TA.IIGMembers) {
+    if (Members.none())
+      continue;
+    RefColoring IIGColors(static_cast<size_t>(N), RefNoColor);
+    int Used = refColorMinimally(GIG, Members, IIGColors);
+    R = std::max(R, Used);
+    Members.forEach([&](int Node) {
+      Colors[static_cast<size_t>(Node)] = IIGColors[static_cast<size_t>(Node)];
+    });
+  }
+
+  std::vector<int> BandLo(static_cast<size_t>(N), 0);
+  std::vector<int> BandHi(static_cast<size_t>(N), 0);
+  auto refreshBands = [&]() {
+    for (int Node = 0; Node < N; ++Node)
+      BandHi[static_cast<size_t>(Node)] =
+          TA.BoundaryNodes.test(Node) ? PR : R;
+  };
+  refreshBands();
+
+  auto findConflictEdge = [&](int &OutA, int &OutB) -> bool {
+    for (int A = 0; A < N; ++A) {
+      int CA = Colors[static_cast<size_t>(A)];
+      if (CA == RefNoColor)
+        continue;
+      bool Found = false;
+      GIG.neighbors(A).forEach([&](int B) {
+        if (!Found && B > A && Colors[static_cast<size_t>(B)] == CA) {
+          OutA = A;
+          OutB = B;
+          Found = true;
+        }
+      });
+      if (Found)
+        return true;
+    }
+    return false;
+  };
+
+  int ConflictA, ConflictB;
+  while (findConflictEdge(ConflictA, ConflictB)) {
+    auto tryRecolor = [&](int Node) -> bool {
+      int Lo = BandLo[static_cast<size_t>(Node)];
+      int Hi = BandHi[static_cast<size_t>(Node)];
+      int Old = Colors[static_cast<size_t>(Node)];
+      Colors[static_cast<size_t>(Node)] = RefNoColor;
+      int C = refPickFreeColor(GIG, Colors, Node, Lo, Hi);
+      if (C != RefNoColor) {
+        Colors[static_cast<size_t>(Node)] = C;
+        return true;
+      }
+      Colors[static_cast<size_t>(Node)] = Old;
+      return false;
+    };
+
+    int First = TA.BoundaryNodes.test(ConflictB) ? ConflictA : ConflictB;
+    int Second = First == ConflictA ? ConflictB : ConflictA;
+    if (tryRecolor(First) || tryRecolor(Second))
+      continue;
+    if (refRecolorViaNeighbor(GIG, Colors, First,
+                              BandLo[static_cast<size_t>(First)],
+                              BandHi[static_cast<size_t>(First)], BandLo,
+                              BandHi))
+      continue;
+    if (refRecolorViaNeighbor(GIG, Colors, Second,
+                              BandLo[static_cast<size_t>(Second)],
+                              BandHi[static_cast<size_t>(Second)], BandLo,
+                              BandHi))
+      continue;
+
+    bool FirstBoundary = TA.BoundaryNodes.test(First);
+    if (!FirstBoundary) {
+      ++R;
+      Colors[static_cast<size_t>(First)] = R - 1;
+    } else {
+      assert(TA.BoundaryNodes.test(Second) && "expected boundary conflict");
+      ++PR;
+      R = std::max(R, PR);
+      Colors[static_cast<size_t>(First)] = PR - 1;
+    }
+    refreshBands();
+  }
+
+  Bounds.MaxPR = PR;
+  Bounds.MaxR = std::max(R, PR);
+  Bounds.Colors = std::move(Colors);
+
+  assert(Bounds.MaxPR >= Bounds.MinPR && "MaxPR below MinPR");
+  assert(Bounds.MaxR >= Bounds.MinR && "MaxR below MinR");
+  return Bounds;
+}
+
+//===----------------------------------------------------------------------===//
+// Live-range renaming
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Union-find over program points (same layout as NSR construction: block b
+/// contributes size(b)+1 points).
+class RefPointUnionFind {
+public:
+  RefPointUnionFind(const Program &P) {
+    PointBase.resize(static_cast<size_t>(P.getNumBlocks()));
+    int Total = 0;
+    for (int B = 0; B < P.getNumBlocks(); ++B) {
+      PointBase[static_cast<size_t>(B)] = Total;
+      Total += static_cast<int>(P.block(B).Instrs.size()) + 1;
+    }
+    Parent.resize(static_cast<size_t>(Total));
+    std::iota(Parent.begin(), Parent.end(), 0);
+  }
+
+  int pointId(int B, int I) const {
+    return PointBase[static_cast<size_t>(B)] + I;
+  }
+
+  int find(int X) {
+    while (Parent[static_cast<size_t>(X)] != X) {
+      Parent[static_cast<size_t>(X)] =
+          Parent[static_cast<size_t>(Parent[static_cast<size_t>(X)])];
+      X = Parent[static_cast<size_t>(X)];
+    }
+    return X;
+  }
+
+  void unite(int A, int B) {
+    A = find(A);
+    B = find(B);
+    if (A != B)
+      Parent[static_cast<size_t>(A)] = B;
+  }
+
+private:
+  std::vector<int> PointBase;
+  std::vector<int> Parent;
+};
+
+} // namespace
+
+Program npral::refimpl::renameLiveRanges(const Program &P) {
+  Program Out = P;
+  RefLivenessInfo LI = computeLiveness(Out);
+
+  auto liveAt = [&](Reg R, int B, int I) {
+    const BasicBlock &BB = Out.block(B);
+    if (I == static_cast<int>(BB.Instrs.size()))
+      return LI.blockLiveOut(B).test(R);
+    if (I == 0)
+      return LI.blockLiveIn(B).test(R);
+    return LI.instrLiveOut(B, I - 1).test(R);
+  };
+
+  const int OrigRegs = P.NumRegs;
+
+  for (Reg R = 0; R < OrigRegs; ++R) {
+    RefPointUnionFind UF(Out);
+    for (int B = 0; B < Out.getNumBlocks(); ++B) {
+      const BasicBlock &BB = Out.block(B);
+      for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I)
+        if (liveAt(R, B, I) && liveAt(R, B, I + 1))
+          UF.unite(UF.pointId(B, I), UF.pointId(B, I + 1));
+      int EndPoint = static_cast<int>(BB.Instrs.size());
+      for (int S : Out.successors(B))
+        if (liveAt(R, B, EndPoint) && liveAt(R, S, 0))
+          UF.unite(UF.pointId(B, EndPoint), UF.pointId(S, 0));
+    }
+
+    std::vector<int> RootToReg;
+    std::vector<int> Roots;
+    bool KeepOriginalUsed = false;
+    auto regForRoot = [&](int Root) -> Reg {
+      for (size_t K = 0; K < Roots.size(); ++K)
+        if (Roots[K] == Root)
+          return RootToReg[K];
+      Reg Fresh;
+      if (!KeepOriginalUsed) {
+        Fresh = R;
+        KeepOriginalUsed = true;
+      } else {
+        Fresh = Out.addReg(Out.getRegName(R) + ".w" +
+                           std::to_string(Roots.size()));
+      }
+      Roots.push_back(Root);
+      RootToReg.push_back(Fresh);
+      return Fresh;
+    };
+
+    if (LI.blockLiveIn(Out.getEntryBlock()).test(R))
+      (void)regForRoot(UF.find(UF.pointId(Out.getEntryBlock(), 0)));
+
+    for (int B = 0; B < Out.getNumBlocks(); ++B) {
+      BasicBlock &BB = Out.block(B);
+      for (int I = 0; I < static_cast<int>(BB.Instrs.size()); ++I) {
+        Instruction &Inst = BB.Instrs[static_cast<size_t>(I)];
+        if (Inst.Use1 == R || Inst.Use2 == R) {
+          assert(liveAt(R, B, I) && "use of dead register");
+          Reg NewReg = regForRoot(UF.find(UF.pointId(B, I)));
+          if (Inst.Use1 == R)
+            Inst.Use1 = NewReg;
+          if (Inst.Use2 == R)
+            Inst.Use2 = NewReg;
+        }
+        if (Inst.Def == R) {
+          Reg NewReg;
+          if (liveAt(R, B, I + 1)) {
+            NewReg = regForRoot(UF.find(UF.pointId(B, I + 1)));
+          } else if (!KeepOriginalUsed) {
+            NewReg = R;
+            KeepOriginalUsed = true;
+          } else {
+            NewReg = Out.addReg(Out.getRegName(R) + ".dead");
+          }
+          Inst.Def = NewReg;
+        }
+      }
+    }
+  }
+
+  return Out;
+}

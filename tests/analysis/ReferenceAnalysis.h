@@ -1,0 +1,159 @@
+//===- ReferenceAnalysis.h - Frozen pre-rewrite analysis oracle -*- C++ -*-===//
+///
+/// \file
+/// A verbatim snapshot of the analysis stack as it existed before the
+/// word-parallel/arena rewrite (PR 7), kept alive as a differential oracle.
+/// Everything here is deliberately self-contained: it has its own naive
+/// liveness fixpoint, its own edge-set interference graph, its own
+/// union-find NSR construction and its own greedy coloring helpers, so a
+/// bug introduced into the production path cannot silently infect the
+/// reference it is being compared against.
+///
+/// Only `tests/analysis/AnalysisDifferentialTest.cpp` should include this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_TESTS_ANALYSIS_REFERENCEANALYSIS_H
+#define NPRAL_TESTS_ANALYSIS_REFERENCEANALYSIS_H
+
+#include "ir/Program.h"
+#include "support/BitVector.h"
+
+#include <string>
+#include <vector>
+
+namespace npral {
+namespace refimpl {
+
+/// Snapshot of LivenessInfo: per-block live-in/out plus per-instruction
+/// live-out as one heap BitVector per instruction (the representation the
+/// rewrite replaced with a flat word pool).
+struct RefLivenessInfo {
+  std::vector<BitVector> BlockLiveIn;
+  std::vector<BitVector> BlockLiveOut;
+  std::vector<std::vector<BitVector>> InstrLiveOut;
+  std::vector<char> EverReferenced;
+  int RegPmax = 0;
+
+  const BitVector &blockLiveIn(int B) const {
+    return BlockLiveIn[static_cast<size_t>(B)];
+  }
+  const BitVector &blockLiveOut(int B) const {
+    return BlockLiveOut[static_cast<size_t>(B)];
+  }
+  const BitVector &instrLiveOut(int B, int I) const {
+    return InstrLiveOut[static_cast<size_t>(B)][static_cast<size_t>(I)];
+  }
+  bool isEverReferenced(Reg R) const {
+    return EverReferenced[static_cast<size_t>(R)];
+  }
+};
+
+/// Naive round-robin backward liveness fixpoint (not the worklist solver —
+/// the oracle must not share the production solver).
+RefLivenessInfo computeLiveness(const Program &P);
+
+/// Snapshot of the CSB record.
+struct RefCSB {
+  int Block = NoBlock;
+  int InstrIndex = 0;
+  int PreNSR = -1;
+  int PostNSR = -1;
+  BitVector LiveAcross;
+};
+
+/// Snapshot of NSRInfo.
+struct RefNSRInfo {
+  int NumNSRs = 0;
+  std::vector<RefCSB> CSBs;
+  std::vector<int> PointBase;
+  std::vector<int> PointNSR;
+  std::vector<int> NSRSizes;
+  int RegPCSBmax = 0;
+
+  int pointNSR(int B, int I) const {
+    return PointNSR[static_cast<size_t>(PointBase[static_cast<size_t>(B)] +
+                                        I)];
+  }
+  int instrPreNSR(int B, int I) const { return pointNSR(B, I); }
+  int instrPostNSR(int B, int I) const { return pointNSR(B, I + 1); }
+};
+
+RefNSRInfo computeNSRs(const Program &P, const RefLivenessInfo &LI);
+
+/// Snapshot of the square bit-matrix interference graph with per-edge
+/// test-and-set insertion.
+class RefInterferenceGraph {
+public:
+  RefInterferenceGraph() = default;
+
+  void reset(int NumNodes) {
+    Adj.assign(static_cast<size_t>(NumNodes), BitVector(NumNodes));
+    NumEdges = 0;
+  }
+
+  int getNumNodes() const { return static_cast<int>(Adj.size()); }
+
+  void addEdge(int A, int B) {
+    if (A == B)
+      return;
+    if (Adj[static_cast<size_t>(A)].test(B))
+      return;
+    Adj[static_cast<size_t>(A)].set(B);
+    Adj[static_cast<size_t>(B)].set(A);
+    ++NumEdges;
+  }
+
+  bool hasEdge(int A, int B) const {
+    return Adj[static_cast<size_t>(A)].test(B);
+  }
+  int degree(int N) const { return Adj[static_cast<size_t>(N)].count(); }
+  const BitVector &neighbors(int N) const {
+    return Adj[static_cast<size_t>(N)];
+  }
+  int getNumEdges() const { return NumEdges; }
+
+  std::vector<int> smallestLastOrder(const BitVector &Members) const;
+
+private:
+  std::vector<BitVector> Adj;
+  int NumEdges = 0;
+};
+
+/// Snapshot of ThreadAnalysis.
+struct RefThreadAnalysis {
+  RefLivenessInfo Liveness;
+  RefNSRInfo NSRs;
+  RefInterferenceGraph GIG;
+  RefInterferenceGraph BIG;
+  BitVector BoundaryNodes;
+  BitVector InternalNodes;
+  std::vector<int> HomeNSR;
+  std::vector<BitVector> IIGMembers;
+  BitVector ReferencedNodes;
+
+  int getRegPmax() const { return Liveness.RegPmax; }
+  int getRegPCSBmax() const { return NSRs.RegPCSBmax; }
+};
+
+RefThreadAnalysis analyzeThread(const Program &P);
+
+/// Snapshot of the Fig. 7 bounds estimation (with the coloring helpers it
+/// rode on).
+struct RefRegBounds {
+  int MinPR = 0;
+  int MaxPR = 0;
+  int MinR = 0;
+  int MaxR = 0;
+  std::vector<int> Colors;
+};
+
+RefRegBounds estimateRegBounds(const RefThreadAnalysis &TA);
+
+/// Snapshot of the per-original-register union-find live-range renaming.
+Program renameLiveRanges(const Program &P);
+
+} // namespace refimpl
+} // namespace npral
+
+#endif // NPRAL_TESTS_ANALYSIS_REFERENCEANALYSIS_H

@@ -1,0 +1,283 @@
+//===- RepresentationPropertyTest.cpp - Dense-representation invariants ---===//
+//
+// Property tests for the three data structures the word-parallel rewrite
+// introduced: flat BitVectors (exercised at word-boundary sizes), the
+// frozen triangular-bit-matrix + CSR interference graph, and the per-
+// program string arena. Each is checked against a naive model or a
+// determinism contract (same input => same ids, serial == parallel).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/InterferenceGraph.h"
+#include "asmparse/AsmParser.h"
+#include "driver/BatchPipeline.h"
+#include "ir/IRPrinter.h"
+#include "support/Arena.h"
+#include "support/BitVector.h"
+#include "support/Random.h"
+#include "workloads/ProgramGenerator.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace npral;
+
+namespace {
+
+// Word-boundary sizes: one bit under/at/over a word, and the two-word edge.
+const int kSizes[] = {31, 32, 33, 64, 65};
+
+} // namespace
+
+TEST(BitVectorPropertyTest, AlgebraMatchesBoolModelAtWordBoundaries) {
+  Rng R(0xB17B17u);
+  for (int Size : kSizes) {
+    for (int Round = 0; Round < 200; ++Round) {
+      std::vector<char> MA(static_cast<size_t>(Size), 0);
+      std::vector<char> MB(static_cast<size_t>(Size), 0);
+      BitVector A(Size), B(Size);
+      for (int I = 0; I < Size; ++I) {
+        if (R.nextBelow(2)) {
+          MA[static_cast<size_t>(I)] = 1;
+          A.set(I);
+        }
+        if (R.nextBelow(2)) {
+          MB[static_cast<size_t>(I)] = 1;
+          B.set(I);
+        }
+      }
+
+      // Membership and count.
+      int Pop = 0;
+      for (int I = 0; I < Size; ++I) {
+        EXPECT_EQ(A.test(I), static_cast<bool>(MA[static_cast<size_t>(I)]))
+            << "size " << Size << " bit " << I;
+        Pop += MA[static_cast<size_t>(I)];
+      }
+      EXPECT_EQ(A.count(), Pop) << "size " << Size;
+
+      // findFirst and ascending forEach.
+      int First = -1;
+      std::vector<int> Visited;
+      A.forEach([&](int I) { Visited.push_back(I); });
+      for (int I = 0; I < Size && First < 0; ++I)
+        if (MA[static_cast<size_t>(I)])
+          First = I;
+      if (First >= 0) {
+        EXPECT_EQ(A.findFirst(), First);
+        EXPECT_EQ(Visited.front(), First);
+      } else {
+        EXPECT_TRUE(A.none());
+      }
+      EXPECT_TRUE(std::is_sorted(Visited.begin(), Visited.end()));
+      EXPECT_EQ(static_cast<int>(Visited.size()), Pop);
+
+      // Union / intersection / subtraction against the model.
+      BitVector U = A, X = A, S = A;
+      U.unionWith(B);
+      X.intersectWith(B);
+      S.subtract(B);
+      for (int I = 0; I < Size; ++I) {
+        const bool BA = MA[static_cast<size_t>(I)];
+        const bool BB = MB[static_cast<size_t>(I)];
+        EXPECT_EQ(U.test(I), BA || BB) << "size " << Size << " bit " << I;
+        EXPECT_EQ(X.test(I), BA && BB) << "size " << Size << " bit " << I;
+        EXPECT_EQ(S.test(I), BA && !BB) << "size " << Size << " bit " << I;
+      }
+
+      // The tail word must stay zero-padded past size(): word-parallel
+      // loops (pressure counts, crossing-set intersections) trust it.
+      const uint64_t *W = U.words();
+      if (Size % 64 != 0) {
+        const uint64_t TailMask = ~((uint64_t(1) << (Size % 64)) - 1);
+        EXPECT_EQ(W[U.numWords() - 1] & TailMask, 0u) << "size " << Size;
+      }
+
+      // Span round-trip is lossless.
+      EXPECT_TRUE(BitVector(A.span()) == A);
+    }
+  }
+}
+
+TEST(InterferenceGraphPropertyTest, FrozenGraphMatchesEdgeSetModel) {
+  Rng R(0x6E4Au);
+  for (int Round = 0; Round < 120; ++Round) {
+    const int N = 2 + static_cast<int>(R.nextBelow(97)); // up to 99 nodes
+    InterferenceGraph G;
+    G.reset(N);
+    std::set<std::pair<int, int>> Model;
+    auto modelEdge = [&](int A, int B) {
+      if (A != B)
+        Model.insert({std::min(A, B), std::max(A, B)});
+    };
+
+    // Mix all three construction paths: single edges, cliques, row marks.
+    const int Ops = 4 + static_cast<int>(R.nextBelow(24));
+    for (int Op = 0; Op < Ops; ++Op) {
+      switch (R.nextBelow(3)) {
+      case 0: {
+        int A = static_cast<int>(R.nextBelow(static_cast<uint64_t>(N)));
+        int B = static_cast<int>(R.nextBelow(static_cast<uint64_t>(N)));
+        G.addEdge(A, B);
+        modelEdge(A, B);
+        break;
+      }
+      case 1: {
+        BitVector Clique(N);
+        std::vector<int> Members;
+        for (int M = 0; M < N; ++M)
+          if (R.nextBelow(8) == 0) {
+            Clique.set(M);
+            Members.push_back(M);
+          }
+        G.addClique(Clique);
+        for (size_t A = 0; A < Members.size(); ++A)
+          for (size_t B = A + 1; B < Members.size(); ++B)
+            modelEdge(Members[A], Members[B]);
+        break;
+      }
+      default: {
+        int Def = static_cast<int>(R.nextBelow(static_cast<uint64_t>(N)));
+        BitVector Row(N);
+        for (int M = 0; M < N; ++M)
+          if (R.nextBelow(6) == 0)
+            Row.set(M);
+        G.markRow(Def, Row.span());
+        Row.forEach([&](int M) { modelEdge(Def, M); });
+        break;
+      }
+      }
+    }
+    G.freeze();
+
+    // Edge count, symmetry, degree/adjacency consistency.
+    EXPECT_EQ(G.getNumEdges(), static_cast<int>(Model.size()));
+    int DegreeSum = 0;
+    for (int A = 0; A < N; ++A) {
+      EXPECT_FALSE(G.hasEdge(A, A)) << "self edge at " << A;
+      std::vector<int> Nbs;
+      G.neighbors(A).forEach([&](int B) { Nbs.push_back(B); });
+      EXPECT_TRUE(std::is_sorted(Nbs.begin(), Nbs.end())) << "node " << A;
+      EXPECT_EQ(G.degree(A), static_cast<int>(Nbs.size())) << "node " << A;
+      DegreeSum += G.degree(A);
+      for (int B : Nbs) {
+        EXPECT_TRUE(G.hasEdge(A, B)) << A << "-" << B;
+        EXPECT_TRUE(G.hasEdge(B, A)) << A << "-" << B << " (symmetry)";
+      }
+      for (int B = 0; B < N; ++B)
+        EXPECT_EQ(G.hasEdge(A, B), Model.count({std::min(A, B),
+                                                std::max(A, B)}) > 0)
+            << A << "-" << B;
+    }
+    EXPECT_EQ(DegreeSum, 2 * G.getNumEdges());
+  }
+}
+
+TEST(ArenaPropertyTest, InterningIsDeterministicAndDeduplicating) {
+  StringInterner S1, S2;
+  std::vector<std::string> Names;
+  Rng R(0xA12EA5u);
+  for (int I = 0; I < 500; ++I)
+    Names.push_back("sym" + std::to_string(R.nextBelow(120)) + "." +
+                    std::to_string(I % 7));
+  std::vector<int32_t> Ids1, Ids2;
+  for (const std::string &N : Names)
+    Ids1.push_back(S1.intern(N));
+  for (const std::string &N : Names)
+    Ids2.push_back(S2.intern(N));
+
+  // Same intern sequence => same dense ids, independent of instance.
+  EXPECT_EQ(Ids1, Ids2);
+  // Dedup: re-interning returns the original id, and ids resolve back.
+  for (size_t I = 0; I < Names.size(); ++I) {
+    EXPECT_EQ(S1.intern(Names[I]), Ids1[I]) << Names[I];
+    EXPECT_EQ(S1.view(Ids1[I]), Names[I]);
+  }
+  // Ids are dense in first-intern order.
+  std::set<int32_t> Unique(Ids1.begin(), Ids1.end());
+  EXPECT_EQ(static_cast<int32_t>(Unique.size()), S1.size());
+  EXPECT_EQ(*Unique.rbegin(), S1.size() - 1);
+}
+
+TEST(ArenaPropertyTest, SameProgramTextInternsSameIds) {
+  // Parse the same program text twice: block name ids and register name
+  // ids must come out identical (this is what lets the flat content
+  // encoding ignore the arena entirely). Use the first examples/asm
+  // fixture's first thread so the text carries real user labels.
+  std::vector<std::string> Paths;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(NPRAL_EXAMPLES_ASM_DIR))
+    if (Entry.path().extension() == ".s")
+      Paths.push_back(Entry.path().string());
+  std::sort(Paths.begin(), Paths.end());
+  ASSERT_FALSE(Paths.empty());
+  std::ifstream In(Paths.front());
+  std::ostringstream OS;
+  OS << In.rdbuf();
+  ErrorOr<MultiThreadProgram> MTP = parseAssembly(OS.str());
+  ASSERT_TRUE(MTP.ok()) << Paths.front();
+  ASSERT_FALSE((*MTP).Threads.empty());
+  const std::string Text = programToString((*MTP).Threads.front());
+  ErrorOr<Program> A = parseSingleProgram(Text);
+  ErrorOr<Program> B = parseSingleProgram(Text);
+  ASSERT_TRUE(A.ok() && B.ok());
+  ASSERT_EQ((*A).getNumBlocks(), (*B).getNumBlocks());
+  for (int Blk = 0; Blk < (*A).getNumBlocks(); ++Blk) {
+    EXPECT_EQ((*A).block(Blk).NameId, (*B).block(Blk).NameId) << Blk;
+    EXPECT_EQ((*A).blockName(Blk), (*B).blockName(Blk)) << Blk;
+  }
+  EXPECT_EQ((*A).RegNameIds, (*B).RegNameIds);
+  ASSERT_EQ((*A).NumRegs, (*B).NumRegs);
+  for (Reg R = 0; R < (*A).NumRegs; ++R)
+    EXPECT_EQ((*A).getRegName(R), (*B).getRegName(R)) << "r" << R;
+}
+
+TEST(ArenaPropertyTest, BatchOutputsStableAcrossWorkerCounts) {
+  // --jobs 1 vs --jobs 4 over identical in-memory inputs: the per-program
+  // arenas make analysis state thread-private, so outputs must be byte
+  // stable regardless of scheduling.
+  std::vector<BatchJob> Jobs;
+  for (int J = 0; J < 8; ++J) {
+    BatchJob Job;
+    Job.Name = "job" + std::to_string(J);
+    for (int T = 0; T < 2; ++T) {
+      GeneratorConfig Config;
+      Config.TargetInstructions = 50;
+      Config.CtxRatePerMille = 150;
+      Program P = generateRandomProgram(
+          static_cast<uint64_t>(J) * 977u + static_cast<uint64_t>(T), Config);
+      P.Name = "t" + std::to_string(T);
+      Job.Program.Threads.push_back(std::move(P));
+    }
+    Job.Program.Name = Job.Name;
+    Jobs.push_back(std::move(Job));
+  }
+
+  auto runWith = [&](int Workers) {
+    BatchOptions Opts;
+    Opts.Jobs = Workers;
+    Opts.KeepPhysical = true;
+    return runBatch(Jobs, Opts);
+  };
+  BatchResult Serial = runWith(1);
+  BatchResult Parallel = runWith(4);
+  ASSERT_EQ(Serial.Results.size(), Parallel.Results.size());
+  for (size_t I = 0; I < Serial.Results.size(); ++I) {
+    const BatchJobResult &S = Serial.Results[I];
+    const BatchJobResult &P = Parallel.Results[I];
+    EXPECT_EQ(S.Name, P.Name);
+    ASSERT_EQ(S.Success, P.Success) << S.Name;
+    ASSERT_EQ(S.Physical.Threads.size(), P.Physical.Threads.size()) << S.Name;
+    for (size_t T = 0; T < S.Physical.Threads.size(); ++T)
+      EXPECT_EQ(programToString(S.Physical.Threads[T]),
+                programToString(P.Physical.Threads[T]))
+          << S.Name << " thread " << T;
+  }
+}

@@ -20,7 +20,7 @@ TEST(AsmParserTest, MinimalProgram) {
 
 TEST(AsmParserTest, ImplicitEntryBlock) {
   Program P = parseOrDie(".thread t\n  imm a, 1\n  halt\n");
-  EXPECT_EQ(P.block(0).Name, "entry");
+  EXPECT_EQ(P.blockName(0), "entry");
 }
 
 TEST(AsmParserTest, RegistersAreImplicitlyDeclared) {
@@ -89,9 +89,9 @@ done:
   for (int B = 0; B < P.getNumBlocks(); ++B)
     for (const Instruction &I : P.block(B).Instrs) {
       if (I.Op == Opcode::BrNz)
-        SawBack = P.block(I.Target).Name == "loop";
+        SawBack = P.blockName(I.Target) == "loop";
       if (I.Op == Opcode::BrZ)
-        SawFwd = P.block(I.Target).Name == "done";
+        SawFwd = P.blockName(I.Target) == "done";
     }
   EXPECT_TRUE(SawBack);
   EXPECT_TRUE(SawFwd);

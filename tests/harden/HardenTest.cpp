@@ -482,14 +482,18 @@ TEST(CacheCorruptionTest, BatchRecomputesThroughSharedCorruptedCache) {
   ASSERT_GT(Cache.size(), 0u);
 
   // Damage every entry the pipeline inserted. Keys are reconstructible:
-  // fnv1aCombine(content hash of the renamed thread, 0) with no profile.
+  // fnv1aCombine(flat content hash of the renamed thread, 0) with no
+  // profile — the same derivation processOne uses.
   int Corrupted = 0;
   for (const std::string &Name : allExamples()) {
     std::optional<MultiThreadProgram> MTP = loadExample(Name);
     if (!MTP)
       continue;
     for (const Program &T : MTP->Threads) {
-      const uint64_t Key = fnv1aCombine(fnv1aHash(programToString(T)), 0);
+      if (!verifyProgram(T).ok())
+        continue; // the pipeline never renamed or cached this thread
+      const uint64_t Key =
+          fnv1aCombine(hashProgramContent(renameLiveRanges(T)), 0);
       if (Cache.corruptEntryForTesting(Key))
         ++Corrupted;
     }

@@ -20,65 +20,26 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "FuzzCaseFactory.h"
+
 #include "alloc/AllocationVerifier.h"
-#include "alloc/InterAllocator.h"
-#include "analysis/LiveRangeRenaming.h"
 #include "baseline/ChaitinAllocator.h"
-#include "harden/SpillFallback.h"
 #include "lint/Lint.h"
 #include "lint/TranslationValidator.h"
-#include "profile/StaticFrequencyEstimator.h"
-#include "support/Random.h"
-#include "workloads/ProgramGenerator.h"
 
 #include "gtest/gtest.h"
 
+#include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 using namespace npral;
+using fuzzcase::FuzzCase;
+using fuzzcase::makeCase;
 
 namespace {
-
-/// One fuzz case: Nthd generated threads (each with its own memory regions)
-/// plus the register file size to allocate into.
-struct FuzzCase {
-  int Nthd = 0;
-  int Nreg = 0;
-  MultiThreadProgram Virtual;
-  MultiThreadProgram Renamed;
-};
-
-/// \p SmallPrograms caps every thread at the smallest generator size. The
-/// spill-fallback property re-runs the full allocator once per demoted
-/// range, so full-size threads would cost seconds per seed; small threads
-/// keep the 200-seed sweep fast while preserving structural variety.
-FuzzCase makeCase(uint64_t Seed, bool SmallPrograms = false) {
-  Rng R(Seed * 0x9E3779B97F4A7C15ULL + 0xFC5Eull);
-  FuzzCase C;
-  C.Nthd = static_cast<int>(2 + R.nextBelow(3)); // 2..4 threads
-  static const int NregChoices[] = {32, 48, 64, 96, 128};
-  C.Nreg = NregChoices[R.nextBelow(5)];
-  static const int CtxRates[] = {40, 140, 280}; // CSB density per mille
-  static const int Sizes[] = {40, 90, 150};
-
-  for (int T = 0; T < C.Nthd; ++T) {
-    GeneratorConfig Config;
-    Config.TargetInstructions = SmallPrograms ? 40 : Sizes[R.nextBelow(3)];
-    Config.CtxRatePerMille = CtxRates[R.nextBelow(3)];
-    Config.NumLongLived = static_cast<int>(4 + R.nextBelow(5));
-    Config.MaxDepth = static_cast<int>(2 + R.nextBelow(3));
-    Config.MemBase = 0x1000 + 0x800 * static_cast<uint32_t>(T);
-    Config.OutBase = 0x5000 + 0x100 * static_cast<uint32_t>(T);
-    Program P = generateRandomProgram(Seed * 31 + static_cast<uint64_t>(T),
-                                      Config);
-    P.Name = "fuzz" + std::to_string(T);
-    C.Virtual.Threads.push_back(P);
-    C.Renamed.Threads.push_back(renameLiveRanges(P));
-  }
-  return C;
-}
 
 std::string dumpNpralAllocation(const InterThreadResult &R) {
   std::ostringstream OS;
@@ -315,7 +276,51 @@ TEST_P(AllocFuzzTest, TranslationValidationHolds) {
         << ": degraded output proved without interpreting any spill code";
 }
 
-// 4 tests x 200 seeds = 800 randomized cases over varied (Nthd, Nreg, CSB
+namespace {
+
+/// Lazily loaded golden map: (seed, mode) -> outcome string, recorded by
+/// `record_alloc_goldens` on the pre-rewrite build (see the file header in
+/// alloc_goldens.txt).
+const std::map<std::pair<uint64_t, std::string>, std::string> &goldens() {
+  static const auto *Map = [] {
+    auto *M = new std::map<std::pair<uint64_t, std::string>, std::string>();
+    std::ifstream In(NPRAL_ALLOC_GOLDENS_FILE);
+    std::string Line;
+    while (std::getline(In, Line)) {
+      if (Line.empty() || Line[0] == '#')
+        continue;
+      std::istringstream LS(Line);
+      uint64_t Seed;
+      std::string Mode, Outcome;
+      if (LS >> Seed >> Mode >> Outcome)
+        (*M)[{Seed, Mode}] = Outcome;
+    }
+    return M;
+  }();
+  return *Map;
+}
+
+} // namespace
+
+// Bit-identity clause: the printed assembly of every allocation (plain,
+// static-PGO-weighted, and spill-degraded) must be byte-equal to what the
+// pre-rewrite allocator produced — goldens carry an FNV-64 of the full
+// text, so any drift in analysis results, elimination orders, tie-breaks or
+// copy placement fails here with the seed and mode in hand.
+TEST_P(AllocFuzzTest, BitIdenticalToPreRewriteGoldens) {
+  const uint64_t Seed = GetParam();
+  for (const char *Mode : {"plain", "pgo", "spill"}) {
+    auto It = goldens().find({Seed, Mode});
+    ASSERT_NE(It, goldens().end())
+        << "no golden for seed " << Seed << " mode " << Mode
+        << " — run record_alloc_goldens";
+    EXPECT_EQ(fuzzcase::goldenOutcome(Seed, Mode), It->second)
+        << "seed " << Seed << " mode " << Mode
+        << ": allocation diverged from the pre-rewrite golden";
+  }
+}
+
+// 5 tests x 200 seeds = 1000 randomized cases over varied (Nthd, Nreg, CSB
 // density). The parameter is the seed itself; rerun one case with
 // --gtest_filter='*AllocFuzzTest*/<seed>'.
 INSTANTIATE_TEST_SUITE_P(AllocFuzz, AllocFuzzTest,

@@ -193,9 +193,9 @@ c:
   // Find block ids by name.
   int A = -1, C = -1;
   for (int B = 0; B < P.getNumBlocks(); ++B) {
-    if (P.block(B).Name == "a")
+    if (P.blockName(B) == "a")
       A = B;
-    if (P.block(B).Name == "c")
+    if (P.blockName(B) == "c")
       C = B;
   }
   ASSERT_GE(A, 0);

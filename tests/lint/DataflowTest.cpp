@@ -99,7 +99,7 @@ TEST(Dataflow, LivenessSeesLoopCarriedValue) {
   // the loop header's live-in. Find the header by name.
   int Loop = -1;
   for (int B = 0; B < P.getNumBlocks(); ++B)
-    if (P.block(B).Name == "loop")
+    if (P.blockName(B) == "loop")
       Loop = B;
   ASSERT_GE(Loop, 0);
   int LiveIn = Solved.In[static_cast<size_t>(Loop)].count();
@@ -131,7 +131,7 @@ TEST(Dataflow, MaybeUninitKilledByDominatingDef) {
   // into the loop header; 'acc' is defined in the entry block itself.
   int Loop = -1;
   for (int B = 0; B < P.getNumBlocks(); ++B)
-    if (P.block(B).Name == "loop")
+    if (P.blockName(B) == "loop")
       Loop = B;
   ASSERT_GE(Loop, 0);
   Reg Step = NoReg, Acc = NoReg;
@@ -179,9 +179,9 @@ exit:
   DataflowResult<char> R = solveDataflow(P, ReachabilityProblem());
   int Dead = -1, Exit = -1;
   for (int B = 0; B < P.getNumBlocks(); ++B) {
-    if (P.block(B).Name == "dead")
+    if (P.blockName(B) == "dead")
       Dead = B;
-    if (P.block(B).Name == "exit")
+    if (P.blockName(B) == "exit")
       Exit = B;
   }
   ASSERT_GE(Dead, 0);

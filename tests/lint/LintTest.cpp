@@ -132,7 +132,7 @@ TEST(LintStructureTest, ReportsMixedPhysicalAndVirtualThreads) {
   Program Phys = MTP.Threads[0];
   Phys.Name = "phys";
   Phys.IsPhysical = true;
-  Phys.RegNames.clear();
+  Phys.clearRegNames();
   MTP.Threads.push_back(Phys);
 
   DiagnosticEngine Engine;

@@ -50,7 +50,7 @@ MultiThreadProgram loopProgram() {
 
 int blockIdByName(const Program &P, const std::string &Name) {
   for (int B = 0; B < P.getNumBlocks(); ++B)
-    if (P.block(B).Name == Name)
+    if (P.blockName(B) == Name)
       return B;
   return -1;
 }

@@ -5,6 +5,7 @@
 #include "workloads/Workload.h"
 
 #include "analysis/InterferenceGraph.h"
+#include "ir/IRPrinter.h"
 #include "ir/IRVerifier.h"
 
 #include "../common/TestUtils.h"
@@ -166,4 +167,100 @@ TEST(GeneratorTest, CtxRateRoughlyHonoured) {
                 P.countInstructions();
   EXPECT_GT(Rate, 0.02);
   EXPECT_LT(Rate, 0.40);
+}
+
+TEST(GeneratorTest, PressureTargetForcesDenseMultiWordRows) {
+  // The knob exists to push analysis into multi-word live sets and >32-
+  // degree interference rows; check the distribution actually lands there.
+  GeneratorConfig Config;
+  Config.TargetInstructions = 120;
+  Config.PressureTarget = 48;
+  int SeedsWithDenseRow = 0;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    Program P = generateRandomProgram(Seed, Config);
+    ASSERT_TRUE(verifyProgram(P).ok()) << "seed " << Seed;
+    // All pool registers stay live to the store trail, so peak pressure
+    // must clear the target (pool + pointers), i.e. live sets span >1 word.
+    ThreadAnalysis TA = analyzeThread(P);
+    EXPECT_GE(TA.getRegPmax(), Config.PressureTarget) << "seed " << Seed;
+    int MaxDegree = 0;
+    for (int N = 0; N < P.NumRegs; ++N)
+      MaxDegree = std::max(MaxDegree, TA.GIG.degree(N));
+    if (MaxDegree > 32)
+      ++SeedsWithDenseRow;
+  }
+  EXPECT_EQ(SeedsWithDenseRow, 10);
+}
+
+TEST(GeneratorTest, PressureTargetZeroKeepsSeedStream) {
+  // Default knob values must not perturb existing seed streams — the
+  // pre-rewrite allocator goldens depend on that.
+  GeneratorConfig Plain;
+  GeneratorConfig Explicit;
+  Explicit.PressureTarget = 0;
+  Explicit.MaxLoopNest = -1;
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    Program A = generateRandomProgram(Seed, Plain);
+    Program B = generateRandomProgram(Seed, Explicit);
+    EXPECT_EQ(programToString(A), programToString(B)) << "seed " << Seed;
+  }
+}
+
+namespace {
+
+/// DFS three-color cycle detection over Program::successors.
+bool hasCycle(const Program &P) {
+  enum { White, Grey, Black };
+  std::vector<char> Color(static_cast<size_t>(P.getNumBlocks()), White);
+  std::vector<std::pair<int, size_t>> Stack;
+  std::vector<std::vector<int>> Succs(static_cast<size_t>(P.getNumBlocks()));
+  for (int B = 0; B < P.getNumBlocks(); ++B)
+    Succs[static_cast<size_t>(B)] = P.successors(B);
+  for (int Start = 0; Start < P.getNumBlocks(); ++Start) {
+    if (Color[static_cast<size_t>(Start)] != White)
+      continue;
+    Color[static_cast<size_t>(Start)] = Grey;
+    Stack.push_back({Start, 0});
+    while (!Stack.empty()) {
+      auto &[B, Next] = Stack.back();
+      if (Next < Succs[static_cast<size_t>(B)].size()) {
+        int S = Succs[static_cast<size_t>(B)][Next++];
+        if (Color[static_cast<size_t>(S)] == Grey)
+          return true;
+        if (Color[static_cast<size_t>(S)] == White) {
+          Color[static_cast<size_t>(S)] = Grey;
+          Stack.push_back({S, 0});
+        }
+      } else {
+        Color[static_cast<size_t>(B)] = Black;
+        Stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+TEST(GeneratorTest, MaxLoopNestZeroGeneratesAcyclicBodies) {
+  GeneratorConfig Config;
+  Config.TargetInstructions = 150;
+  Config.MaxLoopNest = 0;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    Program P = generateRandomProgram(Seed, Config);
+    ASSERT_TRUE(verifyProgram(P).ok()) << "seed " << Seed;
+    EXPECT_FALSE(hasCycle(P)) << "seed " << Seed;
+  }
+}
+
+TEST(GeneratorTest, MaxLoopNestOneStillLoops) {
+  // The cap bounds nesting, not loop count: depth-1 loops stay available.
+  GeneratorConfig Config;
+  Config.TargetInstructions = 300;
+  Config.MaxLoopNest = 1;
+  int SeedsWithLoop = 0;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed)
+    if (hasCycle(generateRandomProgram(Seed, Config)))
+      ++SeedsWithLoop;
+  EXPECT_GT(SeedsWithLoop, 5);
 }
