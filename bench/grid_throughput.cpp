@@ -1,0 +1,79 @@
+//===- grid_throughput.cpp - 2-16 engine Table 3 sweep --------------------===//
+//
+// The grid scale-out experiment (docs/grid.md): run every Table 3 scenario
+// across 2, 4, 8 and 16 engines under each placement policy and report
+// aggregate packet throughput (iterations per kilocycle, summed over all
+// threads, clocked by the slowest engine). The simulator is deterministic,
+// so every number here is exactly reproducible; --json writes
+// BENCH_grid_throughput.json and scripts/check_bench_regression.py gates
+// the committed baseline (bench/baseline_grid_throughput.json) against it.
+//
+// The interesting contrast is roundrobin vs the bounds-driven policies at
+// engine counts that divide the scenario template period: dealing threads
+// i mod N then segregates kernels (all-md5 engines serialise on the ALU
+// while all-fir2dim engines idle on memory), which the MinPR-LPT packing
+// of `bounds` and the ctx-balance local search of `search` avoid.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+#include "grid/GridHarness.h"
+#include "support/TableFormatter.h"
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace npral;
+
+int main(int argc, char **argv) {
+  BenchReport Report("grid_throughput", argc, argv);
+
+  const std::vector<std::string> Scenarios = {"s1", "s2", "s3"};
+  const std::vector<int> EngineCounts = {2, 4, 8, 16};
+  const std::vector<PlacementPolicy> Policies = {PlacementPolicy::RoundRobin,
+                                                 PlacementPolicy::Bounds,
+                                                 PlacementPolicy::Search};
+
+  TableFormatter Table({"Scenario", "Engines", "roundrobin", "bounds",
+                        "search", "best/rr"});
+  for (const std::string &Scenario : Scenarios) {
+    for (int Engines : EngineCounts) {
+      Table.row().cell(Scenario).cell(Engines);
+      double RoundRobin = 0.0, Best = 0.0;
+      for (PlacementPolicy Policy : Policies) {
+        GridOptions Opts;
+        Opts.NumEngines = Engines;
+        Opts.Policy = Policy;
+        std::vector<std::string> Pool;
+        buildGridPool(Scenario, Engines, Pool);
+        GridReport R = runKernelPoolGrid(Scenario, Pool, Opts);
+        if (!R.Success) {
+          std::cerr << "grid run failed (" << Scenario << ", " << Engines
+                    << " engines, " << placementPolicyName(Policy)
+                    << "): " << R.FailReason << "\n";
+          return Report.finish(1);
+        }
+        Table.cell(R.IterationsPerKilocycle, 3);
+        std::ostringstream Key;
+        Key << "ipk_" << Scenario << "_e" << Engines << "_"
+            << placementPolicyName(Policy);
+        std::ostringstream Val;
+        Val.precision(6);
+        Val << R.IterationsPerKilocycle;
+        Report.addScalar(Key.str(), Val.str());
+        if (Policy == PlacementPolicy::RoundRobin)
+          RoundRobin = R.IterationsPerKilocycle;
+        if (R.IterationsPerKilocycle > Best)
+          Best = R.IterationsPerKilocycle;
+      }
+      Table.cell(RoundRobin > 0 ? Best / RoundRobin : 0.0, 3);
+    }
+  }
+  std::cout << "Aggregate throughput (iterations/kilocycle), Table 3 "
+               "scenarios across the engine grid\n";
+  Table.print(std::cout);
+  Report.addTable("grid_throughput", Table);
+  return Report.finish(0);
+}

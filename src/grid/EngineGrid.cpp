@@ -1,0 +1,158 @@
+//===- EngineGrid.cpp -----------------------------------------------------===//
+
+#include "grid/EngineGrid.h"
+
+#include "trace/MetricsRegistry.h"
+#include "trace/TraceEngine.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace npral;
+
+MicroEngine::MicroEngine(int Id, MultiThreadProgram Program,
+                         const SimConfig &Config, int InitialCredits)
+    : Id(Id), MTP(std::move(Program)), Sim(MTP, Config),
+      Credits(MTP.Threads.size(), InitialCredits),
+      Blocked(MTP.Threads.size(), 0) {
+  assert(InitialCredits >= 1 && "a thread needs at least one work token");
+}
+
+void MicroEngine::attach(Interconnect *F, int Ingress, int Node) {
+  Fabric = F;
+  IngressNode = Ingress;
+  NodeId = Node;
+  Sim.setGridPort(this);
+}
+
+bool MicroEngine::tryAcquireWork(int Thread, int64_t Cycle) {
+  (void)Cycle;
+  int &C = Credits[static_cast<size_t>(Thread)];
+  if (C > 0) {
+    --C;
+    return true;
+  }
+  Blocked[static_cast<size_t>(Thread)] = 1;
+  return false;
+}
+
+void MicroEngine::onIterationComplete(int Thread, int64_t Cycle) {
+  assert(Fabric && "iteration reported without an attached fabric");
+  Fabric->send(MsgType::Completion, NodeId, IngressNode, Id, Thread, Cycle);
+}
+
+void MicroEngine::deliverWork(int Thread, int64_t ArriveCycle) {
+  if (Sim.runEnded())
+    return; // the run failed or finished; tokens are moot
+  if (Blocked[static_cast<size_t>(Thread)]) {
+    Blocked[static_cast<size_t>(Thread)] = 0;
+    Sim.grantWork(Thread, ArriveCycle);
+    return;
+  }
+  // A halted thread (equivalence runs halt at target) consumes no further
+  // work; return the token to the ingress as backpressure.
+  if (Sim.threadHalted(Thread)) {
+    Fabric->send(MsgType::Credit, NodeId, IngressNode, Id, Thread,
+                 ArriveCycle);
+    return;
+  }
+  ++Credits[static_cast<size_t>(Thread)];
+}
+
+EngineGrid::EngineGrid(int HopLatency, int InitialCredits)
+    : Fabric(HopLatency), InitialCredits(InitialCredits) {}
+
+MicroEngine &EngineGrid::addEngine(MultiThreadProgram Program,
+                                   const SimConfig &Config) {
+  Engines.push_back(std::make_unique<MicroEngine>(
+      static_cast<int>(Engines.size()), std::move(Program), Config,
+      InitialCredits));
+  return *Engines.back();
+}
+
+GridRunResult EngineGrid::run() {
+  NPRAL_TRACE_SPAN_ARGS("grid", "EngineGrid::run",
+                        {"engines", std::to_string(Engines.size())},
+                        {"hop_latency",
+                         std::to_string(Fabric.hopLatency())});
+  assert(!Engines.empty() && "grid needs at least one engine");
+  GridRunResult Result;
+
+  if (Engines.size() == 1) {
+    // No fabric to cross: the run is the plain Simulator::run() sequence
+    // and must stay cycle-identical to it.
+    Simulator &Sim = Engines[0]->sim();
+    Sim.beginRun();
+    Sim.advanceUntil(std::numeric_limits<int64_t>::max());
+    Result.Engines.push_back(Sim.takeResult());
+  } else {
+    const int64_t Slice = Fabric.hopLatency();
+    for (size_t E = 0; E < Engines.size(); ++E) {
+      Engines[E]->attach(&Fabric, /*IngressNode=*/0,
+                         /*NodeId=*/static_cast<int>(E) + 1);
+      Engines[E]->sim().beginRun();
+    }
+    // Boundary delivery: the ingress answers each completion with the next
+    // work item, stamped at the completion's own arrival cycle so the full
+    // round-trip latency is modeled; everything else is engine-bound.
+    auto DeliverBoundary = [&](int64_t At) {
+      for (const Message &M : Fabric.deliverUpTo(At)) {
+        if (M.DstNode == 0) {
+          if (M.Type == MsgType::Completion)
+            Fabric.send(MsgType::WorkDispatch, /*SrcNode=*/0,
+                        /*DstNode=*/M.Engine + 1, M.Engine, M.Thread,
+                        M.ArriveCycle);
+          else
+            ++Result.CreditsReturned;
+          continue;
+        }
+        Engines[static_cast<size_t>(M.Engine)]->deliverWork(M.Thread,
+                                                            M.ArriveCycle);
+      }
+    };
+    int64_t Now = 0;
+    for (;;) {
+      // Every engine has reached Now; all due traffic is safe to deliver.
+      DeliverBoundary(Now);
+      bool AnyActive = false;
+      for (std::unique_ptr<MicroEngine> &E : Engines) {
+        Simulator &Sim = E->sim();
+        if (!Sim.runEnded())
+          AnyActive |= Sim.advanceUntil(Now + Slice);
+      }
+      if (!AnyActive)
+        break;
+      Now += Slice;
+    }
+    // Drain: the runs have ended but completions, their reply dispatches
+    // and returned credits may still be in flight. Deliver them so the
+    // fabric accounting balances; dispatches landing on an ended run are
+    // dropped by deliverWork, so this converges.
+    for (int64_t Next = Fabric.nextArrival(); Next >= 0;
+         Next = Fabric.nextArrival())
+      DeliverBoundary(Next);
+    for (std::unique_ptr<MicroEngine> &E : Engines)
+      Result.Engines.push_back(E->sim().takeResult());
+  }
+
+  Result.Completed = true;
+  for (size_t E = 0; E < Result.Engines.size(); ++E) {
+    const SimResult &R = Result.Engines[E];
+    if (!R.Completed && Result.Completed) {
+      Result.Completed = false;
+      Result.FailReason =
+          "engine " + std::to_string(E) + ": " + R.FailReason;
+    }
+    if (R.TotalCycles > Result.MaxEngineCycles)
+      Result.MaxEngineCycles = R.TotalCycles;
+  }
+  Result.MessagesSent = Fabric.messagesSent();
+  Result.MessagesDelivered = Fabric.messagesDelivered();
+
+  MetricsRegistry &MR = MetricsRegistry::global();
+  MR.counter("grid.runs").add(1);
+  MR.counter("grid.messages_sent").add(Result.MessagesSent);
+  MR.counter("grid.messages_delivered").add(Result.MessagesDelivered);
+  MR.counter("grid.credits_returned").add(Result.CreditsReturned);
+  return Result;
+}

@@ -1,0 +1,127 @@
+//===- EngineGrid.h - Lockstep multi-micro-engine grid ----------*- C++ -*-===//
+///
+/// \file
+/// Scale-out of the single-micro-engine model: an EngineGrid steps 2-16
+/// MicroEngines in lockstep time slices, exchanging typed messages over a
+/// modeled Interconnect (mgsim's Processor grid + Network is the design
+/// exemplar). Each MicroEngine owns one complete Simulator — its own GPR
+/// file, memory image, thread set and SimResult — and implements the
+/// simulator's GridPort: every main-loop iteration consumes one work
+/// credit, completions flow to the ingress node, and the ingress answers
+/// each completion with the next work dispatch. A thread that outruns its
+/// credit window blocks at its `loopend` and the wait is booked in the
+/// InterconnectStall cycle bucket.
+///
+/// Lockstep safety: the slice length equals the interconnect hop latency,
+/// so a message sent during slice K (arrival >= send + HopLatency) can
+/// never be due before the boundary that ends slice K. Delivering all
+/// arrived messages at each boundary, with engines stepped in fixed index
+/// order, therefore never violates causality and is fully deterministic.
+///
+/// A single-engine grid attaches no GridPort at all: the engine's run is
+/// the plain Simulator::run() sequence and its result is cycle-identical
+/// to the non-grid path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_GRID_ENGINEGRID_H
+#define NPRAL_GRID_ENGINEGRID_H
+
+#include "grid/Interconnect.h"
+#include "sim/Simulator.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace npral {
+
+/// One micro-engine of the grid: wraps a Simulator over its own program,
+/// register file and memory, plus the per-thread credit state of the work
+/// protocol. Owns the MultiThreadProgram so the Simulator's reference stays
+/// valid for the engine's lifetime.
+class MicroEngine : public GridPort {
+public:
+  MicroEngine(int Id, MultiThreadProgram Program, const SimConfig &Config,
+              int InitialCredits);
+  MicroEngine(const MicroEngine &) = delete;
+  MicroEngine &operator=(const MicroEngine &) = delete;
+
+  int id() const { return Id; }
+  int numThreads() const { return static_cast<int>(Credits.size()); }
+  Simulator &sim() { return Sim; }
+  const Simulator &sim() const { return Sim; }
+
+  /// Join the fabric as chain node \p NodeId (ingress = \p IngressNode) and
+  /// start consuming work credits. Must be called before the run begins;
+  /// never called for a single-engine grid.
+  void attach(Interconnect *Fabric, int IngressNode, int NodeId);
+
+  /// A WorkDispatch for \p Thread arrived at \p ArriveCycle: wake the
+  /// thread if it blocked on the interconnect, bank a credit otherwise. A
+  /// dispatch for an already-halted thread bounces back to the ingress as a
+  /// Credit message.
+  void deliverWork(int Thread, int64_t ArriveCycle);
+
+  // GridPort: called by the owned Simulator during advanceUntil().
+  void onIterationComplete(int Thread, int64_t Cycle) override;
+  bool tryAcquireWork(int Thread, int64_t Cycle) override;
+
+private:
+  int Id;
+  MultiThreadProgram MTP;
+  Simulator Sim;
+  Interconnect *Fabric = nullptr;
+  int IngressNode = 0;
+  int NodeId = -1;
+  /// Work tokens in hand per thread; `loopend` consumes one.
+  std::vector<int> Credits;
+  /// Threads blocked at a `loopend` with no token (mirrors the simulator's
+  /// GridBlocked state so deliverWork knows whether to wake or to bank).
+  std::vector<char> Blocked;
+};
+
+/// Aggregate outcome of one grid run.
+struct GridRunResult {
+  /// True when every engine's run completed (no failure anywhere).
+  bool Completed = false;
+  /// First failing engine's reason, prefixed with its id.
+  std::string FailReason;
+  /// Per-engine simulation results, indexed by engine id.
+  std::vector<SimResult> Engines;
+  /// Max over engines of TotalCycles — the grid's wall-clock.
+  int64_t MaxEngineCycles = 0;
+  int64_t MessagesSent = 0;
+  int64_t MessagesDelivered = 0;
+  /// Work tokens bounced back to the ingress by halted threads.
+  int64_t CreditsReturned = 0;
+};
+
+/// Steps N engines in lockstep over a shared Interconnect. Engines are
+/// added fully configured (program, SimConfig, initial credits); memory and
+/// entry values are seeded through engine.sim() before run().
+class EngineGrid {
+public:
+  /// \p HopLatency is both the per-hop message latency and the lockstep
+  /// slice length; \p InitialCredits is each thread's work window.
+  EngineGrid(int HopLatency, int InitialCredits);
+
+  MicroEngine &addEngine(MultiThreadProgram Program, const SimConfig &Config);
+
+  int numEngines() const { return static_cast<int>(Engines.size()); }
+  MicroEngine &engine(int Id) { return *Engines[static_cast<size_t>(Id)]; }
+
+  /// Run every engine to completion. Single engine: plain simulator run, no
+  /// fabric. Multiple engines: lockstep slices of HopLatency cycles with
+  /// boundary message delivery.
+  GridRunResult run();
+
+private:
+  Interconnect Fabric;
+  int InitialCredits;
+  std::vector<std::unique_ptr<MicroEngine>> Engines;
+};
+
+} // namespace npral
+
+#endif // NPRAL_GRID_ENGINEGRID_H

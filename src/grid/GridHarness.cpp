@@ -1,0 +1,174 @@
+//===- GridHarness.cpp ----------------------------------------------------===//
+
+#include "grid/GridHarness.h"
+
+#include "alloc/IntraAllocator.h"
+#include "analysis/LiveRangeRenaming.h"
+#include "harden/SpillFallback.h"
+#include "support/Diagnostics.h"
+#include "trace/MetricsRegistry.h"
+#include "trace/TraceEngine.h"
+
+#include <cassert>
+
+using namespace npral;
+
+KernelTraits npral::computeKernelTraits(const std::string &Name) {
+  ErrorOr<Workload> W = buildWorkload(Name, /*Slot=*/0);
+  if (!W.ok())
+    reportFatalError("grid: unknown kernel '" + Name + "': " +
+                     W.status().str());
+  Program Renamed = renameLiveRanges(W->Code);
+  ThreadAnalysisBundle Bundle = computeThreadAnalysisBundle(Renamed);
+
+  KernelTraits T;
+  T.Name = Name;
+  T.MinPR = Bundle.Bounds.MinPR;
+  T.MaxPR = Bundle.Bounds.MaxPR;
+  T.MaxR = Bundle.Bounds.MaxR;
+  T.BoundaryNodes = Bundle.TA.BoundaryNodes.count();
+  int64_t Instrs = 0, CtxPoints = 0;
+  for (const BasicBlock &B : Renamed.Blocks)
+    for (const Instruction &I : B.Instrs) {
+      ++Instrs;
+      if (getOpcodeInfo(I.Op).CausesCtxSwitch)
+        ++CtxPoints;
+    }
+  T.CtxPerMille =
+      Instrs > 0 ? static_cast<int>(CtxPoints * 1000 / Instrs) : 0;
+  return T;
+}
+
+bool npral::buildGridPool(const std::string &ScenarioName, int NumEngines,
+                          std::vector<std::string> &Pool) {
+  const std::vector<Scenario> &Scen = getAraScenarios();
+  std::vector<std::string> Template;
+  if (ScenarioName == "s1" || ScenarioName == "s2" || ScenarioName == "s3") {
+    const Scenario &S = Scen[static_cast<size_t>(ScenarioName[1] - '1')];
+    Template.assign(S.Kernels.begin(), S.Kernels.end());
+  } else if (ScenarioName == "mixed") {
+    for (const Scenario &S : Scen)
+      Template.insert(Template.end(), S.Kernels.begin(), S.Kernels.end());
+  } else {
+    return false;
+  }
+  Pool.clear();
+  const size_t Want = static_cast<size_t>(NumEngines) * 4;
+  for (size_t I = 0; I < Want; ++I)
+    Pool.push_back(Template[I % Template.size()]);
+  return true;
+}
+
+GridReport npral::runScenarioGrid(const Scenario &S, const GridOptions &Opts) {
+  std::vector<std::string> Pool;
+  const size_t Want = static_cast<size_t>(Opts.NumEngines) * 4;
+  for (size_t I = 0; I < Want; ++I)
+    Pool.push_back(S.Kernels[I % S.Kernels.size()]);
+  return runKernelPoolGrid(S.Name, Pool, Opts);
+}
+
+GridReport npral::runKernelPoolGrid(const std::string &Name,
+                                    const std::vector<std::string> &Pool,
+                                    const GridOptions &Opts) {
+  NPRAL_TRACE_SPAN_ARGS("grid", "runKernelPoolGrid", {"name", Name},
+                        {"engines", std::to_string(Opts.NumEngines)},
+                        {"policy", placementPolicyName(Opts.Policy)});
+  GridReport Report;
+  Report.Name = Name;
+  Report.Policy = placementPolicyName(Opts.Policy);
+  Report.NumEngines = Opts.NumEngines;
+  assert(Pool.size() == static_cast<size_t>(Opts.NumEngines) * 4 &&
+         "pool must provide four threads per engine");
+
+  // Traits once per distinct kernel, in first-appearance order so the
+  // trait indices (and everything downstream) are deterministic.
+  PlacementInput In;
+  In.NumEngines = Opts.NumEngines;
+  In.ThreadsPerEngine = 4;
+  In.EngineRegs = Opts.Nreg;
+  for (const std::string &Kernel : Pool) {
+    int TraitIdx = -1;
+    for (size_t T = 0; T < In.Traits.size(); ++T)
+      if (In.Traits[T].Name == Kernel)
+        TraitIdx = static_cast<int>(T);
+    if (TraitIdx < 0) {
+      In.Traits.push_back(computeKernelTraits(Kernel));
+      TraitIdx = static_cast<int>(In.Traits.size()) - 1;
+    }
+    In.Pool.push_back(TraitIdx);
+  }
+  Report.Placement = placeThreads(In, Opts.Policy);
+
+  // Per-engine inter-thread allocation: each engine is an independent
+  // register file, so each bin gets its own Fig. 8 run (with the spill
+  // fallback as the safety net for tight budgets).
+  EngineGrid Grid(Opts.HopLatency, Opts.InitialCredits);
+  for (int E = 0; E < Opts.NumEngines; ++E) {
+    const std::vector<int> &Bin = Report.Placement.Bins[static_cast<size_t>(E)];
+    GridEngineReport ER;
+    std::vector<Workload> Workloads;
+    for (size_t Slot = 0; Slot < Bin.size(); ++Slot) {
+      const std::string &Kernel = Pool[static_cast<size_t>(Bin[Slot])];
+      ER.Kernels.push_back(Kernel);
+      ErrorOr<Workload> W = buildWorkload(Kernel, static_cast<int>(Slot));
+      if (!W.ok())
+        reportFatalError("grid: " + W.status().str());
+      Workloads.push_back(W.take());
+    }
+    MultiThreadProgram MTP =
+        toMultiThreadProgram(Workloads, Name + "_e" + std::to_string(E));
+    for (Program &T : MTP.Threads)
+      T = renameLiveRanges(T);
+    SpillFallbackResult SF = allocateWithSpillFallback(
+        MTP, Opts.Nreg, {}, {}, /*Log=*/nullptr, InterAllocLimits());
+    if (!SF.Inter.Success) {
+      Report.FailReason = "engine " + std::to_string(E) +
+                          " allocation failed: " + SF.Inter.FailReason;
+      return Report;
+    }
+    ER.RegistersUsed = SF.Inter.RegistersUsed;
+    ER.Spilled = SF.UsedSpilling;
+    ER.SpilledRanges = SF.SpilledRanges;
+    Report.Engines.push_back(std::move(ER));
+
+    MicroEngine &ME = Grid.addEngine(std::move(SF.Inter.Physical), Opts.Sim);
+    for (size_t T = 0; T < Workloads.size(); ++T) {
+      const Workload &W = Workloads[T];
+      for (const Workload::MemRegion &Region : W.InitMemory)
+        ME.sim().writeMemory(Region.Base, Region.Words);
+      ME.sim().setEntryValues(static_cast<int>(T), W.EntryValues);
+    }
+  }
+
+  GridRunResult Run = Grid.run();
+  Report.MaxEngineCycles = Run.MaxEngineCycles;
+  Report.MessagesSent = Run.MessagesSent;
+  Report.MessagesDelivered = Run.MessagesDelivered;
+  Report.CreditsReturned = Run.CreditsReturned;
+  for (int E = 0; E < Opts.NumEngines; ++E) {
+    GridEngineReport &ER = Report.Engines[static_cast<size_t>(E)];
+    ER.Result = std::move(Run.Engines[static_cast<size_t>(E)]);
+    for (const ThreadStats &TS : ER.Result.Threads) {
+      ER.Iterations += TS.Iterations;
+      ER.InterconnectStallCycles += TS.InterconnectStallCycles;
+    }
+    Report.TotalIterations += ER.Iterations;
+    Report.TotalInterconnectStall += ER.InterconnectStallCycles;
+  }
+  if (!Run.Completed) {
+    Report.FailReason = Run.FailReason;
+    return Report;
+  }
+  if (Report.MaxEngineCycles > 0)
+    Report.IterationsPerKilocycle =
+        static_cast<double>(Report.TotalIterations) * 1000.0 /
+        static_cast<double>(Report.MaxEngineCycles);
+
+  MetricsRegistry &MR = MetricsRegistry::global();
+  MR.counter("grid.engines").add(Report.NumEngines);
+  MR.counter("grid.iterations").add(Report.TotalIterations);
+  MR.counter("grid.interconnect_stall_cycles")
+      .add(Report.TotalInterconnectStall);
+  Report.Success = true;
+  return Report;
+}

@@ -1,0 +1,96 @@
+//===- GridHarness.h - End-to-end multi-engine experiments ------*- C++ -*-===//
+///
+/// \file
+/// Glue from kernel names to a finished grid run: replicate a Table-3
+/// scenario template across N engines, extract per-kernel placement traits
+/// (register bounds + ctx density), place the pool with a chosen policy,
+/// run the paper's inter-thread allocator independently on every engine's
+/// bin (spill fallback engaged, as each engine has its own GPR file), and
+/// simulate the engines in lockstep over the modeled interconnect.
+///
+/// The headline number is aggregate throughput in iterations (packets) per
+/// kilocycle: total iterations retired across all threads of all engines,
+/// divided by the slowest engine's cycle count. The slowest engine is the
+/// wall-clock of the grid, which is exactly why placement matters — see
+/// docs/grid.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_GRID_GRIDHARNESS_H
+#define NPRAL_GRID_GRIDHARNESS_H
+
+#include "grid/EngineGrid.h"
+#include "grid/Placement.h"
+#include "workloads/Harness.h"
+
+#include <string>
+#include <vector>
+
+namespace npral {
+
+struct GridOptions {
+  int NumEngines = 4;
+  PlacementPolicy Policy = PlacementPolicy::Bounds;
+  /// GPR file size of each engine.
+  int Nreg = 128;
+  /// Interconnect per-hop latency (= lockstep slice length), cycles.
+  int HopLatency = 4;
+  /// Work tokens each thread starts with (its credit window).
+  int InitialCredits = 4;
+  SimConfig Sim = defaultExperimentConfig();
+};
+
+/// One engine's slice of a grid run.
+struct GridEngineReport {
+  std::vector<std::string> Kernels;
+  /// Inter-thread allocation outcome for this engine's bin.
+  int RegistersUsed = 0;
+  bool Spilled = false;
+  int SpilledRanges = 0;
+  SimResult Result;
+  int64_t Iterations = 0;
+  int64_t InterconnectStallCycles = 0;
+};
+
+struct GridReport {
+  bool Success = false;
+  std::string FailReason;
+  std::string Name;
+  std::string Policy;
+  int NumEngines = 0;
+  std::vector<GridEngineReport> Engines;
+  PlacementResult Placement;
+  /// Max over engines of TotalCycles — the grid's wall-clock.
+  int64_t MaxEngineCycles = 0;
+  int64_t TotalIterations = 0;
+  /// Aggregate throughput: TotalIterations * 1000 / MaxEngineCycles.
+  double IterationsPerKilocycle = 0.0;
+  int64_t TotalInterconnectStall = 0;
+  int64_t MessagesSent = 0;
+  int64_t MessagesDelivered = 0;
+  int64_t CreditsReturned = 0;
+};
+
+/// Extract the placement traits of kernel \p Name (built at slot 0,
+/// live-range renamed, analysed). Fatal on unknown kernels.
+KernelTraits computeKernelTraits(const std::string &Name);
+
+/// Run a grid over an explicit kernel-name pool. Pool size must equal
+/// NumEngines * 4 (each engine runs the paper's four thread contexts).
+GridReport runKernelPoolGrid(const std::string &Name,
+                             const std::vector<std::string> &Pool,
+                             const GridOptions &Opts);
+
+/// Replicate scenario \p S's 4-kernel template across Opts.NumEngines
+/// engines and run the grid.
+GridReport runScenarioGrid(const Scenario &S, const GridOptions &Opts);
+
+/// Build the kernel pool for a named grid scenario: "s1"/"s2"/"s3" (the
+/// Table-3 scenarios, template replicated) or "mixed" (the three templates
+/// concatenated cyclically). Returns false on an unknown name.
+bool buildGridPool(const std::string &ScenarioName, int NumEngines,
+                   std::vector<std::string> &Pool);
+
+} // namespace npral
+
+#endif // NPRAL_GRID_GRIDHARNESS_H

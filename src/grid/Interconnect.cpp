@@ -1,0 +1,63 @@
+//===- Interconnect.cpp ---------------------------------------------------===//
+
+#include "grid/Interconnect.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace npral;
+
+const char *npral::msgTypeName(MsgType T) {
+  switch (T) {
+  case MsgType::WorkDispatch:
+    return "work-dispatch";
+  case MsgType::Completion:
+    return "completion";
+  case MsgType::Credit:
+    return "credit";
+  }
+  return "?";
+}
+
+Interconnect::Interconnect(int HopLatency) : HopLatency(HopLatency) {
+  assert(HopLatency >= 1 && "hop latency must be at least one cycle");
+}
+
+void Interconnect::send(MsgType Type, int SrcNode, int DstNode, int Engine,
+                        int Thread, int64_t Cycle) {
+  assert(SrcNode != DstNode && "loopback traffic never enters the fabric");
+  Message M;
+  M.Type = Type;
+  M.SrcNode = SrcNode;
+  M.DstNode = DstNode;
+  M.Engine = Engine;
+  M.Thread = Thread;
+  M.SendCycle = Cycle;
+  M.ArriveCycle = Cycle + latency(SrcNode, DstNode);
+  M.Seq = NextSeq++;
+  InFlight.push_back(M);
+  ++Sent;
+}
+
+std::vector<Message> Interconnect::deliverUpTo(int64_t Now) {
+  std::vector<Message> Due;
+  auto Split = std::partition(
+      InFlight.begin(), InFlight.end(),
+      [Now](const Message &M) { return M.ArriveCycle > Now; });
+  Due.assign(Split, InFlight.end());
+  InFlight.erase(Split, InFlight.end());
+  std::sort(Due.begin(), Due.end(), [](const Message &A, const Message &B) {
+    return A.ArriveCycle != B.ArriveCycle ? A.ArriveCycle < B.ArriveCycle
+                                          : A.Seq < B.Seq;
+  });
+  Delivered += static_cast<int64_t>(Due.size());
+  return Due;
+}
+
+int64_t Interconnect::nextArrival() const {
+  int64_t Earliest = -1;
+  for (const Message &M : InFlight)
+    if (Earliest < 0 || M.ArriveCycle < Earliest)
+      Earliest = M.ArriveCycle;
+  return Earliest;
+}

@@ -1,0 +1,168 @@
+//===- Placement.cpp ------------------------------------------------------===//
+
+#include "grid/Placement.h"
+
+#include "trace/TraceEngine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace npral;
+
+const char *npral::placementPolicyName(PlacementPolicy P) {
+  switch (P) {
+  case PlacementPolicy::RoundRobin:
+    return "roundrobin";
+  case PlacementPolicy::Bounds:
+    return "bounds";
+  case PlacementPolicy::Search:
+    return "search";
+  }
+  return "?";
+}
+
+bool npral::parsePlacementPolicy(const std::string &Name,
+                                 PlacementPolicy &Out) {
+  if (Name == "roundrobin")
+    Out = PlacementPolicy::RoundRobin;
+  else if (Name == "bounds")
+    Out = PlacementPolicy::Bounds;
+  else if (Name == "search")
+    Out = PlacementPolicy::Search;
+  else
+    return false;
+  return true;
+}
+
+namespace {
+
+struct BinLoad {
+  int64_t MinPRSum = 0;
+  int64_t CtxSum = 0;
+};
+
+std::vector<BinLoad> binLoads(const PlacementInput &In,
+                              const std::vector<std::vector<int>> &Bins) {
+  std::vector<BinLoad> Loads(Bins.size());
+  for (size_t E = 0; E < Bins.size(); ++E)
+    for (int P : Bins[E]) {
+      const KernelTraits &T =
+          In.Traits[static_cast<size_t>(In.Pool[static_cast<size_t>(P)])];
+      Loads[E].MinPRSum += T.MinPR;
+      Loads[E].CtxSum += T.CtxPerMille;
+    }
+  return Loads;
+}
+
+} // namespace
+
+int64_t npral::placementCost(const PlacementInput &In,
+                             const std::vector<std::vector<int>> &Bins) {
+  std::vector<BinLoad> Loads = binLoads(In, Bins);
+  int64_t Overflow = 0;
+  int64_t MinCtx = 0, MaxCtx = 0, MinPR = 0, MaxPR = 0;
+  for (size_t E = 0; E < Loads.size(); ++E) {
+    Overflow += std::max<int64_t>(0, Loads[E].MinPRSum - In.EngineRegs);
+    if (E == 0 || Loads[E].CtxSum < MinCtx)
+      MinCtx = Loads[E].CtxSum;
+    if (E == 0 || Loads[E].CtxSum > MaxCtx)
+      MaxCtx = Loads[E].CtxSum;
+    if (E == 0 || Loads[E].MinPRSum < MinPR)
+      MinPR = Loads[E].MinPRSum;
+    if (E == 0 || Loads[E].MinPRSum > MaxPR)
+      MaxPR = Loads[E].MinPRSum;
+  }
+  // Lexicographic by weight: a single overflowed register outweighs any
+  // imbalance; ctx-density spread outweighs the MinPR-balance tiebreak.
+  return Overflow * 1'000'000'000 + (MaxCtx - MinCtx) * 1'000 +
+         (MaxPR - MinPR);
+}
+
+PlacementResult npral::placeThreads(const PlacementInput &In,
+                                    PlacementPolicy P) {
+  NPRAL_TRACE_SPAN_ARGS("grid", "placeThreads",
+                        {"policy", placementPolicyName(P)},
+                        {"threads", std::to_string(In.Pool.size())});
+  assert(In.NumEngines > 0 && In.ThreadsPerEngine > 0);
+  assert(In.Pool.size() == static_cast<size_t>(In.NumEngines) *
+                               static_cast<size_t>(In.ThreadsPerEngine) &&
+         "pool must fill every engine slot exactly");
+  PlacementResult R;
+  R.Policy = placementPolicyName(P);
+  R.Bins.assign(static_cast<size_t>(In.NumEngines), {});
+
+  const auto TraitsOf = [&](int PoolIdx) -> const KernelTraits & {
+    return In.Traits[static_cast<size_t>(
+        In.Pool[static_cast<size_t>(PoolIdx)])];
+  };
+
+  if (P == PlacementPolicy::RoundRobin) {
+    for (size_t I = 0; I < In.Pool.size(); ++I)
+      R.Bins[I % static_cast<size_t>(In.NumEngines)].push_back(
+          static_cast<int>(I));
+    R.Cost = placementCost(In, R.Bins);
+    return R;
+  }
+
+  // bounds: LPT bin-packing on MinPR. Decreasing MinPR (stable: ties keep
+  // pool order), each thread onto the least-loaded engine with a free slot,
+  // preferring engines it fits into without overflowing the register file.
+  std::vector<int> Order(In.Pool.size());
+  std::iota(Order.begin(), Order.end(), 0);
+  std::stable_sort(Order.begin(), Order.end(), [&](int A, int B) {
+    return TraitsOf(A).MinPR > TraitsOf(B).MinPR;
+  });
+  std::vector<BinLoad> Loads(static_cast<size_t>(In.NumEngines));
+  for (int PoolIdx : Order) {
+    const KernelTraits &T = TraitsOf(PoolIdx);
+    int Best = -1;
+    bool BestFits = false;
+    for (int E = 0; E < In.NumEngines; ++E) {
+      const size_t EU = static_cast<size_t>(E);
+      if (static_cast<int>(R.Bins[EU].size()) >= In.ThreadsPerEngine)
+        continue;
+      bool Fits = Loads[EU].MinPRSum + T.MinPR <= In.EngineRegs;
+      // A fitting engine always beats an overflowing one; within a class
+      // the smaller MinPR sum wins, ties to the lowest engine id.
+      if (Best < 0 || (Fits && !BestFits) ||
+          (Fits == BestFits &&
+           Loads[EU].MinPRSum < Loads[static_cast<size_t>(Best)].MinPRSum)) {
+        Best = E;
+        BestFits = Fits;
+      }
+    }
+    assert(Best >= 0 && "pool size guarantees a free slot");
+    R.Bins[static_cast<size_t>(Best)].push_back(PoolIdx);
+    Loads[static_cast<size_t>(Best)].MinPRSum += T.MinPR;
+    Loads[static_cast<size_t>(Best)].CtxSum += T.CtxPerMille;
+  }
+  R.Cost = placementCost(In, R.Bins);
+  if (P == PlacementPolicy::Bounds)
+    return R;
+
+  // search: deterministic first-improvement pairwise swaps on the bounds
+  // seed, bounded passes. Slot order within a bin is irrelevant to cost, so
+  // only cross-bin swaps are tried.
+  const int MaxPasses = 8;
+  for (int Pass = 0; Pass < MaxPasses; ++Pass) {
+    bool Improved = false;
+    for (size_t E1 = 0; E1 < R.Bins.size(); ++E1)
+      for (size_t E2 = E1 + 1; E2 < R.Bins.size(); ++E2)
+        for (size_t I = 0; I < R.Bins[E1].size(); ++I)
+          for (size_t J = 0; J < R.Bins[E2].size(); ++J) {
+            std::swap(R.Bins[E1][I], R.Bins[E2][J]);
+            int64_t C = placementCost(In, R.Bins);
+            if (C < R.Cost) {
+              R.Cost = C;
+              ++R.SwapsApplied;
+              Improved = true;
+            } else {
+              std::swap(R.Bins[E1][I], R.Bins[E2][J]);
+            }
+          }
+    if (!Improved)
+      break;
+  }
+  return R;
+}

@@ -1,0 +1,94 @@
+//===- Placement.h - Thread-to-engine placement -----------------*- C++ -*-===//
+///
+/// \file
+/// Placement is the grid's outer allocation dimension: which threads
+/// co-reside on which engine decides both how tight each engine's
+/// inter-thread register allocation gets (Σ MinPR against the engine's GPR
+/// file) and how well compute overlaps memory stalls (a mix of
+/// context-switch-heavy and compute-heavy kernels keeps the CPU busy; a
+/// segregated engine either idles on memory or serialises on the ALU).
+///
+/// Three policies:
+///
+///  * roundrobin — thread i goes to engine i mod N; the naive dealing that
+///    real assignments start from. On pools built by replicating a 4-kernel
+///    template N times this segregates kernels whenever N divides the
+///    template period — the case the bounds policies exist to beat.
+///  * bounds — greedy bin-packing on the per-thread MinPR bound (LPT:
+///    place threads in decreasing MinPR order onto the engine with the
+///    smallest MinPR sum that still has a free slot, preferring engines the
+///    thread fits into without exceeding the register file). MinPR is the
+///    boundary-pressure bound RegPCSBmax computed from the BIG, so this is
+///    the interference-aware signal; as a side effect the LPT order
+///    interleaves heavy and light kernels across engines.
+///  * search — local-search refinement of the bounds seed: deterministic
+///    first-improvement pairwise swaps minimising a cost that penalises
+///    register overflow first, then imbalance of the per-engine
+///    context-switch density (the throughput driver: ctx density is the
+///    memory-overlap opportunity), then MinPR imbalance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_GRID_PLACEMENT_H
+#define NPRAL_GRID_PLACEMENT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace npral {
+
+enum class PlacementPolicy { RoundRobin, Bounds, Search };
+
+const char *placementPolicyName(PlacementPolicy P);
+/// Parses "roundrobin" / "bounds" / "search"; returns false on anything
+/// else.
+bool parsePlacementPolicy(const std::string &Name, PlacementPolicy &Out);
+
+/// The per-kernel signals placement consumes, extracted once per distinct
+/// kernel from its ThreadAnalysisBundle (bounds + interference graphs) and
+/// program text.
+struct KernelTraits {
+  std::string Name;
+  /// Register bounds (§5): MinPR = RegPCSBmax from the BIG.
+  int MinPR = 0;
+  int MaxPR = 0;
+  int MaxR = 0;
+  /// Live ranges crossing some CSB — the BIG's node count.
+  int BoundaryNodes = 0;
+  /// Context-switch points (memory ops + ctx) per 1000 instructions — the
+  /// kernel's appetite for latency overlap.
+  int CtxPerMille = 0;
+};
+
+struct PlacementInput {
+  /// One entry per thread to place: an index into Traits.
+  std::vector<int> Pool;
+  std::vector<KernelTraits> Traits;
+  int NumEngines = 0;
+  int ThreadsPerEngine = 4;
+  /// GPR file size of one engine.
+  int EngineRegs = 128;
+};
+
+struct PlacementResult {
+  /// Bins[e] = pool indices assigned to engine e, in slot order.
+  std::vector<std::vector<int>> Bins;
+  std::string Policy;
+  /// Cost of the final assignment under the search objective (comparable
+  /// across policies).
+  int64_t Cost = 0;
+  /// Swaps the local search applied (0 for the other policies).
+  int SwapsApplied = 0;
+};
+
+/// Cost of an assignment under the search objective (exposed for tests).
+int64_t placementCost(const PlacementInput &In,
+                      const std::vector<std::vector<int>> &Bins);
+
+/// Assign In.Pool (size NumEngines * ThreadsPerEngine) to engines.
+PlacementResult placeThreads(const PlacementInput &In, PlacementPolicy P);
+
+} // namespace npral
+
+#endif // NPRAL_GRID_PLACEMENT_H

@@ -318,15 +318,30 @@ bool Simulator::step(int T, int64_t &Clock, std::string &Error) {
       Stats[static_cast<size_t>(T)].Halted = true;
       return true;
 
-    case Opcode::LoopEnd:
+    case Opcode::LoopEnd: {
       ++TSt.Iterations;
-      if (Config.TargetIterations > 0 &&
-          TSt.Iterations == Config.TargetIterations) {
+      if (Port)
+        Port->onIterationComplete(T, Clock);
+      const bool AtTarget = Config.TargetIterations > 0 &&
+                            TSt.Iterations == Config.TargetIterations;
+      if (AtTarget) {
         TSt.CyclesAtTarget = Clock;
         if (Config.HaltAtTarget) {
           TS.Halted = true;
           TSt.Halted = true;
+          return true;
         }
+      }
+      // With a grid port attached, the next iteration consumes one work
+      // token; a thread with no token yields and blocks on the
+      // interconnect (InterconnectStall bucket) until grantWork().
+      if (Port && !Port->tryAcquireWork(T, Clock)) {
+        TS.GridBlocked = true;
+        TS.ReadyAt = Clock;
+        ++TSt.CtxEvents;
+        return true;
+      }
+      if (AtTarget) {
         // Yield (at no cost) so the scheduler can notice that every thread
         // has reached its target even when this thread never touches
         // memory.
@@ -334,6 +349,7 @@ bool Simulator::step(int T, int64_t &Clock, std::string &Error) {
         return true;
       }
       continue;
+    }
 
     case Opcode::Nop:
       ++Clock;
@@ -344,77 +360,129 @@ bool Simulator::step(int T, int64_t &Clock, std::string &Error) {
   }
 }
 
-SimResult Simulator::run() {
-  NPRAL_TRACE_SPAN_ARGS("sim", "Simulator::run", {"program", MTP.Name},
-                        {"threads", std::to_string(MTP.getNumThreads())});
-  SimResult Result;
+// Attribute the interval [C0, C1) to one cycle bucket of every thread:
+// the running thread gets Run (or SwitchPenalty), each other thread is
+// classified by its state at C0 — halted, grid-blocked, channel-blocked,
+// memory-blocked up to its ReadyAt (the remainder of the interval counts as
+// ready-wait), or simply waiting for the CPU. Every RunClock advance in
+// advanceUntil() and in step() flows through here exactly once, so per
+// thread the buckets sum to TotalCycles.
+void Simulator::account(int Running, int64_t C0, int64_t C1, bool Penalty) {
+  if (C1 <= C0)
+    return;
+  const int64_t Span = C1 - C0;
   const int Nthd = MTP.getNumThreads();
-  int64_t Clock = 0;
-  int LastThread = -1;
-
-  // Attribute the interval [C0, C1) to one cycle bucket of every thread:
-  // the running thread gets Run (or SwitchPenalty), each other thread is
-  // classified by its state at C0 — halted, channel-blocked, memory-blocked
-  // up to its ReadyAt (the remainder of the interval counts as ready-wait),
-  // or simply waiting for the CPU. Every Clock advance in this function and
-  // in step() flows through here exactly once, so per thread the buckets
-  // sum to TotalCycles.
-  auto account = [&](int Running, int64_t C0, int64_t C1, bool Penalty) {
-    if (C1 <= C0)
-      return;
-    const int64_t Span = C1 - C0;
-    for (int T = 0; T < Nthd; ++T) {
-      ThreadStats &S = Stats[static_cast<size_t>(T)];
-      const ThreadState &TS = Threads[static_cast<size_t>(T)];
-      if (T == Running) {
-        (Penalty ? S.SwitchPenaltyCycles : S.RunCycles) += Span;
-        continue;
-      }
-      if (TS.Halted) {
-        S.HaltedCycles += Span;
-        continue;
-      }
-      if (TS.WaitingChannel >= 0) {
-        S.ChannelWaitCycles += Span;
-        continue;
-      }
-      const int64_t Mem = std::min(C1, std::max(TS.ReadyAt, C0)) - C0;
-      S.MemStallCycles += Mem;
-      S.ReadyWaitCycles += Span - Mem;
+  for (int T = 0; T < Nthd; ++T) {
+    ThreadStats &S = Stats[static_cast<size_t>(T)];
+    const ThreadState &TS = Threads[static_cast<size_t>(T)];
+    if (T == Running) {
+      (Penalty ? S.SwitchPenaltyCycles : S.RunCycles) += Span;
+      continue;
     }
-  };
-
-  auto allDone = [&]() {
-    for (int T = 0; T < Nthd; ++T) {
-      const ThreadStats &TSt = Stats[static_cast<size_t>(T)];
-      bool Done = TSt.Halted ||
-                  (Config.TargetIterations > 0 && TSt.CyclesAtTarget >= 0);
-      if (!Done)
-        return false;
+    if (TS.Halted) {
+      S.HaltedCycles += Span;
+      continue;
     }
-    return true;
-  };
+    if (TS.GridBlocked) {
+      S.InterconnectStallCycles += Span;
+      continue;
+    }
+    if (TS.WaitingChannel >= 0) {
+      S.ChannelWaitCycles += Span;
+      continue;
+    }
+    const int64_t Mem = std::min(C1, std::max(TS.ReadyAt, C0)) - C0;
+    S.MemStallCycles += Mem;
+    S.ReadyWaitCycles += Span - Mem;
+  }
+}
 
+bool Simulator::allDone() const {
+  for (const ThreadStats &TSt : Stats) {
+    bool Done = TSt.Halted ||
+                (Config.TargetIterations > 0 && TSt.CyclesAtTarget >= 0);
+    if (!Done)
+      return false;
+  }
+  return true;
+}
+
+void Simulator::failRun(const std::string &Reason) {
+  RunResult.FailReason = Reason;
+  RunResult.TotalCycles = RunClock;
+  RunResult.Threads = Stats;
+  Ended = true;
+}
+
+void Simulator::completeRun() {
+  RunResult.Completed = true;
+  RunResult.TotalCycles = RunClock;
+  RunResult.Threads = Stats;
+  Ended = true;
+  for (int T = 0; T < MTP.getNumThreads(); ++T) {
+    assert(Stats[static_cast<size_t>(T)].accountedCycles() == RunClock &&
+           "cycle breakdown does not sum to total cycles");
+    const std::string Prefix = "sim.thread" + std::to_string(T) + ".";
+    MetricsRegistry &MR = MetricsRegistry::global();
+    const ThreadStats &S = Stats[static_cast<size_t>(T)];
+    MR.counter(Prefix + "run_cycles").add(S.RunCycles);
+    MR.counter(Prefix + "switch_penalty_cycles").add(S.SwitchPenaltyCycles);
+    MR.counter(Prefix + "mem_stall_cycles").add(S.MemStallCycles);
+    MR.counter(Prefix + "channel_wait_cycles").add(S.ChannelWaitCycles);
+    if (S.InterconnectStallCycles > 0)
+      MR.counter(Prefix + "interconnect_stall_cycles")
+          .add(S.InterconnectStallCycles);
+    MR.counter(Prefix + "ready_wait_cycles").add(S.ReadyWaitCycles);
+    MR.counter(Prefix + "halted_cycles").add(S.HaltedCycles);
+    MR.counter(Prefix + "ctx_events").add(S.CtxEvents);
+  }
+}
+
+void Simulator::beginRun() {
+  RunResult = SimResult();
+  RunClock = 0;
+  RunLastThread = -1;
+  Active = true;
+  Ended = false;
+}
+
+void Simulator::grantWork(int T, int64_t Cycle) {
+  ThreadState &TS = Threads[static_cast<size_t>(T)];
+  assert(TS.GridBlocked && "grantWork on a thread not blocked on the grid");
+  TS.GridBlocked = false;
+  TS.ReadyAt = Cycle;
+}
+
+bool Simulator::advanceUntil(int64_t StopAt) {
+  assert(Active && "advanceUntil without beginRun");
+  if (Ended)
+    return false;
+  const int Nthd = MTP.getNumThreads();
   std::string Error;
   while (!allDone()) {
-    if (Clock >= Config.MaxCycles) {
-      Result.FailReason = "cycle budget exhausted";
-      Result.TotalCycles = Clock;
-      Result.Threads = Stats;
-      return Result;
+    if (RunClock >= StopAt)
+      return true;
+    if (RunClock >= Config.MaxCycles) {
+      failRun("cycle budget exhausted");
+      return false;
     }
     // Round-robin pick of the next ready thread.
     int Chosen = -1;
     int64_t EarliestReady = -1;
+    bool AnyGridBlocked = false;
     for (int Off = 1; Off <= Nthd; ++Off) {
-      int T = (LastThread + Off) % Nthd;
+      int T = (RunLastThread + Off) % Nthd;
       const ThreadState &TS = Threads[static_cast<size_t>(T)];
       if (TS.Halted)
         continue;
+      if (TS.GridBlocked) {
+        AnyGridBlocked = true;
+        continue; // wakes only via grantWork between slices
+      }
       if (TS.WaitingChannel >= 0 &&
           Channels[static_cast<size_t>(TS.WaitingChannel)] == 0)
         continue; // blocked on an empty channel
-      if (TS.ReadyAt <= Clock) {
+      if (TS.ReadyAt <= RunClock) {
         Chosen = T;
         break;
       }
@@ -422,19 +490,30 @@ SimResult Simulator::run() {
         EarliestReady = TS.ReadyAt;
     }
     if (Chosen < 0) {
-      if (EarliestReady < 0) {
+      if (EarliestReady < 0 && !AnyGridBlocked) {
         // Every live thread is blocked on an empty channel (or the run
         // state is corrupt): with no memory op pending nothing can wake
         // anyone again.
-        Result.FailReason = "deadlock: all runnable threads are waiting on "
-                            "empty channels";
-        Result.TotalCycles = Clock;
-        Result.Threads = Stats;
-        return Result;
+        failRun("deadlock: all runnable threads are waiting on "
+                "empty channels");
+        return false;
       }
-      Result.IdleCycles += EarliestReady - Clock;
-      account(-1, Clock, EarliestReady, false);
-      Clock = EarliestReady; // CPU idles until a memory op completes.
+      // CPU idles until a memory op completes or, when only grid-blocked
+      // threads remain, until control returns to the grid (which may then
+      // deliver a token). Clamp to the slice boundary so interconnect
+      // deliveries are observed; with StopAt = forever this is the
+      // pre-grid jump to EarliestReady.
+      int64_t Until = EarliestReady >= 0 ? std::min(EarliestReady, StopAt)
+                                         : StopAt;
+      Until = std::min(Until, Config.MaxCycles);
+      if (Until <= RunClock) {
+        failRun("deadlock: all runnable threads are blocked on the "
+                "interconnect");
+        return false;
+      }
+      RunResult.IdleCycles += Until - RunClock;
+      account(-1, RunClock, Until, false);
+      RunClock = Until;
       continue;
     }
     {
@@ -444,46 +523,41 @@ SimResult Simulator::run() {
         TS.WaitingChannel = -1;
       }
     }
-    if (LastThread >= 0 && Chosen != LastThread) {
-      const int64_t PenaltyStart = Clock;
-      Clock += Config.CtxSwitchPenalty;
-      account(Chosen, PenaltyStart, Clock, true);
+    if (RunLastThread >= 0 && Chosen != RunLastThread) {
+      const int64_t PenaltyStart = RunClock;
+      RunClock += Config.CtxSwitchPenalty;
+      account(Chosen, PenaltyStart, RunClock, true);
     }
-    if (Chosen != LastThread) {
+    if (Chosen != RunLastThread) {
       if (Config.RecordCtxTrace)
-        Result.CtxTrace.push_back({Clock, Chosen});
+        RunResult.CtxTrace.push_back({RunClock, Chosen});
       NPRAL_TRACE_INSTANT("sim", "ctx-switch",
                           {{"thread", std::to_string(Chosen)},
-                           {"cycle", std::to_string(Clock)}});
+                           {"cycle", std::to_string(RunClock)}});
     }
-    LastThread = Chosen;
-    const int64_t StepStart = Clock;
-    const bool StepOk = step(Chosen, Clock, Error);
-    account(Chosen, StepStart, Clock, false);
+    RunLastThread = Chosen;
+    const int64_t StepStart = RunClock;
+    const bool StepOk = step(Chosen, RunClock, Error);
+    account(Chosen, StepStart, RunClock, false);
     if (!StepOk) {
-      Result.FailReason = Error;
-      Result.TotalCycles = Clock;
-      Result.Threads = Stats;
-      return Result;
+      failRun(Error);
+      return false;
     }
   }
+  completeRun();
+  return false;
+}
 
-  Result.Completed = true;
-  Result.TotalCycles = Clock;
-  Result.Threads = Stats;
-  for (int T = 0; T < Nthd; ++T) {
-    assert(Stats[static_cast<size_t>(T)].accountedCycles() == Clock &&
-           "cycle breakdown does not sum to total cycles");
-    const std::string Prefix = "sim.thread" + std::to_string(T) + ".";
-    MetricsRegistry &MR = MetricsRegistry::global();
-    const ThreadStats &S = Stats[static_cast<size_t>(T)];
-    MR.counter(Prefix + "run_cycles").add(S.RunCycles);
-    MR.counter(Prefix + "switch_penalty_cycles").add(S.SwitchPenaltyCycles);
-    MR.counter(Prefix + "mem_stall_cycles").add(S.MemStallCycles);
-    MR.counter(Prefix + "channel_wait_cycles").add(S.ChannelWaitCycles);
-    MR.counter(Prefix + "ready_wait_cycles").add(S.ReadyWaitCycles);
-    MR.counter(Prefix + "halted_cycles").add(S.HaltedCycles);
-    MR.counter(Prefix + "ctx_events").add(S.CtxEvents);
-  }
-  return Result;
+SimResult Simulator::takeResult() {
+  assert(Ended && "takeResult before the run ended");
+  Active = false;
+  return std::move(RunResult);
+}
+
+SimResult Simulator::run() {
+  NPRAL_TRACE_SPAN_ARGS("sim", "Simulator::run", {"program", MTP.Name},
+                        {"threads", std::to_string(MTP.getNumThreads())});
+  beginRun();
+  advanceUntil(std::numeric_limits<int64_t>::max());
+  return takeResult();
 }

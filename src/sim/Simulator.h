@@ -29,6 +29,7 @@
 #include "ir/Program.h"
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,26 @@ public:
   virtual void onCtxSwitchPoint(int Thread, int Block, int Index) = 0;
 };
 
+/// Work-source interface for multi-engine grids (src/grid). When a port is
+/// attached, every main-loop iteration consumes one work token: at each
+/// `loopend` the simulator reports the completed iteration and asks for the
+/// next token. A thread with no token available blocks — those cycles land
+/// in the ThreadStats::InterconnectStallCycles bucket — until the port
+/// owner wakes it with Simulator::grantWork(). Without a port (the default,
+/// and any single-engine run) none of this is consulted and behaviour is
+/// bit-identical to the pre-grid simulator.
+class GridPort {
+public:
+  virtual ~GridPort() = default;
+  /// Thread \p Thread finished a main-loop iteration at \p Cycle (its
+  /// `loopend` retired). Typically sends a completion message upstream.
+  virtual void onIterationComplete(int Thread, int64_t Cycle) = 0;
+  /// Consume a work token for thread \p Thread's next iteration. Returning
+  /// false blocks the thread on the interconnect; the owner must later call
+  /// Simulator::grantWork(Thread, cycle) when a token arrives.
+  virtual bool tryAcquireWork(int Thread, int64_t Cycle) = 0;
+};
+
 /// One recorded context switch: at \p Cycle the CPU started running
 /// \p Thread (after any switch penalty was charged).
 struct CtxSwitchEvent {
@@ -100,7 +121,7 @@ struct ThreadStats {
   bool Halted = false;
 
   /// Cycle breakdown: every simulated cycle lands in exactly one bucket per
-  /// thread, so for a completed run the six buckets sum to
+  /// thread, so for a completed run the seven buckets sum to
   /// SimResult::TotalCycles (asserted by the simulator). A cycle interval
   /// is classified by the thread's state at its start:
   ///  * RunCycles          — this thread was executing on the CPU;
@@ -109,6 +130,10 @@ struct ThreadStats {
   ///  * MemStallCycles     — blocked waiting for a memory operation
   ///                         (latency not yet elapsed);
   ///  * ChannelWaitCycles  — blocked on a `wait` for a signal channel;
+  ///  * InterconnectStallCycles — blocked at a `loopend` waiting for a work
+  ///                         token from the engine grid's interconnect
+  ///                         (always 0 without an attached GridPort, in
+  ///                         particular for every single-engine run);
   ///  * ReadyWaitCycles    — runnable, but another thread held the CPU
   ///                         (the paper's switch-wait component);
   ///  * HaltedCycles       — already halted while others kept running.
@@ -116,14 +141,16 @@ struct ThreadStats {
   int64_t SwitchPenaltyCycles = 0;
   int64_t MemStallCycles = 0;
   int64_t ChannelWaitCycles = 0;
+  int64_t InterconnectStallCycles = 0;
   int64_t ReadyWaitCycles = 0;
   int64_t HaltedCycles = 0;
 
-  /// Sum of the six cycle buckets; equals the run's TotalCycles once the
+  /// Sum of the seven cycle buckets; equals the run's TotalCycles once the
   /// run completed.
   int64_t accountedCycles() const {
     return RunCycles + SwitchPenaltyCycles + MemStallCycles +
-           ChannelWaitCycles + ReadyWaitCycles + HaltedCycles;
+           ChannelWaitCycles + InterconnectStallCycles + ReadyWaitCycles +
+           HaltedCycles;
   }
 
   /// Average cycles per main-loop iteration up to the target.
@@ -169,7 +196,39 @@ public:
   /// must outlive every subsequent run().
   void setObserver(SimObserver *O) { Observer = O; }
 
+  /// Attach \p P as the work source consulted at every `loopend` (null
+  /// detaches; the default). The port must outlive every subsequent run.
+  void setGridPort(GridPort *P) { Port = P; }
+
   SimResult run();
+
+  //===--- Incremental interface (engine grids) ---------------------------===//
+  //
+  // run() is exactly beginRun() + advanceUntil(forever) + takeResult(); the
+  // split exists so src/grid can step many engines in lockstep time slices
+  // and deliver interconnect messages between slices.
+
+  /// Reset per-run state (clock, result accumulators) and arm the run.
+  void beginRun();
+  /// Advance the run until every thread is done, a simulation error occurs,
+  /// or the clock reaches \p StopAt. Returns true while the run is still in
+  /// progress (clock hit StopAt), false once it ended either way.
+  bool advanceUntil(int64_t StopAt);
+  /// Wake thread \p T, blocked on the grid port, with a work token that
+  /// arrived at \p Cycle. Only legal between advanceUntil() calls.
+  void grantWork(int T, int64_t Cycle);
+  /// True once the run ended (completed or failed).
+  bool runEnded() const { return Ended; }
+  /// True once thread \p T halted (grids bounce work for halted threads
+  /// back to the ingress as credits).
+  bool threadHalted(int T) const {
+    return Threads[static_cast<size_t>(T)].Halted;
+  }
+  /// Current simulation clock of an in-progress run.
+  int64_t currentCycle() const { return RunClock; }
+  /// Finalise and return the run's result. Call after advanceUntil()
+  /// returned false.
+  SimResult takeResult();
 
   uint32_t readMemoryWord(uint32_t Address) const;
   /// FNV-1a hash of [Base, Base+Len) — used for output equivalence checks.
@@ -184,6 +243,8 @@ private:
     int64_t ReadyAt = 0;
     /// Channel this thread is blocked on (-1 when not waiting).
     int WaitingChannel = -1;
+    /// Blocked at a `loopend` until the grid port delivers a work token.
+    bool GridBlocked = false;
     bool Halted = false;
     /// Entry-block dispatch already reported to the observer.
     bool EntryReported = false;
@@ -205,10 +266,28 @@ private:
   std::vector<int64_t> Channels;
   bool UseSharedFile = false;
   SimObserver *Observer = nullptr;
+  GridPort *Port = nullptr;
+
+  //===--- Per-run state (between beginRun and takeResult) ----------------===//
+  SimResult RunResult;
+  int64_t RunClock = 0;
+  int RunLastThread = -1;
+  bool Active = false;
+  bool Ended = false;
 
   /// Run thread \p T from \p Clock until it yields/halts; returns false on
   /// a simulation error (\p Error set).
   bool step(int T, int64_t &Clock, std::string &Error);
+
+  /// Attribute the cycle interval [C0, C1) to one breakdown bucket of every
+  /// thread (\p Running holds the CPU; -1 = idle interval).
+  void account(int Running, int64_t C0, int64_t C1, bool Penalty);
+  bool allDone() const;
+  /// Terminate the run with \p Reason (Completed stays false).
+  void failRun(const std::string &Reason);
+  /// Terminate the run successfully: asserts the breakdown invariant and
+  /// publishes the sim.thread<T>.* metrics.
+  void completeRun();
 };
 
 } // namespace npral

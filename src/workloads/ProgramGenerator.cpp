@@ -13,15 +13,56 @@ using namespace npral;
 
 namespace {
 
+/// Per-kind parameter derivation. Everything here is computed without
+/// consuming randomness, and the Generic row reproduces the pre-Kind
+/// constants exactly — that is what keeps default seed streams stable.
+struct KindProfile {
+  int CtxRatePerMille;
+  int ExtraLongLived;
+  int IfWeight;   ///< dice band width for emitIf (Generic: 60)
+  int LoopWeight; ///< dice band width for emitLoop (Generic: 50)
+  const Opcode *Binary;    ///< 6-entry three-address opcode table
+  const Opcode *BinaryImm; ///< 5-entry immediate opcode table
+};
+
+const Opcode GenericBinary[] = {Opcode::Add, Opcode::Sub, Opcode::And,
+                                Opcode::Or,  Opcode::Xor, Opcode::Mul};
+const Opcode GenericBinaryImm[] = {Opcode::AddI, Opcode::XorI, Opcode::AndI,
+                                   Opcode::ShlI, Opcode::ShrI};
+// CRC/checksum folding: xor-and-shift dominated, no multiplies.
+const Opcode ChecksumBinary[] = {Opcode::Xor, Opcode::Add, Opcode::Xor,
+                                 Opcode::Shr, Opcode::Xor, Opcode::Add};
+const Opcode ChecksumBinaryImm[] = {Opcode::XorI, Opcode::ShrI, Opcode::ShlI,
+                                    Opcode::XorI, Opcode::AddI};
+
+KindProfile deriveKindProfile(const GeneratorConfig &Config) {
+  const int Rate = Config.CtxRatePerMille;
+  switch (Config.Kind) {
+  case ProgramKind::Generic:
+    return {Rate, 0, 60, 50, GenericBinary, GenericBinaryImm};
+  case ProgramKind::Checksum:
+    return {Rate, 0, 60, 50, ChecksumBinary, ChecksumBinaryImm};
+  case ProgramKind::Crypto:
+    return {Rate / 2, 8, 60, 50, GenericBinary, GenericBinaryImm};
+  case ProgramKind::Forward:
+    return {std::min(400, Rate * 5 / 2), 0, 60, 50, GenericBinary,
+            GenericBinaryImm};
+  case ProgramKind::Sched:
+    return {Rate, 0, 160, 90, GenericBinary, GenericBinaryImm};
+  }
+  return {Rate, 0, 60, 50, GenericBinary, GenericBinaryImm};
+}
+
 class GeneratorImpl {
 public:
   GeneratorImpl(uint64_t Seed, const GeneratorConfig &Config)
-      : Config(Config), R(Seed), B(P) {}
+      : Config(Config), Kind(deriveKindProfile(Config)), R(Seed), B(P) {}
 
   Program generate();
 
 private:
   const GeneratorConfig &Config;
+  KindProfile Kind;
   Rng R;
   Program P;
   IRBuilder B;
@@ -36,11 +77,8 @@ private:
 
   void emitAlu() {
     Reg Def = pick();
-    static const Opcode Binary[] = {Opcode::Add, Opcode::Sub, Opcode::And,
-                                    Opcode::Or,  Opcode::Xor, Opcode::Mul};
-    static const Opcode BinaryImm[] = {Opcode::AddI, Opcode::XorI,
-                                       Opcode::AndI, Opcode::ShlI,
-                                       Opcode::ShrI};
+    const Opcode *Binary = Kind.Binary;
+    const Opcode *BinaryImm = Kind.BinaryImm;
     switch (R.nextBelow(4)) {
     case 0:
       B.imm(Def, static_cast<int64_t>(R.nextBelow(1 << 16)));
@@ -113,20 +151,21 @@ private:
   }
 
   void emitSequence(int Depth, int Items) {
+    const uint64_t CtxBand = static_cast<uint64_t>(Kind.CtxRatePerMille);
+    const uint64_t IfBand = CtxBand + static_cast<uint64_t>(Kind.IfWeight);
+    const uint64_t LoopBand = IfBand + static_cast<uint64_t>(Kind.LoopWeight);
     for (int I = 0; I < Items && Budget > 0; ++I) {
       --Budget;
       uint64_t Dice = R.nextBelow(1000);
-      if (Dice < static_cast<uint64_t>(Config.CtxRatePerMille)) {
+      if (Dice < CtxBand) {
         emitMemOrCtx();
         continue;
       }
-      if (Dice < static_cast<uint64_t>(Config.CtxRatePerMille) + 60 &&
-          Depth < Config.MaxDepth) {
+      if (Dice < IfBand && Depth < Config.MaxDepth) {
         emitIf(Depth);
         continue;
       }
-      if (Dice < static_cast<uint64_t>(Config.CtxRatePerMille) + 110 &&
-          Depth < Config.MaxDepth && loopAllowed()) {
+      if (Dice < LoopBand && Depth < Config.MaxDepth && loopAllowed()) {
         emitLoop(Depth);
         continue;
       }
@@ -143,7 +182,8 @@ Program GeneratorImpl::generate() {
   OutPtr = B.reg("outp");
   B.imm(InPtr, Config.MemBase);
   B.imm(OutPtr, Config.OutBase);
-  const int PoolSize = std::max(Config.NumLongLived, Config.PressureTarget);
+  const int PoolSize = std::max(Config.NumLongLived + Kind.ExtraLongLived,
+                                Config.PressureTarget);
   for (int I = 0; I < PoolSize; ++I) {
     Reg V = B.reg("v" + std::to_string(I));
     B.imm(V, static_cast<int64_t>(R.nextBelow(1 << 20)));

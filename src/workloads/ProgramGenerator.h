@@ -19,7 +19,23 @@
 
 namespace npral {
 
+/// Workload flavour of a generated program, for emulating heterogeneous
+/// per-engine thread mixes (grid placement experiments). Generic draws the
+/// exact same random stream as before the knob existed, so default-config
+/// seed corpora (differential tests, allocation goldens) are unchanged.
+/// The other kinds skew the generator toward a kernel family's
+/// register-allocation signature:
+///  * Checksum — ALU mix dominated by xor/shift/add (CRC-style folding);
+///  * Crypto   — compute-bound: halved ctx rate, widened long-lived pool
+///               (round state kept in registers);
+///  * Forward  — memory-bound: ctx rate multiplied (header loads, table
+///               lookups, packet writes dominate);
+///  * Sched    — branch-heavy: more ifs and loops per instruction.
+enum class ProgramKind { Generic, Checksum, Crypto, Forward, Sched };
+
 struct GeneratorConfig {
+  /// Workload flavour; Generic leaves every seed stream untouched.
+  ProgramKind Kind = ProgramKind::Generic;
   /// Rough number of instructions to emit.
   int TargetInstructions = 80;
   /// Number of long-lived registers created up front.

@@ -1,0 +1,202 @@
+//===- PlacementTest.cpp - Thread-to-engine placement ---------------------===//
+//
+// Placement invariants: every policy produces a permutation of the pool
+// with exactly ThreadsPerEngine threads per bin; the bounds policy never
+// over-commits an engine's register file when the pool is feasible; search
+// never does worse than its bounds seed under the shared cost; and on the
+// paper's Table-3 mixes the bounds-driven policies beat naive round-robin
+// dealing on aggregate throughput.
+//
+//===----------------------------------------------------------------------===//
+
+#include "grid/GridHarness.h"
+#include "grid/Placement.h"
+
+#include "support/Random.h"
+#include "workloads/Harness.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+using namespace npral;
+
+namespace {
+
+/// Every bin has exactly ThreadsPerEngine entries and the bins partition
+/// the pool's index set.
+void expectValidAssignment(const PlacementInput &In,
+                           const PlacementResult &R) {
+  ASSERT_EQ(R.Bins.size(), static_cast<size_t>(In.NumEngines));
+  std::vector<int> Seen;
+  for (const std::vector<int> &Bin : R.Bins) {
+    EXPECT_EQ(Bin.size(), static_cast<size_t>(In.ThreadsPerEngine));
+    Seen.insert(Seen.end(), Bin.begin(), Bin.end());
+  }
+  std::sort(Seen.begin(), Seen.end());
+  ASSERT_EQ(Seen.size(), In.Pool.size());
+  for (size_t I = 0; I < Seen.size(); ++I)
+    EXPECT_EQ(Seen[I], static_cast<int>(I));
+}
+
+int binMinPRSum(const PlacementInput &In, const std::vector<int> &Bin) {
+  int Sum = 0;
+  for (int Idx : Bin)
+    Sum += In.Traits[static_cast<size_t>(In.Pool[static_cast<size_t>(Idx)])]
+               .MinPR;
+  return Sum;
+}
+
+/// A random feasible pool: MinPR <= EngineRegs / ThreadsPerEngine, so any
+/// bin of any assignment fits and "never over-commit" is testable.
+PlacementInput randomFeasibleInput(uint64_t Seed, int NumEngines) {
+  Rng R(Seed);
+  PlacementInput In;
+  In.NumEngines = NumEngines;
+  In.ThreadsPerEngine = 4;
+  In.EngineRegs = 128;
+  const int Kinds = 3 + static_cast<int>(R.nextBelow(5));
+  for (int K = 0; K < Kinds; ++K) {
+    KernelTraits T;
+    T.Name = "k" + std::to_string(K);
+    T.MinPR = 4 + static_cast<int>(R.nextBelow(28)); // <= 32 = 128/4
+    T.MaxPR = T.MinPR + static_cast<int>(R.nextBelow(16));
+    T.MaxR = T.MaxPR + static_cast<int>(R.nextBelow(8));
+    T.CtxPerMille = static_cast<int>(R.nextBelow(400));
+    In.Traits.push_back(T);
+  }
+  for (int I = 0; I < NumEngines * 4; ++I)
+    In.Pool.push_back(static_cast<int>(R.nextBelow(
+        static_cast<uint64_t>(Kinds))));
+  return In;
+}
+
+} // namespace
+
+TEST(PlacementTest, PolicyNamesRoundTrip) {
+  for (PlacementPolicy P : {PlacementPolicy::RoundRobin,
+                            PlacementPolicy::Bounds,
+                            PlacementPolicy::Search}) {
+    PlacementPolicy Out;
+    ASSERT_TRUE(parsePlacementPolicy(placementPolicyName(P), Out));
+    EXPECT_EQ(Out, P);
+  }
+  PlacementPolicy Out;
+  EXPECT_FALSE(parsePlacementPolicy("optimal", Out));
+  EXPECT_FALSE(parsePlacementPolicy("", Out));
+}
+
+TEST(PlacementTest, RoundRobinDealsByIndex) {
+  PlacementInput In = randomFeasibleInput(1, 4);
+  PlacementResult R = placeThreads(In, PlacementPolicy::RoundRobin);
+  expectValidAssignment(In, R);
+  for (int E = 0; E < In.NumEngines; ++E)
+    for (int S = 0; S < In.ThreadsPerEngine; ++S)
+      EXPECT_EQ(R.Bins[static_cast<size_t>(E)][static_cast<size_t>(S)],
+                E + S * In.NumEngines);
+}
+
+TEST(PlacementTest, BoundsNeverOverCommitsAFeasiblePool) {
+  // Property over random feasible pools and engine counts: no bin's MinPR
+  // sum may exceed the engine's register file.
+  for (uint64_t Seed = 1; Seed <= 50; ++Seed) {
+    const int NumEngines = 2 + static_cast<int>(Seed % 7);
+    PlacementInput In = randomFeasibleInput(Seed, NumEngines);
+    for (PlacementPolicy P :
+         {PlacementPolicy::Bounds, PlacementPolicy::Search}) {
+      PlacementResult R = placeThreads(In, P);
+      expectValidAssignment(In, R);
+      for (const std::vector<int> &Bin : R.Bins)
+        EXPECT_LE(binMinPRSum(In, Bin), In.EngineRegs)
+            << "seed " << Seed << " policy " << placementPolicyName(P);
+    }
+  }
+}
+
+TEST(PlacementTest, SearchNeverWorseThanItsBoundsSeed) {
+  for (uint64_t Seed = 1; Seed <= 25; ++Seed) {
+    PlacementInput In = randomFeasibleInput(Seed, 4);
+    PlacementResult Bounds = placeThreads(In, PlacementPolicy::Bounds);
+    PlacementResult Search = placeThreads(In, PlacementPolicy::Search);
+    EXPECT_LE(Search.Cost, Bounds.Cost) << "seed " << Seed;
+    EXPECT_EQ(Search.Cost, placementCost(In, Search.Bins));
+  }
+}
+
+TEST(PlacementTest, OverflowDominatesTheCost) {
+  // Two kernel kinds, one heavy: the segregated assignment overflows one
+  // engine and must cost at least the overflow penalty; the interleaved
+  // assignment fits and must be cheaper.
+  PlacementInput In;
+  In.NumEngines = 2;
+  In.ThreadsPerEngine = 4;
+  In.EngineRegs = 128;
+  KernelTraits Heavy;
+  Heavy.Name = "heavy";
+  Heavy.MinPR = 40;
+  Heavy.CtxPerMille = 100;
+  KernelTraits Light;
+  Light.Name = "light";
+  Light.MinPR = 10;
+  Light.CtxPerMille = 300;
+  In.Traits = {Heavy, Light};
+  In.Pool = {0, 0, 0, 0, 1, 1, 1, 1};
+
+  std::vector<std::vector<int>> Segregated = {{0, 1, 2, 3}, {4, 5, 6, 7}};
+  std::vector<std::vector<int>> Interleaved = {{0, 4, 1, 5}, {2, 6, 3, 7}};
+  EXPECT_GE(placementCost(In, Segregated), 1'000'000'000);
+  EXPECT_LT(placementCost(In, Interleaved), 1'000'000'000);
+  EXPECT_LT(placementCost(In, Interleaved), placementCost(In, Segregated));
+
+  // And the bounds policy actually lands on a non-overflowing assignment.
+  PlacementResult R = placeThreads(In, PlacementPolicy::Bounds);
+  for (const std::vector<int> &Bin : R.Bins)
+    EXPECT_LE(binMinPRSum(In, Bin), In.EngineRegs);
+}
+
+TEST(PlacementTest, RealKernelTraitsAreFeasiblePerEngine) {
+  // The workload kernels' MinPR bounds must allow four-per-engine packing
+  // into the 128-register file — the premise of the grid experiments.
+  std::vector<std::string> Pool;
+  ASSERT_TRUE(buildGridPool("mixed", 3, Pool));
+  int MaxMinPR = 0;
+  for (const std::string &Kernel :
+       std::vector<std::string>(Pool.begin(), Pool.begin() + 12)) {
+    KernelTraits T = computeKernelTraits(Kernel);
+    EXPECT_GT(T.MinPR, 0) << Kernel;
+    EXPECT_LE(T.MinPR, T.MaxPR) << Kernel;
+    EXPECT_LE(T.MaxPR, T.MaxR) << Kernel;
+    MaxMinPR = std::max(MaxMinPR, T.MinPR);
+  }
+  EXPECT_LE(4 * MaxMinPR, 128);
+}
+
+TEST(PlacementTest, BoundsBeatsRoundRobinOnSegregatingMixes) {
+  // Golden from the Table-3 experiments: at N=4 round-robin segregates
+  // S1's {md5, md5, fir2dim, fir2dim} template into homogeneous engines
+  // (the period divides the engine count) and the slowest engine drags the
+  // grid; bounds interleaves and wins on aggregate throughput, and search
+  // never undoes that.
+  GridOptions Opts;
+  Opts.NumEngines = 4;
+  Opts.Sim = defaultExperimentConfig();
+  Opts.Sim.TargetIterations = 10;
+  std::vector<std::string> Pool;
+  ASSERT_TRUE(buildGridPool("s1", 4, Pool));
+
+  Opts.Policy = PlacementPolicy::RoundRobin;
+  GridReport RR = runKernelPoolGrid("s1", Pool, Opts);
+  Opts.Policy = PlacementPolicy::Bounds;
+  GridReport Bounds = runKernelPoolGrid("s1", Pool, Opts);
+  Opts.Policy = PlacementPolicy::Search;
+  GridReport Search = runKernelPoolGrid("s1", Pool, Opts);
+  ASSERT_TRUE(RR.Success) << RR.FailReason;
+  ASSERT_TRUE(Bounds.Success) << Bounds.FailReason;
+  ASSERT_TRUE(Search.Success) << Search.FailReason;
+
+  EXPECT_GT(Bounds.IterationsPerKilocycle, RR.IterationsPerKilocycle);
+  EXPECT_GE(Search.IterationsPerKilocycle, Bounds.IterationsPerKilocycle);
+  EXPECT_LE(Bounds.Placement.Cost, RR.Placement.Cost);
+}

@@ -11,6 +11,7 @@
 #include "alloc/InterAllocator.h"
 #include "analysis/LiveRangeRenaming.h"
 #include "driver/BatchPipeline.h"
+#include "grid/EngineGrid.h"
 #include "sim/Simulator.h"
 #include "workloads/ProgramGenerator.h"
 
@@ -132,6 +133,48 @@ TEST_P(SimDeterminismTest, BatchWorkerCountDoesNotPerturbSimulation) {
     RunSnapshot ParallelRun = runOnce(B.Results[I].Physical);
     expectIdentical(SerialRun, ParallelRun);
   }
+}
+
+namespace {
+
+/// One lockstep grid run over three generated-program engines: per-engine
+/// results plus the interconnect counters, everything a rerun must
+/// reproduce bit for bit.
+GridRunResult runGridOnce(uint64_t Seed) {
+  EngineGrid Grid(/*HopLatency=*/4, /*InitialCredits=*/2);
+  for (int E = 0; E < 3; ++E) {
+    SimConfig Config;
+    Config.RecordCtxTrace = true;
+    Grid.addEngine(makeVirtualMTP(Seed * 3 + static_cast<uint64_t>(E)),
+                   Config);
+  }
+  return Grid.run();
+}
+
+} // namespace
+
+TEST_P(SimDeterminismTest, GridLockstepRunsAreBitIdentical) {
+  // The grid adds message delivery and credit flow on top of the
+  // simulator; none of it may introduce run-to-run variance.
+  GridRunResult A = runGridOnce(GetParam());
+  GridRunResult B = runGridOnce(GetParam());
+  ASSERT_TRUE(A.Completed) << A.FailReason;
+  ASSERT_TRUE(B.Completed) << B.FailReason;
+  EXPECT_EQ(A.MaxEngineCycles, B.MaxEngineCycles);
+  EXPECT_EQ(A.MessagesSent, B.MessagesSent);
+  EXPECT_EQ(A.MessagesDelivered, B.MessagesDelivered);
+  EXPECT_EQ(A.CreditsReturned, B.CreditsReturned);
+  ASSERT_EQ(A.Engines.size(), B.Engines.size());
+  for (size_t E = 0; E < A.Engines.size(); ++E) {
+    RunSnapshot SA{A.Engines[E], 0};
+    RunSnapshot SB{B.Engines[E], 0};
+    expectIdentical(SA, SB);
+    EXPECT_EQ(A.Engines[E].Threads.size(), 3u);
+  }
+  // Generated programs halt after their single iteration, so the reply
+  // dispatches land on halted threads and flow back as credits.
+  EXPECT_GT(A.MessagesSent, 0);
+  EXPECT_GT(A.CreditsReturned, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SimDeterminismTest,

@@ -5,6 +5,7 @@
 #include "workloads/Workload.h"
 
 #include "analysis/InterferenceGraph.h"
+#include "analysis/LiveRangeRenaming.h"
 #include "ir/IRPrinter.h"
 #include "ir/IRVerifier.h"
 
@@ -203,6 +204,111 @@ TEST(GeneratorTest, PressureTargetZeroKeepsSeedStream) {
     Program A = generateRandomProgram(Seed, Plain);
     Program B = generateRandomProgram(Seed, Explicit);
     EXPECT_EQ(programToString(A), programToString(B)) << "seed " << Seed;
+  }
+}
+
+TEST(GeneratorTest, GenericKindKeepsSeedStream) {
+  // Kind is another default-inert knob: an explicit Generic must be
+  // byte-identical to the pre-knob stream.
+  GeneratorConfig Plain;
+  GeneratorConfig Explicit;
+  Explicit.Kind = ProgramKind::Generic;
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    Program A = generateRandomProgram(Seed, Plain);
+    Program B = generateRandomProgram(Seed, Explicit);
+    EXPECT_EQ(programToString(A), programToString(B)) << "seed " << Seed;
+  }
+}
+
+namespace {
+
+double ctxFraction(ProgramKind Kind, uint64_t Seed) {
+  GeneratorConfig Config;
+  Config.Kind = Kind;
+  Config.TargetInstructions = 400;
+  Program P = generateRandomProgram(Seed, Config);
+  EXPECT_TRUE(verifyProgram(P).ok());
+  return static_cast<double>(P.countCtxInstructions()) /
+         static_cast<double>(P.countInstructions());
+}
+
+int countOpcode(const Program &P, Opcode Op) {
+  int N = 0;
+  for (const BasicBlock &B : P.Blocks)
+    for (const Instruction &I : B.Instrs)
+      if (I.Op == Op)
+        ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(GeneratorTest, KindSkewsCtxDistribution) {
+  // Forward emulates memory-bound forwarding kernels (ctx rate up),
+  // Crypto compute-bound rounds (ctx rate down); measured over seeds, the
+  // ordering Forward > Generic > Crypto must hold in aggregate.
+  double FwdSum = 0, GenSum = 0, CrySum = 0;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    FwdSum += ctxFraction(ProgramKind::Forward, Seed);
+    GenSum += ctxFraction(ProgramKind::Generic, Seed);
+    CrySum += ctxFraction(ProgramKind::Crypto, Seed);
+  }
+  EXPECT_GT(FwdSum, GenSum * 1.5);
+  EXPECT_LT(CrySum, GenSum * 0.8);
+}
+
+TEST(GeneratorTest, ChecksumKindFoldsWithXorShift) {
+  // The checksum opcode tables drop Mul entirely and lean on xor/shift.
+  GeneratorConfig Config;
+  Config.Kind = ProgramKind::Checksum;
+  Config.TargetInstructions = 400;
+  int Xors = 0, Muls = 0, GenericXors = 0;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    Program P = generateRandomProgram(Seed, Config);
+    ASSERT_TRUE(verifyProgram(P).ok()) << "seed " << Seed;
+    Xors += countOpcode(P, Opcode::Xor) + countOpcode(P, Opcode::XorI);
+    Muls += countOpcode(P, Opcode::Mul) + countOpcode(P, Opcode::MulI);
+    GeneratorConfig Generic;
+    Generic.TargetInstructions = 400;
+    Program G = generateRandomProgram(Seed, Generic);
+    GenericXors += countOpcode(G, Opcode::Xor) + countOpcode(G, Opcode::XorI);
+  }
+  EXPECT_EQ(Muls, 0);
+  EXPECT_GT(Xors, GenericXors * 2);
+}
+
+TEST(GeneratorTest, SchedKindIsBranchHeavy) {
+  // More if/loop bands per dice roll -> more basic blocks per instruction.
+  double SchedBlocks = 0, GenericBlocks = 0;
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    GeneratorConfig Sched;
+    Sched.Kind = ProgramKind::Sched;
+    Sched.TargetInstructions = 300;
+    Program S = generateRandomProgram(Seed, Sched);
+    ASSERT_TRUE(verifyProgram(S).ok()) << "seed " << Seed;
+    SchedBlocks += static_cast<double>(S.getNumBlocks()) /
+                   static_cast<double>(S.countInstructions());
+    GeneratorConfig Generic;
+    Generic.TargetInstructions = 300;
+    Program G = generateRandomProgram(Seed, Generic);
+    GenericBlocks += static_cast<double>(G.getNumBlocks()) /
+                     static_cast<double>(G.countInstructions());
+  }
+  EXPECT_GT(SchedBlocks, GenericBlocks * 1.3);
+}
+
+TEST(GeneratorTest, CryptoKindWidensThePool) {
+  // The crypto pool carries eight extra long-lived round-state registers,
+  // which shows up directly in sustained pressure.
+  GeneratorConfig Crypto;
+  Crypto.Kind = ProgramKind::Crypto;
+  GeneratorConfig Generic;
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    Program C = generateRandomProgram(Seed, Crypto);
+    Program G = generateRandomProgram(Seed, Generic);
+    ThreadAnalysis CA = analyzeThread(renameLiveRanges(C));
+    ThreadAnalysis GA = analyzeThread(renameLiveRanges(G));
+    EXPECT_GT(CA.getRegPmax(), GA.getRegPmax()) << "seed " << Seed;
   }
 }
 

@@ -58,6 +58,7 @@
 #include "driver/AnalysisCache.h"
 #include "driver/BatchPipeline.h"
 #include "driver/VerifyPipeline.h"
+#include "grid/GridHarness.h"
 #include "harden/FaultInjector.h"
 #include "harden/SpillFallback.h"
 #include "ir/IRPrinter.h"
@@ -133,6 +134,25 @@ int usage() {
          "      symmetric allocation: N copies of the (single) thread\n"
          "        -nthd N    thread count (default 4)\n"
          "        -nreg R    register file size (default 128)\n"
+         "  grid     scenario [--engines N] [--placement P] [-nreg N]\n"
+         "           [-iters K] [-memlat L] [--hoplat H] [--credits C]\n"
+         "           [--json]\n"
+         "      multi-micro-engine run: place the scenario's thread pool\n"
+         "      across N engines, allocate each engine independently, and\n"
+         "      simulate the grid in lockstep over the modeled\n"
+         "      interconnect (docs/grid.md). scenario is s1, s2, s3 (the\n"
+         "      Table-3 mixes, template replicated per engine) or 'mixed'\n"
+         "      (all three templates interleaved)\n"
+         "        --engines N   micro-engines in the grid (default 4)\n"
+         "        --placement P thread placement policy: roundrobin,\n"
+         "                      bounds, or search (default bounds)\n"
+         "        -nreg N       per-engine register file size (default\n"
+         "                      128)\n"
+         "        -iters K      target iterations per thread (default 50)\n"
+         "        -memlat L     memory latency in cycles (default 40)\n"
+         "        --hoplat H    interconnect per-hop latency (default 4)\n"
+         "        --credits C   per-thread work-token window (default 4)\n"
+         "        --json        emit the report as JSON\n"
          "  lint     file.s [--json] [--after-alloc] [--physical]\n"
          "           [--only checks] [-nreg N] [--Werror]\n"
          "      run the static-analysis checkers and report every finding\n"
@@ -683,6 +703,103 @@ int cmdBatch(const std::vector<std::string> &Files, int Jobs, bool UseCache,
   return Batch.allSucceeded() ? 0 : 1;
 }
 
+int cmdGrid(const std::string &ScenarioName, int Engines,
+            const std::string &PolicyName, int Nreg, int Iters, int MemLat,
+            int HopLat, int Credits, bool Json) {
+  GridOptions Opts;
+  if (Engines < 1 || Engines > 16) {
+    std::cerr << "grid: --engines must be in [1, 16]\n";
+    return usage();
+  }
+  Opts.NumEngines = Engines;
+  if (!parsePlacementPolicy(PolicyName, Opts.Policy)) {
+    std::cerr << "grid: unknown placement policy '" << PolicyName << "'\n";
+    return usage();
+  }
+  Opts.Nreg = Nreg;
+  Opts.HopLatency = HopLat;
+  Opts.InitialCredits = Credits;
+  Opts.Sim = defaultExperimentConfig();
+  Opts.Sim.TargetIterations = Iters;
+  Opts.Sim.MemLatency = MemLat;
+
+  std::vector<std::string> Pool;
+  if (!buildGridPool(ScenarioName, Engines, Pool)) {
+    std::cerr << "grid: unknown scenario '" << ScenarioName
+              << "' (want s1, s2, s3 or mixed)\n";
+    return usage();
+  }
+  GridReport Report = runKernelPoolGrid(ScenarioName, Pool, Opts);
+  if (!Report.Success) {
+    std::cerr << "grid run failed: " << Report.FailReason << "\n";
+    return 1;
+  }
+
+  if (Json) {
+    std::ostringstream OS;
+    OS << "{\n  \"name\": \"" << Report.Name << "\",\n"
+       << "  \"engines\": " << Report.NumEngines << ",\n"
+       << "  \"placement\": \"" << Report.Policy << "\",\n"
+       << "  \"placement_cost\": " << Report.Placement.Cost << ",\n"
+       << "  \"placement_swaps\": " << Report.Placement.SwapsApplied << ",\n"
+       << "  \"iterations\": " << Report.TotalIterations << ",\n"
+       << "  \"max_engine_cycles\": " << Report.MaxEngineCycles << ",\n"
+       << "  \"iterations_per_kilocycle\": "
+       << Report.IterationsPerKilocycle << ",\n"
+       << "  \"interconnect_stall_cycles\": "
+       << Report.TotalInterconnectStall << ",\n"
+       << "  \"messages_sent\": " << Report.MessagesSent << ",\n"
+       << "  \"messages_delivered\": " << Report.MessagesDelivered << ",\n"
+       << "  \"credits_returned\": " << Report.CreditsReturned << ",\n"
+       << "  \"per_engine\": [";
+    for (size_t E = 0; E < Report.Engines.size(); ++E) {
+      const GridEngineReport &ER = Report.Engines[E];
+      OS << (E ? ",\n    {" : "\n    {") << "\"kernels\": [";
+      for (size_t K = 0; K < ER.Kernels.size(); ++K)
+        OS << (K ? ", \"" : "\"") << ER.Kernels[K] << "\"";
+      OS << "], \"registers_used\": " << ER.RegistersUsed
+         << ", \"spilled_ranges\": " << ER.SpilledRanges
+         << ", \"cycles\": " << ER.Result.TotalCycles
+         << ", \"iterations\": " << ER.Iterations
+         << ", \"interconnect_stall_cycles\": "
+         << ER.InterconnectStallCycles << "}";
+    }
+    OS << "\n  ]\n}\n";
+    std::cout << OS.str();
+    return 0;
+  }
+
+  std::cout << "grid: " << Report.Name << "  engines=" << Report.NumEngines
+            << "  placement=" << Report.Policy << "  nreg=" << Nreg
+            << "  hoplat=" << HopLat << "  credits=" << Credits << "\n";
+  TableFormatter Table({"Engine", "Kernels", "Regs", "Cycles", "Iters",
+                        "IcStall"});
+  for (size_t E = 0; E < Report.Engines.size(); ++E) {
+    const GridEngineReport &ER = Report.Engines[E];
+    std::string Kernels;
+    for (size_t K = 0; K < ER.Kernels.size(); ++K)
+      Kernels += (K ? "," : "") + ER.Kernels[K];
+    Table.row()
+        .cell(static_cast<int>(E))
+        .cell(Kernels)
+        .cell(ER.RegistersUsed)
+        .cell(ER.Result.TotalCycles)
+        .cell(ER.Iterations)
+        .cell(ER.InterconnectStallCycles);
+  }
+  Table.print(std::cout);
+  std::cout << "aggregate: " << Report.TotalIterations << " iterations, max "
+            << "engine cycles " << Report.MaxEngineCycles << " -> "
+            << Report.IterationsPerKilocycle << " iters/kcycle\n"
+            << "interconnect: " << Report.MessagesSent << " sent, "
+            << Report.MessagesDelivered << " delivered, "
+            << Report.CreditsReturned << " credits returned, "
+            << Report.TotalInterconnectStall << " stall cycles\n"
+            << "placement: cost " << Report.Placement.Cost << ", "
+            << Report.Placement.SwapsApplied << " swaps\n";
+  return 0;
+}
+
 int cmdTraceValidate(const std::string &Path) {
   std::ifstream In(Path);
   if (!In) {
@@ -713,6 +830,42 @@ int dispatch(int argc, char **argv) {
 
   if (Cmd == "trace-validate")
     return cmdTraceValidate(argv[2]);
+
+  if (Cmd == "grid") {
+    std::string ScenarioName = argv[2];
+    std::string Policy = "bounds";
+    int Engines = 4, Nreg = 128, Iters = 50, MemLat = 40, HopLat = 4;
+    int Credits = 4;
+    bool Json = false;
+    for (int I = 3; I < argc; ++I) {
+      std::string Opt = argv[I];
+      if (Opt == "--json") {
+        Json = true;
+        continue;
+      }
+      if (I + 1 >= argc)
+        return usage();
+      std::string Value = argv[++I];
+      if (Opt == "--engines")
+        Engines = std::atoi(Value.c_str());
+      else if (Opt == "--placement")
+        Policy = Value;
+      else if (Opt == "-nreg")
+        Nreg = std::atoi(Value.c_str());
+      else if (Opt == "-iters")
+        Iters = std::atoi(Value.c_str());
+      else if (Opt == "-memlat")
+        MemLat = std::atoi(Value.c_str());
+      else if (Opt == "--hoplat")
+        HopLat = std::atoi(Value.c_str());
+      else if (Opt == "--credits")
+        Credits = std::atoi(Value.c_str());
+      else
+        return usage();
+    }
+    return cmdGrid(ScenarioName, Engines, Policy, Nreg, Iters, MemLat,
+                   HopLat, Credits, Json);
+  }
 
   if (Cmd == "batch") {
     std::vector<std::string> Files;
