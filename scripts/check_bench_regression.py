@@ -14,6 +14,9 @@ Two report schemas are understood, detected from the current report's keys:
   ``BENCH_grid_throughput.json`` with a ``scalars`` map): every numeric
   scalar is compared directly as a higher-is-better value. The grid
   simulator is deterministic, so these gates can run tight tolerances.
+  Scalars named in ``--lower-is-better`` flip direction: they regress when
+  they *grow* past the tolerance (wall clocks, overhead bounds,
+  instrumentation-site counts — ``trace_overhead`` is gated this way).
 
 Usage:
   check_bench_regression.py --baseline bench/baseline_batch_throughput.json \
@@ -116,9 +119,16 @@ def main():
                     help="fresh bench JSON report (GB native or BenchReport)")
     ap.add_argument("--tolerance-pct", type=float, default=15.0,
                     help="max allowed regression in percent (default 15)")
+    ap.add_argument("--lower-is-better", default="",
+                    help="comma-separated scalar names where a smaller "
+                         "value is better; these regress when they grow "
+                         "past the tolerance")
     ap.add_argument("--update", action="store_true",
                     help="rewrite the baseline from the current report")
     args = ap.parse_args()
+    lower_is_better = {name.strip()
+                       for name in args.lower_is_better.split(",")
+                       if name.strip()}
 
     kind, current = load_current(args.current)
     if not current:
@@ -154,7 +164,10 @@ def main():
         cur_val = current[name]
         delta_pct = (cur_val - base_val) / base_val * 100.0
         marker = ""
-        if delta_pct < -args.tolerance_pct:
+        # For a higher-is-better value a drop past the tolerance regresses;
+        # a lower-is-better value regresses when it grows past it.
+        signed = -delta_pct if name in lower_is_better else delta_pct
+        if signed < -args.tolerance_pct:
             failures.append(name)
             marker = "  << REGRESSION"
         print(f"{name:40} {base_val:12.3f} {cur_val:12.3f} "

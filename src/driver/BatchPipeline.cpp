@@ -379,6 +379,12 @@ PipelineStats PipelineStats::fromRegistry(const MetricsRegistry &MR) {
   S.ValidateFailed =
       static_cast<int>(MR.counterValue("batch.validate_failed"));
   S.ValidateNs = MR.counterValue("batch.stage.validate_ns");
+  if (const Histogram *H = MR.findHistogram("batch.job_wall_ns")) {
+    S.JobWallCount = H->count();
+    S.JobWallP50Ns = H->percentile(50);
+    S.JobWallP95Ns = H->percentile(95);
+    S.JobWallP99Ns = H->percentile(99);
+  }
   return S;
 }
 
@@ -434,6 +440,12 @@ void PipelineStats::renderJSON(std::ostream &OS) const {
     OS << "  \"validate\": {\"proved\": " << Validated
        << ", \"refuted\": " << ValidateFailed
        << ", \"ns\": " << ValidateNs << "},\n";
+  // Job-latency percentiles come from the batch.job_wall_ns histogram and
+  // only exist for real runs; synthetic stats keep their golden output.
+  if (JobWallCount > 0)
+    OS << "  \"job_wall_ns\": {\"count\": " << JobWallCount
+       << ", \"p50\": " << JobWallP50Ns << ", \"p95\": " << JobWallP95Ns
+       << ", \"p99\": " << JobWallP99Ns << "},\n";
   OS << "  \"wall_ns\": " << WallNs << ",\n";
   OS << formatString("  \"throughput_programs_per_sec\": %.2f\n",
                      throughput());

@@ -182,6 +182,14 @@ struct PipelineStats {
   int Validated = 0;       ///< Jobs whose output the validator proved.
   int ValidateFailed = 0;  ///< Jobs the validator refuted.
   int64_t ValidateNs = 0;  ///< Wall clock of the validate stage, summed.
+  /// Per-job latency percentiles from the batch.job_wall_ns histogram
+  /// (MetricsRegistry::Histogram::percentile). Rendered in the JSON output
+  /// only when JobWallCount > 0, keeping synthetic stats (and their golden
+  /// renders) unchanged.
+  int64_t JobWallCount = 0;
+  int64_t JobWallP50Ns = 0;
+  int64_t JobWallP95Ns = 0;
+  int64_t JobWallP99Ns = 0;
 
   /// Hits / (hits + misses); 0 when the cache saw no traffic.
   double cacheHitRate() const {

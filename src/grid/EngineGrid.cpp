@@ -2,11 +2,14 @@
 
 #include "grid/EngineGrid.h"
 
+#include "trace/CycleTrace.h"
 #include "trace/MetricsRegistry.h"
+#include "trace/Telemetry.h"
 #include "trace/TraceEngine.h"
 
 #include <cassert>
 #include <limits>
+#include <string>
 
 using namespace npral;
 
@@ -59,8 +62,20 @@ void MicroEngine::deliverWork(int Thread, int64_t ArriveCycle) {
   ++Credits[static_cast<size_t>(Thread)];
 }
 
+int64_t MicroEngine::creditsInHand() const {
+  int64_t N = 0;
+  for (int C : Credits)
+    N += C;
+  return N;
+}
+
 EngineGrid::EngineGrid(int HopLatency, int InitialCredits)
     : Fabric(HopLatency), InitialCredits(InitialCredits) {}
+
+void EngineGrid::setTelemetry(CycleTrace *T, TelemetrySampler *S) {
+  Trace = T;
+  Sampler = S;
+}
 
 MicroEngine &EngineGrid::addEngine(MultiThreadProgram Program,
                                    const SimConfig &Config) {
@@ -80,13 +95,20 @@ GridRunResult EngineGrid::run() {
 
   if (Engines.size() == 1) {
     // No fabric to cross: the run is the plain Simulator::run() sequence
-    // and must stay cycle-identical to it.
+    // and must stay cycle-identical to it. Without lockstep boundaries the
+    // engine's own scheduler drives any sampler.
     Simulator &Sim = Engines[0]->sim();
+    if (Sampler)
+      Sim.setSampler(Sampler, "grid.engine0.");
     Sim.beginRun();
     Sim.advanceUntil(std::numeric_limits<int64_t>::max());
     Result.Engines.push_back(Sim.takeResult());
+    if (Sampler)
+      Sim.setSampler(nullptr, "sim.");
   } else {
     const int64_t Slice = Fabric.hopLatency();
+    Fabric.setCycleTrace(Trace);
+    Result.Traffic.resize(Engines.size());
     for (size_t E = 0; E < Engines.size(); ++E) {
       Engines[E]->attach(&Fabric, /*IngressNode=*/0,
                          /*NodeId=*/static_cast<int>(E) + 1);
@@ -97,15 +119,21 @@ GridRunResult EngineGrid::run() {
     // round-trip latency is modeled; everything else is engine-bound.
     auto DeliverBoundary = [&](int64_t At) {
       for (const Message &M : Fabric.deliverUpTo(At)) {
+        GridRunResult::EngineTraffic &ET =
+            Result.Traffic[static_cast<size_t>(M.Engine)];
         if (M.DstNode == 0) {
-          if (M.Type == MsgType::Completion)
+          ++ET.MessagesSent;
+          if (M.Type == MsgType::Completion) {
             Fabric.send(MsgType::WorkDispatch, /*SrcNode=*/0,
                         /*DstNode=*/M.Engine + 1, M.Engine, M.Thread,
                         M.ArriveCycle);
-          else
+          } else {
             ++Result.CreditsReturned;
+            ++ET.CreditsReturned;
+          }
           continue;
         }
+        ++ET.MessagesReceived;
         Engines[static_cast<size_t>(M.Engine)]->deliverWork(M.Thread,
                                                             M.ArriveCycle);
       }
@@ -114,6 +142,24 @@ GridRunResult EngineGrid::run() {
     for (;;) {
       // Every engine has reached Now; all due traffic is safe to deliver.
       DeliverBoundary(Now);
+      if (Sampler && Sampler->due(Now)) {
+        // One sample per boundary at most, timestamped on the period grid
+        // with the state every engine has reached — virtual time, so the
+        // series is identical run to run.
+        Sampler->beginSample(Sampler->nextDue());
+        for (size_t E = 0; E < Engines.size(); ++E) {
+          const std::string P = "grid.engine" + std::to_string(E) + ".";
+          const Simulator &Sim = Engines[E]->sim();
+          Sampler->value(static_cast<int64_t>(E) + 1, P + "occupancy",
+                         Sim.liveThreadCount());
+          Sampler->value(static_cast<int64_t>(E) + 1, P + "ready",
+                         Sim.readyThreadCount());
+          Sampler->value(static_cast<int64_t>(E) + 1, P + "credits",
+                         Engines[E]->creditsInHand());
+        }
+        Sampler->value(/*Pid=*/0, "fabric.in_flight", Fabric.inFlightCount());
+        Sampler->endSample(Now);
+      }
       bool AnyActive = false;
       for (std::unique_ptr<MicroEngine> &E : Engines) {
         Simulator &Sim = E->sim();
@@ -154,5 +200,13 @@ GridRunResult EngineGrid::run() {
   MR.counter("grid.messages_sent").add(Result.MessagesSent);
   MR.counter("grid.messages_delivered").add(Result.MessagesDelivered);
   MR.counter("grid.credits_returned").add(Result.CreditsReturned);
+  for (size_t E = 0; E < Result.Traffic.size(); ++E) {
+    const GridRunResult::EngineTraffic &ET = Result.Traffic[E];
+    const std::string Prefix = "grid.engine" + std::to_string(E) + ".";
+    MR.counter(Prefix + "messages_sent").add(ET.MessagesSent);
+    MR.counter(Prefix + "messages_received").add(ET.MessagesReceived);
+    if (ET.CreditsReturned > 0)
+      MR.counter(Prefix + "credits_returned").add(ET.CreditsReturned);
+  }
   return Result;
 }

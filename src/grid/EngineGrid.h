@@ -36,6 +36,9 @@
 
 namespace npral {
 
+class CycleTrace;
+class TelemetrySampler;
+
 /// One micro-engine of the grid: wraps a Simulator over its own program,
 /// register file and memory, plus the per-thread credit state of the work
 /// protocol. Owns the MultiThreadProgram so the Simulator's reference stays
@@ -67,6 +70,10 @@ public:
   void onIterationComplete(int Thread, int64_t Cycle) override;
   bool tryAcquireWork(int Thread, int64_t Cycle) override;
 
+  /// Work tokens currently banked across all threads — the telemetry
+  /// sampler's per-engine credit gauge.
+  int64_t creditsInHand() const;
+
 private:
   int Id;
   MultiThreadProgram MTP;
@@ -95,6 +102,19 @@ struct GridRunResult {
   int64_t MessagesDelivered = 0;
   /// Work tokens bounced back to the ingress by halted threads.
   int64_t CreditsReturned = 0;
+
+  /// Per-engine fabric traffic, indexed by engine id (empty for a
+  /// single-engine grid, which has no fabric). Also published as the
+  /// grid.engine<E>.* metrics.
+  struct EngineTraffic {
+    /// Messages the engine sent to the ingress (completions + credits).
+    int64_t MessagesSent = 0;
+    /// WorkDispatches delivered to the engine.
+    int64_t MessagesReceived = 0;
+    /// Credits this engine bounced back off halted threads.
+    int64_t CreditsReturned = 0;
+  };
+  std::vector<EngineTraffic> Traffic;
 };
 
 /// Steps N engines in lockstep over a shared Interconnect. Engines are
@@ -111,6 +131,15 @@ public:
   int numEngines() const { return static_cast<int>(Engines.size()); }
   MicroEngine &engine(int Id) { return *Engines[static_cast<size_t>(Id)]; }
 
+  /// Attach cycle-domain telemetry for the next run(): \p Trace receives
+  /// the fabric's message slices and dispatch->delivery flow events, and
+  /// \p Sampler (optional) is driven at every lockstep slice boundary with
+  /// per-engine occupancy / ready depth / credits plus the fabric's
+  /// in-flight message count. Either may be null. For a single-engine grid
+  /// (no fabric, no boundaries) the sampler is delegated to the engine's
+  /// own scheduler loop under the same grid.engine0.* counter names.
+  void setTelemetry(CycleTrace *Trace, TelemetrySampler *Sampler);
+
   /// Run every engine to completion. Single engine: plain simulator run, no
   /// fabric. Multiple engines: lockstep slices of HopLatency cycles with
   /// boundary message delivery.
@@ -120,6 +149,8 @@ private:
   Interconnect Fabric;
   int InitialCredits;
   std::vector<std::unique_ptr<MicroEngine>> Engines;
+  CycleTrace *Trace = nullptr;
+  TelemetrySampler *Sampler = nullptr;
 };
 
 } // namespace npral

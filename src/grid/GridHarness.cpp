@@ -6,10 +6,12 @@
 #include "analysis/LiveRangeRenaming.h"
 #include "harden/SpillFallback.h"
 #include "support/Diagnostics.h"
+#include "trace/CycleTrace.h"
 #include "trace/MetricsRegistry.h"
 #include "trace/TraceEngine.h"
 
 #include <cassert>
+#include <optional>
 
 using namespace npral;
 
@@ -138,7 +140,16 @@ GridReport npral::runKernelPoolGrid(const std::string &Name,
         ME.sim().writeMemory(Region.Base, Region.Words);
       ME.sim().setEntryValues(static_cast<int>(T), W.EntryValues);
     }
+    // Engine E records its thread-state slices on process track E + 1
+    // (track 0 is the fabric).
+    if (Opts.Trace)
+      ME.sim().setCycleTrace(Opts.Trace, E + 1);
   }
+
+  std::optional<TelemetrySampler> Sampler;
+  if (Opts.SampleCycles > 0 && (Opts.Trace || Opts.Ring))
+    Sampler.emplace(Opts.SampleCycles, Opts.Trace, Opts.Ring);
+  Grid.setTelemetry(Opts.Trace, Sampler ? &*Sampler : nullptr);
 
   GridRunResult Run = Grid.run();
   Report.MaxEngineCycles = Run.MaxEngineCycles;
@@ -169,6 +180,14 @@ GridReport npral::runKernelPoolGrid(const std::string &Name,
   MR.counter("grid.iterations").add(Report.TotalIterations);
   MR.counter("grid.interconnect_stall_cycles")
       .add(Report.TotalInterconnectStall);
+  for (int E = 0; E < Opts.NumEngines; ++E) {
+    const GridEngineReport &ER = Report.Engines[static_cast<size_t>(E)];
+    const std::string Prefix = "grid.engine" + std::to_string(E) + ".";
+    MR.counter(Prefix + "iterations").add(ER.Iterations);
+    if (ER.InterconnectStallCycles > 0)
+      MR.counter(Prefix + "interconnect_stall_cycles")
+          .add(ER.InterconnectStallCycles);
+  }
   Report.Success = true;
   return Report;
 }

@@ -21,6 +21,7 @@
 
 #include "grid/EngineGrid.h"
 #include "grid/Placement.h"
+#include "trace/Telemetry.h"
 #include "workloads/Harness.h"
 
 #include <string>
@@ -38,6 +39,16 @@ struct GridOptions {
   /// Work tokens each thread starts with (its credit window).
   int InitialCredits = 4;
   SimConfig Sim = defaultExperimentConfig();
+  /// Cycle-domain trace sink (virtual-time thread-state slices, counter
+  /// tracks, dispatch->delivery flows — trace/CycleTrace.h). Null disables;
+  /// owned by the caller, who exports it after the run.
+  CycleTrace *Trace = nullptr;
+  /// Ring buffer receiving telemetry samples (trace/Telemetry.h); null
+  /// disables the programmatic sink.
+  TelemetryRing *Ring = nullptr;
+  /// Telemetry sampling period in cycles; 0 disables sampling (no counter
+  /// tracks, no ring samples).
+  int64_t SampleCycles = 0;
 };
 
 /// One engine's slice of a grid run.

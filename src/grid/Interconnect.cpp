@@ -2,6 +2,8 @@
 
 #include "grid/Interconnect.h"
 
+#include "trace/CycleTrace.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -37,6 +39,16 @@ void Interconnect::send(MsgType Type, int SrcNode, int DstNode, int Engine,
   M.Seq = NextSeq++;
   InFlight.push_back(M);
   ++Sent;
+  if (Trace) {
+    // Fabric track: pid 0, one lane per engine; the slice spans the
+    // modeled in-flight time. WorkDispatches also start a flow, finished
+    // at delivery in deliverUpTo().
+    Trace->completeSlice(/*Pid=*/0, /*Tid=*/M.Engine, msgTypeName(Type),
+                         "grid", M.SendCycle, M.ArriveCycle - M.SendCycle);
+    if (Type == MsgType::WorkDispatch)
+      Trace->flowStart(M.Seq, /*Pid=*/0, /*Tid=*/M.Engine, "work-dispatch",
+                       M.SendCycle);
+  }
 }
 
 std::vector<Message> Interconnect::deliverUpTo(int64_t Now) {
@@ -51,6 +63,11 @@ std::vector<Message> Interconnect::deliverUpTo(int64_t Now) {
                                           : A.Seq < B.Seq;
   });
   Delivered += static_cast<int64_t>(Due.size());
+  if (Trace)
+    for (const Message &M : Due)
+      if (M.Type == MsgType::WorkDispatch)
+        Trace->flowFinish(M.Seq, /*Pid=*/M.DstNode, /*Tid=*/M.Thread,
+                          "work-dispatch", M.ArriveCycle);
   return Due;
 }
 

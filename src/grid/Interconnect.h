@@ -34,6 +34,8 @@
 
 namespace npral {
 
+class CycleTrace;
+
 enum class MsgType { WorkDispatch, Completion, Credit };
 
 const char *msgTypeName(MsgType T);
@@ -67,6 +69,14 @@ public:
     return static_cast<int64_t>(HopLatency) * Hops;
   }
 
+  /// Mirror fabric traffic into a cycle-domain trace (null detaches):
+  /// every message becomes an 'X' slice on the fabric track (pid 0, tid =
+  /// engine lane) spanning its modeled latency, and each WorkDispatch
+  /// additionally opens a flow ('s' at the send, 'f' at the delivery on
+  /// the destination thread's track, id = the message sequence number), so
+  /// dispatch -> delivery renders as arrows in Perfetto.
+  void setCycleTrace(CycleTrace *T) { Trace = T; }
+
   /// Inject a message at \p Cycle; the arrival cycle is stamped from the
   /// node distance.
   void send(MsgType Type, int SrcNode, int DstNode, int Engine, int Thread,
@@ -81,6 +91,9 @@ public:
 
   int64_t messagesSent() const { return Sent; }
   int64_t messagesDelivered() const { return Delivered; }
+  /// Messages currently in the fabric (sent, not yet delivered) — the
+  /// telemetry sampler's outstanding-message gauge.
+  int64_t inFlightCount() const { return static_cast<int64_t>(InFlight.size()); }
 
 private:
   int HopLatency;
@@ -88,6 +101,7 @@ private:
   uint64_t NextSeq = 0;
   int64_t Sent = 0;
   int64_t Delivered = 0;
+  CycleTrace *Trace = nullptr;
 };
 
 } // namespace npral

@@ -3,7 +3,9 @@
 #include "sim/Simulator.h"
 
 #include "support/StringUtils.h"
+#include "trace/CycleTrace.h"
 #include "trace/MetricsRegistry.h"
+#include "trace/Telemetry.h"
 #include "trace/TraceEngine.h"
 
 #include <algorithm>
@@ -377,24 +379,63 @@ void Simulator::account(int Running, int64_t C0, int64_t C1, bool Penalty) {
     const ThreadState &TS = Threads[static_cast<size_t>(T)];
     if (T == Running) {
       (Penalty ? S.SwitchPenaltyCycles : S.RunCycles) += Span;
+      if (Trace)
+        Trace->extendPhase(TracePid, T,
+                           Penalty ? ThreadPhase::SwitchPenalty
+                                   : ThreadPhase::Run,
+                           C0, C1);
       continue;
     }
     if (TS.Halted) {
       S.HaltedCycles += Span;
+      if (Trace)
+        Trace->extendPhase(TracePid, T, ThreadPhase::Halted, C0, C1);
       continue;
     }
     if (TS.GridBlocked) {
       S.InterconnectStallCycles += Span;
+      if (Trace)
+        Trace->extendPhase(TracePid, T, ThreadPhase::InterconnectStall, C0,
+                           C1);
       continue;
     }
     if (TS.WaitingChannel >= 0) {
       S.ChannelWaitCycles += Span;
+      if (Trace)
+        Trace->extendPhase(TracePid, T, ThreadPhase::ChannelWait, C0, C1);
       continue;
     }
     const int64_t Mem = std::min(C1, std::max(TS.ReadyAt, C0)) - C0;
     S.MemStallCycles += Mem;
     S.ReadyWaitCycles += Span - Mem;
+    if (Trace) {
+      if (Mem > 0)
+        Trace->extendPhase(TracePid, T, ThreadPhase::MemStall, C0, C0 + Mem);
+      if (Span - Mem > 0)
+        Trace->extendPhase(TracePid, T, ThreadPhase::ReadyWait, C0 + Mem, C1);
+    }
   }
+}
+
+int Simulator::liveThreadCount() const {
+  int N = 0;
+  for (const ThreadState &TS : Threads)
+    N += TS.Halted ? 0 : 1;
+  return N;
+}
+
+int Simulator::readyThreadCount() const {
+  int N = 0;
+  for (const ThreadState &TS : Threads) {
+    if (TS.Halted || TS.GridBlocked)
+      continue;
+    if (TS.WaitingChannel >= 0 &&
+        Channels[static_cast<size_t>(TS.WaitingChannel)] == 0)
+      continue;
+    if (TS.ReadyAt <= RunClock)
+      ++N;
+  }
+  return N;
 }
 
 bool Simulator::allDone() const {
@@ -412,6 +453,8 @@ void Simulator::failRun(const std::string &Reason) {
   RunResult.TotalCycles = RunClock;
   RunResult.Threads = Stats;
   Ended = true;
+  if (Trace)
+    Trace->closeTrack(TracePid);
 }
 
 void Simulator::completeRun() {
@@ -419,6 +462,8 @@ void Simulator::completeRun() {
   RunResult.TotalCycles = RunClock;
   RunResult.Threads = Stats;
   Ended = true;
+  if (Trace)
+    Trace->closeTrack(TracePid);
   for (int T = 0; T < MTP.getNumThreads(); ++T) {
     assert(Stats[static_cast<size_t>(T)].accountedCycles() == RunClock &&
            "cycle breakdown does not sum to total cycles");
@@ -460,6 +505,15 @@ bool Simulator::advanceUntil(int64_t StopAt) {
   const int Nthd = MTP.getNumThreads();
   std::string Error;
   while (!allDone()) {
+    if (Sampler && Sampler->due(RunClock)) {
+      // Sample on the period grid (ts = the due cycle) with the machine
+      // state the scheduler sees now, then skip past any periods the last
+      // step jumped over — one sample per loop iteration at most.
+      Sampler->beginSample(Sampler->nextDue());
+      Sampler->value(TracePid, SamplePrefix + "occupancy", liveThreadCount());
+      Sampler->value(TracePid, SamplePrefix + "ready", readyThreadCount());
+      Sampler->endSample(RunClock);
+    }
     if (RunClock >= StopAt)
       return true;
     if (RunClock >= Config.MaxCycles) {

@@ -31,9 +31,13 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace npral {
+
+class CycleTrace;
+class TelemetrySampler;
 
 struct SimConfig {
   /// Cycles until a memory operation completes (paper: ~20).
@@ -200,6 +204,33 @@ public:
   /// detaches; the default). The port must outlive every subsequent run.
   void setGridPort(GridPort *P) { Port = P; }
 
+  /// Attach a cycle-domain trace (trace/CycleTrace.h): every accounted
+  /// cycle interval is mirrored as a thread-state slice on process track
+  /// \p Pid (tid = thread index), so per-thread slice durations sum to the
+  /// seven cycle buckets by construction. Null detaches; the default.
+  /// Disabled cost is one branch per thread per accounting interval
+  /// (bounded by bench/trace_overhead).
+  void setCycleTrace(CycleTrace *T, int64_t Pid) {
+    Trace = T;
+    TracePid = Pid;
+  }
+
+  /// Attach a telemetry sampler driven from the scheduler loop: when a
+  /// sample comes due it records occupancy (non-halted threads) and
+  /// ready-queue depth as `<Prefix>occupancy` / `<Prefix>ready` on the
+  /// cycle-trace pid. Null detaches. Engine grids sample at their lockstep
+  /// boundaries instead and leave this unset.
+  void setSampler(TelemetrySampler *S, std::string Prefix) {
+    Sampler = S;
+    SamplePrefix = std::move(Prefix);
+  }
+
+  /// Threads that have not halted.
+  int liveThreadCount() const;
+  /// Threads that could be dispatched right now: not halted, not blocked on
+  /// the grid port or an empty channel, memory latency elapsed.
+  int readyThreadCount() const;
+
   SimResult run();
 
   //===--- Incremental interface (engine grids) ---------------------------===//
@@ -267,6 +298,10 @@ private:
   bool UseSharedFile = false;
   SimObserver *Observer = nullptr;
   GridPort *Port = nullptr;
+  CycleTrace *Trace = nullptr;
+  int64_t TracePid = 1;
+  TelemetrySampler *Sampler = nullptr;
+  std::string SamplePrefix = "sim.";
 
   //===--- Per-run state (between beginRun and takeResult) ----------------===//
   SimResult RunResult;

@@ -4,7 +4,9 @@
 
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 using namespace npral;
 
@@ -39,6 +41,38 @@ int64_t Histogram::min() const {
 int64_t Histogram::max() const {
   const int64_t V = Max.load(std::memory_order_relaxed);
   return V == INT64_MIN ? 0 : V;
+}
+
+int64_t Histogram::percentile(double Q) const {
+  const int64_t N = count();
+  if (N == 0)
+    return 0;
+  // The Q-th percentile is the value at (fractional) rank Target within
+  // the sorted observations; the buckets locate it, interpolation places
+  // it inside the bucket's value range, and clamping to the observed
+  // min/max makes degenerate distributions exact.
+  const double Target =
+      std::clamp(Q, 0.0, 100.0) / 100.0 * static_cast<double>(N);
+  int64_t Cum = 0;
+  for (int B = 0; B < NumBuckets; ++B) {
+    const int64_t InBucket = bucketCount(B);
+    if (InBucket == 0)
+      continue;
+    if (static_cast<double>(Cum) + static_cast<double>(InBucket) >= Target) {
+      // Bucket 0 holds V <= 0; bucket B >= 1 holds 2^(B-1) <= V < 2^B.
+      const double Lo = B == 0 ? 0.0 : std::ldexp(1.0, B - 1);
+      const double Hi = B == 0 ? 0.0 : std::ldexp(1.0, B);
+      const double Frac =
+          std::max(0.0, Target - static_cast<double>(Cum)) /
+          static_cast<double>(InBucket);
+      double V = Lo + Frac * (Hi - Lo);
+      V = std::min(V, static_cast<double>(max()));
+      V = std::max(V, static_cast<double>(min()));
+      return static_cast<int64_t>(std::llround(V));
+    }
+    Cum += InBucket;
+  }
+  return max();
 }
 
 void Histogram::mergeFrom(const Histogram &Other) {
@@ -109,6 +143,11 @@ int64_t MetricsRegistry::gaugeValue(std::string_view Name) const {
   return I && I->K == Instrument::K_Gauge ? I->G.value() : 0;
 }
 
+const Histogram *MetricsRegistry::findHistogram(std::string_view Name) const {
+  const Instrument *I = find(Name);
+  return I && I->K == Instrument::K_Histogram ? I->H.get() : nullptr;
+}
+
 void MetricsRegistry::merge(const MetricsRegistry &Other) {
   // Lock ordering: Other first, then this (merge is only ever called
   // per-run-registry -> global, so the order is globally consistent).
@@ -151,7 +190,9 @@ void MetricsRegistry::renderText(std::ostream &OS) const {
     case Instrument::K_Histogram:
       OS << Name << " histogram count=" << I.H->count()
          << " sum=" << I.H->sum() << " min=" << I.H->min()
-         << " max=" << I.H->max() << "\n";
+         << " max=" << I.H->max() << " p50=" << I.H->percentile(50)
+         << " p95=" << I.H->percentile(95) << " p99=" << I.H->percentile(99)
+         << "\n";
       break;
     }
   }
@@ -176,7 +217,9 @@ void MetricsRegistry::renderJSON(std::ostream &OS) const {
     case Instrument::K_Histogram:
       OS << "\"histogram\", \"count\": " << I.H->count()
          << ", \"sum\": " << I.H->sum() << ", \"min\": " << I.H->min()
-         << ", \"max\": " << I.H->max() << "}";
+         << ", \"max\": " << I.H->max() << ", \"p50\": " << I.H->percentile(50)
+         << ", \"p95\": " << I.H->percentile(95)
+         << ", \"p99\": " << I.H->percentile(99) << "}";
       break;
     }
   }

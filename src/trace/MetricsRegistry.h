@@ -73,6 +73,14 @@ public:
     return Buckets[static_cast<size_t>(B)].load(std::memory_order_relaxed);
   }
 
+  /// Percentile estimate for \p Q in [0, 100]: cumulative walk of the
+  /// buckets, linear interpolation inside the containing bucket's value
+  /// range, clamped to [min(), max()] (so a single-valued distribution
+  /// reports that value exactly). Deterministic for a given set of
+  /// observations, which is what lets the renders be golden-pinned. 0 when
+  /// empty.
+  int64_t percentile(double Q) const;
+
   /// Fold \p Other's observations into this histogram (exact for buckets,
   /// count, sum, min, max).
   void mergeFrom(const Histogram &Other);
@@ -100,6 +108,9 @@ public:
   /// Snapshot reads for tests and stats adapters; 0 when absent.
   int64_t counterValue(std::string_view Name) const;
   int64_t gaugeValue(std::string_view Name) const;
+  /// The named histogram, or null when absent (or registered as another
+  /// kind). The pointer stays valid until clear().
+  const Histogram *findHistogram(std::string_view Name) const;
 
   /// Fold every instrument of \p Other into this registry: counters add,
   /// gauges overwrite, histograms merge bucket-wise.
@@ -113,7 +124,8 @@ public:
   /// One line per instrument, lexicographic by name:
   ///   <name> counter <value>
   ///   <name> gauge <value>
-  ///   <name> histogram count=<n> sum=<s> min=<m> max=<M>
+  ///   <name> histogram count=<n> sum=<s> min=<m> max=<M> p50=<v> p95=<v>
+  ///   p99=<v>
   void renderText(std::ostream &OS) const;
 
   /// {"metrics": {"<name>": {"type": ..., ...}, ...}} with keys in the

@@ -41,6 +41,9 @@ private:
   std::string_view Text;
   size_t Pos = 0;
   bool SawTraceEvents = false;
+  /// The key most recently parsed on the current object — names the
+  /// offending field in structural error messages.
+  std::string CurrentKey;
 
   char peek() const { return Pos < Text.size() ? Text[Pos] : '\0'; }
 
@@ -51,8 +54,18 @@ private:
   }
 
   Status fail(const std::string &Msg) const {
-    return Status::error("trace JSON: " + Msg + " at offset " +
-                         std::to_string(Pos));
+    // 1-based line; a failure at a megabyte offset is findable by line in
+    // any editor, and the key says which field was being parsed.
+    size_t Line = 1;
+    for (size_t I = 0; I < Pos && I < Text.size(); ++I)
+      if (Text[I] == '\n')
+        ++Line;
+    std::string Out = "trace JSON: " + Msg + " at line " +
+                      std::to_string(Line) + ", offset " +
+                      std::to_string(Pos);
+    if (!CurrentKey.empty())
+      Out += " (near key \"" + CurrentKey + "\")";
+    return Status::error(Out);
   }
 
   Status expect(char C) {
@@ -225,6 +238,7 @@ private:
       std::string Key;
       if (Status S = parseString(Key); !S.ok())
         return S;
+      CurrentKey = Key;
       if (Status S = expect(':'); !S.ok())
         return S;
       if (Key == "traceEvents") {
@@ -283,6 +297,7 @@ private:
       std::string Key;
       if (Status S = parseString(Key); !S.ok())
         return S;
+      CurrentKey = Key;
       if (Status S = expect(':'); !S.ok())
         return S;
       if (Key == "ph") {
@@ -305,7 +320,7 @@ private:
         if (Status S = parseNumber(E.Ts, Raw); !S.ok())
           return S;
         HaveTs = true;
-      } else if (Key == "pid" || Key == "tid" || Key == "dur") {
+      } else if (Key == "pid" || Key == "tid" || Key == "id") {
         double V;
         std::string Raw;
         if (Status S = parseNumber(V, Raw); !S.ok())
@@ -320,7 +335,16 @@ private:
         } else if (Key == "tid") {
           E.Tid = static_cast<int64_t>(V);
           HaveTid = true;
+        } else {
+          if (V < 0)
+            return fail("id must be non-negative");
+          E.Id = static_cast<uint64_t>(V);
+          E.HasId = true;
         }
+      } else if (Key == "dur") {
+        std::string Raw;
+        if (Status S = parseNumber(E.Dur, Raw); !S.ok())
+          return S;
       } else if (Key == "args") {
         if (Status S = parseArgs(E.Args); !S.ok())
           return S;
@@ -333,6 +357,7 @@ private:
       skipWS();
     }
     ++Pos;
+    CurrentKey.clear();
     if (!HavePh)
       return fail("event missing ph");
     if (!HaveName)
@@ -379,14 +404,54 @@ Status checkSemantics(const std::vector<ParsedTraceEvent> &Events) {
     bool HasLast = false;
   };
   std::map<std::pair<int64_t, int64_t>, Track> Tracks;
+  // Counter series are ordered per (pid, name) — a counter plot that goes
+  // backwards in time is as corrupt as a track that does.
+  std::map<std::pair<int64_t, std::string>, double> CounterLastTs;
+  // Open flows by id: 's' opens, 'f' closes at a ts no earlier than the
+  // start. A flow left open at end of document is an error (our emitters
+  // always deliver what they send).
+  struct OpenFlow {
+    double StartTs = 0;
+    std::string Name;
+  };
+  std::map<uint64_t, OpenFlow> OpenFlows;
 
   for (size_t I = 0; I < Events.size(); ++I) {
     const ParsedTraceEvent &E = Events[I];
     const std::string Where = "event " + std::to_string(I) + " ('" + E.Name +
                               "' on tid " + std::to_string(E.Tid) + ")";
-    if (E.Ph != 'B' && E.Ph != 'E' && E.Ph != 'X' && E.Ph != 'i')
+    if (E.Ph != 'B' && E.Ph != 'E' && E.Ph != 'X' && E.Ph != 'i' &&
+        E.Ph != 'C' && E.Ph != 's' && E.Ph != 'f')
       return Status::error(Where + ": invalid phase '" +
                            std::string(1, E.Ph) + "'");
+    if (E.Ph == 'C') {
+      if (E.Args.empty())
+        return Status::error(Where + ": counter event without args");
+      auto It = CounterLastTs.find({E.Pid, E.Name});
+      if (It != CounterLastTs.end() && E.Ts < It->second)
+        return Status::error(Where + ": ts goes backwards on its counter "
+                                     "series");
+      CounterLastTs[{E.Pid, E.Name}] = E.Ts;
+      continue;
+    }
+    if (E.Ph == 's' || E.Ph == 'f') {
+      if (!E.HasId)
+        return Status::error(Where + ": flow event without an id");
+      if (E.Ph == 's') {
+        if (!OpenFlows.try_emplace(E.Id, OpenFlow{E.Ts, E.Name}).second)
+          return Status::error(Where + ": flow id " + std::to_string(E.Id) +
+                               " started twice");
+      } else {
+        auto It = OpenFlows.find(E.Id);
+        if (It == OpenFlows.end())
+          return Status::error(Where + ": flow finish with no open start "
+                                       "for id " + std::to_string(E.Id));
+        if (E.Ts < It->second.StartTs)
+          return Status::error(Where + ": flow finishes before it starts");
+        OpenFlows.erase(It);
+      }
+      continue;
+    }
     Track &T = Tracks[{E.Pid, E.Tid}];
     // X events sort by start time within nesting; only B/E/i must be
     // non-decreasing along the track.
@@ -412,6 +477,11 @@ Status checkSemantics(const std::vector<ParsedTraceEvent> &Events) {
       return Status::error("unbalanced trace: span '" + T.OpenSpans.back() +
                            "' on tid " + std::to_string(Id.second) +
                            " never ends");
+  if (!OpenFlows.empty()) {
+    const auto &[Id, F] = *OpenFlows.begin();
+    return Status::error("unbalanced trace: flow '" + F.Name + "' (id " +
+                         std::to_string(Id) + ") never finishes");
+  }
   return Status::success();
 }
 

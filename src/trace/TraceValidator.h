@@ -12,11 +12,22 @@
 ///    event objects (a top-level bare array is also accepted — Chrome
 ///    reads both);
 ///  * every event has string "ph"/"name", and numeric "ts"/"pid"/"tid";
-///  * every "ph" is one of B, E, X, i;
+///  * every "ph" is one of B, E, X, i, C, s, f (anything else is still a
+///    hard failure);
 ///  * B/E events nest and balance per (pid, tid) track, with matching
 ///    names;
-///  * "ts" is non-decreasing along each track ("X" events are placed by
-///    start time and exempt, matching Chrome's sorting behavior).
+///  * "ts" is non-decreasing along each track for B/E/i ("X" events are
+///    placed by start time and exempt, matching Chrome's sorting
+///    behavior); counter ('C') series are instead non-decreasing per
+///    (pid, name), and flow events are ordered through their id;
+///  * every 'C' event carries at least one numeric arg (the counter
+///    value);
+///  * flow events pair up: 's' opens an id (reopening an open id is an
+///    error), 'f' closes an id previously opened at a ts <= its own, and
+///    no id is left open at end of document.
+///
+/// Structural errors report the byte offset *and* line of the failure plus
+/// the key being parsed, so a bad event in a megabyte of JSON is findable.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,10 +50,16 @@ struct ParsedTraceEvent {
   char Ph = '?';
   std::string Name;
   std::string Cat;
-  /// Microseconds, as written (fractional allowed).
+  /// Microseconds (wall traces) or cycles (virtual-time traces), as
+  /// written (fractional allowed).
   double Ts = 0;
+  /// Slice duration ('X' events); 0 otherwise.
+  double Dur = 0;
   int64_t Pid = 0;
   int64_t Tid = 0;
+  /// Flow id ('s'/'f' events); valid only when HasId.
+  uint64_t Id = 0;
+  bool HasId = false;
   std::vector<std::pair<std::string, std::string>> Args;
 
   /// Scheduling-independent identity: everything except ts/pid/tid, with

@@ -63,8 +63,36 @@ TEST(MetricsTest, RenderTextIsSortedAndStable) {
   MR.histogram("m.middle").observe(4);
   EXPECT_EQ(renderText(MR),
             "a.first gauge 2\n"
-            "m.middle histogram count=1 sum=4 min=4 max=4\n"
+            "m.middle histogram count=1 sum=4 min=4 max=4 p50=4 p95=4 p99=4\n"
             "z.last counter 1\n");
+}
+
+TEST(MetricsTest, PercentilesAreClampedAndDeterministic) {
+  Histogram H;
+  EXPECT_EQ(H.percentile(50), 0); // empty
+  H.observe(4);
+  // A single-valued distribution reports that value exactly at every Q —
+  // the interpolated estimate is clamped to [min, max].
+  EXPECT_EQ(H.percentile(0), 4);
+  EXPECT_EQ(H.percentile(50), 4);
+  EXPECT_EQ(H.percentile(95), 4);
+  EXPECT_EQ(H.percentile(99), 4);
+  EXPECT_EQ(H.percentile(100), 4);
+
+  Histogram Wide;
+  for (int I = 1; I <= 1000; ++I)
+    Wide.observe(I);
+  // Bucketed estimates: within a factor of two of the exact rank value,
+  // monotone in Q, and clamped to the observed range.
+  const int64_t P50 = Wide.percentile(50);
+  const int64_t P95 = Wide.percentile(95);
+  const int64_t P99 = Wide.percentile(99);
+  EXPECT_GE(P50, 250);
+  EXPECT_LE(P50, 1000);
+  EXPECT_LE(P50, P95);
+  EXPECT_LE(P95, P99);
+  EXPECT_LE(P99, 1000);
+  EXPECT_GE(Wide.percentile(0), 1);
 }
 
 TEST(MetricsTest, RenderJSONAgreesWithText) {

@@ -72,9 +72,12 @@
 #include "support/StringUtils.h"
 #include "support/TableFormatter.h"
 #include "support/ThreadPool.h"
+#include "trace/CycleTrace.h"
 #include "trace/DecisionLog.h"
 #include "trace/MetricsRegistry.h"
+#include "trace/Telemetry.h"
 #include "trace/TraceEngine.h"
+#include "trace/TraceReport.h"
 #include "trace/TraceValidator.h"
 
 #include <fstream>
@@ -123,10 +126,16 @@ int usage() {
          "                      and cross-check the allocation decision\n"
          "                      log; a refuted run fails with a witness\n"
          "  run      file.s [-nreg N] [-iters K] [-memlat L]\n"
+         "           [--trace-cycles f.json] [--sample-cycles N]\n"
          "      allocate, then simulate on the cycle-level engine\n"
          "        -nreg N    register file size (default 128)\n"
          "        -iters K   loop iterations to simulate (default 10)\n"
          "        -memlat L  memory latency in cycles (default 40)\n"
+         "        --trace-cycles f.json  write a virtual-time Chrome\n"
+         "                   trace (ts = simulated cycles) with per-thread\n"
+         "                   state slices and telemetry counters\n"
+         "        --sample-cycles N  telemetry sampling period (default\n"
+         "                   64)\n"
          "  baseline file.s [-regs K]\n"
          "      fixed-partition Chaitin/Briggs allocation with spill code\n"
          "        -regs K    per-thread partition size (default 32)\n"
@@ -153,6 +162,14 @@ int usage() {
          "        --hoplat H    interconnect per-hop latency (default 4)\n"
          "        --credits C   per-thread work-token window (default 4)\n"
          "        --json        emit the report as JSON\n"
+         "        --trace-cycles f.json\n"
+         "                      write a virtual-time Chrome trace: ts is\n"
+         "                      simulated cycles, with per-thread state\n"
+         "                      slices, telemetry counter tracks, and\n"
+         "                      work-dispatch flow arrows\n"
+         "        --sample-cycles N\n"
+         "                      telemetry sampling period in cycles for\n"
+         "                      --trace-cycles (default 64)\n"
          "  lint     file.s [--json] [--after-alloc] [--physical]\n"
          "           [--only checks] [-nreg N] [--Werror]\n"
          "      run the static-analysis checkers and report every finding\n"
@@ -227,7 +244,12 @@ int usage() {
          "                      line\n"
          "  trace-validate file.json\n"
          "      strictly parse and validate a Chrome trace-event JSON\n"
-         "      file (phases, per-track span balance, timestamp order)\n"
+         "      file (phases, per-track span balance, timestamp order,\n"
+         "      counter monotonicity, flow pairing)\n"
+         "  report   file.json [--html out.html]\n"
+         "      summarise a trace file: per-track state breakdown bars,\n"
+         "      counter sparklines, and flow latency percentiles; --html\n"
+         "      writes a self-contained page instead of text\n"
          "\n"
          "global options (accepted by every subcommand):\n"
          "  --trace-out f.json  record spans and instant events while the\n"
@@ -455,7 +477,8 @@ int cmdProfile(const MultiThreadProgram &MTP, int Iters, int MemLat,
   return 0;
 }
 
-int cmdRun(const MultiThreadProgram &MTP, int Nreg, int Iters, int MemLat) {
+int cmdRun(const MultiThreadProgram &MTP, int Nreg, int Iters, int MemLat,
+           const std::string &TraceCycles, int SampleCycles) {
   InterThreadResult R = allocateInterThread(MTP, Nreg);
   if (!R.Success) {
     std::cerr << "allocation failed: " << R.FailReason << "\n";
@@ -465,12 +488,29 @@ int cmdRun(const MultiThreadProgram &MTP, int Nreg, int Iters, int MemLat) {
   Config.MemLatency = MemLat;
   Config.TargetIterations = Iters;
   Simulator Sim(R.Physical, Config);
+  // Virtual-time trace: ts is simulated cycles, so the file is a pure
+  // function of the program and config (docs/observability.md).
+  CycleTrace CT;
+  std::optional<TelemetrySampler> Sampler;
+  if (!TraceCycles.empty()) {
+    Sim.setCycleTrace(&CT, /*Pid=*/1);
+    Sampler.emplace(SampleCycles > 0 ? SampleCycles : 64, &CT, nullptr);
+    Sim.setSampler(&*Sampler, "sim.");
+  }
   for (int T = 0; T < R.Physical.getNumThreads(); ++T) {
     const Program &P = R.Physical.Threads[static_cast<size_t>(T)];
     Sim.setEntryValues(
         T, std::vector<uint32_t>(P.EntryLiveRegs.size(), 0));
   }
   SimResult Run = Sim.run();
+  if (!TraceCycles.empty()) {
+    if (Status S = CT.writeFile(TraceCycles); !S.ok()) {
+      std::cerr << "error: " << S.str() << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << TraceCycles << " (" << CT.eventCount()
+              << " cycle-domain events)\n";
+  }
   if (!Run.Completed) {
     std::cerr << "simulation failed: " << Run.FailReason << "\n";
     return 1;
@@ -705,7 +745,8 @@ int cmdBatch(const std::vector<std::string> &Files, int Jobs, bool UseCache,
 
 int cmdGrid(const std::string &ScenarioName, int Engines,
             const std::string &PolicyName, int Nreg, int Iters, int MemLat,
-            int HopLat, int Credits, bool Json) {
+            int HopLat, int Credits, bool Json,
+            const std::string &TraceCycles, int SampleCycles) {
   GridOptions Opts;
   if (Engines < 1 || Engines > 16) {
     std::cerr << "grid: --engines must be in [1, 16]\n";
@@ -722,6 +763,13 @@ int cmdGrid(const std::string &ScenarioName, int Engines,
   Opts.Sim = defaultExperimentConfig();
   Opts.Sim.TargetIterations = Iters;
   Opts.Sim.MemLatency = MemLat;
+  // Virtual-time tracing: thread-state slices per engine, telemetry
+  // counters on the configured period, flow arrows for work dispatches.
+  CycleTrace CT;
+  if (!TraceCycles.empty()) {
+    Opts.Trace = &CT;
+    Opts.SampleCycles = SampleCycles > 0 ? SampleCycles : 64;
+  }
 
   std::vector<std::string> Pool;
   if (!buildGridPool(ScenarioName, Engines, Pool)) {
@@ -730,6 +778,14 @@ int cmdGrid(const std::string &ScenarioName, int Engines,
     return usage();
   }
   GridReport Report = runKernelPoolGrid(ScenarioName, Pool, Opts);
+  if (!TraceCycles.empty() && Report.Success) {
+    if (Status S = CT.writeFile(TraceCycles); !S.ok()) {
+      std::cerr << "error: " << S.str() << "\n";
+      return 1;
+    }
+    std::cerr << "wrote " << TraceCycles << " (" << CT.eventCount()
+              << " cycle-domain events)\n";
+  }
   if (!Report.Success) {
     std::cerr << "grid run failed: " << Report.FailReason << "\n";
     return 1;
@@ -823,6 +879,41 @@ int cmdTraceValidate(const std::string &Path) {
   return 0;
 }
 
+int cmdReport(const std::string &Path, const std::string &HtmlOut) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::cerr << "error: cannot open '" << Path << "'\n";
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  // The report trusts its input's structure, so run the strict validator
+  // first — a malformed trace is a hard error, not a partial summary.
+  ErrorOr<std::vector<ParsedTraceEvent>> Events = parseChromeTrace(Buf.str());
+  if (!Events.ok()) {
+    std::cerr << Path << ": " << Events.status().str() << "\n";
+    return 1;
+  }
+  const TraceReport Report = TraceReport::build(*Events);
+  if (HtmlOut.empty()) {
+    Report.renderText(std::cout);
+    return 0;
+  }
+  std::ofstream Out(HtmlOut, std::ios::binary);
+  if (!Out) {
+    std::cerr << "error: cannot write '" << HtmlOut << "'\n";
+    return 1;
+  }
+  Report.renderHTML(Out);
+  Out.flush();
+  if (!Out) {
+    std::cerr << "error: failed writing '" << HtmlOut << "'\n";
+    return 1;
+  }
+  std::cerr << "wrote " << HtmlOut << "\n";
+  return 0;
+}
+
 int dispatch(int argc, char **argv) {
   if (argc < 3)
     return usage();
@@ -831,12 +922,25 @@ int dispatch(int argc, char **argv) {
   if (Cmd == "trace-validate")
     return cmdTraceValidate(argv[2]);
 
+  if (Cmd == "report") {
+    std::string HtmlOut;
+    for (int I = 3; I < argc; ++I) {
+      std::string Opt = argv[I];
+      if (Opt == "--html" && I + 1 < argc)
+        HtmlOut = argv[++I];
+      else
+        return usage();
+    }
+    return cmdReport(argv[2], HtmlOut);
+  }
+
   if (Cmd == "grid") {
     std::string ScenarioName = argv[2];
     std::string Policy = "bounds";
     int Engines = 4, Nreg = 128, Iters = 50, MemLat = 40, HopLat = 4;
-    int Credits = 4;
+    int Credits = 4, SampleCycles = 0;
     bool Json = false;
+    std::string TraceCycles;
     for (int I = 3; I < argc; ++I) {
       std::string Opt = argv[I];
       if (Opt == "--json") {
@@ -860,11 +964,15 @@ int dispatch(int argc, char **argv) {
         HopLat = std::atoi(Value.c_str());
       else if (Opt == "--credits")
         Credits = std::atoi(Value.c_str());
+      else if (Opt == "--trace-cycles")
+        TraceCycles = Value;
+      else if (Opt == "--sample-cycles")
+        SampleCycles = std::atoi(Value.c_str());
       else
         return usage();
     }
     return cmdGrid(ScenarioName, Engines, Policy, Nreg, Iters, MemLat,
-                   HopLat, Credits, Json);
+                   HopLat, Credits, Json, TraceCycles, SampleCycles);
   }
 
   if (Cmd == "batch") {
@@ -965,7 +1073,8 @@ int dispatch(int argc, char **argv) {
 
   std::string Path = argv[2];
   int Nreg = 128, RegsPerThread = 32, Iters = 10, MemLat = 40, Nthd = 4;
-  int MaxSpills = 64;
+  int MaxSpills = 64, SampleCycles = 0;
+  std::string TraceCycles;
   bool Json = false, AfterAlloc = false, Physical = false, StaticPGO = false;
   bool Explain = false, AllowSpill = false, Validate = false, Werror = false;
   std::string Only, ProfilePath, OutPath;
@@ -1024,6 +1133,10 @@ int dispatch(int argc, char **argv) {
       MemLat = std::atoi(Value.c_str());
     else if (Opt == "-nthd")
       Nthd = std::atoi(Value.c_str());
+    else if (Opt == "--trace-cycles")
+      TraceCycles = Value;
+    else if (Opt == "--sample-cycles")
+      SampleCycles = std::atoi(Value.c_str());
     else
       return usage();
   }
@@ -1052,7 +1165,7 @@ int dispatch(int argc, char **argv) {
   if (Cmd == "profile")
     return cmdProfile(*MTP, Iters, MemLat, OutPath);
   if (Cmd == "run")
-    return cmdRun(*MTP, Nreg, Iters, MemLat);
+    return cmdRun(*MTP, Nreg, Iters, MemLat, TraceCycles, SampleCycles);
   if (Cmd == "baseline")
     return cmdBaseline(*MTP, RegsPerThread);
   if (Cmd == "sra")
