@@ -18,6 +18,16 @@ void append64(std::string &Out, uint64_t V) {
   Out.append(Buf, 8);
 }
 
+/// Approximate footprint of an entry holding \p Text plus its analysis
+/// bundle. The bundle's liveness bitvectors, interference rows and NSR
+/// tables all scale with the program's instruction count, which the flat
+/// encoding tracks linearly — a small multiple of the encoding plus a
+/// fixed overhead is a sound working estimate for budget enforcement (the
+/// bound is a resource guard, not an accountant's ledger).
+int64_t entryCost(const std::string &Text) {
+  return static_cast<int64_t>(Text.size()) * 4 + 512;
+}
+
 } // namespace
 
 std::string npral::encodeProgram(const Program &P) {
@@ -57,6 +67,34 @@ uint64_t npral::hashProgramContent(const Program &P) {
   return fnv1aHash(encodeProgram(P));
 }
 
+void AnalysisCache::eraseLocked(
+    std::unordered_map<uint64_t, Entry>::iterator It) const {
+  Bytes.fetch_sub(It->second.Cost, std::memory_order_relaxed);
+  Lru.erase(It->second.LruIt);
+  Entries.erase(It);
+  if (MaxBytes > 0)
+    MetricsRegistry::global().gauge("cache.bytes").set(
+        Bytes.load(std::memory_order_relaxed));
+}
+
+void AnalysisCache::enforceBudgetLocked(uint64_t Protect) const {
+  if (MaxBytes <= 0)
+    return;
+  while (Bytes.load(std::memory_order_relaxed) > MaxBytes && !Lru.empty()) {
+    uint64_t Victim = Lru.back();
+    if (Victim == Protect) {
+      // The protected (just-inserted) entry is the oldest one left; the
+      // budget is simply smaller than one entry. Keep it — evicting the
+      // entry its own insert paid for would make every insert a no-op.
+      break;
+    }
+    auto It = Entries.find(Victim);
+    eraseLocked(It);
+    Evictions.fetch_add(1, std::memory_order_relaxed);
+    MetricsRegistry::global().counter("cache.evictions").increment();
+  }
+}
+
 std::shared_ptr<const ThreadAnalysisBundle>
 AnalysisCache::lookup(uint64_t Key, std::string_view Text) const {
   std::lock_guard<std::mutex> Lock(Mutex);
@@ -69,7 +107,7 @@ AnalysisCache::lookup(uint64_t Key, std::string_view Text) const {
     // The entry itself is damaged (truncated or bit-rotted after insert):
     // serving it — or even comparing against it — is meaningless. Evict so
     // the caller recomputes and reinserts a sound entry.
-    Entries.erase(It);
+    eraseLocked(It);
     Corruptions.fetch_add(1, std::memory_order_relaxed);
     Misses.fetch_add(1, std::memory_order_relaxed);
     MetricsRegistry::global().counter("cache.corrupt_entries").increment();
@@ -83,6 +121,9 @@ AnalysisCache::lookup(uint64_t Key, std::string_view Text) const {
     return nullptr;
   }
   Hits.fetch_add(1, std::memory_order_relaxed);
+  // A hit is a use: move to the LRU front so hot kernels outlive one-off
+  // programs under a byte budget.
+  Lru.splice(Lru.begin(), Lru, It->second.LruIt);
   return It->second.Bundle;
 }
 
@@ -96,10 +137,20 @@ AnalysisCache::insert(uint64_t Key, std::string Text,
       // The slot is occupied by a colliding program; keep the table as-is
       // and let the caller proceed with its own (correct) bundle.
       return Bundle;
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
     return It->second.Bundle;
   }
   const uint64_t Sum = fnv1aHash(Text);
-  Entries.emplace(Key, Entry{std::move(Text), Sum, Bundle});
+  const int64_t Cost = entryCost(Text);
+  Lru.push_front(Key);
+  Entries.emplace(Key, Entry{std::move(Text), Sum, Bundle, Cost,
+                             Lru.begin()});
+  Bytes.fetch_add(Cost, std::memory_order_relaxed);
+  if (MaxBytes > 0) {
+    enforceBudgetLocked(Key);
+    MetricsRegistry::global().gauge("cache.bytes").set(
+        Bytes.load(std::memory_order_relaxed));
+  }
   return Bundle;
 }
 

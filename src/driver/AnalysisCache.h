@@ -31,6 +31,17 @@
 /// wins and the loser's copy is dropped — wasted work, never wrong results,
 /// because bundles for equal content are identical.
 ///
+/// Bounding: an optional byte budget (constructor argument) turns
+/// the store into an LRU cache. Every entry is charged an approximate
+/// footprint (stored encoding + an estimate of the analysis bundle, which
+/// scales with the encoding); when an insert pushes the total past the
+/// budget, least-recently-used entries are evicted until it fits. Eviction
+/// only ever costs a recomputation — a bundle handed out by lookup() is a
+/// shared_ptr, so in-flight users keep their copy alive. The default budget
+/// of 0 means unbounded, keeping one-shot batch behavior identical; the
+/// long-running serve daemon always sets a budget. `cache.evictions` and
+/// `cache.bytes` in the global MetricsRegistry track the bound's activity.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef NPRAL_DRIVER_ANALYSISCACHE_H
@@ -41,6 +52,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -66,6 +78,10 @@ uint64_t hashProgramContent(const Program &P);
 
 class AnalysisCache {
 public:
+  /// \p MaxBytes caps the approximate footprint of stored entries; 0 (the
+  /// default) keeps the cache unbounded.
+  explicit AnalysisCache(int64_t MaxBytes = 0) : MaxBytes(MaxBytes) {}
+
   /// Bundle for \p Key, or null on a miss. \p Text must be the flat
   /// encoding the key was hashed from; an entry whose stored bytes differ
   /// is a hash collision — it is never served, counts as a miss, and bumps
@@ -84,6 +100,14 @@ public:
 
   int64_t hits() const { return Hits.load(std::memory_order_relaxed); }
   int64_t misses() const { return Misses.load(std::memory_order_relaxed); }
+  /// Entries dropped to keep the store under its byte budget.
+  int64_t evictions() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
+  /// Approximate footprint of the stored entries, in bytes.
+  int64_t bytes() const { return Bytes.load(std::memory_order_relaxed); }
+  /// The byte budget; 0 = unbounded.
+  int64_t maxBytes() const { return MaxBytes; }
   /// Lookups whose key matched an entry with different program text.
   int64_t collisions() const {
     return Collisions.load(std::memory_order_relaxed);
@@ -106,13 +130,31 @@ private:
     /// FNV-1a of Text at insert time; revalidated on every lookup.
     uint64_t TextSum = 0;
     std::shared_ptr<const ThreadAnalysisBundle> Bundle;
+    /// Approximate footprint charged against the byte budget.
+    int64_t Cost = 0;
+    /// This entry's position in Lru (most recent at the front).
+    std::list<uint64_t>::iterator LruIt;
   };
+
+  /// Remove the entry at \p It, uncharging its cost. Caller holds Mutex.
+  void eraseLocked(std::unordered_map<uint64_t, Entry>::iterator It) const;
+  /// Evict LRU entries until the footprint fits MaxBytes. Caller holds
+  /// Mutex. Entries named in \p Protect (the one just inserted) survive
+  /// even when they alone exceed the budget — an oversized entry lives
+  /// until the next insert rather than thrashing every lookup.
+  void enforceBudgetLocked(uint64_t Protect) const;
+
+  const int64_t MaxBytes;
   mutable std::mutex Mutex;
   mutable std::unordered_map<uint64_t, Entry> Entries;
+  /// LRU order over Entries' keys; front = most recently used.
+  mutable std::list<uint64_t> Lru;
   mutable std::atomic<int64_t> Hits{0};
   mutable std::atomic<int64_t> Misses{0};
   mutable std::atomic<int64_t> Collisions{0};
   mutable std::atomic<int64_t> Corruptions{0};
+  mutable std::atomic<int64_t> Evictions{0};
+  mutable std::atomic<int64_t> Bytes{0};
 };
 
 } // namespace npral

@@ -75,6 +75,13 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
         return fail("parse", Parsed.status().code(), Parsed.status().str());
       }
       MTP = Parsed.take();
+    } else if (!In.Text.empty()) {
+      ErrorOr<MultiThreadProgram> Parsed = parseAssembly(In.Text);
+      if (!Parsed.ok()) {
+        R.ParseNs = nowNs() - T0;
+        return fail("parse", Parsed.status().code(), Parsed.status().str());
+      }
+      MTP = Parsed.take();
     } else {
       MTP = In.Program;
     }
@@ -235,7 +242,52 @@ BatchJobResult processOne(const BatchJob &In, const BatchOptions &Opts,
   return R;
 }
 
+/// The fault-isolation wrapper both entry points share: processOne with an
+/// exception net and the bounded degraded retry. Whatever the job does
+/// lands in its returned result, never in the caller's control flow.
+BatchJobResult runIsolated(const BatchJob &In, const BatchOptions &Opts,
+                           AnalysisCache *Cache, uint64_t ProfileHash) {
+  try {
+    BatchJobResult R =
+        processOne(In, Opts, Cache, ProfileHash, Opts.AllowSpill);
+    if (!R.Success && !Opts.AllowSpill && Opts.RetryDegraded &&
+        R.FailCode == StatusCode::Infeasible) {
+      // One bounded retry in degraded mode: only for budget failures
+      // (a deadline or parse error would fail identically again).
+      BatchJobResult Retry =
+          processOne(In, Opts, Cache, ProfileHash, /*AllowSpill=*/true);
+      Retry.Retried = true;
+      return Retry;
+    }
+    return R;
+  } catch (const std::exception &E) {
+    BatchJobResult R;
+    R.Name = In.Name.empty() ? In.Path : In.Name;
+    R.FailStage = "internal";
+    R.FailCode = StatusCode::Internal;
+    R.FailReason = std::string("uncaught exception: ") + E.what();
+    return R;
+  }
+}
+
+/// The cache-key partition tag for a run: a loaded profile's content hash
+/// wins, then the static-PGO constant, then the caller's override.
+uint64_t resolveProfileHash(const BatchOptions &Opts, uint64_t Override) {
+  if (Opts.Profile)
+    return Opts.Profile->contentHash();
+  if (Opts.StaticPGO)
+    return fnv1aHash("static-pgo");
+  return Override;
+}
+
 } // namespace
+
+BatchJobResult npral::runSingleJob(const BatchJob &In,
+                                   const BatchOptions &Opts,
+                                   AnalysisCache *Cache,
+                                   uint64_t ProfileHash) {
+  return runIsolated(In, Opts, Cache, resolveProfileHash(Opts, ProfileHash));
+}
 
 BatchResult npral::runBatch(const std::vector<BatchJob> &Inputs,
                             const BatchOptions &Opts, AnalysisCache *Cache) {
@@ -245,7 +297,7 @@ BatchResult npral::runBatch(const std::vector<BatchJob> &Inputs,
   BatchResult Out;
   Out.Results.resize(Inputs.size());
 
-  AnalysisCache LocalCache;
+  AnalysisCache LocalCache(Opts.CacheBytes);
   if (!Cache && Opts.UseCache)
     Cache = &LocalCache;
 
@@ -253,11 +305,7 @@ BatchResult npral::runBatch(const std::vector<BatchJob> &Inputs,
   // A distinct constant tag separates static-PGO runs from unweighted ones
   // in a shared cache (the bundles are identical, but keeping the key
   // spaces apart makes hit/miss accounting per configuration exact).
-  uint64_t ProfileHash = 0;
-  if (Opts.Profile)
-    ProfileHash = Opts.Profile->contentHash();
-  else if (Opts.StaticPGO)
-    ProfileHash = fnv1aHash("static-pgo");
+  const uint64_t ProfileHash = resolveProfileHash(Opts, 0);
 
   // The per-run registry is the source of truth for batch counters; the
   // legacy PipelineStats struct is reconstructed from it below and the
@@ -274,24 +322,7 @@ BatchResult npral::runBatch(const std::vector<BatchJob> &Inputs,
       // Fault isolation: whatever one item does — fail a stage, blow a
       // deadline, or throw — lands in its own result slot; the batch and
       // its siblings continue.
-      try {
-        Slot = processOne(In, Opts, Cache, ProfileHash, Opts.AllowSpill);
-        if (!Slot.Success && !Opts.AllowSpill && Opts.RetryDegraded &&
-            Slot.FailCode == StatusCode::Infeasible) {
-          // One bounded retry in degraded mode: only for budget failures
-          // (a deadline or parse error would fail identically again).
-          BatchJobResult Retry =
-              processOne(In, Opts, Cache, ProfileHash, /*AllowSpill=*/true);
-          Retry.Retried = true;
-          Slot = std::move(Retry);
-        }
-      } catch (const std::exception &E) {
-        Slot = BatchJobResult();
-        Slot.Name = In.Name.empty() ? In.Path : In.Name;
-        Slot.FailStage = "internal";
-        Slot.FailCode = StatusCode::Internal;
-        Slot.FailReason = std::string("uncaught exception: ") + E.what();
-      }
+      Slot = runIsolated(In, Opts, Cache, ProfileHash);
       RunMetrics.histogram("batch.job_wall_ns").observe(nowNs() - Job0);
     });
   }

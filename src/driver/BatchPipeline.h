@@ -54,6 +54,11 @@ struct BatchOptions {
   int Jobs = 1;
   /// Memoise per-thread analyses in the AnalysisCache.
   bool UseCache = false;
+  /// Byte budget for the run-local cache created when UseCache is set and
+  /// no cache is supplied; 0 = unbounded (the historical batch behavior).
+  /// Callers passing their own AnalysisCache configure the bound on it
+  /// directly.
+  int64_t CacheBytes = 0;
   /// Run the AllocationVerifier over every successful allocation.
   bool Verify = true;
   /// Run the translation validator over every successful allocation: a
@@ -99,13 +104,16 @@ struct BatchOptions {
   FaultInjector Faults;
 };
 
-/// One batch input: either a path to an assembly file (parsed by the job)
-/// or an in-memory program (generated workloads, tests).
+/// One batch input: a path to an assembly file, in-memory assembly text
+/// (the serve daemon's wire format), or an in-memory program (generated
+/// workloads, tests). Precedence: Path, then Text, then Program.
 struct BatchJob {
   /// Display name; defaults to Path when empty.
   std::string Name;
-  /// Assembly file to parse; when empty, Program is used directly.
+  /// Assembly file to parse; when empty, Text or Program is used.
   std::string Path;
+  /// Assembly text to parse; when empty too, Program is used directly.
+  std::string Text;
   MultiThreadProgram Program;
 };
 
@@ -244,6 +252,22 @@ struct BatchResult {
 /// supplied, a run-local cache is created.
 BatchResult runBatch(const std::vector<BatchJob> &Inputs,
                      const BatchOptions &Opts, AnalysisCache *Cache = nullptr);
+
+/// Run ONE job through the pipeline with the full per-job fault-isolation
+/// contract of runBatch: every failure — malformed input, infeasible
+/// budget, expired deadline, injected fault, an escaping C++ exception —
+/// is captured and classified in the returned BatchJobResult, never
+/// thrown; the degraded retry applies under Opts.RetryDegraded. This is
+/// the serve daemon's per-request entry point: one request, one isolated
+/// result, a shared long-lived \p Cache across requests.
+///
+/// \p ProfileHash partitions a shared cache's key space the way a loaded
+/// profile's content hash does in runBatch (serve clients pass an opaque
+/// hash; 0 = the unpartitioned default). Opts.Profile / Opts.StaticPGO,
+/// when set, take precedence exactly as in runBatch.
+BatchJobResult runSingleJob(const BatchJob &In, const BatchOptions &Opts,
+                            AnalysisCache *Cache = nullptr,
+                            uint64_t ProfileHash = 0);
 
 } // namespace npral
 

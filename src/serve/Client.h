@@ -1,0 +1,68 @@
+//===- Client.h - Allocation-service client ---------------------*- C++ -*-===//
+///
+/// \file
+/// A small synchronous client for the npral-serve protocol: connect to the
+/// daemon's Unix socket, send Alloc/Health/Metrics requests, decode the
+/// responses. One request in flight per call — the protocol supports
+/// pipelining (responses carry request ids), but every current consumer
+/// (the `npralc client` subcommand, the tests, the soak driver) is
+/// call-and-response, and the raw escape hatches below cover the rest.
+///
+/// The fuzz tests use sendRaw()/readRawFrame() to push deliberately
+/// malformed bytes and observe the server's structured rejections.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef NPRAL_SERVE_CLIENT_H
+#define NPRAL_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+#include "support/Socket.h"
+
+#include <cstdint>
+#include <string>
+
+namespace npral {
+
+class ServeClient {
+public:
+  /// Connect to the daemon listening on \p Path.
+  static ErrorOr<ServeClient> connectTo(const std::string &Path);
+
+  /// Round-trip one Alloc request. A returned ServeResponse with
+  /// Ok == false is a *successful* round trip whose payload is a
+  /// structured server-side error (shed, infeasible, parse failure, ...);
+  /// an ErrorOr failure means the transport itself broke.
+  ErrorOr<ServeResponse> alloc(const AllocRequest &Req);
+
+  /// Round-trip a Health request; the response Body carries the
+  /// `key=value` health lines.
+  ErrorOr<ServeResponse> health();
+
+  /// Round-trip a Metrics request; the response Body carries the global
+  /// MetricsRegistry JSON.
+  ErrorOr<ServeResponse> metrics();
+
+  /// Send raw bytes as-is (fuzzing malformed frames).
+  Status sendRaw(const void *Buf, size_t Len);
+  /// Read one response frame without interpreting the payload.
+  Status readRawFrame(Frame &F,
+                      uint32_t MaxPayloadBytes = protocol::DefaultMaxRequestBytes);
+
+  const UnixSocket &socket() const { return Sock; }
+
+private:
+  explicit ServeClient(UnixSocket S) : Sock(std::move(S)) {}
+
+  ErrorOr<ServeResponse> roundTrip(protocol::FrameType Type,
+                                   std::string Payload);
+
+  UnixSocket Sock;
+  /// Monotonic request-id source; ids only need to be unique per
+  /// connection.
+  uint64_t NextId = 1;
+};
+
+} // namespace npral
+
+#endif // NPRAL_SERVE_CLIENT_H

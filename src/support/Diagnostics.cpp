@@ -31,6 +31,10 @@ const char *npral::statusCodeName(StatusCode Code) {
     return "io-error";
   case StatusCode::Internal:
     return "internal";
+  case StatusCode::Unavailable:
+    return "unavailable";
+  case StatusCode::Cancelled:
+    return "cancelled";
   }
   return "unknown";
 }

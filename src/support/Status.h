@@ -54,6 +54,11 @@ enum class StatusCode {
   IOError,
   /// An internal invariant violation surfaced as a recoverable error.
   Internal,
+  /// The server is overloaded or draining; the request was rejected before
+  /// any work started and is safe to retry (serve admission control).
+  Unavailable,
+  /// The request was accepted but abandoned before it ran (server drain).
+  Cancelled,
 };
 
 /// Stable lower-case name of \p Code ("parse-error", "infeasible", ...),

@@ -1,0 +1,230 @@
+//===- SoakTest.cpp - Multi-client serve soak driver ----------------------===//
+//
+// The acceptance soak for the serve daemon: many concurrent clients push a
+// large mixed workload — valid allocations over a repeating corpus (cache
+// hits), infeasible budgets, malformed payloads, deterministically
+// injected faults, health and metrics probes — through one in-process
+// server, then the suite asserts the robustness contract:
+//
+//   * zero lost responses: every request that was sent received a
+//     classified response (ok, structured error, or shed);
+//   * load shedding engaged under the oversubscribed burst (shed > 0)
+//     and every shed response carried the retry-after hint;
+//   * the shared analysis cache ran at a nonzero hit rate;
+//   * process memory stayed bounded: RSS after the full run is within a
+//     fixed factor of the RSS after warm-up.
+//
+// Request count: NPRAL_SOAK_REQUESTS (default 100000, the acceptance
+// floor; CI's sanitizer lane lowers it to keep wall clock sane).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harden/FaultInjector.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "support/Socket.h"
+
+#include "gtest/gtest.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace npral;
+
+namespace {
+
+std::string readFileOrDie(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+int soakRequests() {
+  if (const char *Env = std::getenv("NPRAL_SOAK_REQUESTS"))
+    if (int N = std::atoi(Env); N > 0)
+      return N;
+  return 100000;
+}
+
+struct ClientTally {
+  int64_t Sent = 0;
+  int64_t Ok = 0;
+  int64_t StructuredErrors = 0;
+  int64_t Shed = 0;
+  int64_t ShedWithoutHint = 0;
+  int64_t TransportErrors = 0;
+  int64_t BodyMismatches = 0;
+};
+
+} // namespace
+
+TEST(ServeSoakTest, MixedBurstStaysBoundedAndLosesNothing) {
+  const int Total = soakRequests();
+  const int NumClients = 16;
+
+  ServeOptions Opts;
+  Opts.SocketPath = "/tmp/npral-serve-soak-" + std::to_string(getpid()) +
+                    ".sock";
+  // Oversubscribed on purpose: few workers, small queue, many clients —
+  // the burst must hit the admission bound and shed.
+  Opts.Workers = 4;
+  Opts.QueueCapacity = 4;
+  Opts.CacheBytes = 32 << 20;
+  // Inject alloc faults into ~10% of requests. Job names are the
+  // server-global sequence, so the verdicts are deterministic; seed 1 is
+  // chosen so the four golden warm-up requests (request-1..4) never fire.
+  {
+    ErrorOr<FaultInjector> FI = FaultInjector::parse("alloc@10#1");
+    ASSERT_TRUE(FI.ok());
+    Opts.Faults = FI.take();
+  }
+  Server S(std::move(Opts));
+  ASSERT_TRUE(S.start().ok());
+
+  // The request corpus: valid inputs (repeating, so the shared cache gets
+  // hits), plus deliberate failures mixed in.
+  std::vector<std::string> Valid;
+  for (const char *F :
+       {"two_threads.s", "fig3_paper.s", "modular_kernel.s",
+        "packet_filter.s"})
+    Valid.push_back(readFileOrDie(std::string(NPRAL_EXAMPLES_ASM_DIR) + "/" +
+                                  F));
+  // Expected bodies, computed once through the same pipeline entry the
+  // server uses — every later ok response must match byte for byte.
+  std::vector<std::string> Golden(Valid.size());
+  for (size_t I = 0; I < Valid.size(); ++I) {
+    ErrorOr<ServeClient> Conn =
+        ServeClient::connectTo(S.options().SocketPath);
+    ASSERT_TRUE(Conn.ok()) << Conn.status().str();
+    ServeClient &C = *Conn;
+    AllocRequest Req;
+    Req.Assembly = Valid[I];
+    ErrorOr<ServeResponse> R = C.alloc(Req);
+    ASSERT_TRUE(R.ok() && R->Ok) << "golden " << I;
+    Golden[I] = R->Body;
+  }
+
+  // Warm-up complete; the memory bound is measured from here.
+  const int64_t WarmRSS = currentRSSBytes();
+  ASSERT_GT(WarmRSS, 0);
+
+  const int PerClient = Total / NumClients;
+  std::vector<ClientTally> Tallies(NumClients);
+  std::vector<std::thread> Clients;
+  Clients.reserve(NumClients);
+  for (int CI = 0; CI < NumClients; ++CI) {
+    Clients.emplace_back([&, CI] {
+      ClientTally &T = Tallies[static_cast<size_t>(CI)];
+      ErrorOr<ServeClient> Conn =
+          ServeClient::connectTo(S.options().SocketPath);
+      if (!Conn.ok()) {
+        T.TransportErrors = PerClient; // Count the whole share as lost.
+        return;
+      }
+      ServeClient &C = *Conn;
+      for (int I = 0; I < PerClient; ++I) {
+        ++T.Sent;
+        const int Kind = (CI * 7919 + I) % 20;
+        if (Kind == 18) { // Health probe.
+          ErrorOr<ServeResponse> R = C.health();
+          if (R.ok() && R->Ok)
+            ++T.Ok;
+          else
+            ++T.TransportErrors;
+          continue;
+        }
+        if (Kind == 19) { // Metrics probe.
+          ErrorOr<ServeResponse> R = C.metrics();
+          if (R.ok() && R->Ok)
+            ++T.Ok;
+          else
+            ++T.TransportErrors;
+          continue;
+        }
+        AllocRequest Req;
+        const size_t V = static_cast<size_t>(I) % Valid.size();
+        Req.Assembly = Valid[V];
+        bool ExpectBody = true;
+        if (Kind == 16) { // Infeasible budget: classified failure.
+          Req.Nreg = 2;
+          ExpectBody = false;
+        } else if (Kind == 17) { // Malformed assembly: parse failure.
+          Req.Assembly = "this is not npral assembly\n";
+          ExpectBody = false;
+        }
+        ErrorOr<ServeResponse> R = C.alloc(Req);
+        if (!R.ok()) {
+          ++T.TransportErrors;
+          continue;
+        }
+        if (R->Ok) {
+          ++T.Ok;
+          if (ExpectBody && R->Body != Golden[V])
+            ++T.BodyMismatches;
+        } else if (R->Code == "unavailable") {
+          ++T.Shed;
+          if (R->RetryAfterMs <= 0)
+            ++T.ShedWithoutHint;
+        } else {
+          ++T.StructuredErrors;
+        }
+      }
+    });
+  }
+  for (std::thread &C : Clients)
+    C.join();
+
+  ClientTally Sum;
+  for (const ClientTally &T : Tallies) {
+    Sum.Sent += T.Sent;
+    Sum.Ok += T.Ok;
+    Sum.StructuredErrors += T.StructuredErrors;
+    Sum.Shed += T.Shed;
+    Sum.ShedWithoutHint += T.ShedWithoutHint;
+    Sum.TransportErrors += T.TransportErrors;
+    Sum.BodyMismatches += T.BodyMismatches;
+  }
+
+  // Zero lost responses: every sent request came back classified.
+  EXPECT_EQ(Sum.Sent, static_cast<int64_t>(PerClient) * NumClients);
+  EXPECT_EQ(Sum.TransportErrors, 0);
+  EXPECT_EQ(Sum.Ok + Sum.StructuredErrors + Sum.Shed, Sum.Sent);
+  // The oversubscribed burst hit the admission bound.
+  EXPECT_GT(Sum.Shed, 0);
+  EXPECT_EQ(Sum.ShedWithoutHint, 0);
+  // Successful allocations stayed byte-identical throughout.
+  EXPECT_EQ(Sum.BodyMismatches, 0);
+  // The repeating corpus kept the shared cache warm.
+  EXPECT_GT(S.cache().hits(), 0);
+  const double HitRate =
+      static_cast<double>(S.cache().hits()) /
+      static_cast<double>(S.cache().hits() + S.cache().misses());
+  EXPECT_GT(HitRate, 0.0);
+  // Server-side accounting agrees there were failures of both kinds but
+  // no unclassified outcomes and no dropped writes.
+  EXPECT_EQ(S.stats().DroppedResponses.load(), 0);
+  EXPECT_GT(S.stats().Shed.load(), 0);
+  // The armed injector fired and every fault stayed a classified,
+  // request-scoped failure.
+  EXPECT_GT(S.stats().FaultsInjected.load(), 0);
+
+  // Bounded memory: after the whole soak, RSS stays within a fixed factor
+  // of the warm baseline (generous slack absorbs allocator noise, but a
+  // real per-request leak at 10^5 requests would blow far past it).
+  const int64_t FinalRSS = currentRSSBytes();
+  ASSERT_GT(FinalRSS, 0);
+  EXPECT_LT(FinalRSS, WarmRSS * 3 + (96ll << 20))
+      << "warm RSS " << WarmRSS << ", final RSS " << FinalRSS;
+
+  S.requestShutdown();
+  EXPECT_EQ(S.wait(), 0);
+}

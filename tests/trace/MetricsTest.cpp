@@ -257,6 +257,38 @@ TEST(PipelineStatsTest, RenderJSONGolden) {
             "}\n");
 }
 
+TEST(PipelineStatsTest, RegistryKeySetIsGoldenPinned) {
+  // The full batch.* instrument name set, pinned: dashboards and the serve
+  // daemon's metrics endpoint key on these names, so adding a field to
+  // PipelineStats must extend this golden deliberately. renderText's
+  // lexicographic order makes the pin byte-stable.
+  MetricsRegistry MR;
+  sampleStats().toRegistry(MR);
+  std::ostringstream OS;
+  MR.renderText(OS);
+  EXPECT_EQ(OS.str(),
+            "batch.cache.enabled gauge 1\n"
+            "batch.cache.hits counter 3\n"
+            "batch.cache.misses counter 1\n"
+            "batch.deadline_exceeded counter 0\n"
+            "batch.degraded counter 0\n"
+            "batch.failed counter 1\n"
+            "batch.faults_injected counter 0\n"
+            "batch.jobs gauge 2\n"
+            "batch.programs counter 4\n"
+            "batch.retried counter 0\n"
+            "batch.stage.alloc_ns counter 500000\n"
+            "batch.stage.analysis_ns counter 2250000\n"
+            "batch.stage.bounds_ns counter 0\n"
+            "batch.stage.parse_ns counter 1500000\n"
+            "batch.stage.validate_ns counter 0\n"
+            "batch.stage.verify_ns counter 250000\n"
+            "batch.succeeded counter 3\n"
+            "batch.validate_failed counter 0\n"
+            "batch.validated counter 0\n"
+            "batch.wall_ns counter 8000000\n");
+}
+
 TEST(PipelineStatsTest, RunBatchFeedsTheGlobalRegistry) {
   MetricsRegistry::global().clear();
   ErrorOr<MultiThreadProgram> MTP = parseAssembly(R"(

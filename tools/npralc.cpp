@@ -67,6 +67,8 @@
 #include "profile/ExecutionProfile.h"
 #include "profile/ProfileCollector.h"
 #include "profile/StaticFrequencyEstimator.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
 #include "sim/Simulator.h"
 #include "support/DiagnosticEngine.h"
 #include "support/StringUtils.h"
@@ -80,6 +82,7 @@
 #include "trace/TraceReport.h"
 #include "trace/TraceValidator.h"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -242,6 +245,36 @@ int usage() {
          "                      allocation; a refuted job fails in stage\n"
          "                      'validate' and --stats grows a validate\n"
          "                      line\n"
+         "        --cache-bytes B  bound the analysis cache to B bytes with\n"
+         "                      LRU eviction (implies --cache); 0 =\n"
+         "                      unbounded (default)\n"
+         "  serve    --socket PATH [--workers N] [--queue-cap N]\n"
+         "           [--max-conns N] [--max-request-bytes B]\n"
+         "           [--deadline-ms D] [--cache-bytes B]\n"
+         "           [--retry-after-ms M] [--fault-inject spec]\n"
+         "      allocation-as-a-service daemon on a Unix socket\n"
+         "      (docs/serve.md): bounded admission queue with load\n"
+         "      shedding, per-request watchdog deadlines and fault\n"
+         "      isolation, a shared LRU-bounded analysis cache, and\n"
+         "      graceful drain on SIGTERM/SIGINT (in-flight requests\n"
+         "      finish, queued ones answer 'cancelled', exit 0)\n"
+         "        --workers N   request executors (default: hw concurrency)\n"
+         "        --queue-cap N admission queue bound (default 64); a full\n"
+         "                      queue sheds with 'unavailable' + retry hint\n"
+         "        --max-conns N concurrent connections (default 64)\n"
+         "        --max-request-bytes B  reject larger frames (default 4M)\n"
+         "        --deadline-ms D  default per-request deadline\n"
+         "        --cache-bytes B  analysis-cache budget (default 64M)\n"
+         "        --retry-after-ms M  backoff hint in shed responses\n"
+         "  client   --socket PATH [file.s] [-nreg N] [--allow-spill]\n"
+         "           [--max-spills K] [--validate] [--deadline-ms D]\n"
+         "           [--profile-hash H] [--health] [--fetch-metrics]\n"
+         "      send one request to a running serve daemon; prints the\n"
+         "      allocated physical assembly (byte-identical to `alloc`'s\n"
+         "      print section) on stdout, a summary on stderr\n"
+         "        --health        fetch the daemon's health lines instead\n"
+         "        --fetch-metrics fetch the daemon's metrics JSON instead\n"
+         "        --profile-hash H  opaque cache-partition tag\n"
          "  trace-validate file.json\n"
          "      strictly parse and validate a Chrome trace-event JSON\n"
          "      file (phases, per-track span balance, timestamp order,\n"
@@ -665,7 +698,8 @@ int cmdBatch(const std::vector<std::string> &Files, int Jobs, bool UseCache,
              bool Stats, bool Json, int Nreg,
              const std::string &ProfilePath, bool StaticPGO, bool AllowSpill,
              int MaxSpills, bool RetryDegraded, int DeadlineMs,
-             const std::string &FaultSpec, bool Validate) {
+             const std::string &FaultSpec, bool Validate,
+             int64_t CacheBytes) {
   if (Files.empty()) {
     std::cerr << "batch: no input files\n";
     return usage();
@@ -686,7 +720,9 @@ int cmdBatch(const std::vector<std::string> &Files, int Jobs, bool UseCache,
   BatchOptions Opts;
   Opts.Nreg = Nreg;
   Opts.Jobs = Jobs > 0 ? Jobs : ThreadPool::hardwareConcurrency();
-  Opts.UseCache = UseCache;
+  // A byte budget only makes sense with the cache on, so it implies it.
+  Opts.UseCache = UseCache || CacheBytes > 0;
+  Opts.CacheBytes = CacheBytes;
   Opts.Profile = Prof ? &*Prof : nullptr;
   Opts.StaticPGO = StaticPGO;
   Opts.AllowSpill = AllowSpill;
@@ -741,6 +777,72 @@ int cmdBatch(const std::vector<std::string> &Files, int Jobs, bool UseCache,
       Batch.Stats.renderText(std::cout);
   }
   return Batch.allSucceeded() ? 0 : 1;
+}
+
+int cmdServe(ServeOptions Opts) {
+  Server S(std::move(Opts));
+  S.installSignalHandlers();
+  if (Status St = S.start(); !St.ok()) {
+    std::cerr << "serve: " << St.str() << "\n";
+    return 1;
+  }
+  // The readiness line supervisors and the CI e2e job wait for.
+  std::cerr << "serving on " << S.options().SocketPath << "\n";
+  const int Ret = S.wait();
+  const ServeStats &St = S.stats();
+  std::cerr << "drained: " << St.Requests.load() << " request(s), "
+            << St.Ok.load() << " ok, " << St.Failed.load() << " failed, "
+            << St.Shed.load() << " shed, " << St.Cancelled.load()
+            << " cancelled\n";
+  return Ret;
+}
+
+int cmdClient(const std::string &SocketPath, const std::string &File,
+              bool Health, bool FetchMetrics, AllocRequest Req) {
+  ErrorOr<ServeClient> C = ServeClient::connectTo(SocketPath);
+  if (!C.ok()) {
+    std::cerr << "client: " << C.status().str() << "\n";
+    return 1;
+  }
+  ErrorOr<ServeResponse> R = Status::error("no request");
+  if (Health) {
+    R = C->health();
+  } else if (FetchMetrics) {
+    R = C->metrics();
+  } else {
+    std::ifstream In(File);
+    if (!In) {
+      std::cerr << "client: cannot open '" << File << "'\n";
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Req.Assembly = Buf.str();
+    R = C->alloc(Req);
+  }
+  if (!R.ok()) {
+    std::cerr << "client: " << R.status().str() << "\n";
+    return 1;
+  }
+  if (!R->Ok) {
+    std::cerr << "error: [" << R->Stage << "/" << R->Code << "] "
+              << R->Message;
+    if (R->RetryAfterMs > 0)
+      std::cerr << " (retry after " << R->RetryAfterMs << " ms)";
+    std::cerr << "\n";
+    return 1;
+  }
+  if (!Health && !FetchMetrics) {
+    std::cerr << "ok: registers-used=" << R->RegistersUsed
+              << " sgr=" << R->SGR << " moves=" << R->TotalMoveCost
+              << " spilled-ranges=" << R->SpilledRanges
+              << " degraded=" << (R->Degraded ? 1 : 0)
+              << " validated=" << (R->Validated ? 1 : 0) << "\n";
+  }
+  // The body — physical assembly for alloc, key=value lines for health,
+  // metrics JSON for metrics — goes to stdout, pipeable and diffable.
+  std::cout << R->Body;
+  return 0;
 }
 
 int cmdGrid(const std::string &ScenarioName, int Engines,
@@ -975,9 +1077,102 @@ int dispatch(int argc, char **argv) {
                    HopLat, Credits, Json, TraceCycles, SampleCycles);
   }
 
+  if (Cmd == "serve") {
+    ServeOptions Opts;
+    for (int I = 2; I < argc; ++I) {
+      std::string Opt = argv[I];
+      if (I + 1 >= argc)
+        return usage();
+      std::string Value = argv[++I];
+      if (Opt == "--socket")
+        Opts.SocketPath = Value;
+      else if (Opt == "--workers")
+        Opts.Workers = std::atoi(Value.c_str());
+      else if (Opt == "--queue-cap")
+        Opts.QueueCapacity = std::atoi(Value.c_str());
+      else if (Opt == "--max-conns")
+        Opts.MaxConnections = std::atoi(Value.c_str());
+      else if (Opt == "--max-request-bytes")
+        Opts.MaxRequestBytes =
+            static_cast<uint32_t>(std::atoll(Value.c_str()));
+      else if (Opt == "--deadline-ms")
+        Opts.DefaultDeadlineMs = std::atoi(Value.c_str());
+      else if (Opt == "--cache-bytes")
+        Opts.CacheBytes = std::atoll(Value.c_str());
+      else if (Opt == "--retry-after-ms")
+        Opts.RetryAfterMs = std::atoi(Value.c_str());
+      else if (Opt == "--fault-inject") {
+        ErrorOr<FaultInjector> FI = FaultInjector::parse(Value);
+        if (!FI.ok()) {
+          std::cerr << "error: bad --fault-inject spec: " << FI.status().str()
+                    << "\n";
+          return usage();
+        }
+        Opts.Faults = FI.take();
+      } else
+        return usage();
+    }
+    if (Opts.SocketPath.empty()) {
+      std::cerr << "serve: --socket is required\n";
+      return usage();
+    }
+    if (!Opts.Faults.enabled())
+      Opts.Faults = FaultInjector::fromEnv();
+    return cmdServe(std::move(Opts));
+  }
+
+  if (Cmd == "client") {
+    std::string SocketPath, File;
+    bool Health = false, FetchMetrics = false;
+    AllocRequest Req;
+    for (int I = 2; I < argc; ++I) {
+      std::string Opt = argv[I];
+      if (Opt == "--health") {
+        Health = true;
+      } else if (Opt == "--fetch-metrics") {
+        FetchMetrics = true;
+      } else if (Opt == "--allow-spill") {
+        Req.AllowSpill = true;
+      } else if (Opt == "--validate") {
+        Req.Validate = true;
+      } else if (Opt == "--socket" || Opt == "-nreg" ||
+                 Opt == "--max-spills" || Opt == "--deadline-ms" ||
+                 Opt == "--profile-hash") {
+        if (I + 1 >= argc)
+          return usage();
+        std::string Value = argv[++I];
+        if (Opt == "--socket")
+          SocketPath = Value;
+        else if (Opt == "-nreg")
+          Req.Nreg = std::atoi(Value.c_str());
+        else if (Opt == "--max-spills")
+          Req.MaxSpills = std::atoi(Value.c_str());
+        else if (Opt == "--deadline-ms")
+          Req.DeadlineMs = std::atoi(Value.c_str());
+        else
+          Req.ProfileHash =
+              static_cast<uint64_t>(std::strtoull(Value.c_str(), nullptr, 10));
+      } else if (!Opt.empty() && Opt[0] == '-') {
+        return usage();
+      } else {
+        File = std::move(Opt);
+      }
+    }
+    if (SocketPath.empty()) {
+      std::cerr << "client: --socket is required\n";
+      return usage();
+    }
+    if (!Health && !FetchMetrics && File.empty()) {
+      std::cerr << "client: need a file.s (or --health / --fetch-metrics)\n";
+      return usage();
+    }
+    return cmdClient(SocketPath, File, Health, FetchMetrics, std::move(Req));
+  }
+
   if (Cmd == "batch") {
     std::vector<std::string> Files;
     int Jobs = 0, Nreg = 128, MaxSpills = 64, DeadlineMs = 0;
+    int64_t CacheBytes = 0;
     bool UseCache = false, Stats = false, Json = false, StaticPGO = false;
     bool AllowSpill = false, RetryDegraded = false, Validate = false;
     std::string ProfilePath, FaultSpec;
@@ -1005,6 +1200,10 @@ int dispatch(int argc, char **argv) {
         if (I + 1 >= argc)
           return usage();
         FaultSpec = argv[++I];
+      } else if (Opt == "--cache-bytes") {
+        if (I + 1 >= argc)
+          return usage();
+        CacheBytes = std::atoll(argv[++I]);
       } else if (Opt == "--jobs" || Opt == "-nreg" || Opt == "--max-spills" ||
                  Opt == "--deadline-ms") {
         if (I + 1 >= argc)
@@ -1026,7 +1225,7 @@ int dispatch(int argc, char **argv) {
     }
     return cmdBatch(Files, Jobs, UseCache, Stats, Json, Nreg, ProfilePath,
                     StaticPGO, AllowSpill, MaxSpills, RetryDegraded,
-                    DeadlineMs, FaultSpec, Validate);
+                    DeadlineMs, FaultSpec, Validate, CacheBytes);
   }
 
   if (Cmd == "verify") {
